@@ -1,0 +1,86 @@
+// Shared plumbing for the experiment benches (DESIGN.md §4).
+//
+// Each bench binary reproduces one paper claim: a google-benchmark case
+// per sweep point, with the measured quantities exported as counters so
+// one run prints the whole series. Wall-clock time is irrelevant here —
+// the unit of cost is SLOTS — so every case runs exactly once
+// (->Iterations(1)) and the interesting numbers live in the counters.
+//
+// Environment knobs:
+//   JAMELECT_BENCH_TRIALS — Monte-Carlo trials per sweep point
+//                           (default 20; raise for smoother curves).
+//   JAMELECT_THREADS      — thread-pool width for the trial fan-out.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "analysis/theory.hpp"
+#include "protocols/lesk.hpp"
+#include "protocols/lesu.hpp"
+#include "sim/montecarlo.hpp"
+
+namespace jamelect::bench {
+
+inline std::size_t trials(std::size_t def = 20) {
+  if (const char* env = std::getenv("JAMELECT_BENCH_TRIALS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return def;
+}
+
+inline McConfig mc(std::uint64_t seed, std::int64_t max_slots,
+                   std::size_t default_trials = 20) {
+  McConfig c;
+  c.trials = trials(default_trials);
+  c.seed = seed;
+  c.max_slots = max_slots;
+  return c;
+}
+
+/// Standard counter set for one Monte-Carlo result.
+inline void report(benchmark::State& state, const McResult& res) {
+  state.counters["slots_mean"] = res.slots.mean;
+  state.counters["slots_median"] = res.slots.median;
+  state.counters["slots_p95"] = res.slots.p95;
+  state.counters["success_rate"] = res.success.rate;
+  state.counters["jams_mean"] = res.jams.mean;
+  state.counters["energy_per_station"] = res.energy_per_station.mean;
+}
+
+inline AdversarySpec adversary(const std::string& policy, std::int64_t T,
+                               double eps) {
+  AdversarySpec spec;
+  spec.policy = policy;
+  spec.T = T;
+  spec.eps = eps;
+  return spec;
+}
+
+inline UniformProtocolFactory lesk_factory(double eps) {
+  return [eps] { return std::make_unique<Lesk>(eps); };
+}
+
+inline UniformProtocolFactory lesu_factory(LesuParams params = {}) {
+  return [params] { return std::make_unique<Lesu>(params); };
+}
+
+/// Names for policy-index sweep arguments (benchmark args are ints).
+inline const char* policy_name(int idx) {
+  switch (idx) {
+    case 0: return "none";
+    case 1: return "saturating";
+    case 2: return "periodic";
+    case 3: return "bernoulli";
+    case 4: return "single_denial";
+    case 5: return "collision_forcer";
+    default: return "none";
+  }
+}
+
+}  // namespace jamelect::bench

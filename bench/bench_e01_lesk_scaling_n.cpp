@@ -1,0 +1,38 @@
+// E1 — LESK runs in O(log n) for constant eps and T = O(log n)
+// (Theorem 2.6 / abstract). Sweep n over powers of two, three
+// adversaries; the key series is slots_per_log2n, which should be flat
+// (up to the startup ramp's a*log2(n) constant — i.e. linear in log n
+// overall).
+#include "bench_common.hpp"
+
+namespace jamelect::bench {
+namespace {
+
+void E01_LeskScalingN(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  const int policy = static_cast<int>(state.range(1));
+  const double eps = 0.5;
+  AdversarySpec adv = adversary(policy_name(policy), 64, eps);
+  const auto cfg = mc(0xE01, 1 << 22);
+
+  McResult res;
+  for (auto _ : state) {
+    res = run_aggregate_mc(lesk_factory(eps), adv, n, cfg);
+  }
+  report(state, res);
+  const double log2n = std::log2(static_cast<double>(n));
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["slots_per_log2n"] = res.slots.mean / log2n;
+  state.counters["theory_budget"] = lesk_time_bound(n, eps, 1.0);
+  state.SetLabel(std::string("adv=") + policy_name(policy));
+}
+
+BENCHMARK(E01_LeskScalingN)
+    ->ArgsProduct({{6, 8, 10, 12, 14, 16, 18, 20}, {0, 1, 4}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace jamelect::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// E2 — LESK's eps dependence: Theorem 2.6 gives
+// O(max{T, log n / (eps^3 log(1/eps))}). Sweep eps downward at fixed n
+// under the saturating adversary; `slots_over_bound` compares the
+// measured mean against the eps-shaped reference curve (should stay
+// roughly constant), while `slots_mean` itself blows up as eps -> 0.
+#include "bench_common.hpp"
+
+namespace jamelect::bench {
+namespace {
+
+void E02_LeskEpsSweep(benchmark::State& state) {
+  const double eps = static_cast<double>(state.range(0)) / 1000.0;
+  const int policy = static_cast<int>(state.range(1));
+  const std::uint64_t n = 4096;
+  AdversarySpec adv = adversary(policy_name(policy), 64, eps);
+  adv.threshold = 0.01;  // single_denial: deny even faint Single odds
+  const auto cfg = mc(0xE02, 1 << 24);
+
+  McResult res;
+  for (auto _ : state) {
+    res = run_aggregate_mc(lesk_factory(eps), adv, n, cfg);
+  }
+  report(state, res);
+  const double log2n = std::log2(static_cast<double>(n));
+  const double shape = log2n / (eps * eps * eps * safe_log2_inv_eps(eps));
+  state.counters["eps_milli"] = static_cast<double>(state.range(0));
+  state.counters["shape_ref"] = shape;
+  state.counters["slots_over_shape"] = res.slots.mean / shape;
+  state.counters["theory_budget"] = lesk_time_bound(n, eps, 1.0);
+  state.SetLabel(std::string("adv=") + policy_name(policy));
+}
+
+BENCHMARK(E02_LeskEpsSweep)
+    ->ArgsProduct({{800, 600, 500, 400, 300, 200, 150, 100}, {1, 4}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace jamelect::bench
+
+BENCHMARK_MAIN();

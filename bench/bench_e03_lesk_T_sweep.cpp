@@ -1,0 +1,37 @@
+// E3 — the T-dominated regime of Theorem 2.6: for T beyond
+// log n/(eps^3 log(1/eps)) the runtime is Theta(T). Sweep T at constant
+// eps under saturating and periodic adversaries; `slots_per_T` should
+// flatten to a constant once T dominates.
+#include "bench_common.hpp"
+
+namespace jamelect::bench {
+namespace {
+
+void E03_LeskTSweep(benchmark::State& state) {
+  const auto T = static_cast<std::int64_t>(1) << state.range(0);
+  const int policy = static_cast<int>(state.range(1));
+  const double eps = 0.5;
+  const std::uint64_t n = 1024;
+  AdversarySpec adv = adversary(policy == 0 ? "saturating" : "periodic", T, eps);
+  const auto cfg = mc(0xE03, 1 << 24);
+
+  McResult res;
+  for (auto _ : state) {
+    res = run_aggregate_mc(lesk_factory(eps), adv, n, cfg);
+  }
+  report(state, res);
+  state.counters["T"] = static_cast<double>(T);
+  state.counters["slots_per_T"] = res.slots.mean / static_cast<double>(T);
+  state.counters["lower_bound"] = lower_bound_slots(n, eps, T);
+  state.SetLabel(policy == 0 ? "adv=saturating" : "adv=periodic");
+}
+
+BENCHMARK(E03_LeskTSweep)
+    ->ArgsProduct({{6, 8, 10, 12, 14, 16}, {0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace jamelect::bench
+
+BENCHMARK_MAIN();

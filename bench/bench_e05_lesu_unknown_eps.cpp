@@ -1,0 +1,39 @@
+// E5 — Theorem 2.9 case 1: LESU with UNKNOWN eps pays only a
+// log log(1/eps)-ish factor over LESK that knows eps. Sweep eps at
+// fixed n under the saturating adversary; `overhead` = LESU/LESK mean
+// slots should grow slowly (double-logarithmically) as eps shrinks.
+#include "bench_common.hpp"
+
+namespace jamelect::bench {
+namespace {
+
+void E05_LesuUnknownEps(benchmark::State& state) {
+  const double eps = static_cast<double>(state.range(0)) / 1000.0;
+  const std::uint64_t n = 1024;
+  AdversarySpec adv = adversary("saturating", 64, eps);
+  const auto cfg = mc(0xE05, 1 << 24, 10);
+
+  McResult lesu, lesk;
+  for (auto _ : state) {
+    lesu = run_aggregate_mc(lesu_factory(), adv, n, cfg);
+    lesk = run_aggregate_mc(lesk_factory(eps), adv, n, cfg);
+  }
+  state.counters["eps_milli"] = static_cast<double>(state.range(0));
+  state.counters["lesu_slots"] = lesu.slots.mean;
+  state.counters["lesk_slots"] = lesk.slots.mean;
+  state.counters["overhead"] = lesu.slots.mean / lesk.slots.mean;
+  state.counters["lesu_success"] = lesu.success.rate;
+  state.counters["theory_shape"] =
+      lesu_time_bound(n, eps, 64) /
+      std::max(1.0, lower_bound_slots(n, eps, 64));
+}
+
+BENCHMARK(E05_LesuUnknownEps)
+    ->Arg(500)->Arg(354)->Arg(250)->Arg(177)->Arg(125)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace jamelect::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// E6 — Theorem 2.9 case 2 / §1.3: for constant eps and large T, LESU
+// runs in O(T log log T), beating the O(T log T) of [3]. Sweep T at
+// constant eps; `slots_per_T` should grow like log log T (very slowly),
+// distinctly slower than log T.
+#include "bench_common.hpp"
+
+namespace jamelect::bench {
+namespace {
+
+void E06_LesuLargeT(benchmark::State& state) {
+  const auto T = static_cast<std::int64_t>(1) << state.range(0);
+  const double eps = 0.5;
+  const std::uint64_t n = 256;
+  AdversarySpec adv = adversary("saturating", T, eps);
+  const auto cfg = mc(0xE06, 1 << 26, 8);
+
+  McResult res;
+  for (auto _ : state) {
+    res = run_aggregate_mc(lesu_factory(), adv, n, cfg);
+  }
+  report(state, res);
+  const double Td = static_cast<double>(T);
+  state.counters["T"] = Td;
+  state.counters["slots_per_T"] = res.slots.mean / Td;
+  state.counters["loglogT"] = std::log2(std::max(2.0, std::log2(Td)));
+  state.counters["logT"] = std::log2(Td);
+}
+
+BENCHMARK(E06_LesuLargeT)
+    ->Arg(8)->Arg(10)->Arg(12)->Arg(14)->Arg(16)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace jamelect::bench
+
+BENCHMARK_MAIN();

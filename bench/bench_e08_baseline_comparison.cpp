@@ -1,0 +1,163 @@
+// E8 — the paper's §1.3 comparison: LESK elects in O(log n) where the
+// ARSS robust MAC of [3] needs O(log^4 n) (and classic estimation
+// protocols are fast only when unjammed). One case per (n, protocol,
+// adversary); who wins and by what growth rate is the series to read.
+// ARSS is granted the true (n, T) for its gamma — a baseline-favourable
+// substitution (DESIGN.md §5).
+#include "bench_common.hpp"
+
+#include "baselines/arss.hpp"
+#include "baselines/arss_flock.hpp"
+#include "baselines/nakano_olariu.hpp"
+#include "baselines/nocd_election.hpp"
+#include "baselines/willard.hpp"
+
+namespace jamelect::bench {
+namespace {
+
+constexpr std::int64_t kT = 64;
+constexpr double kEps = 0.5;
+
+void E08_Lesk(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  const int jam = static_cast<int>(state.range(1));
+  AdversarySpec adv = adversary(jam ? "saturating" : "none", kT, kEps);
+  const auto cfg = mc(0xE08, 1 << 22);
+  McResult res;
+  for (auto _ : state) res = run_aggregate_mc(lesk_factory(kEps), adv, n, cfg);
+  report(state, res);
+  state.counters["n"] = static_cast<double>(n);
+  state.SetLabel(jam ? "jammed" : "clean");
+}
+
+void E08_Lesu(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  const int jam = static_cast<int>(state.range(1));
+  AdversarySpec adv = adversary(jam ? "saturating" : "none", kT, kEps);
+  const auto cfg = mc(0xE08, 1 << 22);
+  McResult res;
+  for (auto _ : state) res = run_aggregate_mc(lesu_factory(), adv, n, cfg);
+  report(state, res);
+  state.counters["n"] = static_cast<double>(n);
+  state.SetLabel(jam ? "jammed" : "clean");
+}
+
+void E08_Arss(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  const int jam = static_cast<int>(state.range(1));
+  AdversarySpec adv = adversary(jam ? "saturating" : "none", kT, kEps);
+  McConfig cfg = mc(0xE08, 1 << 19, 5);  // per-station engine: keep it light
+  const double gamma = arss_gamma(n, kT);
+  McResult res;
+  for (auto _ : state) {
+    res = run_station_mc(
+        [gamma](StationId) -> StationProtocolPtr {
+          ArssParams params;
+          params.gamma = gamma;
+          return std::make_unique<ArssStation>(params);
+        },
+        adv, n, {CdMode::kStrong, StopRule::kAllDone, cfg.max_slots}, cfg);
+  }
+  report(state, res);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["log4_ref"] = arss_time_bound(n);
+  state.SetLabel(jam ? "jammed" : "clean");
+}
+
+void E08_Willard(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  const int jam = static_cast<int>(state.range(1));
+  AdversarySpec adv = adversary(jam ? "saturating" : "none", kT, kEps);
+  const auto cfg = mc(0xE08, 1 << 18);  // it fails under jamming: cap it
+  McResult res;
+  for (auto _ : state) {
+    res = run_aggregate_mc([] { return std::make_unique<Willard>(); }, adv, n,
+                           cfg);
+  }
+  report(state, res);
+  state.counters["n"] = static_cast<double>(n);
+  state.SetLabel(jam ? "jammed" : "clean");
+}
+
+void E08_NakanoOlariu(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  const int jam = static_cast<int>(state.range(1));
+  AdversarySpec adv = adversary(jam ? "saturating" : "none", kT, kEps);
+  const auto cfg = mc(0xE08, 1 << 18);
+  McResult res;
+  for (auto _ : state) {
+    res = run_aggregate_mc([] { return std::make_unique<NakanoOlariu>(); },
+                           adv, n, cfg);
+  }
+  report(state, res);
+  state.counters["n"] = static_cast<double>(n);
+  state.SetLabel(jam ? "jammed" : "clean");
+}
+
+// The class-compressed ARSS engine takes the comparison to n = 2^16,
+// where log2(n)^4 has grown 8x over n = 2^12 while LESK's log2(n) grew
+// only 1.3x.
+void E08_ArssLargeN(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  const int jam = static_cast<int>(state.range(1));
+  const double gamma = arss_gamma(n, kT);
+  const std::size_t kTrials = trials(10);
+
+  double slots_sum = 0.0, jams_sum = 0.0;
+  std::size_t successes = 0;
+  for (auto _ : state) {
+    const Rng base(0xE08F);
+    for (std::size_t t = 0; t < kTrials; ++t) {
+      ArssFlockConfig config;
+      config.n = n;
+      config.params.gamma = gamma;
+      config.max_slots = 1 << 22;
+      AdversarySpec spec = adversary(jam ? "saturating" : "none", kT, kEps);
+      spec.n = n;
+      Rng rng = base.child(t);
+      auto adv = make_adversary(spec, rng.child(1));
+      Rng sim = rng.child(2);
+      const auto out = run_arss_flock(config, *adv, sim);
+      successes += out.elected ? 1 : 0;
+      slots_sum += static_cast<double>(out.slots);
+      jams_sum += static_cast<double>(out.jams);
+    }
+  }
+  const auto td = static_cast<double>(kTrials);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["slots_mean"] = slots_sum / td;
+  state.counters["jams_mean"] = jams_sum / td;
+  state.counters["success_rate"] =
+      static_cast<double>(successes) / td;
+  state.counters["log4_ref"] = arss_time_bound(n);
+  state.SetLabel(jam ? "jammed" : "clean");
+}
+
+void E08_NoCd(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  const int jam = static_cast<int>(state.range(1));
+  AdversarySpec adv = adversary(jam ? "saturating" : "none", kT, kEps);
+  const auto cfg = mc(0xE08, 1 << 18);
+  McResult res;
+  for (auto _ : state) {
+    res = run_aggregate_mc(
+        [] { return std::make_unique<NoCdElection>(NoCdElectionParams{4}); },
+        adv, n, cfg);
+  }
+  report(state, res);
+  state.counters["n"] = static_cast<double>(n);
+  state.SetLabel(jam ? "jammed" : "clean");
+}
+
+BENCHMARK(E08_Lesk)->ArgsProduct({{6, 8, 10, 12}, {0, 1}})->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(E08_Lesu)->ArgsProduct({{6, 8, 10, 12}, {0, 1}})->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(E08_Arss)->ArgsProduct({{6, 8, 10, 12}, {0, 1}})->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(E08_Willard)->ArgsProduct({{6, 8, 10, 12}, {0, 1}})->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(E08_NakanoOlariu)->ArgsProduct({{6, 8, 10, 12}, {0, 1}})->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(E08_NoCd)->ArgsProduct({{6, 8, 10, 12}, {0, 1}})->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(E08_ArssLargeN)->ArgsProduct({{12, 14, 16}, {0, 1}})->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace jamelect::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// E9 — Lemma 2.7's lower bound Omega(max(T, (1/eps) log n)): against
+// the periodic blocking adversary (jam the first (1-eps)-fraction of
+// every T-block), measured slots must sit at or above the bound; the
+// `slots_over_bound` ratio shows how tight LESK is.
+#include "bench_common.hpp"
+
+namespace jamelect::bench {
+namespace {
+
+void E09_LowerBound(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  const double eps = static_cast<double>(state.range(1)) / 1000.0;
+  const auto T = static_cast<std::int64_t>(1) << state.range(2);
+  AdversarySpec adv = adversary("periodic", T, eps);
+  const auto cfg = mc(0xE09, 1 << 24);
+
+  McResult res;
+  for (auto _ : state) {
+    res = run_aggregate_mc(lesk_factory(eps), adv, n, cfg);
+  }
+  report(state, res);
+  const double bound = lower_bound_slots(n, eps, T);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["eps_milli"] = static_cast<double>(state.range(1));
+  state.counters["T"] = static_cast<double>(T);
+  state.counters["lower_bound"] = bound;
+  state.counters["slots_over_bound"] = res.slots.mean / bound;
+}
+
+BENCHMARK(E09_LowerBound)
+    ->ArgsProduct({{8, 12, 16}, {500, 250}, {6, 10, 14}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace jamelect::bench
+
+BENCHMARK_MAIN();

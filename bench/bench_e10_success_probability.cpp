@@ -1,0 +1,39 @@
+// E10 — the "with high probability" in Theorem 2.6: within the explicit
+// time budget t(n, eps, beta=1), the failure rate must be at most
+// ~1/n. Many trials per n; `failure_rate` and its Wilson upper bound
+// are compared against 1/n.
+#include "bench_common.hpp"
+
+namespace jamelect::bench {
+namespace {
+
+void E10_SuccessProbability(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  const double eps = 0.5;
+  const double budget = lesk_time_bound(n, eps, 1.0);
+  AdversarySpec adv = adversary("saturating", 64, eps);
+  McConfig cfg = mc(0xE10, static_cast<std::int64_t>(budget), 400);
+
+  McResult res;
+  for (auto _ : state) {
+    res = run_aggregate_mc(lesk_factory(eps), adv, n, cfg);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["trials"] = static_cast<double>(res.trials);
+  state.counters["budget_slots"] = budget;
+  state.counters["failure_rate"] =
+      1.0 - res.success.rate;
+  state.counters["failure_upper95"] = 1.0 - res.success.lower;
+  state.counters["one_over_n"] = 1.0 / static_cast<double>(n);
+  state.counters["slots_p99"] = res.slots.p99;
+}
+
+BENCHMARK(E10_SuccessProbability)
+    ->Arg(8)->Arg(10)->Arg(12)->Arg(14)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace jamelect::bench
+
+BENCHMARK_MAIN();

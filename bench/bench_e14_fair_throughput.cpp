@@ -1,0 +1,83 @@
+// E14 (extension experiment) — sustained channel throughput under
+// jamming. The paper's reference [3] frames robust MAC design around
+// *constant competitive throughput*; §4 suggests "fair use of the
+// wireless channel" as an application of the paper's building blocks.
+// This bench measures both MACs as long-running channels:
+//   * rotation MAC (extensions/fair_mac): repeated LESK elections, one
+//     grant per round — throughput = rounds / slots; fairness = Jain
+//     index of the grant histogram;
+//   * ARSS in MAC mode (elect_on_single = false): throughput =
+//     successful transmissions / slots.
+// The claim to read: both sustain Theta(1/log n)-ish or constant-ish
+// useful-slot rates despite the (T, 1-eps) adversary, and the rotation
+// MAC's fairness stays ~1.
+#include "bench_common.hpp"
+
+#include "baselines/arss.hpp"
+#include "extensions/fair_mac.hpp"
+#include "sim/engine.hpp"
+
+namespace jamelect::bench {
+namespace {
+
+void E14_RotationMac(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  const int jam = static_cast<int>(state.range(1));
+  FairMacParams params;
+  params.n = n;
+  params.rounds = 64;
+  params.eps = 0.5;
+  AdversarySpec adv = adversary(jam ? "saturating" : "none", 64, 0.5);
+
+  FairMacResult res;
+  for (auto _ : state) {
+    res = run_fair_mac(params, adv, Rng(0xE14));
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["rounds"] = static_cast<double>(res.rounds_completed);
+  state.counters["slots"] = static_cast<double>(res.slots_total);
+  state.counters["grants_per_kslot"] =
+      1000.0 * static_cast<double>(res.rounds_completed) /
+      static_cast<double>(res.slots_total);
+  state.counters["jain_index"] =
+      res.rounds_completed >= 1 ? res.jain_index() : 0.0;
+  state.SetLabel(jam ? "jammed" : "clean");
+}
+
+void E14_ArssMac(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  const int jam = static_cast<int>(state.range(1));
+  AdversarySpec spec = adversary(jam ? "saturating" : "none", 64, 0.5);
+  spec.n = n;
+  constexpr std::int64_t kSlots = 1 << 14;
+  const double gamma = arss_gamma(n, 64);
+
+  TrialOutcome out;
+  for (auto _ : state) {
+    std::vector<StationProtocolPtr> stations;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ArssParams params;
+      params.gamma = gamma;
+      params.elect_on_single = false;  // run as a plain MAC
+      stations.push_back(std::make_unique<ArssStation>(params));
+    }
+    Rng rng(0xE14);
+    SlotEngine engine(std::move(stations), make_adversary(spec, rng.child(1)),
+                      rng.child(2),
+                      {CdMode::kStrong, StopRule::kAllDone, kSlots});
+    out = engine.run();
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["slots"] = static_cast<double>(out.slots);
+  state.counters["grants_per_kslot"] =
+      1000.0 * static_cast<double>(out.singles) / static_cast<double>(out.slots);
+  state.SetLabel(jam ? "jammed" : "clean");
+}
+
+BENCHMARK(E14_RotationMac)->ArgsProduct({{4, 6, 8}, {0, 1}})->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(E14_ArssMac)->ArgsProduct({{4, 6, 8}, {0, 1}})->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace jamelect::bench
+
+BENCHMARK_MAIN();

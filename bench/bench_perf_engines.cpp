@@ -1,0 +1,101 @@
+// Engine performance (wall-clock, not slots): how fast does each
+// simulation engine chew through slots? This is the one bench where
+// google-benchmark's timing columns are the point.
+//
+//   * aggregate: O(1)/slot regardless of n — the reason the E-series
+//     can sweep n = 2^20;
+//   * per-station: O(n)/slot — the exact reference engine;
+//   * hybrid: O(1)/slot Notification simulation.
+//
+// Protocol under measurement: SizeApproximation (it never elects, so a
+// run processes exactly the requested number of slots).
+#include "bench_common.hpp"
+
+#include <memory>
+
+#include "extensions/size_approximation.hpp"
+#include "protocols/uniform_station.hpp"
+#include "sim/aggregate.hpp"
+#include "sim/engine.hpp"
+#include "sim/hybrid.hpp"
+
+namespace jamelect::bench {
+namespace {
+
+constexpr std::int64_t kSlots = 1 << 15;
+
+void Perf_AggregateEngine(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  AdversarySpec spec = adversary("saturating", 64, 0.5);
+  spec.n = n;
+  std::int64_t slots = 0;
+  for (auto _ : state) {
+    SizeApproximation proto({0.5, kSlots});
+    Rng rng(11);
+    auto adv = make_adversary(spec, rng.child(1));
+    Rng sim = rng.child(2);
+    const auto out = run_aggregate(proto, *adv, {n, kSlots}, sim);
+    slots += out.slots;
+    benchmark::DoNotOptimize(out.slots);
+  }
+  state.SetItemsProcessed(slots);
+  state.counters["n"] = static_cast<double>(n);
+}
+
+void Perf_PerStationEngine(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  AdversarySpec spec = adversary("saturating", 64, 0.5);
+  spec.n = n;
+  constexpr std::int64_t kSmall = 1 << 11;
+  std::int64_t slots = 0;
+  for (auto _ : state) {
+    std::vector<StationProtocolPtr> stations;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      stations.push_back(std::make_unique<UniformStationAdapter>(
+          std::make_unique<SizeApproximation>(
+              SizeApproximationParams{0.5, kSmall})));
+    }
+    Rng rng(13);
+    SlotEngine engine(std::move(stations), make_adversary(spec, rng.child(1)),
+                      rng.child(2),
+                      {CdMode::kStrong, StopRule::kAllDone, kSmall});
+    const auto out = engine.run();
+    slots += out.slots;
+    benchmark::DoNotOptimize(out.slots);
+  }
+  state.SetItemsProcessed(slots);
+  state.counters["n"] = static_cast<double>(n);
+}
+
+void Perf_HybridEngine(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  AdversarySpec spec = adversary("saturating", 64, 0.5);
+  spec.n = n;
+  std::int64_t slots = 0;
+  for (auto _ : state) {
+    Rng rng(17);
+    auto adv = make_adversary(spec, rng.child(1));
+    Rng sim = rng.child(2);
+    // The inner protocol never elects, so Notification loops for the
+    // whole budget.
+    const auto out = run_hybrid_notification(
+        [] {
+          return std::make_unique<SizeApproximation>(
+              SizeApproximationParams{0.5, kSlots});
+        },
+        *adv, {n, kSlots}, sim);
+    slots += out.slots;
+    benchmark::DoNotOptimize(out.slots);
+  }
+  state.SetItemsProcessed(slots);
+  state.counters["n"] = static_cast<double>(n);
+}
+
+BENCHMARK(Perf_AggregateEngine)->Arg(4)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(Perf_PerStationEngine)->Arg(4)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
+BENCHMARK(Perf_HybridEngine)->Arg(4)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace jamelect::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Regenerates every experiment series (EXPERIMENTS.md) from a fresh
+# build. Usage:
+#   scripts/run_experiments.sh [build-dir] [out-dir]
+# Environment: JAMELECT_BENCH_TRIALS to raise trial counts.
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-experiment-results}"
+
+cmake -B "$BUILD_DIR" -G Ninja
+cmake --build "$BUILD_DIR"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+mkdir -p "$OUT_DIR"
+for b in "$BUILD_DIR"/bench/bench_*; do
+  [ -x "$b" ] || continue
+  name=$(basename "$b")
+  echo "== $name"
+  "$b" --benchmark_format=console | tee "$OUT_DIR/$name.txt"
+  "$b" --benchmark_format=csv > "$OUT_DIR/$name.csv" 2>/dev/null
+done
+echo "results in $OUT_DIR/"

@@ -1,0 +1,25 @@
+#include "adversary/adversary.hpp"
+
+#include <utility>
+
+namespace jamelect {
+
+BoundedAdversary::BoundedAdversary(std::int64_t T, EpsRatio eps,
+                                   JamPolicyPtr policy)
+    : budget_(T, eps), policy_(std::move(policy)) {
+  JAMELECT_EXPECTS(policy_ != nullptr);
+}
+
+bool BoundedAdversary::step() {
+  const bool jam =
+      policy_->desires_jam(next_slot_, budget_) && budget_.can_jam();
+  budget_.commit(jam);
+  ++next_slot_;
+  return jam;
+}
+
+void BoundedAdversary::observe(const AdversaryView& view) {
+  policy_->observe(view);
+}
+
+}  // namespace jamelect

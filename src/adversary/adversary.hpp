@@ -1,0 +1,33 @@
+// BoundedAdversary: a (T, 1-eps)-bounded adaptive jammer = strategy
+// intent filtered through the exact budget enforcer.
+#pragma once
+
+#include <memory>
+
+#include "adversary/budget.hpp"
+#include "adversary/policy.hpp"
+
+namespace jamelect {
+
+class BoundedAdversary {
+ public:
+  /// Takes ownership of the policy; the budget defines (T, 1-eps).
+  BoundedAdversary(std::int64_t T, EpsRatio eps, JamPolicyPtr policy);
+
+  /// Decides (and commits) the jam bit for the next slot. Must be called
+  /// exactly once per slot, before the stations' actions are resolved.
+  [[nodiscard]] bool step();
+
+  /// Feeds the completed slot back to the strategy.
+  void observe(const AdversaryView& view);
+
+  [[nodiscard]] const JammingBudget& budget() const noexcept { return budget_; }
+  [[nodiscard]] const JamPolicy& policy() const noexcept { return *policy_; }
+
+ private:
+  JammingBudget budget_;
+  JamPolicyPtr policy_;
+  Slot next_slot_ = 0;
+};
+
+}  // namespace jamelect

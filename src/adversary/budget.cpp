@@ -1,0 +1,48 @@
+#include "adversary/budget.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace jamelect {
+
+EpsRatio EpsRatio::from_double(double eps, std::int64_t den) {
+  JAMELECT_EXPECTS(eps > 0.0 && eps <= 1.0);
+  JAMELECT_EXPECTS(den >= 1);
+  auto num = static_cast<std::int64_t>(std::llround(eps * static_cast<double>(den)));
+  num = std::clamp<std::int64_t>(num, 1, den);
+  const std::int64_t g = std::gcd(num, den);
+  return {num / g, den / g};
+}
+
+JammingBudget::JammingBudget(std::int64_t T, EpsRatio eps)
+    : T_(T), eps_(eps), ring_(static_cast<std::size_t>(T), 0) {
+  JAMELECT_EXPECTS(T >= 1);
+  JAMELECT_EXPECTS(eps.num >= 1 && eps.num <= eps.den);
+  // The padding window of length T with zero jams: B = -(den-num)*T.
+  b_ = -(eps_.den - eps_.num) * T_;
+}
+
+std::int64_t JammingBudget::hypothetical_b(bool jam) const noexcept {
+  const std::int64_t evicted = ring_[static_cast<std::size_t>(ring_pos_)];
+  const std::int64_t window = window_jams_ - evicted + (jam ? 1 : 0);
+  const std::int64_t s_t = eps_.den * window - (eps_.den - eps_.num) * T_;
+  const std::int64_t a = jam ? eps_.num : -(eps_.den - eps_.num);
+  return std::max(b_ + a, s_t);
+}
+
+bool JammingBudget::can_jam() const noexcept { return hypothetical_b(true) <= 0; }
+
+void JammingBudget::commit(bool jam) {
+  if (jam) JAMELECT_EXPECTS(can_jam());
+  b_ = hypothetical_b(jam);
+  const auto pos = static_cast<std::size_t>(ring_pos_);
+  window_jams_ += (jam ? 1 : 0) - ring_[pos];
+  ring_[pos] = jam ? 1 : 0;
+  ring_pos_ = (ring_pos_ + 1) % T_;
+  ++slots_;
+  jams_ += jam ? 1 : 0;
+  JAMELECT_ENSURES(b_ <= 0);
+}
+
+}  // namespace jamelect

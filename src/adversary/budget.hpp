@@ -1,0 +1,79 @@
+// Exact online enforcement of the (T, 1-eps)-bounded jamming constraint.
+//
+// Definition (paper §1.1): the adversary may jam at most (1-eps)*w slots
+// out of ANY w >= T contiguous slots, for 0 < eps <= 1. Windows shorter
+// than T are unconstrained (short bursts may be fully jammed).
+//
+// Enforcement is prospective: a jam at slot t is admitted iff, for every
+// w >= T, the number of jams among the last w slots (counting the new
+// jam, and counting slots before the run as unjammed) stays <= (1-eps)w.
+// A superset argument shows this suffices for ALL windows of the
+// realized schedule: for any window W with |W| = w >= T, let tau be the
+// last jam in W; the length-w suffix window ending at tau contains every
+// jam of W, and it was checked when the jam at tau was admitted.
+//
+// Arithmetic is exact: eps is a rational num/den, and with
+//   A(t) = den*jam(t) - (den - num)
+// the constraint on a suffix window of length w is  sum A <= 0.  Over
+// all suffix lengths >= T this maximum obeys
+//   B(t) = max(B(t-1) + A(t), S_T(t)),
+// where S_T(t) is the sum over the last exactly-T slots (ring buffer),
+// giving O(1) time and O(T) memory per adversary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/expects.hpp"
+
+namespace jamelect {
+
+/// Exact rational in (0, 1]: eps = num/den.
+struct EpsRatio {
+  std::int64_t num = 1;
+  std::int64_t den = 2;
+
+  [[nodiscard]] double value() const noexcept {
+    return static_cast<double>(num) / static_cast<double>(den);
+  }
+
+  /// Closest rational with the given denominator; clamps to [1/den, 1].
+  [[nodiscard]] static EpsRatio from_double(double eps, std::int64_t den = 1 << 20);
+};
+
+/// Online (T, 1-eps) jam-budget enforcer. One instance per adversary per
+/// trial; slots advance via commit().
+class JammingBudget {
+ public:
+  JammingBudget(std::int64_t T, EpsRatio eps);
+
+  /// Would jamming the *next* slot keep the whole schedule admissible?
+  [[nodiscard]] bool can_jam() const noexcept;
+
+  /// Advances one slot. `jam = true` requires can_jam().
+  void commit(bool jam);
+
+  [[nodiscard]] std::int64_t T() const noexcept { return T_; }
+  [[nodiscard]] EpsRatio eps() const noexcept { return eps_; }
+  [[nodiscard]] std::int64_t slots() const noexcept { return slots_; }
+  [[nodiscard]] std::int64_t jams() const noexcept { return jams_; }
+  /// Jams among the last min(T, slots()) slots.
+  [[nodiscard]] std::int64_t jams_in_last_T() const noexcept { return window_jams_; }
+
+ private:
+  [[nodiscard]] std::int64_t hypothetical_b(bool jam) const noexcept;
+
+  std::int64_t T_;
+  EpsRatio eps_;
+  std::int64_t slots_ = 0;
+  std::int64_t jams_ = 0;
+  // Ring buffer of the last T slots' jam flags (zero-initialized ==
+  // virtual unjammed history before slot 0).
+  std::vector<std::uint8_t> ring_;
+  std::int64_t ring_pos_ = 0;
+  std::int64_t window_jams_ = 0;
+  // B = max over suffix windows of length >= T of (den*jams - (den-num)*len).
+  std::int64_t b_;
+};
+
+}  // namespace jamelect

@@ -1,0 +1,27 @@
+#include "adversary/interval_buster.hpp"
+
+#include "protocols/interval_partition.hpp"
+#include "support/expects.hpp"
+
+namespace jamelect {
+
+IntervalBusterPolicy::IntervalBusterPolicy(int target_set)
+    : target_set_(target_set) {
+  JAMELECT_EXPECTS(target_set >= 0 && target_set <= 3);
+}
+
+bool IntervalBusterPolicy::desires_jam(Slot slot, const JammingBudget& budget) {
+  const IntervalPosition pos = classify_slot(slot);
+  if (pos.set == IntervalSet::kPadding) return false;
+  // Admissible burst length: ~ (1-eps) * T consecutive jams (exactly
+  // what the greedy front-load achieves from a rested budget).
+  const EpsRatio eps = budget.eps();
+  const std::int64_t burst = (eps.den - eps.num) * budget.T() / eps.den;
+  const bool targeted =
+      target_set_ == 0 || static_cast<int>(pos.set) == target_set_;
+  if (targeted && pos.size <= burst) return true;
+  // Intervals have outgrown the budget: fall back to raw pressure.
+  return budget.can_jam();
+}
+
+}  // namespace jamelect

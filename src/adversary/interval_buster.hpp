@@ -1,0 +1,34 @@
+// IntervalBusterPolicy — an adversary aimed at the Notification
+// transform (paper §3).
+//
+// Lemma 3.1's correctness argument is that for i >= log2 T the
+// adversary cannot jam an ENTIRE interval C^i_j. This policy is the
+// matching attack: it knows the C1/C2/C3 partition and spends its
+// budget icing whole intervals for as long as they are short enough to
+// ice (size <= the admissible burst ~ (1-eps)T), then degrades to
+// saturating pressure once the doubling intervals outgrow the budget.
+// Against LEWK/LEWU it maximizes the number of wasted (fully-jammed)
+// intervals — the geometric escape of the proof is exactly what defeats
+// it, which the robustness tests verify.
+#pragma once
+
+#include <string>
+
+#include "adversary/policy.hpp"
+
+namespace jamelect {
+
+class IntervalBusterPolicy final : public JamPolicy {
+ public:
+  /// `target_set` restricts the icing to one of C1/C2/C3 (1..3), or 0
+  /// for all sets (default).
+  explicit IntervalBusterPolicy(int target_set = 0);
+
+  [[nodiscard]] bool desires_jam(Slot slot, const JammingBudget& budget) override;
+  [[nodiscard]] std::string name() const override { return "interval_buster"; }
+
+ private:
+  int target_set_;
+};
+
+}  // namespace jamelect

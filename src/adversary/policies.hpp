@@ -1,0 +1,154 @@
+// Concrete jamming strategies (DESIGN.md §2.3).
+//
+// All strategies go through the budget filter, so each one realizes
+// *some* admissible (T, 1-eps) schedule; they differ in where they spend
+// the budget:
+//  * NoJamPolicy        — baseline, never jams.
+//  * SaturatingPolicy   — jams whenever legal; the maximal-pressure
+//    schedule (front-loaded greedy). Against LESK every jam reads as a
+//    Collision and pushes the estimate u up by eps/8.
+//  * PeriodicPolicy     — intends to jam the first floor((1-q)*P) slots
+//    of every P-slot period (the Lemma 2.7 lower-bound shape).
+//  * BernoulliPolicy    — jams i.i.d. with probability q (models bursty
+//    interference from coexisting networks).
+//  * PulsePolicy        — deterministic duty cycle: `on` jam-slots then
+//    `off` quiet slots.
+//  * SingleDenialPolicy — tracks the public LESK estimate u (it is a
+//    deterministic function of the channel history) and jams exactly
+//    when P[Single] under p = 2^-u exceeds a threshold: spends budget
+//    only where elections could complete.
+//  * CollisionForcerPolicy — jams exactly when a jam is likely to
+//    CHANGE the outcome (P[Collision] below a threshold, default 0.9,
+//    under the tracked u): maximizes estimate drift per unit of budget
+//    and never wastes budget on slots that collide naturally.
+//
+// The tracking policies receive `n` and the protocol's eps: the paper's
+// adversary "knows the entire history of the channel and the protocol
+// executed by honest stations", and may know n.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "adversary/policy.hpp"
+#include "protocols/uniform.hpp"
+#include "support/math.hpp"
+#include "support/rng.hpp"
+
+namespace jamelect {
+
+class NoJamPolicy final : public JamPolicy {
+ public:
+  [[nodiscard]] bool desires_jam(Slot, const JammingBudget&) override { return false; }
+  [[nodiscard]] std::string name() const override { return "none"; }
+};
+
+class SaturatingPolicy final : public JamPolicy {
+ public:
+  [[nodiscard]] bool desires_jam(Slot, const JammingBudget& budget) override {
+    return budget.can_jam();
+  }
+  [[nodiscard]] std::string name() const override { return "saturating"; }
+};
+
+class PeriodicPolicy final : public JamPolicy {
+ public:
+  /// Intends to jam the first `burst` slots of every `period` slots.
+  PeriodicPolicy(std::int64_t period, std::int64_t burst);
+  [[nodiscard]] bool desires_jam(Slot slot, const JammingBudget&) override;
+  [[nodiscard]] std::string name() const override { return "periodic"; }
+
+ private:
+  std::int64_t period_;
+  std::int64_t burst_;
+};
+
+class BernoulliPolicy final : public JamPolicy {
+ public:
+  BernoulliPolicy(double q, Rng rng);
+  [[nodiscard]] bool desires_jam(Slot, const JammingBudget&) override;
+  [[nodiscard]] std::string name() const override { return "bernoulli"; }
+
+ private:
+  double q_;
+  Rng rng_;
+};
+
+class PulsePolicy final : public JamPolicy {
+ public:
+  PulsePolicy(std::int64_t on, std::int64_t off);
+  [[nodiscard]] bool desires_jam(Slot slot, const JammingBudget&) override;
+  [[nodiscard]] std::string name() const override { return "pulse"; }
+
+ private:
+  std::int64_t on_;
+  std::int64_t off_;
+};
+
+/// Mirrors the public LESK estimator: u starts at 0, -1 on Null (floored
+/// at 0), +eps/8 on Collision. Reusable by any history-tracking policy.
+class LeskEstimateMirror {
+ public:
+  explicit LeskEstimateMirror(double protocol_eps);
+  void observe(ChannelState public_state) noexcept;
+  [[nodiscard]] double u() const noexcept { return u_; }
+
+ private:
+  double increment_;
+  double u_ = 0.0;
+};
+
+class SingleDenialPolicy final : public JamPolicy {
+ public:
+  /// `protocol_eps` is the eps the attacked LESK instance runs with;
+  /// `n` is the (adversary-known) network size.
+  SingleDenialPolicy(double protocol_eps, std::uint64_t n,
+                     double threshold = 0.02);
+  [[nodiscard]] bool desires_jam(Slot, const JammingBudget&) override;
+  void observe(const AdversaryView& view) override;
+  [[nodiscard]] std::string name() const override { return "single_denial"; }
+
+ private:
+  LeskEstimateMirror mirror_;
+  std::uint64_t n_;
+  double threshold_;
+};
+
+/// The fully-general adaptive denial adversary: mirrors an ARBITRARY
+/// uniform protocol (the adversary knows the protocol and the history,
+/// and a uniform protocol's state is a deterministic function of the
+/// history, so the mirror is exact until the first Single) and jams
+/// exactly the slots where P[Single] >= threshold. SingleDenialPolicy
+/// is the LESK-specific instance of this idea; this one can deny ANY
+/// uniform protocol — e.g. it permanently stalls the no-CD sweep
+/// baseline, illustrating why §4 lists no-CD countermeasures as open.
+class OracleDenialPolicy final : public JamPolicy {
+ public:
+  /// `mirror` must be a fresh instance of the protocol under attack.
+  OracleDenialPolicy(UniformProtocolPtr mirror, std::uint64_t n,
+                     double threshold = 0.02);
+  [[nodiscard]] bool desires_jam(Slot, const JammingBudget&) override;
+  void observe(const AdversaryView& view) override;
+  [[nodiscard]] std::string name() const override { return "oracle_denial"; }
+
+ private:
+  UniformProtocolPtr mirror_;
+  std::uint64_t n_;
+  double threshold_;
+};
+
+class CollisionForcerPolicy final : public JamPolicy {
+ public:
+  CollisionForcerPolicy(double protocol_eps, std::uint64_t n,
+                        double threshold = 0.9);
+  [[nodiscard]] bool desires_jam(Slot, const JammingBudget&) override;
+  void observe(const AdversaryView& view) override;
+  [[nodiscard]] std::string name() const override { return "collision_forcer"; }
+
+ private:
+  LeskEstimateMirror mirror_;
+  std::uint64_t n_;
+  double threshold_;
+};
+
+}  // namespace jamelect

@@ -1,0 +1,47 @@
+// Jamming strategies.
+//
+// A JamPolicy expresses *intent*; the BoundedAdversary filters intent
+// through the JammingBudget, so every executed schedule is admissible by
+// construction. Policies are adaptive in exactly the paper's sense: the
+// decision for slot t may use the full history up to slot t-1 (true
+// transmitter counts included — the adversary is omniscient about the
+// past) but never the stations' actions in slot t itself.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "adversary/budget.hpp"
+#include "channel/types.hpp"
+
+namespace jamelect {
+
+/// Everything the adversary learned about a completed slot.
+struct AdversaryView {
+  Slot slot = 0;
+  std::uint64_t true_transmitters = 0;  ///< actual count (omniscient)
+  bool jammed = false;                  ///< did *we* jam it
+  ChannelState public_state = ChannelState::kNull;  ///< what listeners saw
+};
+
+/// Strategy interface. One instance per trial (stateful).
+class JamPolicy {
+ public:
+  virtual ~JamPolicy() = default;
+
+  /// Does the policy want to jam slot `slot`? `budget` is read-only:
+  /// policies may inspect remaining headroom (e.g. the saturating
+  /// policy wants to jam exactly when legal).
+  [[nodiscard]] virtual bool desires_jam(Slot slot, const JammingBudget& budget) = 0;
+
+  /// History feed, called after every slot.
+  virtual void observe(const AdversaryView& view) { (void)view; }
+
+  /// Human-readable strategy name (for tables and logs).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using JamPolicyPtr = std::unique_ptr<JamPolicy>;
+
+}  // namespace jamelect

@@ -1,0 +1,65 @@
+#include "analysis/slot_taxonomy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/expects.hpp"
+
+namespace jamelect {
+
+SlotClass classify_slot_record(const SlotRecord& rec, double u0, double a) {
+  JAMELECT_EXPECTS(a >= 8.0);
+  if (rec.state == ChannelState::kSingle) return SlotClass::kSingle;
+  if (rec.jammed) return SlotClass::kJammed;
+  if (std::isnan(rec.estimate)) return SlotClass::kUnknown;
+  const double u = rec.estimate;
+  const double low = u0 - std::log2(2.0 * std::log(a));
+  const double high = u0 + 0.5 * std::log2(a);
+  if (rec.state == ChannelState::kNull) {
+    if (u <= low) return SlotClass::kIrregularSilence;
+    if (u >= high + 1.0) return SlotClass::kCorrectingSilence;
+    return SlotClass::kRegular;
+  }
+  // Unjammed Collision.
+  if (u >= high) return SlotClass::kIrregularCollision;
+  if (u <= low) return SlotClass::kCorrectingCollision;
+  return SlotClass::kRegular;
+}
+
+TaxonomyCounts classify_trace(const Trace& trace, std::uint64_t n, double eps) {
+  JAMELECT_EXPECTS(trace.keeps_records());
+  JAMELECT_EXPECTS(n >= 1);
+  JAMELECT_EXPECTS(eps > 0.0 && eps <= 1.0);
+  const double u0 = std::log2(static_cast<double>(n));
+  const double a = 8.0 / eps;
+  TaxonomyCounts counts;
+  for (const SlotRecord& rec : trace.records()) {
+    switch (classify_slot_record(rec, u0, a)) {
+      case SlotClass::kRegular: ++counts.regular; break;
+      case SlotClass::kIrregularSilence: ++counts.irregular_silence; break;
+      case SlotClass::kIrregularCollision: ++counts.irregular_collision; break;
+      case SlotClass::kCorrectingSilence: ++counts.correcting_silence; break;
+      case SlotClass::kCorrectingCollision: ++counts.correcting_collision; break;
+      case SlotClass::kJammed: ++counts.jammed; break;
+      case SlotClass::kSingle: ++counts.single; break;
+      case SlotClass::kUnknown: ++counts.unknown; break;
+    }
+  }
+  return counts;
+}
+
+CounterBounds lemma23_bounds(const TaxonomyCounts& counts, std::uint64_t n,
+                             double eps) {
+  const double a = 8.0 / eps;
+  const double u0 = std::log2(std::max(2.0, static_cast<double>(n)));
+  CounterBounds b{};
+  b.cs_measured = static_cast<double>(counts.correcting_silence);
+  b.cs_bound = (static_cast<double>(counts.irregular_collision) +
+                static_cast<double>(counts.jammed)) /
+               a;
+  b.cc_measured = static_cast<double>(counts.correcting_collision);
+  b.cc_bound = a * static_cast<double>(counts.irregular_silence) + a * u0;
+  return b;
+}
+
+}  // namespace jamelect

@@ -1,0 +1,72 @@
+// Slot taxonomy of the LESK analysis (paper §2.2).
+//
+// Relative to u0 = log2 n and a = 8/eps, a pre-election slot with
+// estimate u is one of:
+//   E  (jammed)               — the adversary jammed it
+//   IS (irregular silence)    — Null      with u <= u0 - log2(2 ln a)
+//   IC (irregular collision)  — Collision with u >= u0 + (1/2) log2 a
+//   CS (correcting silence)   — Null      with u >= u0 + (1/2) log2 a + 1
+//   CC (correcting collision) — Collision with u <= u0 - log2(2 ln a)
+//   R  (regular)              — everything else; the analysis shows
+//                               each regular slot yields a Single with
+//                               probability >= ln(a)/a^2 (Lemma 2.4).
+// Lemma 2.2 bounds P[IS] <= 1/a^2 and P[IC] <= 1/a per slot; Lemma 2.3
+// ties the counters together (CS <= (IC+E)/a, CC <= a*IS + a*u0). Bench
+// E11 and the taxonomy tests check these on real traces.
+#pragma once
+
+#include <cstdint>
+
+#include "channel/trace.hpp"
+
+namespace jamelect {
+
+enum class SlotClass : std::uint8_t {
+  kRegular,
+  kIrregularSilence,
+  kIrregularCollision,
+  kCorrectingSilence,
+  kCorrectingCollision,
+  kJammed,
+  kSingle,   ///< the deciding slot (outside the taxonomy's "first t slots")
+  kUnknown,  ///< no estimate recorded for the slot
+};
+
+struct TaxonomyCounts {
+  std::int64_t regular = 0;
+  std::int64_t irregular_silence = 0;
+  std::int64_t irregular_collision = 0;
+  std::int64_t correcting_silence = 0;
+  std::int64_t correcting_collision = 0;
+  std::int64_t jammed = 0;
+  std::int64_t single = 0;
+  std::int64_t unknown = 0;
+  [[nodiscard]] std::int64_t total() const noexcept {
+    return regular + irregular_silence + irregular_collision +
+           correcting_silence + correcting_collision + jammed + single +
+           unknown;
+  }
+};
+
+/// Classifies one recorded slot against u0 = log2 n and a = 8/eps.
+[[nodiscard]] SlotClass classify_slot_record(const SlotRecord& rec, double u0,
+                                             double a);
+
+/// Classifies a whole recorded trace.
+[[nodiscard]] TaxonomyCounts classify_trace(const Trace& trace,
+                                            std::uint64_t n, double eps);
+
+/// Lemma 2.3's counter relations evaluated on measured counts:
+/// point 4:  CS <= (IC + E) / a        (returned with both sides)
+/// point 5:  CC <= a*IS + a*u0
+struct CounterBounds {
+  double cs_measured, cs_bound;
+  double cc_measured, cc_bound;
+  [[nodiscard]] bool holds() const noexcept {
+    return cs_measured <= cs_bound && cc_measured <= cc_bound;
+  }
+};
+[[nodiscard]] CounterBounds lemma23_bounds(const TaxonomyCounts& counts,
+                                           std::uint64_t n, double eps);
+
+}  // namespace jamelect

@@ -1,0 +1,68 @@
+#include "analysis/theory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/expects.hpp"
+
+namespace jamelect {
+
+double safe_log2_inv_eps(double eps) {
+  JAMELECT_EXPECTS(eps > 0.0 && eps <= 1.0);
+  return std::max(std::log2(1.0 / eps), 0.5);
+}
+
+double lesk_time_bound(std::uint64_t n, double eps, double beta) {
+  JAMELECT_EXPECTS(n >= 1);
+  JAMELECT_EXPECTS(eps > 0.0 && eps <= 1.0);
+  JAMELECT_EXPECTS(beta >= 1.0);
+  const double a = 8.0 / eps;
+  const double nd = static_cast<double>(n);
+  const double log2n = std::log2(std::max(2.0, nd));
+  const double ln3nb = std::log(3.0 * std::pow(nd, beta));
+  return (16.0 / (5.0 * eps)) *
+         (a * a * ln3nb / (2.0 * std::log(a)) + a * log2n + 1.0);
+}
+
+double lower_bound_slots(std::uint64_t n, double eps, std::int64_t T) {
+  JAMELECT_EXPECTS(n >= 1);
+  JAMELECT_EXPECTS(eps > 0.0 && eps <= 1.0);
+  const double log2n = std::log2(std::max(2.0, static_cast<double>(n)));
+  return std::max(static_cast<double>(T), log2n / eps);
+}
+
+EstimationRange estimation_range(std::uint64_t n, std::int64_t T) {
+  JAMELECT_EXPECTS(n >= 2);
+  JAMELECT_EXPECTS(T >= 1);
+  const double loglogn =
+      std::log2(std::max(1.0, std::log2(static_cast<double>(n))));
+  const double logT = std::log2(std::max(1.0, static_cast<double>(T)));
+  return {loglogn - 1.0, std::max(loglogn, logT) + 1.0};
+}
+
+bool lesu_case1(std::uint64_t n, double eps, std::int64_t T) {
+  const double log2n = std::log2(std::max(2.0, static_cast<double>(n)));
+  return static_cast<double>(T) <=
+         log2n / (eps * eps * eps * safe_log2_inv_eps(eps));
+}
+
+double lesu_time_bound(std::uint64_t n, double eps, std::int64_t T) {
+  const double log2n = std::log2(std::max(2.0, static_cast<double>(n)));
+  const double l1e = safe_log2_inv_eps(eps);
+  const double loglog1e = std::log2(std::max(2.0, l1e));
+  if (lesu_case1(n, eps, T)) {
+    return loglog1e / (eps * eps * eps) * log2n;
+  }
+  const double inner =
+      std::max(2.0, static_cast<double>(T) / (eps * log2n));
+  const double term1 = std::log2(std::max(2.0, std::log2(inner)));
+  const double term2 = l1e * loglog1e;
+  return std::max(term1, term2) * static_cast<double>(T);
+}
+
+double arss_time_bound(std::uint64_t n) {
+  const double log2n = std::log2(std::max(2.0, static_cast<double>(n)));
+  return log2n * log2n * log2n * log2n;
+}
+
+}  // namespace jamelect

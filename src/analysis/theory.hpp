@@ -1,0 +1,46 @@
+// Closed-form bounds from the paper, used as reference curves by the
+// benches (EXPERIMENTS.md compares measured shapes against these) and
+// as time budgets by tests.
+#pragma once
+
+#include <cstdint>
+
+namespace jamelect {
+
+/// Theorem 2.6's explicit sufficient slot count for LESK:
+///   t > (16 / 5 eps) * ( a^2 ln(3 n^beta) / (2 ln a) + a log2 n + 1 ),
+/// with a = 8/eps, guaranteeing success probability >= 1 - 1/n^beta
+/// once at least T slots have elapsed (the bound's derivation assumes
+/// t > T; callers combine with max(T, .)).
+[[nodiscard]] double lesk_time_bound(std::uint64_t n, double eps,
+                                     double beta = 1.0);
+
+/// Lemma 2.7's lower bound (up to constants): max(T, (1/eps) * log2 n).
+[[nodiscard]] double lower_bound_slots(std::uint64_t n, double eps,
+                                       std::int64_t T);
+
+/// Lemma 2.8's promised range for Estimation(2)'s return value.
+struct EstimationRange {
+  double lo;  ///< log2 log2 n - 1
+  double hi;  ///< max(log2 log2 n, log2 T) + 1
+};
+[[nodiscard]] EstimationRange estimation_range(std::uint64_t n, std::int64_t T);
+
+/// Theorem 2.9's LESU bound (shape only; unit constants):
+///   case 1 (T <= log n / (eps^3 log(1/eps))):
+///       log log(1/eps) / eps^3 * log n
+///   case 2: max(log log(T / (eps log n)), log(1/eps) log log(1/eps)) * T
+[[nodiscard]] double lesu_time_bound(std::uint64_t n, double eps, std::int64_t T);
+
+/// True iff (n, eps, T) fall into Theorem 2.9's case 1.
+[[nodiscard]] bool lesu_case1(std::uint64_t n, double eps, std::int64_t T);
+
+/// The ARSS comparison's proven shape, log2(n)^4 (§1.3), unit constant.
+[[nodiscard]] double arss_time_bound(std::uint64_t n);
+
+/// log2(1/eps) floored away from 0 so the bound formulas stay finite at
+/// eps -> 1 (where the paper's constants degenerate but the runtimes
+/// are tiny anyway).
+[[nodiscard]] double safe_log2_inv_eps(double eps);
+
+}  // namespace jamelect

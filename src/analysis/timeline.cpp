@@ -1,0 +1,115 @@
+#include "analysis/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "protocols/interval_partition.hpp"
+#include "support/expects.hpp"
+
+namespace jamelect {
+
+namespace {
+
+struct Bucket {
+  bool any_single = false;
+  bool any_jam = false;
+  std::int64_t collisions = 0;
+  std::int64_t nulls = 0;
+  double u_sum = 0.0;
+  std::int64_t u_count = 0;
+  IntervalSet set = IntervalSet::kPadding;
+};
+
+char channel_symbol(const Bucket& b) {
+  if (b.any_single) return '!';
+  if (b.collisions > 0 && b.nulls > 0) return ';';
+  if (b.collisions > 0) return 'c';
+  if (b.nulls > 0) return '.';
+  return ' ';
+}
+
+char partition_symbol(IntervalSet set) {
+  switch (set) {
+    case IntervalSet::kPadding: return '-';
+    case IntervalSet::kC1: return '1';
+    case IntervalSet::kC2: return '2';
+    case IntervalSet::kC3: return '3';
+  }
+  return '?';
+}
+
+char estimate_symbol(const Bucket& b, double u0) {
+  if (b.u_count == 0) return ' ';
+  const double u = b.u_sum / static_cast<double>(b.u_count);
+  if (std::isnan(u)) return ' ';
+  if (u < u0 - 2.0) return '_';
+  if (u > u0 + 2.0) return '^';
+  return '~';
+}
+
+}  // namespace
+
+std::string render_timeline(const Trace& trace, const TimelineOptions& options) {
+  JAMELECT_EXPECTS(trace.keeps_records());
+  JAMELECT_EXPECTS(trace.size() >= 1);
+  JAMELECT_EXPECTS(options.width >= 10);
+
+  const auto& records = trace.records();
+  const std::size_t total = records.size();
+  const std::size_t width = std::min(options.width, total);
+  const double per_bucket =
+      static_cast<double>(total) / static_cast<double>(width);
+
+  std::vector<Bucket> buckets(width);
+  for (std::size_t k = 0; k < total; ++k) {
+    const auto idx = std::min<std::size_t>(
+        width - 1, static_cast<std::size_t>(static_cast<double>(k) / per_bucket));
+    Bucket& b = buckets[idx];
+    const SlotRecord& rec = records[k];
+    switch (rec.state) {
+      case ChannelState::kSingle: b.any_single = true; break;
+      case ChannelState::kCollision: ++b.collisions; break;
+      case ChannelState::kNull: ++b.nulls; break;
+    }
+    if (rec.jammed) b.any_jam = true;
+    if (!std::isnan(rec.estimate)) {
+      b.u_sum += rec.estimate;
+      ++b.u_count;
+    }
+    b.set = classify_slot(rec.slot).set;  // last slot of the bucket wins
+  }
+
+  std::ostringstream out;
+  // Ruler: a digit every 10 cells marking the bucket index / 10.
+  out << "slots  ";
+  for (std::size_t i = 0; i < width; ++i) {
+    out << (i % 10 == 0 ? static_cast<char>('0' + (i / 10) % 10) : '.');
+  }
+  out << "  (" << total << " slots, " << per_bucket << " per cell)\n";
+
+  out << "chan   ";
+  for (const Bucket& b : buckets) out << channel_symbol(b);
+  out << "  (!=Single c=Collision .=Null ;=mixed)\n";
+
+  out << "jam    ";
+  for (const Bucket& b : buckets) out << (b.any_jam ? 'J' : '.');
+  out << "  (J=adversary active)\n";
+
+  if (options.show_partition) {
+    out << "part   ";
+    for (const Bucket& b : buckets) out << partition_symbol(b.set);
+    out << "  (C1/C2/C3 Notification sets)\n";
+  }
+
+  if (options.n >= 1) {
+    const double u0 = std::log2(static_cast<double>(options.n));
+    out << "u      ";
+    for (const Bucket& b : buckets) out << estimate_symbol(b, u0);
+    out << "  (_ below, ~ near, ^ above log2 n)\n";
+  }
+  return out.str();
+}
+
+}  // namespace jamelect

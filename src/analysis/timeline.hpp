@@ -1,0 +1,36 @@
+// ASCII timeline rendering for slot traces.
+//
+// Renders a recorded trace as fixed-width character rows so a whole
+// election is readable in a terminal:
+//
+//   slots  0........1.........2.........  (ruler, one mark per bucket)
+//   chan   ccccccccccccccc!                c=Collision .=Null !=Single
+//   jam    JJ.J.J.J..J.J.                  J=jammed
+//   part   ---11122233331111222233333      C1/C2/C3 partition (optional)
+//   u      ___~~~~~^^^^^                   estimate vs log2 n bands
+//
+// When the trace is longer than `width`, slots are bucketed and each
+// cell shows the bucket's dominant/most-informative symbol (a Single
+// always wins a bucket, then jammed, then Collision, then Null).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "channel/trace.hpp"
+
+namespace jamelect {
+
+struct TimelineOptions {
+  std::size_t width = 100;        ///< characters per row
+  bool show_partition = false;    ///< add the C1/C2/C3 row
+  /// When >= 1, adds the estimate row with bands relative to log2(n).
+  std::uint64_t n = 0;
+};
+
+/// Renders the trace; requires trace.keeps_records() and a non-empty
+/// trace.
+[[nodiscard]] std::string render_timeline(const Trace& trace,
+                                          const TimelineOptions& options = {});
+
+}  // namespace jamelect

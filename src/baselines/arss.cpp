@@ -1,0 +1,70 @@
+#include "baselines/arss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/expects.hpp"
+
+namespace jamelect {
+
+double arss_gamma(std::uint64_t n, std::int64_t T) {
+  JAMELECT_EXPECTS(n >= 2);
+  JAMELECT_EXPECTS(T >= 1);
+  const double loglogn =
+      std::max(1.0, std::log2(std::max(2.0, std::log2(static_cast<double>(n)))));
+  const double logT = std::max(1.0, std::log2(static_cast<double>(T)));
+  return 1.0 / (2.0 * (loglogn + logT));
+}
+
+ArssStation::ArssStation(ArssParams params)
+    : params_(params), p_(params.initial_p) {
+  JAMELECT_EXPECTS(params.gamma > 0.0 && params.gamma < 1.0);
+  JAMELECT_EXPECTS(params.p_max > 0.0 && params.p_max <= 1.0);
+  JAMELECT_EXPECTS(params.initial_p > 0.0 && params.initial_p <= params.p_max);
+}
+
+double ArssStation::transmit_probability(Slot) {
+  return done_ ? 0.0 : p_;
+}
+
+void ArssStation::feedback(Slot, bool transmitted, Observation obs) {
+  if (done_) return;
+  JAMELECT_EXPECTS(obs != Observation::kNoSingle);
+
+  if (obs == Observation::kSingle && params_.elect_on_single) {
+    // Strong-CD: everyone (the successful transmitter included) learns
+    // of the success; the first Single elects the transmitter.
+    done_ = true;
+    leader_ = transmitted;
+    return;
+  }
+
+  bool sensed_idle = false;
+  if (!transmitted) {
+    // Only listeners receive feedback (the ARSS model); transmitters
+    // never adjust p_v based on the slot they transmitted in.
+    if (obs == Observation::kNull) {
+      p_ = std::min((1.0 + params_.gamma) * p_, params_.p_max);
+      threshold_ = std::max<std::int64_t>(1, threshold_ - 1);
+      sensed_idle = true;
+    } else if (obs == Observation::kSingle) {
+      p_ /= 1.0 + params_.gamma;
+      threshold_ = std::max<std::int64_t>(1, threshold_ - 1);
+    }
+    // Collision leaves p_v unchanged this round.
+  }
+  since_idle_ = sensed_idle ? 0 : since_idle_ + 1;
+
+  ++counter_;
+  if (counter_ > threshold_) {
+    counter_ = 1;
+    if (since_idle_ >= threshold_) {
+      // A full T_v window with no idle slot: back off and widen the
+      // window — the escape hatch from sustained collisions/jamming.
+      p_ /= 1.0 + params_.gamma;
+      threshold_ += 2;
+    }
+  }
+}
+
+}  // namespace jamelect

@@ -1,0 +1,83 @@
+// ARSS — the robust MAC protocol of Awerbuch, Richa, Scheideler, Schmid
+// & Zhang, "Principles of robust medium access and an application to
+// leader election" (ACM Trans. Algorithms 10(4), 2014) — the paper's
+// reference [3] and its main comparison point (§1.3).
+//
+// Each station v keeps an access probability p_v <= p_max = 1/24, a
+// threshold T_v and a counter c_v, and in every round (following the
+// ARSS/Jade multiplicative-update family):
+//   * transmits with probability p_v;
+//   * if it LISTENED (transmitters get no feedback in this model):
+//       - channel idle  (Null):   p_v <- min((1+gamma) p_v, p_max),
+//                                 T_v <- max(1, T_v - 1)
+//       - success       (Single): p_v <- p_v / (1+gamma),
+//                                 T_v <- max(1, T_v - 1)
+//       - collision:              no immediate p_v change
+//   * c_v <- c_v + 1; if c_v > T_v: c_v <- 1, and if v sensed no idle
+//     channel during the last T_v rounds: p_v <- p_v / (1+gamma) and
+//     T_v <- T_v + 2.
+// The threshold rule is what breaks sustained all-Collision phases
+// (adversarial or overload-induced): during a long busy period every
+// station halves down its p_v every T_v rounds, with T_v growing, until
+// idle slots reappear.
+//
+// The multiplicative-update parameter gamma must satisfy
+// gamma = O(1/(log T + log log n)); unlike LESK/LESU, the protocol
+// needs this GLOBAL knowledge — which is exactly the contrast the paper
+// draws. We grant the baseline the true n and T via arss_gamma()
+// (favourable to ARSS; DESIGN.md §5). Leader election: the first
+// successful transmission elects (in strong-CD the transmitter learns
+// it succeeded; under weak-CD ARSS would need its own notification
+// machinery, so the E8 comparison runs strong-CD for all contenders).
+//
+// Proven bound (as cited by our paper): leader election in O(log^4 n)
+// for T = O(log n) and constant eps, vs LESK's O(log n).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "protocols/station.hpp"
+
+namespace jamelect {
+
+struct ArssParams {
+  double gamma = 0.1;
+  double p_max = 1.0 / 24.0;
+  /// Initial access probability; the TAlg paper allows any value
+  /// <= p_max and we start at p_max (fastest ramp-up).
+  double initial_p = 1.0 / 24.0;
+  /// Leader-election mode: terminate on the first Single. Set false to
+  /// run ARSS as the plain throughput MAC (the Single then applies its
+  /// p_v / (1+gamma), T_v - 1 update and the protocol continues).
+  bool elect_on_single = true;
+};
+
+/// gamma = 1 / (2 * (log2 log2 n + log2 T)), floored defensively — the
+/// O(1/(log log n + log T)) choice with the true parameters filled in.
+[[nodiscard]] double arss_gamma(std::uint64_t n, std::int64_t T);
+
+class ArssStation final : public StationProtocol {
+ public:
+  explicit ArssStation(ArssParams params);
+
+  [[nodiscard]] double transmit_probability(Slot slot) override;
+  void feedback(Slot slot, bool transmitted, Observation obs) override;
+  [[nodiscard]] bool done() const override { return done_; }
+  [[nodiscard]] bool is_leader() const override { return leader_; }
+  [[nodiscard]] std::string name() const override { return "ARSS"; }
+
+  [[nodiscard]] double p() const noexcept { return p_; }
+  [[nodiscard]] std::int64_t threshold() const noexcept { return threshold_; }
+
+ private:
+  ArssParams params_;
+  double p_;
+  std::int64_t threshold_ = 1;   // T_v
+  std::int64_t counter_ = 1;     // c_v
+  std::int64_t since_idle_ = 0;  // rounds since v last sensed Null
+  bool done_ = false;
+  bool leader_ = false;
+};
+
+}  // namespace jamelect

@@ -1,0 +1,135 @@
+#include "baselines/arss_flock.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "channel/channel.hpp"
+#include "support/binomial.hpp"
+#include "support/expects.hpp"
+
+namespace jamelect {
+
+namespace {
+
+/// Canonical per-station state: p_v = min(p0 * (1+gamma)^m, p_max) for
+/// integer m <= 0 (p0 = initial = p_max by default, so the cap keeps
+/// m from exceeding 0), threshold T_v, counter c_v.
+struct ClassKey {
+  std::int64_t m;
+  std::int64_t threshold;
+  std::int64_t counter;
+  bool operator==(const ClassKey&) const = default;
+};
+
+struct ClassKeyHash {
+  std::size_t operator()(const ClassKey& k) const noexcept {
+    std::size_t h = static_cast<std::size_t>(k.m) * 0x9e3779b97f4a7c15ULL;
+    h ^= static_cast<std::size_t>(k.threshold) * 0xc2b2ae3d27d4eb4fULL;
+    h ^= static_cast<std::size_t>(k.counter) * 0x165667b19e3779f9ULL;
+    return h;
+  }
+};
+
+using ClassMap = std::unordered_map<ClassKey, std::uint64_t, ClassKeyHash>;
+
+/// Mirrors ArssStation::feedback exactly for one role. `sensed_idle`
+/// and `since_idle_after` are global (a Null slot is sensed by every
+/// station — nobody transmitted in it).
+ClassKey advance(ClassKey key, bool transmitted, ChannelState state,
+                 std::int64_t since_idle_after, std::int64_t m_cap) {
+  if (!transmitted) {
+    if (state == ChannelState::kNull) {
+      key.m = std::min(key.m + 1, m_cap);
+      key.threshold = std::max<std::int64_t>(1, key.threshold - 1);
+    }
+    // Single terminates the election elsewhere; Collision: no change.
+  }
+  ++key.counter;
+  if (key.counter > key.threshold) {
+    key.counter = 1;
+    if (since_idle_after >= key.threshold) {
+      --key.m;
+      key.threshold += 2;
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+TrialOutcome run_arss_flock(const ArssFlockConfig& config,
+                            BoundedAdversary& adversary, Rng& rng) {
+  JAMELECT_EXPECTS(config.n >= 1);
+  JAMELECT_EXPECTS(config.max_slots >= 1);
+  JAMELECT_EXPECTS(config.params.elect_on_single);
+  const ArssParams& params = config.params;
+  JAMELECT_EXPECTS(params.gamma > 0.0 && params.gamma < 1.0);
+  JAMELECT_EXPECTS(params.initial_p > 0.0 &&
+                   params.initial_p <= params.p_max);
+
+  // m is measured relative to initial_p; the p_max cap bounds it above.
+  const std::int64_t m_cap = static_cast<std::int64_t>(std::floor(
+      std::log(params.p_max / params.initial_p) / std::log1p(params.gamma)));
+  const auto p_of = [&](std::int64_t m) {
+    return std::min(params.p_max,
+                    params.initial_p *
+                        std::pow(1.0 + params.gamma, static_cast<double>(m)));
+  };
+
+  ClassMap classes;
+  classes[{0, 1, 1}] = config.n;
+  std::int64_t since_idle = 0;
+
+  TrialOutcome out;
+  std::vector<std::pair<ClassKey, std::uint64_t>> snapshot;
+  for (Slot slot = 0; slot < config.max_slots; ++slot) {
+    const bool jammed = adversary.step();
+
+    snapshot.assign(classes.begin(), classes.end());
+    std::uint64_t total_tx = 0;
+    std::vector<std::uint64_t> tx_per_class(snapshot.size());
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+      const auto& [key, count] = snapshot[i];
+      tx_per_class[i] = binomial_sample(count, p_of(key.m), rng);
+      total_tx += tx_per_class[i];
+    }
+
+    const ChannelState state = resolve_slot(total_tx, jammed);
+    ++out.slots;
+    out.transmissions += static_cast<double>(total_tx);
+    if (jammed) ++out.jams;
+    switch (state) {
+      case ChannelState::kNull: ++out.nulls; break;
+      case ChannelState::kSingle: ++out.singles; break;
+      case ChannelState::kCollision: ++out.collisions; break;
+    }
+    adversary.observe({slot, total_tx, jammed, state});
+
+    if (state == ChannelState::kSingle) {
+      out.elected = true;
+      out.all_done = true;
+      out.unique_leader = true;
+      out.leader = rng.below(config.n);  // exchangeable within its class
+      break;
+    }
+
+    since_idle = state == ChannelState::kNull ? 0 : since_idle + 1;
+
+    classes.clear();
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+      const auto& [key, count] = snapshot[i];
+      const std::uint64_t tx = tx_per_class[i];
+      if (tx > 0) {
+        classes[advance(key, true, state, since_idle, m_cap)] += tx;
+      }
+      if (count > tx) {
+        classes[advance(key, false, state, since_idle, m_cap)] += count - tx;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace jamelect

@@ -1,0 +1,45 @@
+// Class-compressed ARSS simulation — the substrate trick that lets the
+// E8 comparison reach n = 2^16, where the O(log n) vs O(log^4 n)
+// separation becomes dramatic.
+//
+// ARSS is not uniform (transmitters skip the listener updates), so the
+// O(1)-per-slot aggregate engine does not apply. But two observations
+// keep the state space tiny:
+//   * `since_idle` is GLOBAL: a Null slot means nobody transmitted, so
+//     every station sensed it; any other slot advances everyone's
+//     counter identically.
+//   * p_v only ever takes values min(p0 * (1+gamma)^m, p_max) for
+//     integer m, so a station's state is the integer triple
+//     (m, T_v, c_v).
+// Stations sharing a state form a CLASS; per slot each class draws its
+// transmitter count from Binomial(count, p), splits into a transmitter
+// and a listener subclass, both apply their deterministic updates, and
+// identical results re-merge. The class count stays tiny (transmissions
+// are rare), giving O(#classes)/slot ~ O(1)/slot in practice.
+// Equivalence with the exact per-station engine is statistically
+// verified in tests/arss_flock_test.cpp.
+#pragma once
+
+#include <cstdint>
+
+#include "adversary/adversary.hpp"
+#include "baselines/arss.hpp"
+#include "sim/outcome.hpp"
+#include "support/rng.hpp"
+
+namespace jamelect {
+
+struct ArssFlockConfig {
+  std::uint64_t n = 2;
+  ArssParams params;  ///< elect_on_single must remain true here
+  std::int64_t max_slots = 1 << 22;
+};
+
+/// Runs the ARSS leader election among `n` stations (strong-CD
+/// semantics: the first un-jammed Single elects). Exchangeable
+/// population; the winner's identity is symbolic.
+[[nodiscard]] TrialOutcome run_arss_flock(const ArssFlockConfig& config,
+                                          BoundedAdversary& adversary,
+                                          Rng& rng);
+
+}  // namespace jamelect

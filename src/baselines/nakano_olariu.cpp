@@ -1,0 +1,33 @@
+#include "baselines/nakano_olariu.hpp"
+
+#include <algorithm>
+
+#include "support/math.hpp"
+
+namespace jamelect {
+
+double NakanoOlariu::transmit_probability() {
+  if (elected_) return 0.0;
+  return jamelect::transmit_probability(u_);
+}
+
+void NakanoOlariu::observe(ChannelState state) {
+  if (elected_) return;
+  switch (state) {
+    case ChannelState::kSingle:
+      elected_ = true;
+      break;
+    case ChannelState::kNull:
+      if (sweeping_) {
+        sweeping_ = false;  // first Null ends the sweep; u ~ log2 n
+      } else {
+        u_ = std::max(1.0, u_ - 1.0);
+      }
+      break;
+    case ChannelState::kCollision:
+      u_ += 1.0;
+      break;
+  }
+}
+
+}  // namespace jamelect

@@ -1,0 +1,45 @@
+// Nakano–Olariu-style uniform leader election (cf. "Uniform leader
+// election protocols for radio networks", IEEE TPDS 13(5), 2002) — the
+// adversary-free O(log n)-w.h.p. reference point.
+//
+// Implementation (uniform, in the style of the sweep protocols from
+// that line of work; documented deviation — we need a concrete,
+// jamming-agnostic O(log n) strawman, not a bit-exact replica):
+//   1. Linear sweep: Broadcast with u = 1, 2, 3, ... until the first
+//      Null; u is then within O(1) of log2 n w.h.p. (approximately
+//      log2 n slots total).
+//   2. Symmetric +-1 walk around that estimate until a Single.
+// Without jamming the sweep dominates: O(log n) slots w.h.p. Under a
+// (T, 1-eps) adversary with eps < 1/2 the walk diverges just like
+// Willard's (bench E12/E8): this baseline is deliberately fragile.
+#pragma once
+
+#include <string>
+
+#include "protocols/uniform.hpp"
+
+namespace jamelect {
+
+class NakanoOlariu final : public UniformProtocol {
+ public:
+  NakanoOlariu() = default;
+
+  [[nodiscard]] double transmit_probability() override;
+  void observe(ChannelState state) override;
+  [[nodiscard]] bool elected() const override { return elected_; }
+  [[nodiscard]] std::string name() const override { return "NakanoOlariu"; }
+  [[nodiscard]] UniformProtocolPtr clone() const override {
+    return std::make_unique<NakanoOlariu>(*this);
+  }
+  [[nodiscard]] double estimate() const override { return u_; }
+
+  [[nodiscard]] bool sweeping() const noexcept { return sweeping_; }
+  [[nodiscard]] double u() const noexcept { return u_; }
+
+ private:
+  bool sweeping_ = true;
+  double u_ = 1.0;
+  bool elected_ = false;
+};
+
+}  // namespace jamelect

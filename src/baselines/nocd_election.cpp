@@ -1,0 +1,42 @@
+#include "baselines/nocd_election.hpp"
+
+#include <algorithm>
+
+#include "support/expects.hpp"
+#include "support/math.hpp"
+
+namespace jamelect {
+
+NoCdElection::NoCdElection(NoCdElectionParams params)
+    : params_(params), reps_left_(params.repetitions) {
+  JAMELECT_EXPECTS(params.repetitions >= 1);
+}
+
+double NoCdElection::transmit_probability() {
+  if (elected_) return 0.0;
+  return jamelect::transmit_probability(static_cast<double>(u_));
+}
+
+void NoCdElection::advance() {
+  if (--reps_left_ > 0) return;
+  reps_left_ = params_.repetitions;
+  ++u_;
+  const std::int64_t epoch_cap = std::int64_t{1}
+                                 << std::min<std::int64_t>(epoch_, 40);
+  if (u_ > epoch_cap) {
+    ++epoch_;
+    u_ = 1;
+  }
+}
+
+void NoCdElection::observe(ChannelState state) {
+  if (elected_) return;
+  // no-CD: the ONLY usable information is Single vs not-Single.
+  if (state == ChannelState::kSingle) {
+    elected_ = true;
+    return;
+  }
+  advance();  // Null and Collision take the identical branch
+}
+
+}  // namespace jamelect

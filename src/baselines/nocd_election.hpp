@@ -1,0 +1,64 @@
+// Leader election WITHOUT collision detection (the paper's no-CD model,
+// §1.1/§4). In no-CD a listener only learns Single vs not-Single — Null
+// and Collision are indistinguishable — so LESK's asymmetric trick is
+// unavailable (it needs to *see* Nulls). The classic approach (Nakano &
+// Olariu, ISAAC 2000) achieves O(log^2 n) w.h.p. without an adversary
+// by sweeping candidate exponents with repetition:
+//
+//   for epoch = 1, 2, ... :
+//     for u = 1 .. 2^epoch :
+//       repeat r times: Broadcast(u); stop at the first Single
+//
+// Within the epoch where 2^epoch >= log2 n, the pass over u ~ log2 n
+// yields a Single with constant probability per repetition, so a
+// logarithmic repetition count gives w.h.p. in O(log^2 n) total.
+//
+// Under jamming this protocol has NO guarantee — the paper's §4 names
+// countermeasures in the no-CD model as an open problem — and the
+// example_nocd_frontier program demonstrates the failure mode. The
+// implementation only consumes Single/not-Single (it maps Null and
+// Collision to the same branch), so it is faithful to the no-CD model
+// even when the engine runs with CD enabled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "protocols/uniform.hpp"
+
+namespace jamelect {
+
+struct NoCdElectionParams {
+  /// Repetitions of each candidate exponent within a pass.
+  std::int64_t repetitions = 4;
+};
+
+class NoCdElection final : public UniformProtocol {
+ public:
+  explicit NoCdElection(NoCdElectionParams params = {});
+
+  [[nodiscard]] double transmit_probability() override;
+  void observe(ChannelState state) override;
+  [[nodiscard]] bool elected() const override { return elected_; }
+  [[nodiscard]] std::string name() const override { return "NoCdElection"; }
+  [[nodiscard]] UniformProtocolPtr clone() const override {
+    return std::make_unique<NoCdElection>(*this);
+  }
+  [[nodiscard]] double estimate() const override {
+    return static_cast<double>(u_);
+  }
+
+  [[nodiscard]] std::int64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] std::int64_t u() const noexcept { return u_; }
+
+ private:
+  void advance();
+
+  NoCdElectionParams params_;
+  std::int64_t epoch_ = 1;
+  std::int64_t u_ = 1;
+  std::int64_t reps_left_;
+  bool elected_ = false;
+};
+
+}  // namespace jamelect

@@ -1,0 +1,69 @@
+#include "baselines/willard.hpp"
+
+#include <algorithm>
+
+#include "support/math.hpp"
+
+namespace jamelect {
+
+Willard::Willard() = default;
+
+double Willard::transmit_probability() {
+  if (elected_) return 0.0;
+  return jamelect::transmit_probability(u_);
+}
+
+void Willard::observe(ChannelState state) {
+  if (elected_) return;
+  if (state == ChannelState::kSingle) {
+    elected_ = true;
+    return;
+  }
+  switch (phase_) {
+    case Phase::kDoubling:
+      if (state == ChannelState::kNull) {
+        // First quiet probe: log2 n is bracketed by the previous loud
+        // exponent and this one.
+        lo_ = std::max(0.0, u_ / 2.0);
+        hi_ = u_;
+        phase_ = Phase::kBinarySearch;
+        u_ = (lo_ + hi_) / 2.0;
+      } else {
+        u_ *= 2.0;
+        if (u_ > 4096.0) {
+          // Defensive: adversarial Collisions can push the probe
+          // upward forever; clamp and fall through to the walk so the
+          // protocol keeps *trying* (it will still be hopeless, which
+          // is the point of the E12 demonstration).
+          phase_ = Phase::kPolish;
+          u_ = 4096.0;
+        }
+      }
+      break;
+    case Phase::kBinarySearch:
+      if (state == ChannelState::kNull) {
+        hi_ = u_;  // quiet -> estimate too high
+      } else {
+        lo_ = u_;  // loud -> estimate too low
+      }
+      if (hi_ - lo_ <= 1.0) {
+        phase_ = Phase::kPolish;
+        u_ = hi_;
+      } else {
+        u_ = (lo_ + hi_) / 2.0;
+      }
+      break;
+    case Phase::kPolish:
+      // Symmetric +-1 walk around the located estimate. Without an
+      // adversary a Single arrives in O(1) expected slots; with one,
+      // fabricated Collisions push u up as fast as Nulls pull it down.
+      if (state == ChannelState::kNull) {
+        u_ = std::max(0.0, u_ - 1.0);
+      } else {
+        u_ += 1.0;
+      }
+      break;
+  }
+}
+
+}  // namespace jamelect

@@ -1,0 +1,52 @@
+// Willard-style selection resolution (SIAM J. Comput. 15(2), 1986) —
+// the classic expected-O(log log n) protocol for a multiple-access
+// channel WITH collision detection and WITHOUT an adversary.
+//
+// Structure (uniform; all state derives from public history):
+//   1. Doubling probe: try u = 2^1, 2^2, 2^3, ... (transmit w.p. 2^-u)
+//      until the channel is Null — then log2 n is (likely) below u.
+//   2. Binary search on u between the last loud probe and the first
+//      quiet one, shrinking [lo, hi] until hi - lo <= 1.
+//   3. Repeat Broadcast(u) near the located estimate, nudging u by +-1
+//      on Collision/Null, until a Single.
+//
+// Expected slots: O(log log n). This baseline exists to demonstrate the
+// paper's §1.3 point that classic estimation-based protocols are NOT
+// jamming-robust: every adversarial jam reads as a Collision, so the
+// binary search is steered upward and phase 3's symmetric walk diverges
+// whenever more than half the slots are jammed (cf. bench E12).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "protocols/uniform.hpp"
+
+namespace jamelect {
+
+class Willard final : public UniformProtocol {
+ public:
+  Willard();
+
+  [[nodiscard]] double transmit_probability() override;
+  void observe(ChannelState state) override;
+  [[nodiscard]] bool elected() const override { return elected_; }
+  [[nodiscard]] std::string name() const override { return "Willard"; }
+  [[nodiscard]] UniformProtocolPtr clone() const override {
+    return std::make_unique<Willard>(*this);
+  }
+  [[nodiscard]] double estimate() const override { return u_; }
+
+  enum class Phase : std::uint8_t { kDoubling, kBinarySearch, kPolish };
+  [[nodiscard]] Phase phase() const noexcept { return phase_; }
+  [[nodiscard]] double u() const noexcept { return u_; }
+
+ private:
+  Phase phase_ = Phase::kDoubling;
+  double u_ = 2.0;     // current probe exponent
+  double lo_ = 0.0;    // binary-search bracket
+  double hi_ = 0.0;
+  bool elected_ = false;
+};
+
+}  // namespace jamelect

@@ -1,0 +1,35 @@
+#include "channel/channel.hpp"
+
+#include "support/expects.hpp"
+
+namespace jamelect {
+
+ChannelState resolve_slot(std::uint64_t num_transmitters, bool jammed) noexcept {
+  if (jammed) return ChannelState::kCollision;
+  if (num_transmitters == 0) return ChannelState::kNull;
+  if (num_transmitters == 1) return ChannelState::kSingle;
+  return ChannelState::kCollision;
+}
+
+Observation observe_slot(ChannelState state, bool transmitted,
+                         CdMode mode) noexcept {
+  switch (mode) {
+    case CdMode::kStrong:
+      return static_cast<Observation>(state);
+    case CdMode::kWeak:
+      if (transmitted) return Observation::kCollision;
+      return static_cast<Observation>(state);
+    case CdMode::kNone:
+      if (transmitted) return Observation::kNoSingle;
+      return state == ChannelState::kSingle ? Observation::kSingle
+                                            : Observation::kNoSingle;
+  }
+  return Observation::kNoSingle;  // unreachable
+}
+
+ChannelState to_channel_state(Observation obs) {
+  JAMELECT_EXPECTS(obs != Observation::kNoSingle);
+  return static_cast<ChannelState>(obs);
+}
+
+}  // namespace jamelect

@@ -1,0 +1,32 @@
+// Slot resolution and per-station observation rules.
+#pragma once
+
+#include <cstdint>
+
+#include "channel/types.hpp"
+
+namespace jamelect {
+
+/// Ground-truth resolution of one slot (paper §1.1): jamming is
+/// indistinguishable from a collision, so a jammed slot always resolves
+/// to Collision regardless of the transmitter count — in particular a
+/// jammed slot with exactly one transmitter is *not* a successful
+/// transmission.
+[[nodiscard]] ChannelState resolve_slot(std::uint64_t num_transmitters,
+                                        bool jammed) noexcept;
+
+/// What a station perceives given the true channel state, whether it
+/// transmitted, and the CD model:
+///  * strong-CD: the true state, for everyone.
+///  * weak-CD: listeners get the true state; a transmitter learns
+///    nothing and pessimistically assumes Collision (paper Function 3).
+///  * no-CD: listeners can only tell Single vs kNoSingle; a transmitter
+///    again assumes kNoSingle.
+[[nodiscard]] Observation observe_slot(ChannelState state, bool transmitted,
+                                       CdMode mode) noexcept;
+
+/// Convenience: maps an Observation that is known to come from the
+/// strong/weak models back to a ChannelState.
+[[nodiscard]] ChannelState to_channel_state(Observation obs);
+
+}  // namespace jamelect

@@ -1,0 +1,22 @@
+#include "channel/trace.hpp"
+
+namespace jamelect {
+
+void Trace::record(const SlotRecord& rec, double expected_tx) {
+  if (keep_records_) records_.push_back(rec);
+  ++counters_.slots;
+  switch (rec.state) {
+    case ChannelState::kNull: ++counters_.nulls; break;
+    case ChannelState::kSingle: ++counters_.singles; break;
+    case ChannelState::kCollision: ++counters_.collisions; break;
+  }
+  if (rec.jammed) ++counters_.jammed;
+  counters_.expected_transmissions += expected_tx;
+}
+
+void Trace::clear() {
+  records_.clear();
+  counters_ = TraceCounters{};
+}
+
+}  // namespace jamelect

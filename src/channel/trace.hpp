@@ -1,0 +1,65 @@
+// Slot traces: compact per-slot records plus running counters.
+//
+// Traces feed the slot-taxonomy analysis (Lemmas 2.2-2.5) and the
+// trace_explorer example. Recording full records is optional (off for
+// large benches); counters are always maintained.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "channel/types.hpp"
+#include "support/expects.hpp"
+
+namespace jamelect {
+
+/// One slot of history. `estimate` carries the protocol's public
+/// estimator u at the *beginning* of the slot (NaN when the protocol
+/// has none); the taxonomy classifier needs it.
+struct SlotRecord {
+  Slot slot = 0;
+  std::uint32_t transmitters = 0;  ///< true count, saturated at 2^32-1
+  bool jammed = false;
+  ChannelState state = ChannelState::kNull;
+  double estimate = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// Running totals over a trace (cheap; kept even when records are not).
+struct TraceCounters {
+  std::int64_t slots = 0;
+  std::int64_t nulls = 0;
+  std::int64_t singles = 0;
+  std::int64_t collisions = 0;   ///< includes jammed slots
+  std::int64_t jammed = 0;
+  /// Sum over slots of n*p — expected transmissions, so
+  /// `expected_transmissions / n` is mean per-station energy.
+  double expected_transmissions = 0.0;
+};
+
+/// Trace recorder. Construct with `keep_records = false` to retain only
+/// counters (O(1) memory) on long runs.
+class Trace {
+ public:
+  explicit Trace(bool keep_records = true) : keep_records_(keep_records) {}
+
+  void record(const SlotRecord& rec, double expected_tx = 0.0);
+
+  [[nodiscard]] const TraceCounters& counters() const noexcept { return counters_; }
+  /// Requires keep_records; throws ContractViolation otherwise.
+  [[nodiscard]] const std::vector<SlotRecord>& records() const {
+    JAMELECT_EXPECTS(keep_records_);
+    return records_;
+  }
+  [[nodiscard]] bool keeps_records() const noexcept { return keep_records_; }
+  [[nodiscard]] std::int64_t size() const noexcept { return counters_.slots; }
+
+  void clear();
+
+ private:
+  bool keep_records_;
+  std::vector<SlotRecord> records_;
+  TraceCounters counters_;
+};
+
+}  // namespace jamelect

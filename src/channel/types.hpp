@@ -1,0 +1,76 @@
+// Core channel model types (paper §1.1).
+//
+// A slot's *channel state* is determined by the number of honest
+// transmitters and whether the adversary jams:
+//   0 transmitters, no jam  -> Null
+//   1 transmitter,  no jam  -> Single
+//   >=2 transmitters or jam -> Collision  (jamming is indistinguishable
+//                                          from a collision)
+// What a *station* perceives additionally depends on the collision-
+// detection (CD) variant and on whether the station itself transmitted.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace jamelect {
+
+/// Ground-truth channel state of a slot, as a listener perceives it in
+/// the strong/weak CD models.
+enum class ChannelState : std::uint8_t {
+  kNull = 0,       ///< idle: no transmitter, not jammed
+  kSingle = 1,     ///< exactly one transmitter, not jammed
+  kCollision = 2,  ///< >= 2 transmitters, or jammed
+};
+
+/// Collision-detection variant (paper §1.1).
+enum class CdMode : std::uint8_t {
+  kStrong,  ///< everyone (transmitters too) learns the channel state
+  kWeak,    ///< transmitters learn nothing; they assume Collision
+  kNone,    ///< listeners can only distinguish Single vs not-Single
+};
+
+/// What one station perceives in one slot. kNoSingle only occurs in the
+/// no-CD model, where Null and Collision are indistinguishable.
+enum class Observation : std::uint8_t {
+  kNull = 0,
+  kSingle = 1,
+  kCollision = 2,
+  kNoSingle = 3,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ChannelState s) noexcept {
+  switch (s) {
+    case ChannelState::kNull: return "Null";
+    case ChannelState::kSingle: return "Single";
+    case ChannelState::kCollision: return "Collision";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(CdMode m) noexcept {
+  switch (m) {
+    case CdMode::kStrong: return "strong-CD";
+    case CdMode::kWeak: return "weak-CD";
+    case CdMode::kNone: return "no-CD";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(Observation o) noexcept {
+  switch (o) {
+    case Observation::kNull: return "Null";
+    case Observation::kSingle: return "Single";
+    case Observation::kCollision: return "Collision";
+    case Observation::kNoSingle: return "NoSingle";
+  }
+  return "?";
+}
+
+/// Slot index type. Signed so "before the first slot" is representable.
+using Slot = std::int64_t;
+
+/// Station identifier within one network.
+using StationId = std::uint64_t;
+
+}  // namespace jamelect

@@ -1,0 +1,78 @@
+#include "extensions/fair_mac.hpp"
+
+#include <vector>
+
+#include "channel/channel.hpp"
+#include "protocols/lesk.hpp"
+#include "support/expects.hpp"
+
+namespace jamelect {
+
+double FairMacResult::jain_index() const {
+  JAMELECT_EXPECTS(rounds_completed >= 1);
+  double sum = 0.0, sum_sq = 0.0;
+  for (const std::int64_t w : grants) {
+    const auto wd = static_cast<double>(w);
+    sum += wd;
+    sum_sq += wd * wd;
+  }
+  return sum * sum / (static_cast<double>(grants.size()) * sum_sq);
+}
+
+FairMacResult run_fair_mac(const FairMacParams& params,
+                           const AdversarySpec& adversary, Rng rng) {
+  JAMELECT_EXPECTS(params.n >= 1);
+  JAMELECT_EXPECTS(params.rounds >= 1);
+  JAMELECT_EXPECTS(params.max_slots_per_round >= 1);
+
+  AdversarySpec spec = adversary;
+  spec.n = params.n;
+  auto adv = make_adversary(spec, rng.child(0xFA17));
+  Rng coins = rng.child(0xC014);
+
+  FairMacResult result;
+  result.grants.assign(params.n, 0);
+
+  // One LESK instance per station; all reset between rounds. Identities
+  // matter here (we count grants), so this is a per-station loop.
+  std::vector<Lesk> stations(params.n, Lesk(params.eps));
+  std::vector<std::uint8_t> transmitted(params.n, 0);
+
+  for (std::uint64_t round = 0; round < params.rounds; ++round) {
+    for (auto& s : stations) s = Lesk(params.eps);
+    std::int64_t round_slots = 0;
+    bool elected = false;
+    while (!elected && round_slots < params.max_slots_per_round) {
+      const bool jammed = adv->step();
+      std::uint64_t count = 0;
+      std::uint64_t winner = 0;
+      // Uniform protocol: every station has the same probability, but
+      // draw per-station coins so the winner has a real identity.
+      const double p = stations[0].transmit_probability();
+      for (std::uint64_t i = 0; i < params.n; ++i) {
+        const bool tx = coins.bernoulli(p);
+        transmitted[i] = tx ? 1 : 0;
+        if (tx) {
+          ++count;
+          winner = i;
+        }
+      }
+      const ChannelState state = resolve_slot(count, jammed);
+      for (auto& s : stations) s.observe(state);
+      adv->observe({result.slots_total + round_slots, count, jammed, state});
+      ++round_slots;
+      if (jammed) ++result.jams_total;
+      if (state == ChannelState::kSingle) {
+        ++result.grants[winner];
+        elected = true;
+      }
+    }
+    result.slots_total += round_slots;
+    if (!elected) return result;  // round timed out; report partial run
+    ++result.rounds_completed;
+  }
+  result.completed = true;
+  return result;
+}
+
+}  // namespace jamelect

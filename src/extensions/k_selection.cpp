@@ -1,0 +1,55 @@
+#include "extensions/k_selection.hpp"
+
+#include "channel/channel.hpp"
+#include "protocols/lesk.hpp"
+#include "support/expects.hpp"
+#include "support/math.hpp"
+
+namespace jamelect {
+
+KSelectionResult run_k_selection(const KSelectionParams& params,
+                                 BoundedAdversary& adversary, Rng& rng) {
+  JAMELECT_EXPECTS(params.k >= 1);
+  JAMELECT_EXPECTS(params.n >= params.k);
+  JAMELECT_EXPECTS(params.eps > 0.0 && params.eps <= 1.0);
+  JAMELECT_EXPECTS(params.max_slots >= 1);
+
+  KSelectionResult result;
+  std::uint64_t remaining = params.n;
+  double warm_u = 0.0;
+  std::int64_t round_start = 0;
+
+  Lesk lesk(LeskParams{params.eps, warm_u});
+  while (result.slots < params.max_slots) {
+    const double p = lesk.transmit_probability();
+    const bool jammed = adversary.step();
+    const SlotProbabilities probs = slot_probabilities(remaining, p);
+    const double r = rng.uniform();
+    const std::uint64_t count =
+        r < probs.null ? 0 : (r < probs.null + probs.single ? 1 : 2);
+    const ChannelState state = resolve_slot(count, jammed);
+    lesk.observe(state);
+    adversary.observe({result.slots, count, jammed, state});
+    ++result.slots;
+    if (jammed) ++result.jams;
+
+    if (lesk.elected()) {
+      ++result.leaders_elected;
+      result.slots_per_round.push_back(result.slots - round_start);
+      round_start = result.slots;
+      if (result.leaders_elected == params.k) {
+        result.completed = true;
+        break;
+      }
+      // The winner withdraws; restart LESK among the remainder. With
+      // warm start the walk resumes at the sweet window (log2 of n-1
+      // is within 1/n of log2 n), so subsequent rounds are cheap.
+      --remaining;
+      warm_u = params.warm_start ? lesk.u() : 0.0;
+      lesk = Lesk(LeskParams{params.eps, warm_u});
+    }
+  }
+  return result;
+}
+
+}  // namespace jamelect

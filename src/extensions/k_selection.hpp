@@ -1,0 +1,46 @@
+// k-selection — the second §4 application: elect k DISTINCT leaders.
+//
+// Strong-CD composition: run LESK repeatedly; the transmitter of each
+// Single becomes the next leader and withdraws (it stops transmitting),
+// so the remaining population shrinks by one per round. Warm start: the
+// next round's walk begins at the previous round's u (the population
+// changed by one station, so log2 n barely moved), which makes rounds
+// after the first cost O(1) expected regular slots each.
+//
+// Robustness is inherited from LESK: the adversary can only delay each
+// round by the Theorem 2.6 budget.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+#include "channel/types.hpp"
+#include "support/rng.hpp"
+
+namespace jamelect {
+
+struct KSelectionParams {
+  std::uint64_t n = 0;       ///< population size (>= k >= 1)
+  std::uint64_t k = 1;       ///< leaders to elect
+  double eps = 0.5;          ///< LESK's eps
+  std::int64_t max_slots = 1 << 24;
+  bool warm_start = true;    ///< reuse u across rounds
+};
+
+struct KSelectionResult {
+  bool completed = false;             ///< all k leaders elected in budget
+  std::uint64_t leaders_elected = 0;  ///< distinct by construction
+  std::int64_t slots = 0;
+  std::int64_t jams = 0;
+  std::vector<std::int64_t> slots_per_round;  ///< one entry per leader
+};
+
+/// Runs the chained election against the given adversary (aggregate
+/// semantics: stations are exchangeable, leaders are distinct because
+/// winners withdraw).
+[[nodiscard]] KSelectionResult run_k_selection(const KSelectionParams& params,
+                                               BoundedAdversary& adversary,
+                                               Rng& rng);
+
+}  // namespace jamelect

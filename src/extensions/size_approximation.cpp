@@ -1,0 +1,52 @@
+#include "extensions/size_approximation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/expects.hpp"
+#include "support/math.hpp"
+#include "support/stats.hpp"
+
+namespace jamelect {
+
+SizeApproximation::SizeApproximation(SizeApproximationParams params)
+    : params_(params), a_(8.0 / params.eps) {
+  JAMELECT_EXPECTS(params.eps > 0.0 && params.eps <= 1.0);
+  JAMELECT_EXPECTS(params.budget >= 2);
+  samples_.reserve(static_cast<std::size_t>(params.budget - params.budget / 2));
+}
+
+double SizeApproximation::transmit_probability() {
+  if (completed()) return 0.0;
+  return jamelect::transmit_probability(u_);
+}
+
+void SizeApproximation::observe(ChannelState state) {
+  if (completed()) return;
+  switch (state) {
+    case ChannelState::kNull:
+      u_ = std::max(0.0, u_ - 1.0);
+      break;
+    case ChannelState::kCollision:
+      u_ += 1.0 / a_;
+      break;
+    case ChannelState::kSingle:
+      // A Single means u is in the sweet window right now — keep it.
+      break;
+  }
+  ++slots_seen_;
+  if (slots_seen_ > params_.budget / 2) samples_.push_back(u_);
+}
+
+double SizeApproximation::estimate_log2n() const {
+  JAMELECT_EXPECTS(completed());
+  std::vector<double> sorted(samples_);
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, 0.5);
+}
+
+double SizeApproximation::estimate_n() const {
+  return std::exp2(estimate_log2n());
+}
+
+}  // namespace jamelect

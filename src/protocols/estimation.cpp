@@ -1,0 +1,55 @@
+#include "protocols/estimation.hpp"
+
+#include <cmath>
+
+#include "support/expects.hpp"
+
+namespace jamelect {
+
+Estimation::Estimation(std::int64_t L) : L_(L) {
+  JAMELECT_EXPECTS(L >= 1);
+  begin_round(1);
+}
+
+void Estimation::begin_round(std::int64_t round) {
+  round_ = round;
+  // 2^round slots per round; the round index is bounded in practice by
+  // ~log max{log n, log T} + O(1), far below any overflow concern, but
+  // guard the shift anyway.
+  JAMELECT_EXPECTS(round >= 1 && round < 62);
+  slots_left_in_round_ = std::int64_t{1} << round;
+  nulls_in_round_ = 0;
+  // Transmit w.p. 2^-2^round; exp2 underflows gracefully to 0 for
+  // round >= ~10 at double precision, which matches the semantics
+  // (astronomically small probability).
+  round_probability_ = std::exp2(-std::ldexp(1.0, static_cast<int>(round)));
+}
+
+double Estimation::transmit_probability() {
+  if (completed_ || elected_) return 0.0;
+  return round_probability_;
+}
+
+void Estimation::observe(ChannelState state) {
+  if (completed_ || elected_) return;
+  if (state == ChannelState::kSingle) {
+    elected_ = true;
+    return;
+  }
+  if (state == ChannelState::kNull) ++nulls_in_round_;
+  --slots_left_in_round_;
+  if (slots_left_in_round_ == 0) {
+    if (nulls_in_round_ >= L_) {
+      completed_ = true;
+    } else {
+      begin_round(round_ + 1);
+    }
+  }
+}
+
+std::int64_t Estimation::result() const {
+  JAMELECT_EXPECTS(completed_);
+  return round_;
+}
+
+}  // namespace jamelect

@@ -1,0 +1,59 @@
+// Estimation(L) — paper Function 2.
+//
+//   for round = 1, 2, ... do
+//     repeat 2^round times: Broadcast(2^round)   // transmit w.p. 2^-2^round
+//     if (#Nulls in this round) >= L then return round
+//
+// Lemma 2.8: with L = 2 and n >= 115, in the presence of any
+// (T, 1-eps)-adversary, Estimation either obtains a Single or returns i
+// with log log n - 1 <= i <= max{log log n, log T} + 1, within
+// O(max{log n, T}) slots, with probability >= 1 - 2/n^2.
+//
+// The returned round feeds LESU's time-budget seed t0 = c * 2^(1+i): the
+// point is that 2^i is a proxy for max{log n, T} that stations can
+// compute with *no* global knowledge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "protocols/uniform.hpp"
+
+namespace jamelect {
+
+class Estimation final : public UniformProtocol {
+ public:
+  /// `L` is the Null-count threshold per round (the paper uses 2).
+  explicit Estimation(std::int64_t L = 2);
+
+  [[nodiscard]] double transmit_probability() override;
+  void observe(ChannelState state) override;
+  /// True iff a Single occurred before the estimation completed — the
+  /// network elected a leader as a side effect (Lemma 2.8's "obtains
+  /// Single" branch).
+  [[nodiscard]] bool elected() const override { return elected_; }
+  [[nodiscard]] std::string name() const override { return "Estimation"; }
+  [[nodiscard]] UniformProtocolPtr clone() const override {
+    return std::make_unique<Estimation>(*this);
+  }
+
+  /// True once a round accumulated >= L Nulls (the "returns i" branch).
+  [[nodiscard]] bool completed() const noexcept { return completed_; }
+  /// The returned round index; valid only when completed().
+  [[nodiscard]] std::int64_t result() const;
+  /// Round currently executing (1-based).
+  [[nodiscard]] std::int64_t round() const noexcept { return round_; }
+
+ private:
+  void begin_round(std::int64_t round);
+
+  std::int64_t L_;
+  std::int64_t round_ = 0;
+  std::int64_t slots_left_in_round_ = 0;
+  std::int64_t nulls_in_round_ = 0;
+  double round_probability_ = 1.0;
+  bool completed_ = false;
+  bool elected_ = false;
+};
+
+}  // namespace jamelect

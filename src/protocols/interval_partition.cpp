@@ -1,0 +1,39 @@
+#include "protocols/interval_partition.hpp"
+
+#include "support/expects.hpp"
+#include "support/math.hpp"
+
+namespace jamelect {
+
+IntervalPosition classify_slot(Slot slot) {
+  JAMELECT_EXPECTS(slot >= 0);
+  if (slot < 3) return {};
+  // Block i covers [3*2^i - 3, 6*2^i - 4], i.e. slot+3 in [3*2^i, 6*2^i).
+  const auto shifted = static_cast<std::uint64_t>(slot) + 3;
+  const auto i = static_cast<std::int64_t>(floor_log2(shifted / 3));
+  const std::int64_t size = std::int64_t{1} << i;
+  const std::int64_t block_start = 3 * size - 3;
+  const std::int64_t off_in_block = slot - block_start;
+  JAMELECT_ENSURES(off_in_block >= 0 && off_in_block < 3 * size);
+  const std::int64_t which = off_in_block / size;  // 0,1,2 -> C1,C2,C3
+  IntervalPosition pos;
+  pos.set = static_cast<IntervalSet>(which + 1);
+  pos.block = i;
+  pos.offset = off_in_block % size;
+  pos.size = size;
+  return pos;
+}
+
+Slot interval_first_slot(std::int64_t i, IntervalSet j) {
+  JAMELECT_EXPECTS(i >= 1 && i < 62);
+  JAMELECT_EXPECTS(j != IntervalSet::kPadding);
+  const std::int64_t size = std::int64_t{1} << i;
+  const auto jdx = static_cast<std::int64_t>(j);  // 1..3
+  return (2 + jdx) * size - 3;
+}
+
+Slot interval_end_slot(std::int64_t i, IntervalSet j) {
+  return interval_first_slot(i, j) + (std::int64_t{1} << i);
+}
+
+}  // namespace jamelect

@@ -1,0 +1,52 @@
+// The C1/C2/C3 slot partition used by Notification (paper §3).
+//
+//   C^i_1 = {3*2^i - 3, ..., 4*2^i - 4}
+//   C^i_2 = {4*2^i - 3, ..., 5*2^i - 4}
+//   C^i_3 = {5*2^i - 3, ..., 6*2^i - 4}       (i >= 1; each has size 2^i)
+//
+// and C_j is the union over i of C^i_j. The three sets interleave in
+// exponentially growing intervals, so for i >= log2(T) the adversary
+// cannot jam an entire interval C^i_j — the property Lemma 3.1 leans on.
+//
+// The paper's indexing starts at slot 3 (C^1_1 = {3, 4}); slots 0..2
+// belong to no set and are idle padding (DESIGN.md §5). The blocks tile
+// the line: block i spans [3*2^i - 3, 6*2^i - 4] and block i+1 starts at
+// 6*2^i - 3.
+#pragma once
+
+#include <cstdint>
+
+#include "channel/types.hpp"
+
+namespace jamelect {
+
+/// Which of the three sets a slot belongs to.
+enum class IntervalSet : std::uint8_t {
+  kPadding = 0,  ///< slots 0..2
+  kC1 = 1,
+  kC2 = 2,
+  kC3 = 3,
+};
+
+/// Full classification of one slot within the partition.
+struct IntervalPosition {
+  IntervalSet set = IntervalSet::kPadding;
+  std::int64_t block = 0;     ///< the paper's i (>= 1); 0 for padding
+  std::int64_t offset = 0;    ///< position within the interval, in [0, 2^block)
+  std::int64_t size = 0;      ///< interval length 2^block; 0 for padding
+  [[nodiscard]] bool interval_start() const noexcept {
+    return set != IntervalSet::kPadding && offset == 0;
+  }
+};
+
+/// Classifies a slot. O(1) via bit tricks; total over all slots the
+/// partition is exact and disjoint (property-tested).
+[[nodiscard]] IntervalPosition classify_slot(Slot slot);
+
+/// First slot of interval C^i_j (i >= 1, j in {1,2,3}).
+[[nodiscard]] Slot interval_first_slot(std::int64_t i, IntervalSet j);
+
+/// One-past-last slot of interval C^i_j.
+[[nodiscard]] Slot interval_end_slot(std::int64_t i, IntervalSet j);
+
+}  // namespace jamelect

@@ -1,0 +1,35 @@
+#include "protocols/lesk.hpp"
+
+#include <algorithm>
+
+#include "support/expects.hpp"
+#include "support/math.hpp"
+
+namespace jamelect {
+
+Lesk::Lesk(LeskParams params)
+    : params_(params), a_(8.0 / params.eps), u_(params.initial_u) {
+  JAMELECT_EXPECTS(params.eps > 0.0 && params.eps <= 1.0);
+  JAMELECT_EXPECTS(params.initial_u >= 0.0);
+}
+
+double Lesk::transmit_probability() {
+  return jamelect::transmit_probability(u_);
+}
+
+void Lesk::observe(ChannelState state) {
+  if (elected_) return;
+  switch (state) {
+    case ChannelState::kNull:
+      u_ = std::max(u_ - 1.0, 0.0);
+      break;
+    case ChannelState::kCollision:
+      u_ += 1.0 / a_;
+      break;
+    case ChannelState::kSingle:
+      elected_ = true;
+      break;
+  }
+}
+
+}  // namespace jamelect

@@ -1,0 +1,65 @@
+// LESK — Leader Election in Strong-CD with Known eps (paper Alg. 1).
+//
+//   a <- 8/eps ; u <- 0
+//   repeat
+//     state <- Broadcast(u)            // transmit w.p. 2^-u
+//     if state = Null      then u <- max(u - 1, 0)
+//     if state = Collision then u <- u + 1/a
+//   until state = Single
+//
+// The estimate u performs a biased random walk around u0 = log2(n): a
+// Null is strong evidence the estimate is too big (worth a full -1), a
+// Collision is weak evidence it is too small (worth only +eps/8,
+// because up to a (1-eps) fraction of slots may be adversarial
+// Collisions). The adversary can fabricate Collisions but never Nulls —
+// the "one-sided error" the asymmetric step sizes exploit.
+//
+// Note: the preprint's loop guard reads "until state != Single", which
+// would exit on the first Null; the analysis (and the surrounding text)
+// make clear the intended guard is "until state = Single". We implement
+// the intended version (DESIGN.md §5).
+#pragma once
+
+#include <string>
+
+#include "protocols/uniform.hpp"
+
+namespace jamelect {
+
+struct LeskParams {
+  /// The (known) eps of the (T, 1-eps)-bounded adversary, in (0, 1].
+  double eps = 0.5;
+  /// Initial estimate; the paper starts at 0. Exposed for experiments
+  /// (e.g. warm-started ablations).
+  double initial_u = 0.0;
+};
+
+class Lesk final : public UniformProtocol {
+ public:
+  explicit Lesk(LeskParams params);
+  explicit Lesk(double eps) : Lesk(LeskParams{eps, 0.0}) {}
+
+  [[nodiscard]] double transmit_probability() override;
+  void observe(ChannelState state) override;
+  [[nodiscard]] bool elected() const override { return elected_; }
+  [[nodiscard]] std::string name() const override { return "LESK"; }
+  [[nodiscard]] UniformProtocolPtr clone() const override {
+    return std::make_unique<Lesk>(*this);
+  }
+  [[nodiscard]] double estimate() const override { return u_; }
+
+  /// Current estimate u (public: it is a deterministic function of the
+  /// channel history, which is why the adversary can track it too).
+  [[nodiscard]] double u() const noexcept { return u_; }
+  /// a = 8/eps; the Collision increment is 1/a = eps/8.
+  [[nodiscard]] double a() const noexcept { return a_; }
+  [[nodiscard]] const LeskParams& params() const noexcept { return params_; }
+
+ private:
+  LeskParams params_;
+  double a_;
+  double u_;
+  bool elected_ = false;
+};
+
+}  // namespace jamelect

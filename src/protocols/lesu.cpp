@@ -1,0 +1,92 @@
+#include "protocols/lesu.hpp"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "support/expects.hpp"
+#include "support/math.hpp"
+
+namespace jamelect {
+
+Lesu::Lesu(LesuParams params)
+    : params_(params), estimation_(params.estimation_L) {
+  JAMELECT_EXPECTS(params.c > 0.0);
+  JAMELECT_EXPECTS(params.max_i >= 1 && params.max_i < 62);
+}
+
+Lesu::Lesu(const Lesu& other)
+    : params_(other.params_),
+      estimation_(other.estimation_),
+      phase_(other.phase_),
+      elected_(other.elected_),
+      i_(other.i_),
+      j_(other.j_),
+      t0_(other.t0_),
+      current_eps_(other.current_eps_),
+      slots_left_(other.slots_left_),
+      lesk_(other.lesk_ ? other.lesk_->clone() : nullptr) {}
+
+UniformProtocolPtr Lesu::clone() const { return std::make_unique<Lesu>(*this); }
+
+double Lesu::estimate() const {
+  if (phase_ == Phase::kLesk && lesk_ != nullptr) return lesk_->estimate();
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+void Lesu::start_subexecution(std::int64_t i, std::int64_t j) {
+  JAMELECT_EXPECTS(i >= 1 && j >= 1 && j <= i);
+  i_ = i;
+  j_ = j;
+  current_eps_ = std::exp2(-static_cast<double>(j) / 3.0);
+  // Budget for (i, j): t_i * i / j = 3 * 2^i * t0 / j.
+  const double budget =
+      3.0 * std::ldexp(t0_, static_cast<int>(i)) / static_cast<double>(j);
+  slots_left_ = ceil_to_slots(budget);
+  JAMELECT_ENSURES(slots_left_ >= 1);
+  lesk_ = std::make_unique<Lesk>(LeskParams{current_eps_, 0.0});
+}
+
+double Lesu::transmit_probability() {
+  if (elected_) return 0.0;
+  if (phase_ == Phase::kEstimation) return estimation_.transmit_probability();
+  return lesk_->transmit_probability();
+}
+
+void Lesu::observe(ChannelState state) {
+  if (elected_) return;
+  if (phase_ == Phase::kEstimation) {
+    estimation_.observe(state);
+    if (estimation_.elected()) {
+      elected_ = true;
+      return;
+    }
+    if (estimation_.completed()) {
+      // t0 <- c * 2^(1 + Estimation(2)).
+      t0_ = params_.c *
+            std::ldexp(1.0, static_cast<int>(estimation_.result()) + 1);
+      phase_ = Phase::kLesk;
+      start_subexecution(1, 1);
+    }
+    return;
+  }
+
+  lesk_->observe(state);
+  if (lesk_->elected()) {
+    elected_ = true;
+    return;
+  }
+  if (--slots_left_ == 0) {
+    if (j_ < i_) {
+      start_subexecution(i_, j_ + 1);
+    } else {
+      // The schedule is a hedge, not a guarantee: cap i to keep the
+      // 2^i budget shift well-defined. In any plausible run the engine
+      // slot limit triggers long before this.
+      const std::int64_t next_i = std::min(i_ + 1, params_.max_i);
+      start_subexecution(next_i, 1);
+    }
+  }
+}
+
+}  // namespace jamelect

@@ -1,0 +1,20 @@
+// LEWK — Leader Election in Weak-CD with Known eps (paper Thm 3.2):
+// Notification applied to LESK. Runs in O(max{T, log(1/eps)/eps^3 *
+// log n}) slots with probability >= 1 - 1/n against any (T, 1-eps)-
+// bounded adversary, for known eps, unknown T and unknown n >= 3.
+#pragma once
+
+#include <memory>
+
+#include "protocols/lesk.hpp"
+#include "protocols/notification.hpp"
+
+namespace jamelect {
+
+/// One LEWK station: Notification wrapping fresh LESK(eps) instances.
+[[nodiscard]] inline StationProtocolPtr make_lewk_station(double eps) {
+  return std::make_unique<NotificationStation>(
+      [eps] { return std::make_unique<Lesk>(LeskParams{eps, 0.0}); });
+}
+
+}  // namespace jamelect

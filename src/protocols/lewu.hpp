@@ -1,0 +1,20 @@
+// LEWU — Leader Election in Weak-CD with Unknown parameters (paper
+// Thm 3.3): Notification applied to LESU. No station knows n, T or eps;
+// time matches Theorem 2.9 up to a constant factor, with probability
+// >= 1 - 1/n, for n >= 115 (the Estimation lemma's regime).
+#pragma once
+
+#include <memory>
+
+#include "protocols/lesu.hpp"
+#include "protocols/notification.hpp"
+
+namespace jamelect {
+
+/// One LEWU station: Notification wrapping fresh LESU instances.
+[[nodiscard]] inline StationProtocolPtr make_lewu_station(LesuParams params = {}) {
+  return std::make_unique<NotificationStation>(
+      [params] { return std::make_unique<Lesu>(params); });
+}
+
+}  // namespace jamelect

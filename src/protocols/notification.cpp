@@ -1,0 +1,120 @@
+#include "protocols/notification.hpp"
+
+#include <utility>
+
+#include "channel/channel.hpp"
+#include "support/expects.hpp"
+
+namespace jamelect {
+
+NotificationStation::NotificationStation(UniformProtocolFactory factory)
+    : factory_(std::move(factory)) {
+  JAMELECT_EXPECTS(factory_ != nullptr);
+}
+
+bool NotificationStation::is_leader() const {
+  return leader_ == LeaderFlag::kTrue;
+}
+
+void NotificationStation::maybe_restart(const IntervalPosition& pos,
+                                        IntervalSet active_set) {
+  if (pos.set != active_set) return;
+  if (pos.interval_start() || a_ == nullptr) a_ = factory_();
+}
+
+double NotificationStation::transmit_probability(Slot slot) {
+  const IntervalPosition pos = classify_slot(slot);
+  if (pos.set == IntervalSet::kPadding) return 0.0;
+  switch (phase_) {
+    case Phase::kFirstLoop:
+      maybe_restart(pos, IntervalSet::kC1);
+      return pos.set == IntervalSet::kC1 ? a_->transmit_probability() : 0.0;
+    case Phase::kSecondLoop:
+      maybe_restart(pos, IntervalSet::kC2);
+      // Entering the second loop always happens strictly before the
+      // next C2 interval begins (the trigger is a C1 or C2 event), so
+      // `a_` is recreated at that boundary; if the trigger raced an
+      // interval middle we would simply listen until the next restart.
+      if (pos.set != IntervalSet::kC2) return 0.0;
+      return a_ != nullptr ? a_->transmit_probability() : 0.0;
+    case Phase::kConfirmC1:
+      return pos.set == IntervalSet::kC1 ? 1.0 : 0.0;
+    case Phase::kAnnounceC3:
+      return pos.set == IntervalSet::kC3 ? 1.0 : 0.0;
+    case Phase::kDone:
+      return 0.0;
+  }
+  return 0.0;  // unreachable
+}
+
+void NotificationStation::feedback(Slot slot, bool transmitted, Observation obs) {
+  JAMELECT_EXPECTS(obs != Observation::kNoSingle);  // weak/strong views only
+  const IntervalPosition pos = classify_slot(slot);
+  if (pos.set == IntervalSet::kPadding) return;
+  const ChannelState state = to_channel_state(obs);
+  const bool heard_single = state == ChannelState::kSingle && !transmitted;
+
+  switch (phase_) {
+    case Phase::kFirstLoop:
+      if (pos.set == IntervalSet::kC1) {
+        if (a_ != nullptr) a_->observe(state);
+        if (heard_single) {
+          // status(C1) = Single: leader <- false, stop A in C1, fall
+          // into the second loop (fresh A from the next C2 interval).
+          leader_ = LeaderFlag::kFalse;
+          phase_ = Phase::kSecondLoop;
+          a_.reset();
+        }
+      } else if (pos.set == IntervalSet::kC2) {
+        if (heard_single) {
+          // Exited the first loop via a C2 Single without ever hearing
+          // one in C1: this station is the C1 transmitter l. The second
+          // loop's guard is already satisfied with status(C2) = Single
+          // and leader undefined -> leader <- true, announce in C3.
+          JAMELECT_ENSURES(leader_ == LeaderFlag::kUndefined);
+          leader_ = LeaderFlag::kTrue;
+          phase_ = Phase::kAnnounceC3;
+          a_.reset();
+        }
+      }
+      break;
+
+    case Phase::kSecondLoop:
+      if (pos.set == IntervalSet::kC2) {
+        if (a_ != nullptr) a_->observe(state);
+        if (heard_single) {
+          // status(C2) = Single with leader = false: keep C1 busy until
+          // the leader confirms in C3.
+          JAMELECT_ENSURES(leader_ == LeaderFlag::kFalse);
+          phase_ = Phase::kConfirmC1;
+          a_.reset();
+        }
+      } else if (pos.set == IntervalSet::kC3) {
+        if (heard_single) {
+          // Exited the loop via C3 (this is the station s whose own C2
+          // Single it could not hear): status(C2) != Single from its
+          // view, so it returns as a non-leader.
+          phase_ = Phase::kDone;
+          a_.reset();
+        }
+      }
+      break;
+
+    case Phase::kConfirmC1:
+      if (pos.set == IntervalSet::kC3 && heard_single) {
+        phase_ = Phase::kDone;
+      }
+      break;
+
+    case Phase::kAnnounceC3:
+      if (pos.set == IntervalSet::kC1 && state == ChannelState::kNull) {
+        phase_ = Phase::kDone;
+      }
+      break;
+
+    case Phase::kDone:
+      break;
+  }
+}
+
+}  // namespace jamelect

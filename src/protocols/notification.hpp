@@ -1,0 +1,89 @@
+// Notification — paper Function 4 (§3).
+//
+// Transforms any weak-CD *selection resolution* algorithm A (one that
+// obtains a first Single w.h.p. despite the adversary) into a full
+// weak-CD *leader election*: after the transformation the successful
+// transmitter also KNOWS it is the leader, and every station
+// terminates. Overhead is a constant factor (Lemma 3.1, n >= 3).
+//
+// The slot line is partitioned into C1/C2/C3 (interval_partition.hpp).
+// A is executed inside C1 (and later C2) with a restart at every
+// interval boundary: the first 2^i steps of a fresh instance run in
+// C^i_1, then all variables revert and 2^(i+1) fresh steps run in
+// C^(i+1)_1 — fresh randomness each time.
+//
+// Per-station state machine (matching the paper's pseudocode; see the
+// phase enum below):
+//   1. kFirstLoop — run A in C1 "until a Single in C1 or C2".
+//      * A listener hearing Single in C1 sets leader=false and moves to
+//        the second loop (fresh A in C2). The transmitter l of that
+//        Single perceives only a Collision (weak-CD) and keeps running
+//        A in C1, alone.
+//      * l eventually hears a Single in C2 (it listens there): with
+//        leader still undefined it concludes IT transmitted the C1
+//        Single, sets leader=true and moves to kAnnounceC3.
+//   2. kSecondLoop — run A in C2 "until a Single in C2 or C3".
+//      * A listener hearing Single in C2 (leader=false) moves to
+//        kConfirmC1: transmit in EVERY C1 slot until a Single in C3.
+//        This keeps C1 busy so l cannot observe a premature Null.
+//      * The C2-Single's transmitter s perceives a Collision and stays
+//        in the loop; it exits when it hears l's Single in C3, and
+//        since (from its view) status(C2) != Single it simply returns
+//        as a non-leader.
+//   3. kAnnounceC3 — l transmits in every C3 slot until a Null in C1;
+//      the first un-jammed C3 slot is a Single (only l transmits there)
+//      which releases everyone in kConfirmC1/kSecondLoop; once C1 goes
+//      quiet the adversary cannot jam a whole interval, the Null
+//      arrives, and l terminates too.
+//
+// Requires n >= 3: with n = 2 the set R of confirmers is empty, C1
+// falls silent before the leader has announced, and the s station can
+// deadlock — the same reason Lemma 3.1 assumes n >= 3.
+#pragma once
+
+#include <string>
+
+#include "protocols/interval_partition.hpp"
+#include "protocols/station.hpp"
+#include "protocols/uniform.hpp"
+
+namespace jamelect {
+
+class NotificationStation final : public StationProtocol {
+ public:
+  /// `factory` yields a fresh instance of the inner algorithm A for
+  /// each interval restart.
+  explicit NotificationStation(UniformProtocolFactory factory);
+
+  [[nodiscard]] double transmit_probability(Slot slot) override;
+  void feedback(Slot slot, bool transmitted, Observation obs) override;
+  [[nodiscard]] bool done() const override { return phase_ == Phase::kDone; }
+  [[nodiscard]] bool is_leader() const override;
+  [[nodiscard]] std::string name() const override { return "Notification"; }
+  [[nodiscard]] double estimate() const override {
+    return a_ != nullptr ? a_->estimate()
+                         : std::numeric_limits<double>::quiet_NaN();
+  }
+
+  enum class Phase : std::uint8_t {
+    kFirstLoop,   ///< A in C1 until Single in C1 or C2
+    kSecondLoop,  ///< A in C2 until Single in C2 or C3
+    kConfirmC1,   ///< transmit every C1 slot until Single in C3
+    kAnnounceC3,  ///< (leader) transmit every C3 slot until Null in C1
+    kDone,
+  };
+  [[nodiscard]] Phase phase() const noexcept { return phase_; }
+
+ private:
+  /// Restart A if `pos` begins a new interval of the set we run A in.
+  void maybe_restart(const IntervalPosition& pos, IntervalSet active_set);
+
+  UniformProtocolFactory factory_;
+  UniformProtocolPtr a_;
+  Phase phase_ = Phase::kFirstLoop;
+  // tri-state leader flag: the paper's undefined/false/true.
+  enum class LeaderFlag : std::uint8_t { kUndefined, kFalse, kTrue };
+  LeaderFlag leader_ = LeaderFlag::kUndefined;
+};
+
+}  // namespace jamelect

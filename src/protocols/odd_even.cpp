@@ -1,0 +1,51 @@
+#include "protocols/odd_even.hpp"
+
+#include <utility>
+
+#include "channel/channel.hpp"
+#include "support/expects.hpp"
+
+namespace jamelect {
+
+OddEvenStation::OddEvenStation(UniformProtocolPtr inner)
+    : inner_(std::move(inner)) {
+  JAMELECT_EXPECTS(inner_ != nullptr);
+}
+
+double OddEvenStation::transmit_probability(Slot slot) {
+  if (done_) return 0.0;
+  if (is_algorithm_slot(slot)) return inner_->transmit_probability();
+  // Notification slot: listeners that heard a Single shout back.
+  return heard_single_ ? 1.0 : 0.0;
+}
+
+void OddEvenStation::feedback(Slot slot, bool transmitted, Observation obs) {
+  if (done_) return;
+  JAMELECT_EXPECTS(obs != Observation::kNoSingle);
+  const ChannelState state = to_channel_state(obs);
+  if (is_algorithm_slot(slot)) {
+    inner_->observe(state);
+    transmitted_last_ = transmitted;
+    heard_single_ = !transmitted && state == ChannelState::kSingle;
+    return;
+  }
+  // Notification slot.
+  if (transmitted_last_ && !transmitted && state != ChannelState::kNull) {
+    // We transmitted in the algorithm slot and the notification slot is
+    // busy: conclude we won. THIS is the unsound step — a jammed
+    // notification slot is busy for every colliding transmitter at
+    // once.
+    done_ = true;
+    leader_ = true;
+    return;
+  }
+  if (heard_single_) {
+    // We acknowledged a winner; our own role is settled.
+    done_ = true;
+    leader_ = false;
+  }
+  transmitted_last_ = false;
+  heard_single_ = false;
+}
+
+}  // namespace jamelect

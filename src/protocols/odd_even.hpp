@@ -1,0 +1,58 @@
+// The NAIVE weak-CD notification scheme the paper dismisses (§1.3/§3):
+//
+//   "one can perform the algorithm only in odd time slots and whenever
+//    a successful transmission occurs, the stations that heard the
+//    transmission broadcast in the corresponding even time slot. Using
+//    this mechanism, the leader can realize that it had become a leader
+//    [...] However even a simple adversary can disrupt such algorithm
+//    by jamming some even time slot."
+//
+// Mechanics implemented here:
+//   * odd slots (0, 2, 4, ... are "odd" in the paper's 1-indexed
+//     phrasing; we use even indices for the algorithm and odd indices
+//     for notification — the parity labels below follow OUR indices):
+//     algorithm slots run the inner uniform protocol A;
+//   * after an algorithm slot, every LISTENER that heard a Single
+//     transmits in the following notification slot; a station that
+//     TRANSMITTED in the algorithm slot listens in the notification
+//     slot and declares itself leader iff it hears a non-Null there.
+//
+// Correct without an adversary: only a true Single's transmitter gets a
+// busy notification slot. UNSOUND with one: if the algorithm slot was a
+// Collision of k >= 2 transmitters, no one notifies — but a jammed
+// notification slot reads as Collision (busy) to ALL k transmitters,
+// and every one of them concludes it is the leader. The paper's
+// one-line dismissal, made executable: tests/odd_even_test.cpp shows a
+// two-leader safety violation under a reactive jammer, and the same
+// seeds electing exactly one leader with the real Notification.
+#pragma once
+
+#include <string>
+
+#include "protocols/station.hpp"
+#include "protocols/uniform.hpp"
+
+namespace jamelect {
+
+class OddEvenStation final : public StationProtocol {
+ public:
+  explicit OddEvenStation(UniformProtocolPtr inner);
+
+  [[nodiscard]] double transmit_probability(Slot slot) override;
+  void feedback(Slot slot, bool transmitted, Observation obs) override;
+  [[nodiscard]] bool done() const override { return done_; }
+  [[nodiscard]] bool is_leader() const override { return leader_; }
+  [[nodiscard]] std::string name() const override { return "OddEven"; }
+  [[nodiscard]] double estimate() const override { return inner_->estimate(); }
+
+ private:
+  static bool is_algorithm_slot(Slot slot) { return slot % 2 == 0; }
+
+  UniformProtocolPtr inner_;
+  bool transmitted_last_ = false;  ///< did we transmit in the last algo slot
+  bool heard_single_ = false;      ///< did we hear a Single in it
+  bool done_ = false;
+  bool leader_ = false;
+};
+
+}  // namespace jamelect

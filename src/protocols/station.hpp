@@ -1,0 +1,50 @@
+// Per-station protocol interface for the exact slot engine.
+//
+// Unlike UniformProtocol (one object = the shared state of a uniform
+// algorithm), a StationProtocol models ONE station: the engine asks it
+// for a transmit probability each slot, draws the coin, resolves the
+// channel across all stations plus the adversary, and feeds back the
+// per-station Observation (which already encodes the CD model).
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "channel/types.hpp"
+
+namespace jamelect {
+
+class StationProtocol {
+ public:
+  virtual ~StationProtocol() = default;
+
+  /// Probability of transmitting in `slot`. 0 = listen, 1 = transmit
+  /// deterministically (e.g. Notification's announce phases).
+  [[nodiscard]] virtual double transmit_probability(Slot slot) = 0;
+
+  /// Result of the slot as this station perceives it. `transmitted`
+  /// reports this station's own coin (a station always knows whether it
+  /// transmitted); `obs` is produced by observe_slot() for the engine's
+  /// CD mode.
+  virtual void feedback(Slot slot, bool transmitted, Observation obs) = 0;
+
+  /// True once this station has terminated the protocol and fixed its
+  /// leader/non-leader status.
+  [[nodiscard]] virtual bool done() const = 0;
+
+  /// This station's final status; meaningful only once done().
+  [[nodiscard]] virtual bool is_leader() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// The station's public size estimate, if its protocol keeps one
+  /// (used to annotate traces); NaN otherwise.
+  [[nodiscard]] virtual double estimate() const {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+};
+
+using StationProtocolPtr = std::unique_ptr<StationProtocol>;
+
+}  // namespace jamelect

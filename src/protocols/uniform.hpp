@@ -1,0 +1,69 @@
+// Uniform protocols (paper §1.1, [21]).
+//
+// In a *uniform* algorithm every station transmits with the same
+// probability in every slot, and that probability depends only on the
+// public channel history. Consequently the entire per-station protocol
+// state is a deterministic function of the observation stream — all
+// randomness lives in the transmit coin, which the simulation engine
+// owns. This is what makes the O(1)-per-slot aggregate simulation of
+// LESK/LESU exact rather than approximate.
+//
+// The paper's Broadcast(u) primitive (Functions 1 and 3) is split
+// across this interface and the engines: `transmit_probability()`
+// supplies 2^-u, the engine draws the coins and resolves the channel,
+// and `observe()` delivers the state a listener would hear. The weak-CD
+// rule "a transmitter assumes Collision" is applied by the engine via
+// `observe_slot(..., CdMode::kWeak)`, so the same protocol object runs
+// unchanged in both CD models.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "channel/types.hpp"
+
+namespace jamelect {
+
+/// A uniform single-channel protocol instance. One instance models the
+/// shared state of the whole network (aggregate engines) or one
+/// station's copy of it (per-station engines).
+class UniformProtocol {
+ public:
+  virtual ~UniformProtocol() = default;
+
+  /// The probability with which each station transmits in the upcoming
+  /// slot. Must be in [0, 1]. Called once per slot, before observe().
+  [[nodiscard]] virtual double transmit_probability() = 0;
+
+  /// Delivers the channel state this instance perceives for the slot.
+  virtual void observe(ChannelState state) = 0;
+
+  /// True once the instance has perceived a Single — under strong-CD
+  /// semantics the protocol (a selection-resolution / leader-election
+  /// attempt) has then succeeded.
+  [[nodiscard]] virtual bool elected() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Deep copy. The hybrid weak-CD engine splits a distinguished
+  /// station (the Single's transmitter) off the aggregate population by
+  /// cloning the shared state at the divergence point.
+  [[nodiscard]] virtual std::unique_ptr<UniformProtocol> clone() const = 0;
+
+  /// The protocol's public size estimate u (so traces can be classified
+  /// by the Lemma 2.2-2.5 slot taxonomy); NaN when the protocol has no
+  /// such estimator.
+  [[nodiscard]] virtual double estimate() const {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+};
+
+using UniformProtocolPtr = std::unique_ptr<UniformProtocol>;
+
+/// Factory producing fresh instances; the Notification wrapper restarts
+/// its inner algorithm at every interval boundary via such a factory.
+using UniformProtocolFactory = std::function<UniformProtocolPtr()>;
+
+}  // namespace jamelect

@@ -1,0 +1,38 @@
+#include "protocols/uniform_station.hpp"
+
+#include <utility>
+
+#include "channel/channel.hpp"
+#include "support/expects.hpp"
+
+namespace jamelect {
+
+UniformStationAdapter::UniformStationAdapter(UniformProtocolPtr protocol)
+    : protocol_(std::move(protocol)) {
+  JAMELECT_EXPECTS(protocol_ != nullptr);
+}
+
+double UniformStationAdapter::transmit_probability(Slot) {
+  if (done_) return 0.0;
+  return protocol_->transmit_probability();
+}
+
+void UniformStationAdapter::feedback(Slot, bool transmitted, Observation obs) {
+  if (done_) return;
+  JAMELECT_EXPECTS(obs != Observation::kNoSingle);  // no-CD unsupported here
+  const ChannelState state = to_channel_state(obs);
+  protocol_->observe(state);
+  if (state == ChannelState::kSingle) {
+    done_ = true;
+    // In strong-CD a transmitter perceives its own Single and becomes
+    // the leader; in weak-CD a transmitter never perceives Single, so
+    // this adapter terminates only listeners (selection resolution).
+    leader_ = transmitted;
+  }
+}
+
+std::string UniformStationAdapter::name() const {
+  return protocol_->name() + "/station";
+}
+
+}  // namespace jamelect

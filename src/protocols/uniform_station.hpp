@@ -1,0 +1,43 @@
+// Adapter: run a UniformProtocol as one station under the slot engine.
+//
+// Every station owns its own instance of the uniform protocol; since a
+// uniform protocol's state is a deterministic function of its
+// observation stream, stations stay in lockstep exactly as long as they
+// observe the same states. Under strong-CD that is always; under
+// weak-CD a transmitter's view diverges precisely on Single slots (it
+// sees Collision) — which is the behaviour Notification is built
+// around.
+//
+// Termination semantics (strong-CD leader election / weak-CD selection
+// resolution): on observing Single, a listener terminates as a
+// non-leader; a transmitter that *perceives* Single (only possible in
+// strong-CD) terminates as the leader.
+#pragma once
+
+#include <string>
+
+#include "protocols/station.hpp"
+#include "protocols/uniform.hpp"
+
+namespace jamelect {
+
+class UniformStationAdapter final : public StationProtocol {
+ public:
+  explicit UniformStationAdapter(UniformProtocolPtr protocol);
+
+  [[nodiscard]] double transmit_probability(Slot slot) override;
+  void feedback(Slot slot, bool transmitted, Observation obs) override;
+  [[nodiscard]] bool done() const override { return done_; }
+  [[nodiscard]] bool is_leader() const override { return leader_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double estimate() const override { return protocol_->estimate(); }
+
+  [[nodiscard]] const UniformProtocol& protocol() const noexcept { return *protocol_; }
+
+ private:
+  UniformProtocolPtr protocol_;
+  bool done_ = false;
+  bool leader_ = false;
+};
+
+}  // namespace jamelect

@@ -1,0 +1,62 @@
+#include "sim/adversary_spec.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "adversary/interval_buster.hpp"
+#include "adversary/policies.hpp"
+#include "support/expects.hpp"
+
+namespace jamelect {
+
+std::unique_ptr<BoundedAdversary> make_adversary(const AdversarySpec& spec,
+                                                 Rng rng) {
+  JAMELECT_EXPECTS(spec.T >= 1);
+  const EpsRatio eps = EpsRatio::from_double(spec.eps);
+  const double protocol_eps =
+      spec.protocol_eps > 0.0 ? spec.protocol_eps : spec.eps;
+
+  JamPolicyPtr policy;
+  if (spec.policy == "none") {
+    policy = std::make_unique<NoJamPolicy>();
+  } else if (spec.policy == "saturating") {
+    policy = std::make_unique<SaturatingPolicy>();
+  } else if (spec.policy == "periodic") {
+    const std::int64_t period = spec.period > 0 ? spec.period : spec.T;
+    const std::int64_t burst =
+        spec.burst >= 0
+            ? spec.burst
+            : static_cast<std::int64_t>((1.0 - spec.eps) *
+                                        static_cast<double>(period));
+    policy = std::make_unique<PeriodicPolicy>(period,
+                                              std::min(burst, period));
+  } else if (spec.policy == "bernoulli") {
+    const double q = spec.q > 0.0 ? spec.q : 1.0 - spec.eps;
+    policy = std::make_unique<BernoulliPolicy>(q, rng.child(0x6a616d));
+  } else if (spec.policy == "pulse") {
+    policy = std::make_unique<PulsePolicy>(spec.on, spec.off);
+  } else if (spec.policy == "single_denial") {
+    JAMELECT_EXPECTS(spec.n >= 1);
+    policy = std::make_unique<SingleDenialPolicy>(protocol_eps, spec.n,
+                                                  spec.threshold);
+  } else if (spec.policy == "collision_forcer") {
+    JAMELECT_EXPECTS(spec.n >= 1);
+    policy = std::make_unique<CollisionForcerPolicy>(protocol_eps, spec.n,
+                                                     spec.collision_threshold);
+  } else if (spec.policy == "interval_buster") {
+    policy = std::make_unique<IntervalBusterPolicy>(spec.target_set);
+  } else {
+    throw std::invalid_argument("unknown adversary policy: " + spec.policy);
+  }
+  return std::make_unique<BoundedAdversary>(spec.T, eps, std::move(policy));
+}
+
+const std::vector<std::string>& adversary_policy_names() {
+  static const std::vector<std::string> names = {
+      "none",          "saturating",       "periodic",
+      "bernoulli",     "pulse",            "single_denial",
+      "collision_forcer", "interval_buster"};
+  return names;
+}
+
+}  // namespace jamelect

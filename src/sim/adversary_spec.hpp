@@ -1,0 +1,44 @@
+// Declarative adversary construction for benches, examples and tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+#include "support/rng.hpp"
+
+namespace jamelect {
+
+/// A (T, 1-eps)-bounded adversary with a named strategy.
+struct AdversarySpec {
+  /// Strategy: none | saturating | periodic | bernoulli | pulse |
+  /// single_denial | collision_forcer | interval_buster.
+  std::string policy = "none";
+  /// Budget window T (>= 1).
+  std::int64_t T = 64;
+  /// Budget eps in (0, 1]; converted to an exact rational internally.
+  double eps = 0.5;
+
+  // Strategy-specific knobs (ignored by strategies that don't use them):
+  double q = 0.0;             ///< bernoulli jam probability (0 -> 1-eps)
+  std::int64_t period = 0;    ///< periodic period (0 -> T)
+  std::int64_t burst = -1;    ///< periodic burst (-1 -> floor((1-eps)T))
+  std::int64_t on = 1;        ///< pulse on-length
+  std::int64_t off = 1;       ///< pulse off-length
+  double protocol_eps = 0.0;  ///< tracked-LESK eps (0 -> this->eps)
+  std::uint64_t n = 0;        ///< network size the mirror policies assume
+  double threshold = 0.02;    ///< single_denial trigger threshold
+  double collision_threshold = 0.9;  ///< collision_forcer trigger threshold
+  int target_set = 0;         ///< interval_buster: 0 = all, 1..3 = C1..C3
+};
+
+/// Instantiates the adversary; `rng` seeds randomized strategies.
+[[nodiscard]] std::unique_ptr<BoundedAdversary> make_adversary(
+    const AdversarySpec& spec, Rng rng);
+
+/// All strategy names make_adversary accepts (for CLI help and tests).
+[[nodiscard]] const std::vector<std::string>& adversary_policy_names();
+
+}  // namespace jamelect

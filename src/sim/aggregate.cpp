@@ -1,0 +1,74 @@
+#include "sim/aggregate.hpp"
+
+#include "channel/channel.hpp"
+#include "support/expects.hpp"
+#include "support/math.hpp"
+
+namespace jamelect {
+
+TrialOutcome run_aggregate(UniformProtocol& protocol,
+                           BoundedAdversary& adversary,
+                           const AggregateConfig& config, Rng& rng,
+                           Trace* trace) {
+  JAMELECT_EXPECTS(config.n >= 1);
+  JAMELECT_EXPECTS(config.max_slots >= 1);
+
+  TrialOutcome out;
+  for (Slot slot = 0; slot < config.max_slots; ++slot) {
+    const double u_before = protocol.estimate();
+    const double p = protocol.transmit_probability();
+    JAMELECT_EXPECTS(p >= 0.0 && p <= 1.0);
+
+    // The adversary commits its jam bit before the stations' coins are
+    // drawn (paper §1.1: it decides before knowing the current slot's
+    // actions).
+    const bool jammed = adversary.step();
+
+    // Sample the outcome category exactly from (n, p).
+    const SlotProbabilities probs = slot_probabilities(config.n, p);
+    const double r = rng.uniform();
+    std::uint64_t representative_count;  // 0, 1 or 2 ("2" = at least two)
+    if (r < probs.null) {
+      representative_count = 0;
+    } else if (r < probs.null + probs.single) {
+      representative_count = 1;
+    } else {
+      representative_count = 2;
+    }
+    const ChannelState state = resolve_slot(representative_count, jammed);
+
+    ++out.slots;
+    out.transmissions += static_cast<double>(config.n) * p;
+    if (jammed) ++out.jams;
+    switch (state) {
+      case ChannelState::kNull: ++out.nulls; break;
+      case ChannelState::kSingle: ++out.singles; break;
+      case ChannelState::kCollision: ++out.collisions; break;
+    }
+
+    if (trace != nullptr) {
+      SlotRecord rec;
+      rec.slot = slot;
+      rec.transmitters = static_cast<std::uint32_t>(representative_count);
+      rec.jammed = jammed;
+      rec.state = state;
+      rec.estimate = u_before;
+      trace->record(rec, static_cast<double>(config.n) * p);
+    }
+
+    protocol.observe(state);
+    adversary.observe({slot, representative_count, jammed, state});
+
+    if (protocol.elected()) {
+      JAMELECT_ENSURES(state == ChannelState::kSingle);
+      out.elected = true;
+      out.all_done = true;
+      out.unique_leader = true;
+      out.leader = rng.below(config.n);  // exchangeable stations
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace jamelect

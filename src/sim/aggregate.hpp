@@ -1,0 +1,40 @@
+// AggregateUniformSim — exact O(1)-per-slot simulation of a uniform
+// protocol in strong-CD.
+//
+// For a uniform protocol the channel outcome distribution in a slot is
+// fully determined by (n, p): P[Null] = (1-p)^n, P[Single] =
+// n*p*(1-p)^(n-1), P[Collision] = the rest. Sampling the *category*
+// directly is therefore an exact simulation of the network — no
+// per-station coins needed — which is what lets benches sweep
+// n up to 2^22. (The engine-equivalence test cross-checks this against
+// the per-station engine.)
+//
+// Strong-CD semantics: the first un-jammed Single terminates the
+// protocol and elects the transmitter (selected uniformly among
+// stations, by exchangeability).
+#pragma once
+
+#include <cstdint>
+
+#include "adversary/adversary.hpp"
+#include "channel/trace.hpp"
+#include "protocols/uniform.hpp"
+#include "sim/outcome.hpp"
+#include "support/rng.hpp"
+
+namespace jamelect {
+
+struct AggregateConfig {
+  std::uint64_t n = 1;
+  std::int64_t max_slots = 1'000'000;
+};
+
+/// Runs `protocol` among `config.n` stations against `adversary` until
+/// election or the slot budget. `trace`, if non-null, receives one
+/// record per slot (with the protocol's estimate annotated).
+[[nodiscard]] TrialOutcome run_aggregate(UniformProtocol& protocol,
+                                         BoundedAdversary& adversary,
+                                         const AggregateConfig& config, Rng& rng,
+                                         Trace* trace = nullptr);
+
+}  // namespace jamelect

@@ -1,0 +1,126 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "channel/channel.hpp"
+#include "support/expects.hpp"
+
+namespace jamelect {
+
+SlotEngine::SlotEngine(std::vector<StationProtocolPtr> stations,
+                       std::unique_ptr<BoundedAdversary> adversary, Rng rng,
+                       EngineConfig config)
+    : stations_(std::move(stations)),
+      adversary_(std::move(adversary)),
+      rng_(rng),
+      config_(config),
+      tx_counts_(stations_.size(), 0) {
+  JAMELECT_EXPECTS(!stations_.empty());
+  JAMELECT_EXPECTS(adversary_ != nullptr);
+  JAMELECT_EXPECTS(config.max_slots >= 1);
+  for (const auto& s : stations_) JAMELECT_EXPECTS(s != nullptr);
+}
+
+TrialOutcome SlotEngine::run(Trace* trace) {
+  const std::size_t n = stations_.size();
+  std::vector<std::uint8_t> transmitted(n, 0);
+  TrialOutcome out;
+
+  for (Slot slot = 0; slot < config_.max_slots; ++slot) {
+    // Jam bit first: the adversary moves before seeing this slot's coins.
+    const bool jammed = adversary_->step();
+
+    // A station's public estimate for the trace: take it from station 0
+    // before the slot resolves (all stations agree while in lockstep).
+    const double u_before = stations_[0]->estimate();
+
+    std::uint64_t count = 0;
+    StationId last_tx = 0;
+    double expected_tx = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = stations_[i]->transmit_probability(slot);
+      JAMELECT_EXPECTS(p >= 0.0 && p <= 1.0);
+      expected_tx += p;
+      const bool tx = rng_.bernoulli(p);
+      transmitted[i] = tx ? 1 : 0;
+      if (tx) {
+        ++count;
+        last_tx = i;
+        ++tx_counts_[i];
+        out.transmissions += 1.0;
+      }
+    }
+
+    const ChannelState state = resolve_slot(count, jammed);
+
+    ++out.slots;
+    if (jammed) ++out.jams;
+    switch (state) {
+      case ChannelState::kNull: ++out.nulls; break;
+      case ChannelState::kSingle: ++out.singles; break;
+      case ChannelState::kCollision: ++out.collisions; break;
+    }
+    if (trace != nullptr) {
+      SlotRecord rec;
+      rec.slot = slot;
+      rec.transmitters = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(count, 0xffffffffULL));
+      rec.jammed = jammed;
+      rec.state = state;
+      rec.estimate = u_before;
+      trace->record(rec, expected_tx);
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const Observation obs =
+          observe_slot(state, transmitted[i] != 0, config_.cd);
+      stations_[i]->feedback(slot, transmitted[i] != 0, obs);
+    }
+    adversary_->observe({slot, count, jammed, state});
+
+    if (config_.stop == StopRule::kFirstSingle) {
+      if (state == ChannelState::kSingle) {
+        out.elected = true;
+        out.leader = last_tx;
+        break;
+      }
+    } else {
+      bool all_done = true;
+      for (const auto& s : stations_) {
+        if (!s->done()) {
+          all_done = false;
+          break;
+        }
+      }
+      if (all_done) {
+        out.elected = true;
+        break;
+      }
+    }
+  }
+
+  // Election-quality bookkeeping (independent of the stop rule).
+  std::size_t done_count = 0;
+  std::size_t leaders = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (stations_[i]->done()) ++done_count;
+    if (stations_[i]->done() && stations_[i]->is_leader()) {
+      ++leaders;
+      out.leader = i;
+    }
+  }
+  out.all_done = done_count == n;
+  out.unique_leader = leaders == 1;
+  if (config_.stop == StopRule::kFirstSingle) {
+    // Selection resolution: success is the Single itself; leader
+    // identity was captured at the deciding slot.
+    out.unique_leader = out.elected;
+  } else {
+    out.elected = out.elected && out.unique_leader;
+  }
+  return out;
+}
+
+}  // namespace jamelect

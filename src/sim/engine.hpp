@@ -1,0 +1,75 @@
+// SlotEngine — exact per-station simulation, any CD mode.
+//
+// O(n) work per slot: each station is asked for a transmit probability,
+// its coin is drawn, the channel is resolved once (together with the
+// adversary's jam bit, committed before the coins), and every station
+// receives its CD-model-specific Observation. This engine is the ground
+// truth the fast aggregate/hybrid engines are validated against, and
+// the only engine that can run non-uniform protocols (ARSS) or verify
+// full election semantics (every station terminates, exactly one
+// leader, the leader knows).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+#include "channel/trace.hpp"
+#include "protocols/station.hpp"
+#include "sim/outcome.hpp"
+#include "support/rng.hpp"
+
+namespace jamelect {
+
+/// When does a run count as complete?
+enum class StopRule : std::uint8_t {
+  /// All stations report done() — full leader election (LEWK/LEWU,
+  /// strong-CD adapters, ARSS).
+  kAllDone,
+  /// The first un-jammed Single on the channel — selection resolution
+  /// (e.g. bare LESK under weak-CD, where the transmitter itself can
+  /// never terminate without Notification).
+  kFirstSingle,
+};
+
+struct EngineConfig {
+  CdMode cd = CdMode::kStrong;
+  StopRule stop = StopRule::kAllDone;
+  std::int64_t max_slots = 1'000'000;
+};
+
+class SlotEngine {
+ public:
+  /// Takes ownership of stations and adversary. `rng` drives all coins.
+  SlotEngine(std::vector<StationProtocolPtr> stations,
+             std::unique_ptr<BoundedAdversary> adversary, Rng rng,
+             EngineConfig config);
+
+  /// Runs to completion or slot budget; returns the outcome.
+  [[nodiscard]] TrialOutcome run(Trace* trace = nullptr);
+
+  /// Per-station realized transmission counts (energy), valid after run().
+  [[nodiscard]] const std::vector<std::int64_t>& transmissions_per_station()
+      const noexcept {
+    return tx_counts_;
+  }
+
+  [[nodiscard]] const BoundedAdversary& adversary() const noexcept {
+    return *adversary_;
+  }
+  [[nodiscard]] const StationProtocol& station(std::size_t i) const {
+    return *stations_.at(i);
+  }
+  [[nodiscard]] std::size_t num_stations() const noexcept {
+    return stations_.size();
+  }
+
+ private:
+  std::vector<StationProtocolPtr> stations_;
+  std::unique_ptr<BoundedAdversary> adversary_;
+  Rng rng_;
+  EngineConfig config_;
+  std::vector<std::int64_t> tx_counts_;
+};
+
+}  // namespace jamelect

@@ -1,0 +1,199 @@
+#include "sim/hybrid.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "channel/channel.hpp"
+#include "protocols/interval_partition.hpp"
+#include "support/expects.hpp"
+#include "support/math.hpp"
+
+namespace jamelect {
+
+namespace {
+
+/// Samples a representative transmitter count (0, 1, or "2" meaning at
+/// least two) for m stations transmitting independently w.p. p.
+std::uint64_t sample_category(std::uint64_t m, double p, Rng& rng) {
+  const SlotProbabilities probs = slot_probabilities(m, p);
+  const double r = rng.uniform();
+  if (r < probs.null) return 0;
+  if (r < probs.null + probs.single) return 1;
+  return 2;
+}
+
+enum class Phase : std::uint8_t {
+  kP1,    ///< everyone runs A in C1
+  kP2,    ///< group of n-1 runs A in C2; l runs A alone in C1
+  kP3,    ///< R transmits in C1; s runs A alone in C2; l announces in C3
+  kP4,    ///< everyone but l done; l waits for a Null in C1
+  kDone,
+};
+
+}  // namespace
+
+TrialOutcome run_hybrid_notification(const UniformProtocolFactory& factory,
+                                     BoundedAdversary& adversary,
+                                     const HybridConfig& config, Rng& rng,
+                                     Trace* trace) {
+  JAMELECT_EXPECTS(factory != nullptr);
+  JAMELECT_EXPECTS(config.n >= 3);
+  JAMELECT_EXPECTS(config.max_slots >= 1);
+
+  const std::uint64_t n = config.n;
+  Phase phase = Phase::kP1;
+  UniformProtocolPtr shared_a;  // the aggregate population's instance
+  UniformProtocolPtr l_a;       // l's private continuation in C1
+  UniformProtocolPtr s_a;       // s's private continuation in C2
+
+  TrialOutcome out;
+  for (Slot slot = 0; slot < config.max_slots; ++slot) {
+    const IntervalPosition pos = classify_slot(slot);
+    const bool jammed = adversary.step();
+
+    std::uint64_t count = 0;        // representative transmitter count
+    double expected_tx = 0.0;
+    double u_before = std::numeric_limits<double>::quiet_NaN();
+
+    if (pos.set != IntervalSet::kPadding) {
+      switch (phase) {
+        case Phase::kP1:
+          if (pos.set == IntervalSet::kC1) {
+            if (pos.interval_start() || shared_a == nullptr) shared_a = factory();
+            u_before = shared_a->estimate();
+            const double p = shared_a->transmit_probability();
+            expected_tx = static_cast<double>(n) * p;
+            count = sample_category(n, p, rng);
+          }
+          break;
+        case Phase::kP2:
+          if (pos.set == IntervalSet::kC1) {
+            if (pos.interval_start() || l_a == nullptr) l_a = factory();
+            const double p = l_a->transmit_probability();
+            expected_tx = p;
+            count = rng.bernoulli(p) ? 1 : 0;
+          } else if (pos.set == IntervalSet::kC2) {
+            if (pos.interval_start() || shared_a == nullptr) shared_a = factory();
+            u_before = shared_a->estimate();
+            const double p = shared_a->transmit_probability();
+            expected_tx = static_cast<double>(n - 1) * p;
+            count = sample_category(n - 1, p, rng);
+          }
+          break;
+        case Phase::kP3:
+          if (pos.set == IntervalSet::kC1) {
+            count = n - 2;  // all of R confirms; n >= 3 so count >= 1
+            expected_tx = static_cast<double>(n - 2);
+          } else if (pos.set == IntervalSet::kC2) {
+            if (pos.interval_start() || s_a == nullptr) s_a = factory();
+            const double p = s_a->transmit_probability();
+            expected_tx = p;
+            count = rng.bernoulli(p) ? 1 : 0;
+          } else {  // C3: l announces
+            count = 1;
+            expected_tx = 1.0;
+          }
+          break;
+        case Phase::kP4:
+          if (pos.set == IntervalSet::kC3) {
+            count = 1;  // l keeps announcing until released
+            expected_tx = 1.0;
+          }
+          break;
+        case Phase::kDone:
+          break;
+      }
+    }
+
+    const ChannelState state = resolve_slot(count, jammed);
+
+    ++out.slots;
+    out.transmissions += expected_tx;
+    if (jammed) ++out.jams;
+    switch (state) {
+      case ChannelState::kNull: ++out.nulls; break;
+      case ChannelState::kSingle: ++out.singles; break;
+      case ChannelState::kCollision: ++out.collisions; break;
+    }
+    if (trace != nullptr) {
+      SlotRecord rec;
+      rec.slot = slot;
+      rec.transmitters = static_cast<std::uint32_t>(count);
+      rec.jammed = jammed;
+      rec.state = state;
+      rec.estimate = u_before;
+      trace->record(rec, expected_tx);
+    }
+    adversary.observe({slot, count, jammed, state});
+
+    // --- state transitions (feedback) ---
+    if (pos.set == IntervalSet::kPadding) continue;
+    switch (phase) {
+      case Phase::kP1:
+        if (pos.set == IntervalSet::kC1) {
+          if (state == ChannelState::kSingle) {
+            // Listeners split to the second loop; the transmitter l
+            // carries the shared state forward, having perceived a
+            // Collision (weak-CD).
+            l_a = shared_a->clone();
+            l_a->observe(ChannelState::kCollision);
+            shared_a.reset();
+            phase = Phase::kP2;
+          } else {
+            shared_a->observe(state);
+          }
+        }
+        break;
+      case Phase::kP2:
+        if (pos.set == IntervalSet::kC1) {
+          if (l_a != nullptr) {
+            l_a->observe(count >= 1 ? ChannelState::kCollision : state);
+          }
+        } else if (pos.set == IntervalSet::kC2) {
+          if (state == ChannelState::kSingle) {
+            // s splits off; everyone else (R) moves to confirm-in-C1;
+            // l, listening in C2, learns it is the leader.
+            s_a = shared_a->clone();
+            s_a->observe(ChannelState::kCollision);
+            shared_a.reset();
+            l_a.reset();
+            phase = Phase::kP3;
+          } else if (shared_a != nullptr) {
+            shared_a->observe(state);
+          }
+        }
+        break;
+      case Phase::kP3:
+        if (pos.set == IntervalSet::kC2) {
+          if (s_a != nullptr) {
+            s_a->observe(count >= 1 ? ChannelState::kCollision : state);
+          }
+        } else if (pos.set == IntervalSet::kC3) {
+          if (state == ChannelState::kSingle) {
+            // R and s hear l's announcement and terminate.
+            s_a.reset();
+            phase = Phase::kP4;
+          }
+        }
+        break;
+      case Phase::kP4:
+        if (pos.set == IntervalSet::kC1 && state == ChannelState::kNull) {
+          phase = Phase::kDone;  // l terminates; election complete
+        }
+        break;
+      case Phase::kDone:
+        break;
+    }
+
+    if (phase == Phase::kDone) {
+      out.elected = true;
+      out.all_done = true;
+      out.unique_leader = true;
+      out.leader = rng.below(n);  // exchangeable; identity is symbolic
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace jamelect

@@ -1,0 +1,39 @@
+// HybridWeakCdSim — O(1)-per-slot simulation of Notification(A) for a
+// uniform inner algorithm A, in weak-CD, at arbitrary n.
+//
+// Key fact (paper §3): until the first Single, every station perceives
+// the same state even in weak-CD — a transmitter's pessimistic
+// "Collision" differs from the listeners' view only in a Single slot,
+// which is exactly when the population splits. The network therefore
+// stays exchangeable and can be simulated as an aggregate group plus at
+// most two distinguished stations:
+//   l — the transmitter of the first C1 Single (continues A alone in
+//       C1, later announces in C3),
+//   s — the transmitter of the first C2 Single (continues A alone in
+//       C2 until released by l's C3 Single).
+// Phases below mirror NotificationStation's machine one-to-one; the
+// engine-equivalence tests check the two implementations agree in
+// distribution.
+#pragma once
+
+#include <cstdint>
+
+#include "adversary/adversary.hpp"
+#include "channel/trace.hpp"
+#include "protocols/uniform.hpp"
+#include "sim/outcome.hpp"
+#include "support/rng.hpp"
+
+namespace jamelect {
+
+struct HybridConfig {
+  std::uint64_t n = 3;  ///< n >= 3 (Lemma 3.1's regime)
+  std::int64_t max_slots = 1'000'000;
+};
+
+/// Runs Notification(A) with fresh inner instances from `factory`.
+[[nodiscard]] TrialOutcome run_hybrid_notification(
+    const UniformProtocolFactory& factory, BoundedAdversary& adversary,
+    const HybridConfig& config, Rng& rng, Trace* trace = nullptr);
+
+}  // namespace jamelect

@@ -1,0 +1,101 @@
+#include "sim/montecarlo.hpp"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/aggregate.hpp"
+#include "support/expects.hpp"
+#include "support/thread_pool.hpp"
+
+namespace jamelect {
+
+McResult run_trials(const TrialRunner& runner, std::uint64_t n_for_energy,
+                    const McConfig& config) {
+  JAMELECT_EXPECTS(config.trials >= 1);
+  JAMELECT_EXPECTS(n_for_energy >= 1);
+
+  std::vector<TrialOutcome> outcomes(config.trials);
+  const Rng base(config.seed);
+  const auto body = [&](std::size_t k) {
+    outcomes[k] = runner(base.child(k));
+  };
+  if (config.parallel) {
+    global_pool().parallel_for(config.trials, body);
+  } else {
+    for (std::size_t k = 0; k < config.trials; ++k) body(k);
+  }
+
+  McResult res;
+  res.trials = config.trials;
+  std::vector<double> slots, slots_ok, jams, energy;
+  slots.reserve(config.trials);
+  for (const TrialOutcome& o : outcomes) {
+    if (o.elected) {
+      ++res.successes;
+      slots_ok.push_back(static_cast<double>(o.slots));
+    }
+    slots.push_back(static_cast<double>(o.slots));
+    jams.push_back(static_cast<double>(o.jams));
+    energy.push_back(o.transmissions / static_cast<double>(n_for_energy));
+  }
+  res.success = wilson_interval(res.successes, res.trials);
+  res.slots = summarize(std::span<const double>(slots));
+  if (!slots_ok.empty()) {
+    res.slots_on_success = summarize(std::span<const double>(slots_ok));
+  }
+  res.jams = summarize(std::span<const double>(jams));
+  res.energy_per_station = summarize(std::span<const double>(energy));
+  res.outcomes = std::move(outcomes);
+  return res;
+}
+
+McResult run_aggregate_mc(const UniformProtocolFactory& factory,
+                          const AdversarySpec& adversary, std::uint64_t n,
+                          const McConfig& config) {
+  AdversarySpec spec = adversary;
+  spec.n = n;
+  const TrialRunner runner = [&factory, spec, n,
+                              max_slots = config.max_slots](Rng rng) {
+    auto protocol = factory();
+    auto adv = make_adversary(spec, rng.child(0xad50));
+    Rng sim_rng = rng.child(0x51e0);
+    return run_aggregate(*protocol, *adv, {n, max_slots}, sim_rng);
+  };
+  return run_trials(runner, n, config);
+}
+
+McResult run_hybrid_mc(const UniformProtocolFactory& factory,
+                       const AdversarySpec& adversary, std::uint64_t n,
+                       const McConfig& config) {
+  AdversarySpec spec = adversary;
+  spec.n = n;
+  const TrialRunner runner = [&factory, spec, n,
+                              max_slots = config.max_slots](Rng rng) {
+    auto adv = make_adversary(spec, rng.child(0xad50));
+    Rng sim_rng = rng.child(0x51e0);
+    return run_hybrid_notification(factory, *adv, {n, max_slots}, sim_rng);
+  };
+  return run_trials(runner, n, config);
+}
+
+McResult run_station_mc(
+    const std::function<StationProtocolPtr(StationId)>& station_factory,
+    const AdversarySpec& adversary, std::uint64_t n, EngineConfig engine,
+    const McConfig& config) {
+  JAMELECT_EXPECTS(n >= 1);
+  AdversarySpec spec = adversary;
+  spec.n = n;
+  const TrialRunner runner = [&station_factory, spec, n, engine](Rng rng) {
+    std::vector<StationProtocolPtr> stations;
+    stations.reserve(n);
+    for (StationId i = 0; i < n; ++i) stations.push_back(station_factory(i));
+    auto adv = make_adversary(spec, rng.child(0xad50));
+    SlotEngine eng(std::move(stations), std::move(adv), rng.child(0x51e0),
+                   engine);
+    return eng.run();
+  };
+  return run_trials(runner, n, config);
+}
+
+}  // namespace jamelect

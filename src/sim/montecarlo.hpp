@@ -1,0 +1,71 @@
+// Monte-Carlo harness: seeded, reproducible repeated trials with
+// parallel fan-out, for all three engines.
+//
+// Reproducibility contract: trial k of a run with seed S derives all of
+// its randomness from mix64(S, k) — results are independent of thread
+// count and scheduling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/adversary_spec.hpp"
+#include "sim/engine.hpp"
+#include "sim/hybrid.hpp"
+#include "sim/outcome.hpp"
+#include "support/stats.hpp"
+
+namespace jamelect {
+
+struct McConfig {
+  std::size_t trials = 100;
+  std::uint64_t seed = 1;
+  std::int64_t max_slots = 1'000'000;
+  /// Run trials on the global thread pool (deterministic either way).
+  bool parallel = true;
+};
+
+/// Aggregated view over the trials of one configuration.
+struct McResult {
+  std::size_t trials = 0;
+  std::size_t successes = 0;
+  RateInterval success = {0, 0, 0};  ///< Wilson 95% CI of success rate
+  /// Slots-to-elect over ALL trials; failures are right-censored at
+  /// max_slots (so with failures present, `slots.mean` is a lower
+  /// bound on the true mean).
+  Summary slots;
+  /// Slots over successful trials only (empty summary if none).
+  Summary slots_on_success;
+  Summary jams;
+  /// Mean per-station transmissions ("energy").
+  Summary energy_per_station;
+  std::vector<TrialOutcome> outcomes;  ///< per-trial detail, trial-indexed
+};
+
+/// One full trial: build everything from the trial-local rng, run, and
+/// return the outcome.
+using TrialRunner = std::function<TrialOutcome(Rng trial_rng)>;
+
+/// Generic driver: runs `runner` `config.trials` times and aggregates.
+[[nodiscard]] McResult run_trials(const TrialRunner& runner,
+                                  std::uint64_t n_for_energy,
+                                  const McConfig& config);
+
+/// Aggregate engine (strong-CD, uniform protocols).
+[[nodiscard]] McResult run_aggregate_mc(const UniformProtocolFactory& factory,
+                                        const AdversarySpec& adversary,
+                                        std::uint64_t n, const McConfig& config);
+
+/// Hybrid engine (weak-CD Notification over a uniform inner protocol).
+[[nodiscard]] McResult run_hybrid_mc(const UniformProtocolFactory& factory,
+                                     const AdversarySpec& adversary,
+                                     std::uint64_t n, const McConfig& config);
+
+/// Per-station engine; `station_factory(i)` builds station i.
+[[nodiscard]] McResult run_station_mc(
+    const std::function<StationProtocolPtr(StationId)>& station_factory,
+    const AdversarySpec& adversary, std::uint64_t n, EngineConfig engine,
+    const McConfig& config);
+
+}  // namespace jamelect

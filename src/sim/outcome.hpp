@@ -1,0 +1,38 @@
+// Per-trial simulation outcomes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "channel/types.hpp"
+
+namespace jamelect {
+
+/// Result of simulating one election attempt.
+struct TrialOutcome {
+  /// Did the election complete within the slot budget?
+  bool elected = false;
+  /// Slots consumed: up to and including the deciding slot on success,
+  /// the full budget on failure (right-censored).
+  std::int64_t slots = 0;
+  /// Slots the adversary jammed.
+  std::int64_t jams = 0;
+  std::int64_t nulls = 0;
+  std::int64_t singles = 0;
+  std::int64_t collisions = 0;
+  /// Expected total transmissions: sum over slots of (sum of per-
+  /// station transmit probabilities). Divide by n for mean per-station
+  /// energy. Engines that draw per-station coins report the realized
+  /// count instead (same estimator, lower variance for the aggregate
+  /// engine).
+  double transmissions = 0.0;
+  /// Per-station engines only: did every station terminate, and was
+  /// there exactly one leader? Aggregate engines set these on success
+  /// by construction.
+  bool all_done = false;
+  bool unique_leader = false;
+  /// The elected station, when station identities exist.
+  std::optional<StationId> leader;
+};
+
+}  // namespace jamelect

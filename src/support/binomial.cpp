@@ -1,0 +1,67 @@
+#include "support/binomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/expects.hpp"
+
+namespace jamelect {
+
+namespace {
+
+std::uint64_t binomial_small_n(std::uint64_t n, double p, Rng& rng) {
+  std::uint64_t k = 0;
+  for (std::uint64_t i = 0; i < n; ++i) k += rng.bernoulli(p) ? 1 : 0;
+  return k;
+}
+
+/// CDF inversion: walk the pmf from k = 0 upward using the recurrence
+/// P(k+1) = P(k) * (n-k)/(k+1) * p/(1-p). Intended for np <= ~32 where
+/// the walk terminates quickly; P(0) = (1-p)^n is computed in log space
+/// to avoid underflow at large n.
+std::uint64_t binomial_inversion(std::uint64_t n, double p, Rng& rng) {
+  const double nd = static_cast<double>(n);
+  const double log_p0 = nd * std::log1p(-p);
+  double pmf = std::exp(log_p0);
+  const double odds = p / (1.0 - p);
+  double cdf = pmf;
+  const double u = rng.uniform();
+  std::uint64_t k = 0;
+  while (u > cdf && k < n) {
+    pmf *= (nd - static_cast<double>(k)) / (static_cast<double>(k) + 1.0) * odds;
+    cdf += pmf;
+    ++k;
+    // pmf can underflow to 0 in the far tail before cdf reaches u due
+    // to rounding; bail out at the (astronomically unlikely) boundary.
+    if (pmf <= 0.0) break;
+  }
+  return k;
+}
+
+std::uint64_t binomial_normal(std::uint64_t n, double p, Rng& rng) {
+  const double nd = static_cast<double>(n);
+  const double mean = nd * p;
+  const double sd = std::sqrt(mean * (1.0 - p));
+  // Box-Muller from two uniforms.
+  const double u1 = std::max(rng.uniform(), 1e-300);
+  const double u2 = rng.uniform();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  const double draw = std::round(mean + sd * z);
+  return static_cast<std::uint64_t>(std::clamp(draw, 0.0, nd));
+}
+
+}  // namespace
+
+std::uint64_t binomial_sample(std::uint64_t n, double p, Rng& rng) {
+  JAMELECT_EXPECTS(p >= 0.0 && p <= 1.0);
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  if (p > 0.5) return n - binomial_sample(n, 1.0 - p, rng);
+  if (n <= 128) return binomial_small_n(n, p, rng);
+  const double mean = static_cast<double>(n) * p;
+  if (mean <= 32.0) return binomial_inversion(n, p, rng);
+  return binomial_normal(n, p, rng);
+}
+
+}  // namespace jamelect

@@ -1,0 +1,24 @@
+// Binomial(n, p) sampling for the class-compressed simulation engines.
+//
+// Regimes (chosen for exactness where it matters and speed where the
+// population is huge):
+//   * n <= 128            — direct Bernoulli loop (exact);
+//   * mean <= 32          — CDF inversion from the mode-0 side using
+//                           log-space recurrence (exact to double);
+//   * otherwise           — normal approximation with continuity
+//                           correction, clamped to [0, n] (error
+//                           O(1/sqrt(mean)), negligible for the
+//                           channel-category decisions it feeds, and
+//                           statistically validated in the tests).
+#pragma once
+
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace jamelect {
+
+/// Draws k ~ Binomial(n, p). Requires p in [0, 1].
+[[nodiscard]] std::uint64_t binomial_sample(std::uint64_t n, double p, Rng& rng);
+
+}  // namespace jamelect

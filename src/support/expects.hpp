@@ -1,0 +1,39 @@
+// Contract-checking macros (C++ Core Guidelines I.6/I.8 style).
+//
+// JAMELECT_EXPECTS  — precondition on public API arguments; always on.
+// JAMELECT_ENSURES  — postcondition / internal invariant; always on.
+//
+// Both throw jamelect::ContractViolation so tests can assert on misuse,
+// and failures in long Monte-Carlo runs surface as exceptions instead of
+// silent corruption. The checks guarded here are O(1) and not on hot
+// inner loops, so keeping them in release builds is deliberate.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace jamelect {
+
+/// Thrown when a precondition or invariant check fails.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " violated: `" + expr + "` at " +
+                          file + ":" + std::to_string(line));
+}
+
+}  // namespace jamelect
+
+#define JAMELECT_EXPECTS(cond)                                            \
+  do {                                                                    \
+    if (!(cond)) ::jamelect::contract_fail("precondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define JAMELECT_ENSURES(cond)                                            \
+  do {                                                                    \
+    if (!(cond)) ::jamelect::contract_fail("invariant", #cond, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,75 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace jamelect {
+
+void Histogram::add(std::int64_t value, std::uint64_t weight) {
+  if (weight == 0) return;
+  bins_[value] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Histogram::count(std::int64_t value) const {
+  const auto it = bins_.find(value);
+  return it == bins_.end() ? 0 : it->second;
+}
+
+double Histogram::fraction(std::int64_t value) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+std::int64_t Histogram::min_value() const {
+  JAMELECT_EXPECTS(!empty());
+  return bins_.begin()->first;
+}
+
+std::int64_t Histogram::max_value() const {
+  JAMELECT_EXPECTS(!empty());
+  return bins_.rbegin()->first;
+}
+
+std::int64_t Histogram::quantile(double q) const {
+  JAMELECT_EXPECTS(!empty());
+  JAMELECT_EXPECTS(q > 0.0 && q <= 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  std::uint64_t seen = 0;
+  for (const auto& [value, cnt] : bins_) {
+    seen += cnt;
+    if (seen >= target) return value;
+  }
+  return bins_.rbegin()->first;  // unreachable given the invariant
+}
+
+double Histogram::mean() const {
+  JAMELECT_EXPECTS(!empty());
+  double acc = 0.0;
+  for (const auto& [value, cnt] : bins_) {
+    acc += static_cast<double>(value) * static_cast<double>(cnt);
+  }
+  return acc / static_cast<double>(total_);
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (const auto& [value, cnt] : other.bins_) add(value, cnt);
+}
+
+std::string Histogram::ascii(std::size_t max_width) const {
+  if (empty()) return "(empty)\n";
+  std::uint64_t peak = 0;
+  for (const auto& [value, cnt] : bins_) peak = std::max(peak, cnt);
+  std::ostringstream out;
+  for (const auto& [value, cnt] : bins_) {
+    const auto width = static_cast<std::size_t>(
+        static_cast<double>(cnt) / static_cast<double>(peak) *
+        static_cast<double>(max_width));
+    out << value << "\t" << cnt << "\t" << std::string(width, '#') << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace jamelect

@@ -1,0 +1,45 @@
+// Integer-valued histograms for slot counts, estimator trajectories and
+// Estimation() return values.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "support/expects.hpp"
+
+namespace jamelect {
+
+/// Sparse histogram over int64 keys. Suited to our metrics, which are
+/// small integers (Estimation rounds, slot-type counts) with unknown
+/// range.
+class Histogram {
+ public:
+  void add(std::int64_t value, std::uint64_t weight = 1);
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t count(std::int64_t value) const;
+  /// Fraction of mass at `value`; 0 if the histogram is empty.
+  [[nodiscard]] double fraction(std::int64_t value) const;
+  [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
+  [[nodiscard]] std::int64_t min_value() const;
+  [[nodiscard]] std::int64_t max_value() const;
+  /// Smallest v such that P[X <= v] >= q, for q in (0, 1].
+  [[nodiscard]] std::int64_t quantile(double q) const;
+  [[nodiscard]] double mean() const;
+
+  [[nodiscard]] const std::map<std::int64_t, std::uint64_t>& bins() const noexcept {
+    return bins_;
+  }
+
+  void merge(const Histogram& other);
+
+  /// Renders a small ASCII bar chart (for example programs).
+  [[nodiscard]] std::string ascii(std::size_t max_width = 50) const;
+
+ private:
+  std::map<std::int64_t, std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace jamelect

@@ -1,0 +1,47 @@
+#include "support/math.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace jamelect {
+
+double pow_one_minus(double p, std::uint64_t n) {
+  JAMELECT_EXPECTS(p >= 0.0 && p <= 1.0);
+  if (n == 0) return 1.0;
+  if (p == 0.0) return 1.0;
+  if (p == 1.0) return 0.0;
+  // (1-p)^n = exp(n * log1p(-p)); log1p keeps full precision for tiny p.
+  return std::exp(static_cast<double>(n) * std::log1p(-p));
+}
+
+SlotProbabilities slot_probabilities(std::uint64_t n, double p) {
+  JAMELECT_EXPECTS(p >= 0.0 && p <= 1.0);
+  if (n == 0) return {1.0, 0.0, 0.0};
+  if (p == 0.0) return {1.0, 0.0, 0.0};
+  const double nd = static_cast<double>(n);
+  if (p == 1.0) {
+    return (n == 1) ? SlotProbabilities{0.0, 1.0, 0.0}
+                    : SlotProbabilities{0.0, 0.0, 1.0};
+  }
+  const double log_q = std::log1p(-p);                   // log(1-p)
+  const double p_null = std::exp(nd * log_q);            // (1-p)^n
+  const double p_single = nd * p * std::exp((nd - 1.0) * log_q);
+  // Guard against tiny negative values from cancellation.
+  const double p_coll = std::max(0.0, 1.0 - p_null - p_single);
+  return {p_null, p_single, p_coll};
+}
+
+double transmit_probability(double u) {
+  JAMELECT_EXPECTS(u >= 0.0);
+  // 2^-u underflows to 0 for u > ~1074; exp2 handles that gracefully.
+  return std::min(1.0, std::exp2(-u));
+}
+
+std::int64_t ceil_to_slots(double x) {
+  JAMELECT_EXPECTS(!(x < 0.0));
+  constexpr double kMax = 9.0e18;  // < int64 max, safely representable
+  if (!(x < kMax)) return std::numeric_limits<std::int64_t>::max();
+  return static_cast<std::int64_t>(std::ceil(x));
+}
+
+}  // namespace jamelect

@@ -1,0 +1,79 @@
+// Numerically careful math helpers for slot-level channel simulation.
+//
+// The probabilities the simulator needs —
+//   P[Null]      = (1-p)^n
+//   P[Single]    = n·p·(1-p)^(n-1)
+//   P[Collision] = 1 - P[Null] - P[Single]
+// — involve (1-p)^n for p as small as 2^-64 and n up to 2^22, so naive
+// pow() evaluation loses all precision. Everything here routes through
+// log1p/expm1.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "support/expects.hpp"
+
+namespace jamelect {
+
+/// 2^e for e in [0, 63].
+[[nodiscard]] constexpr std::uint64_t pow2_u64(unsigned e) {
+  JAMELECT_EXPECTS(e < 64);
+  return std::uint64_t{1} << e;
+}
+
+/// floor(log2(x)) for x >= 1.
+[[nodiscard]] constexpr unsigned floor_log2(std::uint64_t x) {
+  JAMELECT_EXPECTS(x >= 1);
+  unsigned r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+/// ceil(log2(x)) for x >= 1.
+[[nodiscard]] constexpr unsigned ceil_log2(std::uint64_t x) {
+  JAMELECT_EXPECTS(x >= 1);
+  const unsigned f = floor_log2(x);
+  return (x == (std::uint64_t{1} << f)) ? f : f + 1;
+}
+
+/// True iff x is a power of two (x >= 1).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t x) {
+  return x >= 1 && (x & (x - 1)) == 0;
+}
+
+/// log2 of a positive double (thin wrapper, asserts domain).
+[[nodiscard]] inline double log2d(double x) {
+  JAMELECT_EXPECTS(x > 0.0);
+  return std::log2(x);
+}
+
+/// Channel-outcome probabilities for a slot in which each of `n`
+/// stations independently transmits with probability `p`.
+struct SlotProbabilities {
+  double null;       ///< P[no transmitter]
+  double single;     ///< P[exactly one transmitter]
+  double collision;  ///< P[two or more transmitters]
+};
+
+/// Computes SlotProbabilities stably for any n >= 0, p in [0, 1].
+[[nodiscard]] SlotProbabilities slot_probabilities(std::uint64_t n, double p);
+
+/// (1-p)^n computed stably.
+[[nodiscard]] double pow_one_minus(double p, std::uint64_t n);
+
+/// The transmission probability used by Broadcast(u): 2^-u, clamped to
+/// [0,1] for u >= 0. u is a real number in LESK (increments of eps/8).
+[[nodiscard]] double transmit_probability(double u);
+
+/// Natural log and log2 convenience for integers.
+[[nodiscard]] inline double ln(double x) {
+  JAMELECT_EXPECTS(x > 0.0);
+  return std::log(x);
+}
+
+/// Saturating double→slot-count conversion (rounds up, clamps at
+/// int64 max). Used when theory formulas produce time budgets.
+[[nodiscard]] std::int64_t ceil_to_slots(double x);
+
+}  // namespace jamelect

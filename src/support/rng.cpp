@@ -1,0 +1,10 @@
+// rng.hpp is header-only; this TU exists so the target has a stable
+// archive member and to host any future out-of-line additions.
+#include "support/rng.hpp"
+
+namespace jamelect {
+
+static_assert(Xoshiro256StarStar::min() == 0);
+static_assert(Xoshiro256StarStar::max() == 0xffffffffffffffffULL);
+
+}  // namespace jamelect

@@ -1,0 +1,151 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// Monte-Carlo reproducibility demands that (seed, trial, component)
+// uniquely determines every random draw, independent of thread
+// scheduling. We therefore avoid std::random_device / shared engines and
+// provide:
+//
+//  * SplitMix64 — seed expansion / hashing (Steele, Lea & Flood 2014).
+//  * Xoshiro256StarStar — the main engine (Blackman & Vigna 2018):
+//    fast, 256-bit state, passes BigCrush; ideal for slot-level
+//    simulation where millions of Bernoulli draws per trial are needed.
+//  * Rng — a small façade with the distributions this project uses
+//    (uniform doubles, Bernoulli, bounded integers) plus `child()` for
+//    deriving statistically independent streams per station / trial.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "support/expects.hpp"
+
+namespace jamelect {
+
+/// SplitMix64: a tiny 64-bit PRNG mainly used to expand seeds and to
+/// hash (seed, stream) pairs into fresh engine states.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless mixing of two 64-bit values into one; used to derive child
+/// stream seeds so that (seed, stream) collisions are no more likely
+/// than random 64-bit collisions.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) noexcept {
+  SplitMix64 sm(a ^ (0x9e3779b97f4a7c15ULL + (b << 1)));
+  sm.next();
+  std::uint64_t h = sm.next() ^ b;
+  h = (h ^ (h >> 29)) * 0xff51afd7ed558ccdULL;
+  return h ^ (h >> 32);
+}
+
+/// xoshiro256** 1.0 — the project's workhorse engine.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the 256-bit state by running SplitMix64, as recommended by
+  /// the xoshiro authors (never seeds the all-zero state).
+  explicit constexpr Xoshiro256StarStar(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+/// Rng: the distribution façade used throughout the simulator.
+///
+/// All draws are deterministic functions of the construction seed.
+/// `child(stream)` derives an independent generator; the canonical use
+/// is one child per (trial, station) so that per-station and aggregate
+/// engines can both be driven reproducibly.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : engine_(seed), seed_(seed) {}
+
+  /// Uniform 64 random bits.
+  [[nodiscard]] std::uint64_t next_u64() noexcept { return engine_(); }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw. p <= 0 never fires; p >= 1 always fires.
+  [[nodiscard]] bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  /// Classic unbiased rejection sampling on the top of the range.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) {
+    JAMELECT_EXPECTS(bound > 0);
+    if ((bound & (bound - 1)) == 0) return engine_() & (bound - 1);
+    const std::uint64_t limit =
+        std::numeric_limits<std::uint64_t>::max() -
+        std::numeric_limits<std::uint64_t>::max() % bound;
+    for (;;) {
+      const std::uint64_t r = engine_();
+      if (r < limit) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    JAMELECT_EXPECTS(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Derives a statistically independent child generator. Children with
+  /// distinct `stream` values (or from distinct parents) do not overlap
+  /// in any practical sense.
+  [[nodiscard]] Rng child(std::uint64_t stream) const noexcept {
+    return Rng(mix64(seed_, stream));
+  }
+
+  /// The seed this generator was constructed with (children report
+  /// their derived seed).
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  Xoshiro256StarStar engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace jamelect

@@ -1,0 +1,148 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jamelect {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double OnlineStats::mean() const {
+  JAMELECT_EXPECTS(n_ >= 1);
+  return mean_;
+}
+
+double OnlineStats::variance() const {
+  JAMELECT_EXPECTS(n_ >= 2);
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::stderr_mean() const {
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double OnlineStats::min() const {
+  JAMELECT_EXPECTS(n_ >= 1);
+  return min_;
+}
+
+double OnlineStats::max() const {
+  JAMELECT_EXPECTS(n_ >= 1);
+  return max_;
+}
+
+double quantile_sorted(std::span<const double> sorted_values, double q) {
+  JAMELECT_EXPECTS(!sorted_values.empty());
+  JAMELECT_EXPECTS(q >= 0.0 && q <= 1.0);
+  const std::size_t n = sorted_values.size();
+  if (n == 1) return sorted_values[0];
+  const double pos = q * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, n - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_values[lo] + frac * (sorted_values[hi] - sorted_values[lo]);
+}
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  OnlineStats acc;
+  for (double v : sorted) acc.add(v);
+  s.mean = acc.mean();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p25 = quantile_sorted(sorted, 0.25);
+  s.median = quantile_sorted(sorted, 0.50);
+  s.p75 = quantile_sorted(sorted, 0.75);
+  s.p95 = quantile_sorted(sorted, 0.95);
+  s.p99 = quantile_sorted(sorted, 0.99);
+  if (s.count >= 2) {
+    s.stddev = acc.stddev();
+    s.ci95_halfwidth = 1.96 * acc.stderr_mean();
+  }
+  return s;
+}
+
+Summary summarize(std::span<const std::int64_t> samples) {
+  std::vector<double> d(samples.size());
+  std::transform(samples.begin(), samples.end(), d.begin(),
+                 [](std::int64_t v) { return static_cast<double>(v); });
+  return summarize(std::span<const double>(d));
+}
+
+RateInterval wilson_interval(std::size_t successes, std::size_t trials) {
+  JAMELECT_EXPECTS(trials >= 1);
+  JAMELECT_EXPECTS(successes <= trials);
+  constexpr double z = 1.959963984540054;  // 97.5th normal percentile
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (phat + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n)) / denom;
+  return {phat, std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+LinearFit fit_line(std::span<const double> x, std::span<const double> y) {
+  JAMELECT_EXPECTS(x.size() == y.size());
+  JAMELECT_EXPECTS(x.size() >= 2);
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  JAMELECT_EXPECTS(denom != 0.0);
+  const double slope = (n * sxy - sx * sy) / denom;
+  const double intercept = (sy - slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - (intercept + slope * x[i]);
+    ss_res += e * e;
+  }
+  const double r2 = (ss_tot > 0.0) ? 1.0 - ss_res / ss_tot : 1.0;
+  return {intercept, slope, r2};
+}
+
+}  // namespace jamelect

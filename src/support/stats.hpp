@@ -1,0 +1,86 @@
+// Online and batch statistics for Monte-Carlo outcome aggregation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/expects.hpp"
+
+namespace jamelect {
+
+/// Welford's online mean/variance accumulator. Numerically stable for
+/// long trial streams; mergeable so per-thread accumulators can be
+/// combined after a parallel_for.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel reduction step).
+  void merge(const OnlineStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance; requires count() >= 2.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean; requires count() >= 2.
+  [[nodiscard]] double stderr_mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A complete distilled summary of one metric across trials.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  /// Half-width of the normal-approximation 95% confidence interval of
+  /// the mean (1.96 * stderr); 0 when count < 2.
+  double ci95_halfwidth = 0.0;
+};
+
+/// Quantile with linear interpolation (type-7, the numpy default).
+/// `q` in [0,1]; `sorted_values` must be non-empty and ascending.
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted_values, double q);
+
+/// Builds a Summary from raw samples (copies and sorts internally).
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+[[nodiscard]] Summary summarize(std::span<const std::int64_t> samples);
+
+/// Wilson score interval for a Bernoulli success rate: returns
+/// {lower, upper} bounds at ~95% confidence for `successes` out of
+/// `trials` (trials >= 1). Robust near rates of 0 and 1, which is
+/// exactly where our failure-probability experiments live.
+struct RateInterval {
+  double rate;
+  double lower;
+  double upper;
+};
+[[nodiscard]] RateInterval wilson_interval(std::size_t successes, std::size_t trials);
+
+/// Ordinary least squares fit y = a + b*x; returns {a, b, r2}.
+/// Used by benches/tests to estimate growth exponents on log-log data.
+struct LinearFit {
+  double intercept;
+  double slope;
+  double r2;
+};
+[[nodiscard]] LinearFit fit_line(std::span<const double> x, std::span<const double> y);
+
+}  // namespace jamelect

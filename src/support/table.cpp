@@ -1,0 +1,148 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/expects.hpp"
+
+namespace jamelect {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  JAMELECT_EXPECTS(!headers_.empty());
+}
+
+Table::RowBuilder Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return RowBuilder(rows_.back());
+}
+
+void Table::set_precision(int digits) {
+  JAMELECT_EXPECTS(digits >= 1 && digits <= 17);
+  precision_ = digits;
+}
+
+const std::string& Table::cell(std::size_t r, std::size_t c) const {
+  JAMELECT_EXPECTS(r < rows_.size());
+  JAMELECT_EXPECTS(c < rows_[r].size());
+  return rows_[r][c];
+}
+
+std::string Table::format(double v) const {
+  std::ostringstream os;
+  os << std::setprecision(precision_) << v;
+  return os.str();
+}
+
+namespace {
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << v;
+  return os.str();
+}
+}  // namespace
+
+Table::RowBuilder& Table::RowBuilder::operator<<(const std::string& v) {
+  row_.push_back(v);
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::operator<<(const char* v) {
+  row_.emplace_back(v);
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::operator<<(std::int64_t v) {
+  row_.push_back(std::to_string(v));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::operator<<(std::uint64_t v) {
+  row_.push_back(std::to_string(v));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::operator<<(int v) {
+  row_.push_back(std::to_string(v));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::operator<<(unsigned v) {
+  row_.push_back(std::to_string(v));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::operator<<(double v) {
+  row_.push_back(format_double(v, 4));
+  return *this;
+}
+
+void Table::print_ascii(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& r : rows_) {
+    JAMELECT_EXPECTS(r.size() <= headers_.size());
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+  }
+  const auto line = [&] {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      out << "+" << std::string(widths[c] + 2, '-');
+    }
+    out << "+\n";
+  };
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string{};
+      out << "| " << std::setw(static_cast<int>(widths[c])) << std::left << v
+          << " ";
+    }
+    out << "|\n";
+  };
+  line();
+  emit(headers_);
+  line();
+  for (const auto& r : rows_) emit(r);
+  line();
+}
+
+namespace {
+std::string csv_escape(const std::string& v) {
+  if (v.find_first_of(",\"\n") == std::string::npos) return v;
+  std::string out = "\"";
+  for (char ch : v) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::print_csv(std::ostream& out) const {
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out << ",";
+    out << csv_escape(headers_[c]);
+  }
+  out << "\n";
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c) out << ",";
+      if (c < r.size()) out << csv_escape(r[c]);
+    }
+    out << "\n";
+  }
+}
+
+void Table::print_markdown(std::ostream& out) const {
+  out << "|";
+  for (const auto& h : headers_) out << " " << h << " |";
+  out << "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) out << "---|";
+  out << "\n";
+  for (const auto& r : rows_) {
+    out << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      out << " " << (c < r.size() ? r[c] : std::string{}) << " |";
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace jamelect

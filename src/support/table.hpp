@@ -1,0 +1,63 @@
+// Minimal table builder: the benches and examples print paper-style
+// result tables in aligned ASCII, CSV or Markdown.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace jamelect {
+
+/// A rectangular table of strings with typed cell setters.
+/// Usage:
+///   Table t({"n", "slots", "slots/log2(n)"});
+///   t.row() << n << mean << ratio;
+///   t.print_ascii(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Row proxy: stream values into the current row.
+  class RowBuilder {
+   public:
+    RowBuilder& operator<<(const std::string& v);
+    RowBuilder& operator<<(const char* v);
+    RowBuilder& operator<<(std::int64_t v);
+    RowBuilder& operator<<(std::uint64_t v);
+    RowBuilder& operator<<(int v);
+    RowBuilder& operator<<(unsigned v);
+    RowBuilder& operator<<(double v);
+
+   private:
+    friend class Table;
+    explicit RowBuilder(std::vector<std::string>& row) : row_(row) {}
+    std::vector<std::string>& row_;
+  };
+
+  /// Starts a new row and returns a builder for it. Cells beyond the
+  /// header count are rejected at print time.
+  [[nodiscard]] RowBuilder row();
+
+  /// Number of significant digits used for doubles (default 4).
+  void set_precision(int digits);
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const noexcept { return headers_.size(); }
+  [[nodiscard]] const std::string& cell(std::size_t r, std::size_t c) const;
+
+  void print_ascii(std::ostream& out) const;
+  void print_csv(std::ostream& out) const;
+  void print_markdown(std::ostream& out) const;
+
+  /// Formats a double with the table's precision (exposed so callers
+  /// can pre-format composite cells like "12.3 ± 0.4").
+  [[nodiscard]] std::string format(double v) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int precision_ = 4;
+};
+
+}  // namespace jamelect

@@ -1,0 +1,52 @@
+// Fixed-size thread pool with a static-chunked parallel_for.
+//
+// Monte-Carlo trials are embarrassingly parallel; each trial derives its
+// randomness from (seed, trial index), so work distribution never
+// affects results (HPC guide: explicit, deterministic parallelism).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace jamelect {
+
+/// A joining, exception-propagating thread pool.
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs body(i) for i in [0, count), distributing contiguous chunks
+  /// across the pool. Blocks until all iterations finish. The first
+  /// exception thrown by any iteration is rethrown on the caller.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void submit(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Convenience: a process-wide pool for benches/examples. Lazily
+/// constructed; sized from the JAMELECT_THREADS environment variable if
+/// set, else hardware concurrency.
+[[nodiscard]] ThreadPool& global_pool();
+
+}  // namespace jamelect

@@ -1,0 +1,124 @@
+#include "sim/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/expects.hpp"
+
+#include <cmath>
+
+#include "protocols/lesk.hpp"
+#include "sim/adversary_spec.hpp"
+#include "support/rng.hpp"
+
+namespace jamelect {
+namespace {
+
+TEST(Aggregate, RejectsBadConfig) {
+  Lesk lesk(0.5);
+  Rng rng(1);
+  auto adv = make_adversary(AdversarySpec{}, rng.child(1));
+  Rng sim = rng.child(2);
+  EXPECT_THROW((void)run_aggregate(lesk, *adv, {0, 100}, sim),
+               ContractViolation);
+  EXPECT_THROW((void)run_aggregate(lesk, *adv, {4, 0}, sim),
+               ContractViolation);
+}
+
+TEST(Aggregate, OneStationElectsInOneSlot) {
+  Lesk lesk(0.5);
+  Rng rng(2);
+  auto adv = make_adversary(AdversarySpec{}, rng.child(1));
+  Rng sim = rng.child(2);
+  const auto out = run_aggregate(lesk, *adv, {1, 100}, sim);
+  EXPECT_TRUE(out.elected);
+  EXPECT_EQ(out.slots, 1);
+  EXPECT_EQ(out.singles, 1);
+  ASSERT_TRUE(out.leader.has_value());
+  EXPECT_EQ(*out.leader, 0u);
+}
+
+TEST(Aggregate, TwoStationsFirstSlotIsAlwaysCollision) {
+  // u = 0: both transmit with probability 1.
+  Lesk lesk(0.5);
+  Rng rng(3);
+  auto adv = make_adversary(AdversarySpec{}, rng.child(1));
+  Rng sim = rng.child(2);
+  Trace trace;
+  (void)run_aggregate(lesk, *adv, {2, 10}, sim, &trace);
+  EXPECT_EQ(trace.records()[0].state, ChannelState::kCollision);
+}
+
+TEST(Aggregate, TraceEstimateAnnotated) {
+  Lesk lesk(0.5);
+  Rng rng(5);
+  auto adv = make_adversary(AdversarySpec{}, rng.child(1));
+  Rng sim = rng.child(2);
+  Trace trace;
+  const auto out = run_aggregate(lesk, *adv, {64, 100000}, sim, &trace);
+  ASSERT_TRUE(out.elected);
+  EXPECT_DOUBLE_EQ(trace.records()[0].estimate, 0.0);  // u starts at 0
+  // Estimates never negative, and change by -1 or +1/16 steps.
+  for (std::size_t k = 1; k < trace.records().size(); ++k) {
+    const double prev = trace.records()[k - 1].estimate;
+    const double cur = trace.records()[k].estimate;
+    ASSERT_GE(cur, 0.0);
+    ASSERT_LT(std::abs(cur - prev), 1.0 + 1e-9);
+  }
+}
+
+TEST(Aggregate, JamsNeverProduceSingles) {
+  Lesk lesk(0.5);
+  Rng rng(7);
+  AdversarySpec spec;
+  spec.policy = "saturating";
+  spec.T = 8;
+  spec.eps = 0.5;
+  spec.n = 64;
+  auto adv = make_adversary(spec, rng.child(1));
+  Rng sim = rng.child(2);
+  Trace trace;
+  const auto out = run_aggregate(lesk, *adv, {64, 100000}, sim, &trace);
+  ASSERT_TRUE(out.elected);
+  for (const auto& rec : trace.records()) {
+    if (rec.jammed) {
+      ASSERT_EQ(rec.state, ChannelState::kCollision);
+    }
+  }
+  EXPECT_EQ(out.jams, trace.counters().jammed);
+}
+
+TEST(Aggregate, EnergyIsExpectedTransmissions) {
+  Lesk lesk(0.5);
+  Rng rng(11);
+  auto adv = make_adversary(AdversarySpec{}, rng.child(1));
+  Rng sim = rng.child(2);
+  const std::uint64_t n = 256;
+  const auto out = run_aggregate(lesk, *adv, {n, 100000}, sim);
+  ASSERT_TRUE(out.elected);
+  // First slot contributes n * 1.0 alone.
+  EXPECT_GE(out.transmissions, static_cast<double>(n));
+}
+
+TEST(Aggregate, SlotsScaleWithLogN) {
+  // Crude shape check: mean slots at n = 2^18 is within ~3x of
+  // (18/10) times the mean at n = 2^10.
+  const auto mean_slots = [](std::uint64_t n, std::uint64_t seed0) {
+    double total = 0;
+    for (std::uint64_t s = 0; s < 30; ++s) {
+      Lesk lesk(0.5);
+      Rng rng(seed0 + s);
+      auto adv = make_adversary(AdversarySpec{}, rng.child(1));
+      Rng sim = rng.child(2);
+      total += static_cast<double>(
+          run_aggregate(lesk, *adv, {n, 1000000}, sim).slots);
+    }
+    return total / 30;
+  };
+  const double small = mean_slots(1 << 10, 100);
+  const double big = mean_slots(1 << 18, 200);
+  EXPECT_GT(big, small);
+  EXPECT_LT(big, small * 3.0 * 18.0 / 10.0);
+}
+
+}  // namespace
+}  // namespace jamelect

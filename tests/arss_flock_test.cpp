@@ -1,0 +1,163 @@
+#include "baselines/arss_flock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/expects.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "sim/adversary_spec.hpp"
+#include "sim/engine.hpp"
+#include "sim/montecarlo.hpp"
+#include "support/binomial.hpp"
+#include "support/stats.hpp"
+
+namespace jamelect {
+namespace {
+
+// ---------- binomial sampler ----------
+
+class BinomialMoments
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(BinomialMoments, MeanAndVarianceMatch) {
+  const auto [n, p] = GetParam();
+  Rng rng(42);
+  OnlineStats stats;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    stats.add(static_cast<double>(binomial_sample(n, p, rng)));
+  }
+  const double mean = static_cast<double>(n) * p;
+  const double var = mean * (1.0 - p);
+  EXPECT_NEAR(stats.mean(), mean, 5.0 * std::sqrt(var / kDraws) + 1e-9);
+  EXPECT_NEAR(stats.variance(), var, 0.1 * var + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BinomialMoments,
+    ::testing::Values(
+        std::make_tuple<std::uint64_t, double>(10, 0.3),        // small-n loop
+        std::make_tuple<std::uint64_t, double>(100, 0.9),       // p > 1/2 flip
+        std::make_tuple<std::uint64_t, double>(10000, 0.001),   // inversion
+        std::make_tuple<std::uint64_t, double>(1 << 20, 1e-5),  // inversion
+        std::make_tuple<std::uint64_t, double>(1 << 20, 0.01),  // normal
+        std::make_tuple<std::uint64_t, double>(100000, 0.4)));  // normal
+
+TEST(Binomial, EdgeCases) {
+  Rng rng(7);
+  EXPECT_EQ(binomial_sample(0, 0.5, rng), 0u);
+  EXPECT_EQ(binomial_sample(100, 0.0, rng), 0u);
+  EXPECT_EQ(binomial_sample(100, 1.0, rng), 100u);
+  EXPECT_THROW((void)binomial_sample(10, 1.5, rng), ContractViolation);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_LE(binomial_sample(50, 0.6, rng), 50u);
+  }
+}
+
+// ---------- flock engine ----------
+
+TrialOutcome run_flock(std::uint64_t n, const std::string& policy,
+                       std::uint64_t seed, std::int64_t max_slots) {
+  ArssFlockConfig config;
+  config.n = n;
+  config.params.gamma = arss_gamma(n, 64);
+  config.max_slots = max_slots;
+  AdversarySpec spec;
+  spec.policy = policy;
+  spec.T = 64;
+  spec.eps = 0.5;
+  spec.n = n;
+  Rng rng(seed);
+  auto adv = make_adversary(spec, rng.child(1));
+  Rng sim = rng.child(2);
+  return run_arss_flock(config, *adv, sim);
+}
+
+TEST(ArssFlock, ElectsCleanAndJammed) {
+  for (const char* policy : {"none", "saturating"}) {
+    for (std::uint64_t n : {4ULL, 64ULL, 1024ULL}) {
+      const auto out = run_flock(n, policy, 10 + n, 1 << 21);
+      EXPECT_TRUE(out.elected) << policy << " n=" << n;
+      EXPECT_EQ(out.singles, 1) << policy << " n=" << n;
+    }
+  }
+}
+
+TEST(ArssFlock, RejectsMacMode) {
+  ArssFlockConfig config;
+  config.params.elect_on_single = false;
+  AdversarySpec spec;
+  Rng rng(1);
+  auto adv = make_adversary(spec, rng.child(1));
+  Rng sim = rng.child(2);
+  EXPECT_THROW((void)run_arss_flock(config, *adv, sim), ContractViolation);
+}
+
+TEST(ArssFlock, DeterministicBySeed) {
+  const auto a = run_flock(256, "saturating", 99, 1 << 20);
+  const auto b = run_flock(256, "saturating", 99, 1 << 20);
+  EXPECT_EQ(a.slots, b.slots);
+  EXPECT_EQ(a.nulls, b.nulls);
+}
+
+TEST(ArssFlock, MatchesPerStationEngineInDistribution) {
+  // The load-bearing test: mean slots-to-elect of the compressed engine
+  // must agree with the exact per-station ARSS across many trials.
+  const std::uint64_t n = 128;
+  const double gamma = arss_gamma(n, 64);
+  constexpr std::size_t kTrials = 200;
+
+  AdversarySpec spec;
+  spec.policy = "saturating";
+  spec.T = 64;
+  spec.eps = 0.5;
+
+  McConfig cfg;
+  cfg.trials = kTrials;
+  cfg.seed = 314;
+  cfg.max_slots = 1 << 18;
+  const auto exact = run_station_mc(
+      [gamma](StationId) -> StationProtocolPtr {
+        ArssParams params;
+        params.gamma = gamma;
+        return std::make_unique<ArssStation>(params);
+      },
+      spec, n, {CdMode::kStrong, StopRule::kAllDone, cfg.max_slots}, cfg);
+
+  std::vector<double> flock_slots;
+  for (std::uint64_t seed = 0; seed < kTrials; ++seed) {
+    ArssFlockConfig config;
+    config.n = n;
+    config.params.gamma = gamma;
+    config.max_slots = cfg.max_slots;
+    AdversarySpec s = spec;
+    s.n = n;
+    Rng rng = Rng(915).child(seed);
+    auto adv = make_adversary(s, rng.child(1));
+    Rng sim = rng.child(2);
+    const auto out = run_arss_flock(config, *adv, sim);
+    ASSERT_TRUE(out.elected) << seed;
+    flock_slots.push_back(static_cast<double>(out.slots));
+  }
+  const Summary flock = summarize(std::span<const double>(flock_slots));
+  ASSERT_EQ(exact.successes, kTrials);
+  const double se =
+      std::sqrt(flock.stddev * flock.stddev / static_cast<double>(kTrials) +
+                exact.slots.stddev * exact.slots.stddev /
+                    static_cast<double>(kTrials));
+  EXPECT_LT(std::abs(flock.mean - exact.slots.mean),
+            5.0 * se + 0.05 * (flock.mean + exact.slots.mean))
+      << "flock=" << flock.mean << " exact=" << exact.slots.mean;
+}
+
+TEST(ArssFlock, ScalesToLargeN) {
+  // The point of the compression: n = 2^15 in sane time.
+  const auto out = run_flock(1 << 15, "saturating", 7, 1 << 21);
+  EXPECT_TRUE(out.elected);
+  EXPECT_GT(out.slots, 1000);  // the log^4-ish regime, far beyond LESK
+}
+
+}  // namespace
+}  // namespace jamelect

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/arss.hpp"
+#include "baselines/lesk_symmetric.hpp"
+#include "baselines/nakano_olariu.hpp"
+#include "baselines/willard.hpp"
+#include "sim/adversary_spec.hpp"
+#include "sim/aggregate.hpp"
+#include "sim/engine.hpp"
+#include "sim/montecarlo.hpp"
+#include "support/rng.hpp"
+
+namespace jamelect {
+namespace {
+
+// ---------- ARSS unit behaviour ----------
+
+TEST(Arss, GammaShrinksWithNAndT) {
+  EXPECT_GT(arss_gamma(16, 4), arss_gamma(1 << 20, 4));
+  EXPECT_GT(arss_gamma(1024, 4), arss_gamma(1024, 1 << 16));
+  EXPECT_GT(arss_gamma(1 << 20, 1 << 16), 0.0);
+  EXPECT_LT(arss_gamma(16, 1), 0.5);
+}
+
+TEST(Arss, ListenerUpdatesProbability) {
+  ArssParams params;
+  params.gamma = 0.5;
+  params.initial_p = 1.0 / 48.0;
+  ArssStation st(params);
+  EXPECT_DOUBLE_EQ(st.transmit_probability(0), 1.0 / 48.0);
+  st.feedback(0, false, Observation::kNull);
+  EXPECT_DOUBLE_EQ(st.p(), 1.5 / 48.0);  // multiplied by (1+gamma)
+  // A collision leaves p unchanged in-round, but with T_v = 1 the
+  // counter block immediately detects "no idle in last T_v rounds" and
+  // backs off.
+  st.feedback(1, false, Observation::kCollision);
+  EXPECT_DOUBLE_EQ(st.p(), 1.0 / 48.0);
+  EXPECT_EQ(st.threshold(), 3);
+}
+
+TEST(Arss, ProbabilityCappedAtPMax) {
+  ArssParams params;
+  params.gamma = 0.9;
+  ArssStation st(params);
+  for (Slot s = 0; s < 50; ++s) st.feedback(s, false, Observation::kNull);
+  EXPECT_DOUBLE_EQ(st.p(), params.p_max);
+}
+
+TEST(Arss, TransmitterGetsNoFeedback) {
+  ArssParams params;
+  params.gamma = 0.5;
+  params.initial_p = 1.0 / 48.0;
+  ArssStation st(params);
+  st.feedback(0, true, Observation::kCollision);
+  // No listener update fires — but time still passes: with T_v = 1 the
+  // counter block immediately counts a no-idle window and backs off.
+  EXPECT_DOUBLE_EQ(st.p(), (1.0 / 48.0) / 1.5);
+  EXPECT_EQ(st.threshold(), 3);
+}
+
+TEST(Arss, ThresholdGrowsWithoutIdleSlots) {
+  ArssParams params;
+  ArssStation st(params);
+  EXPECT_EQ(st.threshold(), 1);
+  // Collisions only: after each T_v-window without idle, T_v += 2.
+  st.feedback(0, false, Observation::kCollision);  // c_v wraps, T_v 1->3
+  EXPECT_EQ(st.threshold(), 3);
+  for (Slot s = 1; s <= 3; ++s) {
+    st.feedback(s, false, Observation::kCollision);
+  }
+  EXPECT_EQ(st.threshold(), 5);
+}
+
+TEST(Arss, ElectsOnSingleInElectionMode) {
+  ArssStation listener{ArssParams{}};
+  listener.feedback(0, false, Observation::kSingle);
+  EXPECT_TRUE(listener.done());
+  EXPECT_FALSE(listener.is_leader());
+  ArssStation winner{ArssParams{}};
+  winner.feedback(0, true, Observation::kSingle);  // strong-CD transmitter
+  EXPECT_TRUE(winner.done());
+  EXPECT_TRUE(winner.is_leader());
+}
+
+TEST(Arss, MacModeAppliesSingleUpdateAndContinues) {
+  ArssParams params;
+  params.elect_on_single = false;
+  params.gamma = 0.5;
+  params.initial_p = 1.0 / 48.0;
+  ArssStation st(params);
+  st.feedback(0, false, Observation::kSingle);
+  EXPECT_FALSE(st.done());
+  // One division from the Single rule, one from the immediate no-idle
+  // window (T_v starts at 1).
+  EXPECT_DOUBLE_EQ(st.p(), (1.0 / 48.0) / 1.5 / 1.5);
+}
+
+TEST(Arss, ElectsLeaderEndToEnd) {
+  const std::uint64_t n = 64;
+  const auto factory = [&](StationId) -> StationProtocolPtr {
+    ArssParams params;
+    params.gamma = arss_gamma(n, 16);
+    return std::make_unique<ArssStation>(params);
+  };
+  AdversarySpec adv;
+  adv.policy = "none";
+  McConfig mc;
+  mc.trials = 5;
+  mc.seed = 123;
+  mc.max_slots = 200000;
+  const auto res = run_station_mc(factory, adv, n, {CdMode::kStrong,
+                                   StopRule::kAllDone, mc.max_slots}, mc);
+  EXPECT_EQ(res.successes, res.trials);
+}
+
+TEST(Arss, SurvivesSaturatingJamming) {
+  const std::uint64_t n = 32;
+  const auto factory = [&](StationId) -> StationProtocolPtr {
+    ArssParams params;
+    params.gamma = arss_gamma(n, 64);
+    return std::make_unique<ArssStation>(params);
+  };
+  AdversarySpec adv;
+  adv.policy = "saturating";
+  adv.T = 64;
+  adv.eps = 0.5;
+  McConfig mc;
+  mc.trials = 3;
+  mc.seed = 321;
+  mc.max_slots = 1 << 20;
+  const auto res = run_station_mc(factory, adv, n, {CdMode::kStrong,
+                                   StopRule::kAllDone, mc.max_slots}, mc);
+  EXPECT_EQ(res.successes, res.trials);
+}
+
+// ---------- Willard ----------
+
+TEST(Willard, PhaseProgression) {
+  Willard w;
+  EXPECT_EQ(w.phase(), Willard::Phase::kDoubling);
+  EXPECT_DOUBLE_EQ(w.u(), 2.0);
+  w.observe(ChannelState::kCollision);  // loud -> double
+  EXPECT_DOUBLE_EQ(w.u(), 4.0);
+  w.observe(ChannelState::kNull);  // quiet -> bracket [2, 4]
+  EXPECT_EQ(w.phase(), Willard::Phase::kBinarySearch);
+  EXPECT_DOUBLE_EQ(w.u(), 3.0);
+  w.observe(ChannelState::kNull);  // hi = 3 -> width 1 -> polish at 3
+  EXPECT_EQ(w.phase(), Willard::Phase::kPolish);
+  EXPECT_DOUBLE_EQ(w.u(), 3.0);
+}
+
+TEST(Willard, SingleElectsInAnyPhase) {
+  Willard w;
+  w.observe(ChannelState::kSingle);
+  EXPECT_TRUE(w.elected());
+  EXPECT_DOUBLE_EQ(w.transmit_probability(), 0.0);
+}
+
+TEST(Willard, FastWithoutAdversary) {
+  for (std::uint64_t n : {64ULL, 4096ULL, 1ULL << 18}) {
+    Willard w;
+    AdversarySpec spec;  // none
+    Rng rng(55 + n);
+    auto adv = make_adversary(spec, rng.child(1));
+    Rng sim = rng.child(2);
+    const auto out = run_aggregate(w, *adv, {n, 10000}, sim);
+    EXPECT_TRUE(out.elected) << n;
+    // O(log log n) shape: far fewer slots than log2(n)^2.
+    const double log2n = std::log2(static_cast<double>(n));
+    EXPECT_LT(static_cast<double>(out.slots), 4.0 * log2n) << n;
+  }
+}
+
+TEST(Willard, BreaksUnderHeavyJamming) {
+  // eps = 0.25 saturating: most slots read Collision; Willard's
+  // symmetric walk cannot make progress (the paper's §1.3/§2 argument
+  // for why estimation-based protocols need the asymmetric step).
+  std::size_t failures = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Willard w;
+    AdversarySpec spec;
+    spec.policy = "saturating";
+    spec.T = 64;
+    spec.eps = 0.25;
+    Rng rng(900 + seed);
+    auto adv = make_adversary(spec, rng.child(1));
+    Rng sim = rng.child(2);
+    const auto out = run_aggregate(w, *adv, {4096, 100000}, sim);
+    failures += out.elected ? 0 : 1;
+  }
+  EXPECT_GE(failures, 3u);
+}
+
+// ---------- NakanoOlariu ----------
+
+TEST(NakanoOlariu, SweepsThenWalks) {
+  NakanoOlariu no;
+  EXPECT_TRUE(no.sweeping());
+  EXPECT_DOUBLE_EQ(no.u(), 1.0);
+  no.observe(ChannelState::kCollision);
+  EXPECT_DOUBLE_EQ(no.u(), 2.0);
+  no.observe(ChannelState::kCollision);
+  EXPECT_DOUBLE_EQ(no.u(), 3.0);
+  no.observe(ChannelState::kNull);  // sweep ends, u stays
+  EXPECT_FALSE(no.sweeping());
+  EXPECT_DOUBLE_EQ(no.u(), 3.0);
+  no.observe(ChannelState::kNull);
+  EXPECT_DOUBLE_EQ(no.u(), 2.0);  // now a symmetric walk
+  no.observe(ChannelState::kCollision);
+  EXPECT_DOUBLE_EQ(no.u(), 3.0);
+}
+
+TEST(NakanoOlariu, ElectsInOrderLogNWithoutAdversary) {
+  for (std::uint64_t n : {64ULL, 4096ULL, 1ULL << 16}) {
+    NakanoOlariu no;
+    AdversarySpec spec;
+    Rng rng(77 + n);
+    auto adv = make_adversary(spec, rng.child(1));
+    Rng sim = rng.child(2);
+    const auto out = run_aggregate(no, *adv, {n, 100000}, sim);
+    EXPECT_TRUE(out.elected) << n;
+    const double log2n = std::log2(static_cast<double>(n));
+    EXPECT_LT(static_cast<double>(out.slots), 12.0 * log2n) << n;
+  }
+}
+
+// ---------- Symmetric-LESK ablation ----------
+
+TEST(SymmetricLesk, SymmetricWalk) {
+  SymmetricLesk s;
+  s.observe(ChannelState::kCollision);
+  EXPECT_DOUBLE_EQ(s.u(), 1.0);
+  s.observe(ChannelState::kNull);
+  EXPECT_DOUBLE_EQ(s.u(), 0.0);
+  s.observe(ChannelState::kNull);
+  EXPECT_DOUBLE_EQ(s.u(), 0.0);  // floored
+}
+
+TEST(SymmetricLesk, WorksWithoutAdversary) {
+  SymmetricLesk s;
+  AdversarySpec spec;
+  Rng rng(5);
+  auto adv = make_adversary(spec, rng.child(1));
+  Rng sim = rng.child(2);
+  const auto out = run_aggregate(s, *adv, {1024, 100000}, sim);
+  EXPECT_TRUE(out.elected);
+}
+
+TEST(SymmetricLesk, DivergesUnderMajorityJamming) {
+  // eps = 0.25: ~3/4 of slots jammed; the symmetric +1 per Collision
+  // beats the -1 per Null and u runs away (the paper's core argument
+  // for the eps/8 increment).
+  std::size_t failures = 0;
+  double final_u_sum = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    SymmetricLesk s;
+    AdversarySpec spec;
+    spec.policy = "saturating";
+    spec.T = 64;
+    spec.eps = 0.25;
+    Rng rng(40 + seed);
+    auto adv = make_adversary(spec, rng.child(1));
+    Rng sim = rng.child(2);
+    const auto out = run_aggregate(s, *adv, {1024, 50000}, sim);
+    failures += out.elected ? 0 : 1;
+    final_u_sum += s.u();
+  }
+  EXPECT_GE(failures, 4u);
+  EXPECT_GT(final_u_sum / 5.0, 100.0);  // estimate far above log2(1024)=10
+}
+
+}  // namespace
+}  // namespace jamelect

@@ -1,0 +1,190 @@
+#include "adversary/budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/expects.hpp"
+
+#include <tuple>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace jamelect {
+namespace {
+
+/// Brute-force admissibility: every window of length w >= T within the
+/// schedule must contain at most (1-eps)*w jams (exact rational check).
+bool schedule_admissible(const std::vector<bool>& jams, std::int64_t T,
+                         EpsRatio eps) {
+  const auto n = static_cast<std::int64_t>(jams.size());
+  std::vector<std::int64_t> prefix(static_cast<std::size_t>(n) + 1, 0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    prefix[static_cast<std::size_t>(i) + 1] =
+        prefix[static_cast<std::size_t>(i)] + (jams[static_cast<std::size_t>(i)] ? 1 : 0);
+  }
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t e = s + T; e <= n; ++e) {  // [s, e) with length >= T
+      const std::int64_t w = e - s;
+      const std::int64_t count =
+          prefix[static_cast<std::size_t>(e)] - prefix[static_cast<std::size_t>(s)];
+      // count <= (1 - num/den) * w  <=>  count*den <= (den-num)*w
+      if (count * eps.den > (eps.den - eps.num) * w) return false;
+    }
+  }
+  return true;
+}
+
+TEST(EpsRatio, FromDouble) {
+  const auto half = EpsRatio::from_double(0.5, 1000);
+  EXPECT_DOUBLE_EQ(half.value(), 0.5);
+  const auto third = EpsRatio::from_double(1.0 / 3.0, 3);
+  EXPECT_EQ(third.num, 1);
+  EXPECT_EQ(third.den, 3);
+  const auto one = EpsRatio::from_double(1.0);
+  EXPECT_DOUBLE_EQ(one.value(), 1.0);
+  EXPECT_THROW((void)EpsRatio::from_double(0.0), ContractViolation);
+  EXPECT_THROW((void)EpsRatio::from_double(1.5), ContractViolation);
+}
+
+TEST(JammingBudget, EpsOneForbidsAllJamsFromTheStart) {
+  // (T, 0)-bounded: zero jams allowed in any window >= T; since a jam
+  // now would sit inside a future window, can_jam() must already be
+  // false at slot 0.
+  JammingBudget b(4, {1, 1});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(b.can_jam());
+    b.commit(false);
+  }
+}
+
+TEST(JammingBudget, TEqualsOneWithFractionalEpsForbidsJams) {
+  // Any single slot is a window of length 1 >= T: jams <= (1-eps) < 1.
+  JammingBudget b(1, {1, 2});
+  EXPECT_FALSE(b.can_jam());
+}
+
+TEST(JammingBudget, GreedySmallWindowIntegrality) {
+  // T = 2, eps = 1/2: the binding constraint is the 3-slot window,
+  // which caps at floor(1.5) = 1 jam — so greedy realizes a jam every
+  // third slot (0, 3, 6, ...), density 1/3, not 1/2. With larger T the
+  // integrality loss vanishes (see next test).
+  JammingBudget b(2, {1, 2});
+  std::int64_t jams = 0;
+  std::vector<bool> sched;
+  for (int i = 0; i < 1000; ++i) {
+    const bool jam = b.can_jam();
+    b.commit(jam);
+    sched.push_back(jam);
+    jams += jam ? 1 : 0;
+  }
+  EXPECT_EQ(jams, 334);
+  EXPECT_TRUE(sched[0]);
+  EXPECT_TRUE(sched[3]);
+  EXPECT_FALSE(sched[1]);
+  EXPECT_FALSE(sched[2]);
+  EXPECT_EQ(b.slots(), 1000);
+}
+
+TEST(JammingBudget, GreedyDensityApproachesOneMinusEpsForLargeT) {
+  JammingBudget b(128, {1, 2});
+  std::int64_t jams = 0;
+  constexpr int kLen = 10000;
+  for (int i = 0; i < kLen; ++i) {
+    const bool jam = b.can_jam();
+    b.commit(jam);
+    jams += jam ? 1 : 0;
+  }
+  const double density = static_cast<double>(jams) / kLen;
+  EXPECT_GT(density, 0.47);
+  EXPECT_LE(density, 0.5);
+}
+
+TEST(JammingBudget, ShortBurstsUpToBudgetAllowed) {
+  // T = 8, eps = 1/4: up to 6 jams per 8-window. The greedy front-load
+  // can jam 6 consecutive slots immediately (a burst shorter than T),
+  // exactly the "short windows may be fully jammed" clause.
+  JammingBudget b(8, {1, 4});
+  int streak = 0;
+  while (b.can_jam()) {
+    b.commit(true);
+    ++streak;
+  }
+  EXPECT_EQ(streak, 6);
+}
+
+TEST(JammingBudget, CommittingIllegalJamThrows) {
+  JammingBudget b(2, {1, 2});
+  b.commit(true);  // legal: 1 jam in the first 2-window
+  EXPECT_FALSE(b.can_jam());
+  EXPECT_THROW(b.commit(true), ContractViolation);
+}
+
+TEST(JammingBudget, RejectsBadConstruction) {
+  EXPECT_THROW(JammingBudget(0, {1, 2}), ContractViolation);
+  EXPECT_THROW(JammingBudget(4, {0, 2}), ContractViolation);
+  EXPECT_THROW(JammingBudget(4, {3, 2}), ContractViolation);
+}
+
+TEST(JammingBudget, WindowCounterTracksLastT) {
+  JammingBudget b(4, {1, 2});
+  b.commit(true);
+  b.commit(true);
+  b.commit(false);
+  b.commit(false);
+  EXPECT_EQ(b.jams_in_last_T(), 2);
+  b.commit(false);
+  b.commit(false);
+  EXPECT_EQ(b.jams_in_last_T(), 0);
+}
+
+// Property suite: a greedy saturating adversary over (T, eps) yields an
+// admissible schedule that brute force confirms, and achieves at least
+// floor((1-eps)*len) - (den) jams overall (it wastes nothing).
+class BudgetProperty
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, EpsRatio>> {};
+
+TEST_P(BudgetProperty, GreedyScheduleIsAdmissibleAndDominatesRandom) {
+  const auto [T, eps] = GetParam();
+  constexpr std::int64_t kLen = 300;
+  JammingBudget greedy(T, eps);
+  std::vector<bool> schedule;
+  for (std::int64_t i = 0; i < kLen; ++i) {
+    const bool jam = greedy.can_jam();
+    greedy.commit(jam);
+    schedule.push_back(jam);
+  }
+  EXPECT_TRUE(schedule_admissible(schedule, T, eps));
+  // Never exceeds the global cap...
+  EXPECT_LE(greedy.jams() * eps.den, (eps.den - eps.num) * kLen + eps.den);
+  // ...and front-loaded greed never jams less than a random requester.
+  Rng rng(0x9e3779);
+  JammingBudget lazy(T, eps);
+  for (std::int64_t i = 0; i < kLen; ++i) {
+    lazy.commit(rng.bernoulli(0.5) && lazy.can_jam());
+  }
+  EXPECT_GE(greedy.jams(), lazy.jams());
+}
+
+TEST_P(BudgetProperty, RandomRequestsNeverProduceViolations) {
+  const auto [T, eps] = GetParam();
+  Rng rng(0xb0d6e7 + static_cast<std::uint64_t>(T));
+  JammingBudget b(T, eps);
+  std::vector<bool> schedule;
+  for (int i = 0; i < 400; ++i) {
+    const bool want = rng.bernoulli(0.7);
+    const bool jam = want && b.can_jam();
+    b.commit(jam);
+    schedule.push_back(jam);
+  }
+  EXPECT_TRUE(schedule_admissible(schedule, T, eps));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BudgetProperty,
+    ::testing::Combine(::testing::Values<std::int64_t>(1, 2, 3, 5, 8, 16, 64),
+                       ::testing::Values(EpsRatio{1, 2}, EpsRatio{1, 4},
+                                         EpsRatio{3, 4}, EpsRatio{1, 10},
+                                         EpsRatio{9, 10}, EpsRatio{1, 1})));
+
+}  // namespace
+}  // namespace jamelect

@@ -1,0 +1,107 @@
+#include "channel/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "support/expects.hpp"
+
+namespace jamelect {
+namespace {
+
+TEST(ResolveSlot, UnjammedStates) {
+  EXPECT_EQ(resolve_slot(0, false), ChannelState::kNull);
+  EXPECT_EQ(resolve_slot(1, false), ChannelState::kSingle);
+  EXPECT_EQ(resolve_slot(2, false), ChannelState::kCollision);
+  EXPECT_EQ(resolve_slot(1000, false), ChannelState::kCollision);
+}
+
+TEST(ResolveSlot, JammingAlwaysCollides) {
+  // Paper §1.1: a jammed slot is indistinguishable from >= 2
+  // transmitters — even a lone transmission is destroyed.
+  EXPECT_EQ(resolve_slot(0, true), ChannelState::kCollision);
+  EXPECT_EQ(resolve_slot(1, true), ChannelState::kCollision);
+  EXPECT_EQ(resolve_slot(5, true), ChannelState::kCollision);
+}
+
+TEST(ObserveSlot, StrongCdIsTransparent) {
+  for (ChannelState s : {ChannelState::kNull, ChannelState::kSingle,
+                         ChannelState::kCollision}) {
+    EXPECT_EQ(observe_slot(s, false, CdMode::kStrong),
+              static_cast<Observation>(s));
+    EXPECT_EQ(observe_slot(s, true, CdMode::kStrong),
+              static_cast<Observation>(s));
+  }
+}
+
+TEST(ObserveSlot, WeakCdTransmitterAssumesCollision) {
+  // Paper Function 3: "if transmitted then return Collision".
+  EXPECT_EQ(observe_slot(ChannelState::kSingle, true, CdMode::kWeak),
+            Observation::kCollision);
+  EXPECT_EQ(observe_slot(ChannelState::kCollision, true, CdMode::kWeak),
+            Observation::kCollision);
+}
+
+TEST(ObserveSlot, WeakCdListenerSeesTruth) {
+  EXPECT_EQ(observe_slot(ChannelState::kNull, false, CdMode::kWeak),
+            Observation::kNull);
+  EXPECT_EQ(observe_slot(ChannelState::kSingle, false, CdMode::kWeak),
+            Observation::kSingle);
+  EXPECT_EQ(observe_slot(ChannelState::kCollision, false, CdMode::kWeak),
+            Observation::kCollision);
+}
+
+TEST(ObserveSlot, NoCdConflatesNullAndCollision) {
+  EXPECT_EQ(observe_slot(ChannelState::kNull, false, CdMode::kNone),
+            Observation::kNoSingle);
+  EXPECT_EQ(observe_slot(ChannelState::kCollision, false, CdMode::kNone),
+            Observation::kNoSingle);
+  EXPECT_EQ(observe_slot(ChannelState::kSingle, false, CdMode::kNone),
+            Observation::kSingle);
+  EXPECT_EQ(observe_slot(ChannelState::kSingle, true, CdMode::kNone),
+            Observation::kNoSingle);
+}
+
+TEST(ToChannelState, RoundTripsAndRejectsNoSingle) {
+  EXPECT_EQ(to_channel_state(Observation::kNull), ChannelState::kNull);
+  EXPECT_EQ(to_channel_state(Observation::kSingle), ChannelState::kSingle);
+  EXPECT_EQ(to_channel_state(Observation::kCollision),
+            ChannelState::kCollision);
+  EXPECT_THROW((void)to_channel_state(Observation::kNoSingle),
+               ContractViolation);
+}
+
+TEST(ToString, AllEnumerators) {
+  EXPECT_EQ(to_string(ChannelState::kNull), "Null");
+  EXPECT_EQ(to_string(ChannelState::kSingle), "Single");
+  EXPECT_EQ(to_string(ChannelState::kCollision), "Collision");
+  EXPECT_EQ(to_string(CdMode::kStrong), "strong-CD");
+  EXPECT_EQ(to_string(CdMode::kWeak), "weak-CD");
+  EXPECT_EQ(to_string(CdMode::kNone), "no-CD");
+  EXPECT_EQ(to_string(Observation::kNoSingle), "NoSingle");
+}
+
+// The weak-CD key invariant the paper's §3 reduction rests on: a
+// transmitter's observation differs from a listener's ONLY when the
+// true state is Single. (A transmitter with state Null is physically
+// impossible — someone transmitted — so only the two reachable states
+// are swept.)
+class WeakCdDivergence : public ::testing::TestWithParam<ChannelState> {};
+
+TEST_P(WeakCdDivergence, DivergesOnlyOnSingle) {
+  const ChannelState s = GetParam();
+  const Observation tx = observe_slot(s, true, CdMode::kWeak);
+  const Observation rx = observe_slot(s, false, CdMode::kWeak);
+  if (s == ChannelState::kSingle) {
+    EXPECT_NE(tx, rx);
+  } else {
+    EXPECT_EQ(tx, rx);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ReachableStates, WeakCdDivergence,
+                         ::testing::Values(ChannelState::kSingle,
+                                           ChannelState::kCollision));
+
+}  // namespace
+}  // namespace jamelect

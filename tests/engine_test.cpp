@@ -1,0 +1,149 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/expects.hpp"
+
+#include <memory>
+
+#include "protocols/lesk.hpp"
+#include "protocols/uniform_station.hpp"
+#include "sim/adversary_spec.hpp"
+
+namespace jamelect {
+namespace {
+
+std::vector<StationProtocolPtr> lesk_stations(std::uint64_t n, double eps) {
+  std::vector<StationProtocolPtr> stations;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    stations.push_back(
+        std::make_unique<UniformStationAdapter>(std::make_unique<Lesk>(eps)));
+  }
+  return stations;
+}
+
+std::unique_ptr<BoundedAdversary> no_adversary(Rng rng) {
+  return make_adversary(AdversarySpec{}, rng);
+}
+
+TEST(SlotEngine, RejectsEmptyNetworkAndNullAdversary) {
+  Rng rng(1);
+  EXPECT_THROW(SlotEngine({}, no_adversary(rng), rng, {}), ContractViolation);
+  EXPECT_THROW(SlotEngine(lesk_stations(2, 0.5), nullptr, rng, {}),
+               ContractViolation);
+}
+
+TEST(SlotEngine, StrongCdLeskElectsUniqueLeader) {
+  Rng rng(7);
+  SlotEngine eng(lesk_stations(16, 0.5), no_adversary(rng.child(1)),
+                 rng.child(2), {CdMode::kStrong, StopRule::kAllDone, 100000});
+  const auto out = eng.run();
+  EXPECT_TRUE(out.elected);
+  EXPECT_TRUE(out.unique_leader);
+  EXPECT_TRUE(out.all_done);
+  ASSERT_TRUE(out.leader.has_value());
+  EXPECT_LT(*out.leader, 16u);
+  EXPECT_EQ(out.singles, 1);
+}
+
+TEST(SlotEngine, SingleStationElectsItself) {
+  Rng rng(3);
+  SlotEngine eng(lesk_stations(1, 0.5), no_adversary(rng.child(1)),
+                 rng.child(2), {CdMode::kStrong, StopRule::kAllDone, 100});
+  const auto out = eng.run();
+  EXPECT_TRUE(out.elected);
+  EXPECT_EQ(out.slots, 1);
+  EXPECT_EQ(*out.leader, 0u);
+}
+
+TEST(SlotEngine, WeakCdBareLeskNeverCompletesElection) {
+  // Without Notification, the weak-CD transmitter cannot learn of its
+  // own success: kAllDone never triggers (the run hits the budget), but
+  // the first Single still occurs (kFirstSingle sees it).
+  Rng rng(9);
+  SlotEngine eng(lesk_stations(8, 0.5), no_adversary(rng.child(1)),
+                 rng.child(2), {CdMode::kWeak, StopRule::kAllDone, 3000});
+  const auto out = eng.run();
+  EXPECT_FALSE(out.elected);
+  EXPECT_FALSE(out.all_done);
+  EXPECT_GE(out.singles, 1);  // selection resolution did happen
+
+  Rng rng2(9);
+  SlotEngine eng2(lesk_stations(8, 0.5), no_adversary(rng2.child(1)),
+                  rng2.child(2), {CdMode::kWeak, StopRule::kFirstSingle, 3000});
+  const auto out2 = eng2.run();
+  EXPECT_TRUE(out2.elected);
+  EXPECT_TRUE(out2.leader.has_value());
+}
+
+TEST(SlotEngine, DeterministicBySeed) {
+  const auto run_once = [](std::uint64_t seed) {
+    Rng rng(seed);
+    SlotEngine eng(lesk_stations(32, 0.5), no_adversary(rng.child(1)),
+                   rng.child(2), {CdMode::kStrong, StopRule::kAllDone, 100000});
+    return eng.run();
+  };
+  const auto a = run_once(1234);
+  const auto b = run_once(1234);
+  EXPECT_EQ(a.slots, b.slots);
+  EXPECT_EQ(a.leader, b.leader);
+  EXPECT_EQ(a.nulls, b.nulls);
+  const auto c = run_once(4321);
+  EXPECT_TRUE(c.slots != a.slots || c.leader != a.leader || c.nulls != a.nulls);
+}
+
+TEST(SlotEngine, TransmissionCountsMatchOutcome) {
+  Rng rng(17);
+  SlotEngine eng(lesk_stations(8, 0.5), no_adversary(rng.child(1)),
+                 rng.child(2), {CdMode::kStrong, StopRule::kAllDone, 100000});
+  const auto out = eng.run();
+  ASSERT_TRUE(out.elected);
+  const auto& per_station = eng.transmissions_per_station();
+  std::int64_t total = 0;
+  for (auto t : per_station) total += t;
+  EXPECT_DOUBLE_EQ(static_cast<double>(total), out.transmissions);
+  EXPECT_GT(total, 0);
+}
+
+TEST(SlotEngine, TraceMatchesOutcomeCounters) {
+  Rng rng(21);
+  Trace trace;
+  SlotEngine eng(lesk_stations(8, 0.5), no_adversary(rng.child(1)),
+                 rng.child(2), {CdMode::kStrong, StopRule::kAllDone, 100000});
+  const auto out = eng.run(&trace);
+  EXPECT_EQ(trace.counters().slots, out.slots);
+  EXPECT_EQ(trace.counters().singles, out.singles);
+  EXPECT_EQ(trace.counters().nulls, out.nulls);
+  EXPECT_EQ(trace.counters().collisions, out.collisions);
+  // The final recorded slot is the deciding Single with one transmitter.
+  const auto& last = trace.records().back();
+  EXPECT_EQ(last.state, ChannelState::kSingle);
+  EXPECT_EQ(last.transmitters, 1u);
+}
+
+TEST(SlotEngine, JammedSlotsAppearInOutcome) {
+  Rng rng(23);
+  AdversarySpec spec;
+  spec.policy = "saturating";
+  spec.T = 16;
+  spec.eps = 0.5;
+  spec.n = 8;
+  SlotEngine eng(lesk_stations(8, 0.5), make_adversary(spec, rng.child(1)),
+                 rng.child(2), {CdMode::kStrong, StopRule::kAllDone, 100000});
+  const auto out = eng.run();
+  EXPECT_TRUE(out.elected);
+  EXPECT_GT(out.jams, 0);
+  EXPECT_LE(out.jams, out.collisions);  // every jam reads as Collision
+}
+
+TEST(SlotEngine, BudgetExhaustionReportsFailure) {
+  Rng rng(29);
+  SlotEngine eng(lesk_stations(1 << 12, 0.5), no_adversary(rng.child(1)),
+                 rng.child(2), {CdMode::kStrong, StopRule::kAllDone, 3});
+  const auto out = eng.run();
+  EXPECT_FALSE(out.elected);
+  EXPECT_EQ(out.slots, 3);
+}
+
+}  // namespace
+}  // namespace jamelect

@@ -1,0 +1,157 @@
+// Cross-engine validation: the O(1)-per-slot aggregate and hybrid
+// engines must agree in distribution with the exact per-station engine.
+// We compare means of slots-to-elect over many seeded trials; the
+// tolerance is several standard errors wide to keep the test stable
+// while still catching systematic modelling errors (which shift means
+// by far more).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "protocols/lesk.hpp"
+#include "protocols/lesu.hpp"
+#include "protocols/lewk.hpp"
+#include "protocols/lewu.hpp"
+#include "protocols/uniform_station.hpp"
+#include "sim/montecarlo.hpp"
+#include "support/stats.hpp"
+
+namespace jamelect {
+namespace {
+
+constexpr std::size_t kTrials = 300;
+
+McConfig mc(std::uint64_t seed, std::int64_t max_slots) {
+  McConfig c;
+  c.trials = kTrials;
+  c.seed = seed;
+  c.max_slots = max_slots;
+  return c;
+}
+
+void expect_means_compatible(const Summary& a, const Summary& b) {
+  // Two-sample z-ish test with a generous 5-sigma band.
+  const double se = std::sqrt(a.stddev * a.stddev / static_cast<double>(a.count) +
+                              b.stddev * b.stddev / static_cast<double>(b.count));
+  EXPECT_LT(std::abs(a.mean - b.mean), 5.0 * se + 0.05 * (a.mean + b.mean))
+      << "a=" << a.mean << " b=" << b.mean << " se=" << se;
+}
+
+class EngineEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineEquivalence, AggregateMatchesPerStationLeskStrongCd) {
+  const std::uint64_t n = GetParam();
+  const UniformProtocolFactory uniform = [] {
+    return std::make_unique<Lesk>(0.5);
+  };
+  AdversarySpec none;
+  const auto agg = run_aggregate_mc(uniform, none, n, mc(42, 100000));
+  const auto per = run_station_mc(
+      [](StationId) -> StationProtocolPtr {
+        return std::make_unique<UniformStationAdapter>(
+            std::make_unique<Lesk>(0.5));
+      },
+      none, n, {CdMode::kStrong, StopRule::kAllDone, 100000}, mc(43, 100000));
+  EXPECT_EQ(agg.successes, kTrials);
+  EXPECT_EQ(per.successes, kTrials);
+  expect_means_compatible(agg.slots, per.slots);
+}
+
+TEST_P(EngineEquivalence, AggregateMatchesPerStationUnderJamming) {
+  const std::uint64_t n = GetParam();
+  const UniformProtocolFactory uniform = [] {
+    return std::make_unique<Lesk>(0.5);
+  };
+  AdversarySpec sat;
+  sat.policy = "saturating";
+  sat.T = 32;
+  sat.eps = 0.5;
+  const auto agg = run_aggregate_mc(uniform, sat, n, mc(52, 200000));
+  const auto per = run_station_mc(
+      [](StationId) -> StationProtocolPtr {
+        return std::make_unique<UniformStationAdapter>(
+            std::make_unique<Lesk>(0.5));
+      },
+      sat, n, {CdMode::kStrong, StopRule::kAllDone, 200000}, mc(53, 200000));
+  EXPECT_EQ(agg.successes, kTrials);
+  EXPECT_EQ(per.successes, kTrials);
+  expect_means_compatible(agg.slots, per.slots);
+}
+
+TEST_P(EngineEquivalence, HybridMatchesPerStationNotification) {
+  const std::uint64_t n = GetParam();
+  const UniformProtocolFactory uniform = [] {
+    return std::make_unique<Lesk>(0.5);
+  };
+  AdversarySpec none;
+  const auto hybrid = run_hybrid_mc(uniform, none, n, mc(62, 1 << 20));
+  const auto per = run_station_mc(
+      [](StationId) -> StationProtocolPtr { return make_lewk_station(0.5); },
+      none, n, {CdMode::kWeak, StopRule::kAllDone, 1 << 20}, mc(63, 1 << 20));
+  EXPECT_EQ(hybrid.successes, kTrials);
+  EXPECT_EQ(per.successes, kTrials);
+  expect_means_compatible(hybrid.slots, per.slots);
+}
+
+TEST_P(EngineEquivalence, HybridMatchesPerStationNotificationJammed) {
+  const std::uint64_t n = GetParam();
+  const UniformProtocolFactory uniform = [] {
+    return std::make_unique<Lesk>(0.5);
+  };
+  AdversarySpec sat;
+  sat.policy = "saturating";
+  sat.T = 32;
+  sat.eps = 0.5;
+  const auto hybrid = run_hybrid_mc(uniform, sat, n, mc(72, 1 << 21));
+  const auto per = run_station_mc(
+      [](StationId) -> StationProtocolPtr { return make_lewk_station(0.5); },
+      sat, n, {CdMode::kWeak, StopRule::kAllDone, 1 << 21}, mc(73, 1 << 21));
+  EXPECT_EQ(hybrid.successes, kTrials);
+  EXPECT_EQ(per.successes, kTrials);
+  expect_means_compatible(hybrid.slots, per.slots);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EngineEquivalence,
+                         ::testing::Values<std::uint64_t>(3, 8, 32, 128));
+
+// The same cross-checks with LESU as the protocol (Estimation phase
+// included), at one representative size each.
+TEST(EngineEquivalenceLesu, AggregateMatchesPerStationStrongCd) {
+  const std::uint64_t n = 64;
+  const UniformProtocolFactory uniform = [] {
+    return std::make_unique<Lesu>();
+  };
+  AdversarySpec sat;
+  sat.policy = "saturating";
+  sat.T = 32;
+  sat.eps = 0.5;
+  const auto agg = run_aggregate_mc(uniform, sat, n, mc(82, 1 << 20));
+  const auto per = run_station_mc(
+      [](StationId) -> StationProtocolPtr {
+        return std::make_unique<UniformStationAdapter>(
+            std::make_unique<Lesu>());
+      },
+      sat, n, {CdMode::kStrong, StopRule::kAllDone, 1 << 20}, mc(83, 1 << 20));
+  EXPECT_EQ(agg.successes, kTrials);
+  EXPECT_EQ(per.successes, kTrials);
+  expect_means_compatible(agg.slots, per.slots);
+}
+
+TEST(EngineEquivalenceLesu, HybridMatchesPerStationLewu) {
+  const std::uint64_t n = 16;
+  const UniformProtocolFactory uniform = [] {
+    return std::make_unique<Lesu>();
+  };
+  AdversarySpec none;
+  const auto hybrid = run_hybrid_mc(uniform, none, n, mc(92, 1 << 21));
+  const auto per = run_station_mc(
+      [](StationId) -> StationProtocolPtr { return make_lewu_station(); },
+      none, n, {CdMode::kWeak, StopRule::kAllDone, 1 << 21}, mc(93, 1 << 21));
+  EXPECT_EQ(hybrid.successes, kTrials);
+  EXPECT_EQ(per.successes, kTrials);
+  expect_means_compatible(hybrid.slots, per.slots);
+}
+
+}  // namespace
+}  // namespace jamelect

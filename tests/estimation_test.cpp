@@ -1,0 +1,168 @@
+#include "protocols/estimation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/expects.hpp"
+
+#include <cmath>
+
+#include "analysis/theory.hpp"
+#include "channel/channel.hpp"
+#include "sim/adversary_spec.hpp"
+#include "sim/aggregate.hpp"
+#include "support/math.hpp"
+#include "support/rng.hpp"
+
+namespace jamelect {
+namespace {
+
+TEST(Estimation, RoundScheduleAndProbabilities) {
+  Estimation est(2);
+  EXPECT_EQ(est.round(), 1);
+  // Round r: 2^r slots at probability 2^-2^r.
+  EXPECT_DOUBLE_EQ(est.transmit_probability(), 0.25);  // 2^-2
+  // Exhaust round 1 (2 slots) with Collisions -> round 2.
+  est.observe(ChannelState::kCollision);
+  est.observe(ChannelState::kCollision);
+  EXPECT_EQ(est.round(), 2);
+  EXPECT_DOUBLE_EQ(est.transmit_probability(), 1.0 / 16.0);  // 2^-4
+  EXPECT_FALSE(est.completed());
+}
+
+TEST(Estimation, CompletesWhenRoundHasLNulls) {
+  Estimation est(2);
+  // Round 1: 1 Null + 1 Collision -> not enough (L = 2).
+  est.observe(ChannelState::kNull);
+  est.observe(ChannelState::kCollision);
+  EXPECT_FALSE(est.completed());
+  EXPECT_EQ(est.round(), 2);
+  // Round 2 (4 slots): two Nulls anywhere complete it at round end.
+  est.observe(ChannelState::kNull);
+  est.observe(ChannelState::kCollision);
+  est.observe(ChannelState::kNull);
+  EXPECT_FALSE(est.completed());  // round not over yet
+  est.observe(ChannelState::kCollision);
+  EXPECT_TRUE(est.completed());
+  EXPECT_EQ(est.result(), 2);
+  // Once complete it goes quiet.
+  EXPECT_DOUBLE_EQ(est.transmit_probability(), 0.0);
+}
+
+TEST(Estimation, NullCounterResetsEachRound) {
+  Estimation est(2);
+  est.observe(ChannelState::kNull);       // round 1: one Null
+  est.observe(ChannelState::kCollision);  // round over, 1 < 2
+  // Round 2: one more Null must NOT complete (counter reset).
+  est.observe(ChannelState::kNull);
+  est.observe(ChannelState::kCollision);
+  est.observe(ChannelState::kCollision);
+  est.observe(ChannelState::kCollision);
+  EXPECT_FALSE(est.completed());
+  EXPECT_EQ(est.round(), 3);
+}
+
+TEST(Estimation, SingleShortCircuitsAsElection) {
+  Estimation est(2);
+  est.observe(ChannelState::kSingle);
+  EXPECT_TRUE(est.elected());
+  EXPECT_FALSE(est.completed());
+  EXPECT_THROW((void)est.result(), ContractViolation);
+  EXPECT_DOUBLE_EQ(est.transmit_probability(), 0.0);
+}
+
+TEST(Estimation, ResultRequiresCompletion) {
+  Estimation est(2);
+  EXPECT_THROW((void)est.result(), ContractViolation);
+  EXPECT_THROW(Estimation bad(0), ContractViolation);
+}
+
+TEST(Estimation, CloneCarriesRoundState) {
+  Estimation est(2);
+  est.observe(ChannelState::kCollision);
+  est.observe(ChannelState::kCollision);  // now round 2
+  auto copy = est.clone();
+  auto* c = dynamic_cast<Estimation*>(copy.get());
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->round(), 2);
+}
+
+// --- Lemma 2.8 behaviour, via the aggregate engine ---
+
+std::int64_t run_estimation(std::uint64_t n, const std::string& policy,
+                            std::int64_t T, double eps, std::uint64_t seed,
+                            std::int64_t* slots_taken = nullptr,
+                            bool* got_single = nullptr) {
+  Estimation est(2);
+  AdversarySpec spec;
+  spec.policy = policy;
+  spec.T = T;
+  spec.eps = eps;
+  spec.n = n;
+  Rng rng(seed);
+  auto adv = make_adversary(spec, rng.child(1));
+  Rng sim = rng.child(2);
+  std::int64_t slots = 0;
+  const std::int64_t budget = 1 << 22;
+  while (!est.completed() && !est.elected() && slots < budget) {
+    const double p = est.transmit_probability();
+    const bool jam = adv->step();
+    const auto probs = slot_probabilities(n, p);
+    const double r = sim.uniform();
+    const std::uint64_t cnt = r < probs.null ? 0 : (r < probs.null + probs.single ? 1 : 2);
+    const ChannelState state = resolve_slot(cnt, jam);
+    est.observe(state);
+    adv->observe({slots, cnt, jam, state});
+    ++slots;
+  }
+  if (slots_taken != nullptr) *slots_taken = slots;
+  if (got_single != nullptr) *got_single = est.elected();
+  return est.completed() ? est.result() : -1;
+}
+
+class EstimationRangeTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EstimationRangeTest, ResultWithinLemma28RangeNoAdversary) {
+  const std::uint64_t n = GetParam();
+  const auto range = estimation_range(n, 1);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    bool single = false;
+    const std::int64_t i = run_estimation(n, "none", 16, 0.5, 77 + seed,
+                                          nullptr, &single);
+    if (single) continue;  // "obtains Single" branch is also a success
+    ASSERT_GE(static_cast<double>(i), range.lo) << "n=" << n << " seed=" << seed;
+    ASSERT_LE(static_cast<double>(i), range.hi) << "n=" << n << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EstimationRangeTest,
+                         ::testing::Values<std::uint64_t>(128, 1024, 1 << 14,
+                                                          1 << 18));
+
+TEST(EstimationBehaviour, AdversaryCanOnlyInflateWithinLogT) {
+  // Under a (T, 1/2)-saturating adversary the result stays within
+  // max(loglog n, log T) + 1 w.h.p. (jams read as Collisions and can
+  // only delay Nulls).
+  const std::uint64_t n = 1024;
+  const std::int64_t T = 1 << 10;
+  const auto range = estimation_range(n, T);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    bool single = false;
+    const std::int64_t i =
+        run_estimation(n, "saturating", T, 0.5, 500 + seed, nullptr, &single);
+    if (single) continue;
+    ASSERT_GE(static_cast<double>(i), range.lo) << seed;
+    ASSERT_LE(static_cast<double>(i), range.hi) << seed;
+  }
+}
+
+TEST(EstimationBehaviour, RuntimeIsOrderMaxLogNT) {
+  const std::uint64_t n = 1 << 14;
+  std::int64_t slots = 0;
+  (void)run_estimation(n, "none", 16, 0.5, 31, &slots);
+  // Total slots = sum of 2^r over executed rounds <= 4 * 2^(i_max);
+  // with i <= loglog n + 1 this is O(log n).
+  EXPECT_LE(slots, 16 * static_cast<std::int64_t>(std::log2(n)));
+}
+
+}  // namespace
+}  // namespace jamelect

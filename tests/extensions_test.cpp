@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "support/expects.hpp"
+
+#include <cmath>
+
+#include "extensions/fair_mac.hpp"
+#include "extensions/k_selection.hpp"
+#include "extensions/size_approximation.hpp"
+#include "sim/adversary_spec.hpp"
+#include "sim/aggregate.hpp"
+#include "support/rng.hpp"
+
+namespace jamelect {
+namespace {
+
+// ---------- size approximation ----------
+
+double run_size_approx(std::uint64_t n, double eps, const std::string& policy,
+                       std::int64_t budget, std::uint64_t seed) {
+  SizeApproximation approx({eps, budget});
+  AdversarySpec spec;
+  spec.policy = policy;
+  spec.T = 64;
+  spec.eps = eps;
+  spec.n = n;
+  Rng rng(seed);
+  auto adv = make_adversary(spec, rng.child(1));
+  Rng sim = rng.child(2);
+  // run_aggregate never sees elected(); it runs out the budget.
+  (void)run_aggregate(approx, *adv, {n, budget}, sim);
+  EXPECT_TRUE(approx.completed());
+  return approx.estimate_log2n();
+}
+
+TEST(SizeApproximation, RejectsBadParams) {
+  EXPECT_THROW(SizeApproximation bad({0.0, 100}), ContractViolation);
+  EXPECT_THROW(SizeApproximation bad({0.5, 1}), ContractViolation);
+}
+
+TEST(SizeApproximation, RequiresCompletionForEstimate) {
+  SizeApproximation approx({0.5, 100});
+  EXPECT_THROW((void)approx.estimate_log2n(), ContractViolation);
+}
+
+TEST(SizeApproximation, SinglesDoNotTerminateTheWalk) {
+  SizeApproximation approx({0.5, 10});
+  approx.observe(ChannelState::kSingle);
+  EXPECT_FALSE(approx.elected());
+  EXPECT_FALSE(approx.completed());
+  EXPECT_DOUBLE_EQ(approx.estimate(), 0.0);  // Single leaves u unchanged
+}
+
+class SizeApproxAccuracy : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SizeApproxAccuracy, WithinAFewUnitsOfLog2N) {
+  const std::uint64_t n = GetParam();
+  const double log2n = std::log2(static_cast<double>(n));
+  const auto budget = static_cast<std::int64_t>(64.0 * (log2n + 8.0));
+  for (const char* policy : {"none", "saturating"}) {
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      const double est = run_size_approx(n, 0.5, policy, budget, 900 + seed);
+      EXPECT_NEAR(est, log2n, 4.0)
+          << "n=" << n << " policy=" << policy << " seed=" << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SizeApproxAccuracy,
+                         ::testing::Values<std::uint64_t>(64, 1024, 1 << 14,
+                                                          1 << 18));
+
+TEST(SizeApproximation, EstimateNIsTwoToTheEstimate) {
+  const std::uint64_t n = 4096;
+  SizeApproximation approx({0.5, 2048});
+  AdversarySpec spec;
+  Rng rng(7);
+  auto adv = make_adversary(spec, rng.child(1));
+  Rng sim = rng.child(2);
+  (void)run_aggregate(approx, *adv, {n, 2048}, sim);
+  EXPECT_DOUBLE_EQ(approx.estimate_n(), std::exp2(approx.estimate_log2n()));
+  EXPECT_GT(approx.estimate_n(), 4096.0 / 16.0);
+  EXPECT_LT(approx.estimate_n(), 4096.0 * 16.0);
+}
+
+// ---------- k-selection ----------
+
+KSelectionResult run_ksel(std::uint64_t n, std::uint64_t k,
+                          const std::string& policy, std::uint64_t seed,
+                          bool warm = true) {
+  KSelectionParams params;
+  params.n = n;
+  params.k = k;
+  params.eps = 0.5;
+  params.max_slots = 1 << 22;
+  params.warm_start = warm;
+  AdversarySpec spec;
+  spec.policy = policy;
+  spec.T = 64;
+  spec.eps = 0.5;
+  spec.n = n;
+  Rng rng(seed);
+  auto adv = make_adversary(spec, rng.child(1));
+  Rng sim = rng.child(2);
+  return run_k_selection(params, *adv, sim);
+}
+
+TEST(KSelection, RejectsBadParams) {
+  KSelectionParams bad;
+  bad.n = 2;
+  bad.k = 3;  // more leaders than stations
+  AdversarySpec spec;
+  Rng rng(1);
+  auto adv = make_adversary(spec, rng.child(1));
+  Rng sim = rng.child(2);
+  EXPECT_THROW((void)run_k_selection(bad, *adv, sim), ContractViolation);
+}
+
+TEST(KSelection, ElectsExactlyK) {
+  for (std::uint64_t k : {1ULL, 2ULL, 8ULL, 32ULL}) {
+    const auto res = run_ksel(1024, k, "none", 40 + k);
+    EXPECT_TRUE(res.completed) << k;
+    EXPECT_EQ(res.leaders_elected, k) << k;
+    EXPECT_EQ(res.slots_per_round.size(), k) << k;
+  }
+}
+
+TEST(KSelection, WorksUnderJamming) {
+  const auto res = run_ksel(512, 16, "saturating", 77);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.leaders_elected, 16u);
+  EXPECT_GT(res.jams, 0);
+}
+
+TEST(KSelection, SelectAllStations) {
+  const auto res = run_ksel(16, 16, "none", 5);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.leaders_elected, 16u);
+}
+
+TEST(KSelection, WarmStartMakesLaterRoundsCheap) {
+  const auto res = run_ksel(4096, 16, "none", 11, true);
+  ASSERT_TRUE(res.completed);
+  // Round 1 pays the 0 -> log2(n) ramp; later rounds resume near the
+  // sweet window and should be far cheaper on average.
+  const double first = static_cast<double>(res.slots_per_round.front());
+  double rest = 0;
+  for (std::size_t i = 1; i < res.slots_per_round.size(); ++i) {
+    rest += static_cast<double>(res.slots_per_round[i]);
+  }
+  rest /= static_cast<double>(res.slots_per_round.size() - 1);
+  EXPECT_LT(rest, first / 3.0);
+}
+
+TEST(KSelection, ColdStartCostsMore) {
+  const auto warm = run_ksel(1024, 8, "none", 13, true);
+  const auto cold = run_ksel(1024, 8, "none", 13, false);
+  ASSERT_TRUE(warm.completed);
+  ASSERT_TRUE(cold.completed);
+  EXPECT_LT(warm.slots, cold.slots);
+}
+
+TEST(KSelection, BudgetExhaustionReported) {
+  KSelectionParams params;
+  params.n = 1 << 14;
+  params.k = 4;
+  params.max_slots = 10;  // hopeless
+  AdversarySpec spec;
+  Rng rng(3);
+  auto adv = make_adversary(spec, rng.child(1));
+  Rng sim = rng.child(2);
+  const auto res = run_k_selection(params, *adv, sim);
+  EXPECT_FALSE(res.completed);
+  EXPECT_EQ(res.slots, 10);
+  EXPECT_LT(res.leaders_elected, 4u);
+}
+
+// ---------- fair use of the channel ----------
+
+TEST(FairMac, RejectsBadParams) {
+  FairMacParams bad;
+  bad.rounds = 0;
+  EXPECT_THROW((void)run_fair_mac(bad, AdversarySpec{}, Rng(1)),
+               ContractViolation);
+}
+
+TEST(FairMac, CompletesAllRoundsClean) {
+  FairMacParams params;
+  params.n = 16;
+  params.rounds = 48;
+  const auto res = run_fair_mac(params, AdversarySpec{}, Rng(7));
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(res.rounds_completed, 48u);
+  std::int64_t total = 0;
+  for (auto w : res.grants) total += w;
+  EXPECT_EQ(total, 48);
+}
+
+TEST(FairMac, JainIndexHighOverManyRounds) {
+  FairMacParams params;
+  params.n = 8;
+  params.rounds = 160;
+  const auto res = run_fair_mac(params, AdversarySpec{}, Rng(21));
+  ASSERT_TRUE(res.completed);
+  // Exchangeable winners: expected Jain ~ 1/(1 + (n-1)/rounds) ~ 0.96.
+  EXPECT_GT(res.jain_index(), 0.85);
+}
+
+TEST(FairMac, AdversaryDelaysButCannotBias) {
+  FairMacParams params;
+  params.n = 8;
+  params.rounds = 120;
+  AdversarySpec clean;
+  AdversarySpec jam;
+  jam.policy = "saturating";
+  jam.T = 32;
+  jam.eps = 0.5;
+  const auto a = run_fair_mac(params, clean, Rng(33));
+  const auto b = run_fair_mac(params, jam, Rng(33));
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  EXPECT_GT(b.jams_total, 0);
+  // Jamming may cost slots but fairness is unaffected.
+  EXPECT_GT(b.jain_index(), 0.85);
+}
+
+TEST(FairMac, RoundTimeoutReportsPartialRun) {
+  FairMacParams params;
+  params.n = 1 << 13;
+  params.rounds = 4;
+  params.max_slots_per_round = 3;  // hopeless
+  const auto res = run_fair_mac(params, AdversarySpec{}, Rng(5));
+  EXPECT_FALSE(res.completed);
+  EXPECT_EQ(res.rounds_completed, 0u);
+}
+
+}  // namespace
+}  // namespace jamelect

@@ -1,0 +1,76 @@
+#include "support/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/expects.hpp"
+
+namespace jamelect {
+namespace {
+
+TEST(Histogram, BasicCounts) {
+  Histogram h;
+  h.add(3);
+  h.add(3);
+  h.add(5, 4);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.count(5), 4u);
+  EXPECT_EQ(h.count(7), 0u);
+  EXPECT_DOUBLE_EQ(h.fraction(3), 2.0 / 6.0);
+}
+
+TEST(Histogram, ZeroWeightIgnored) {
+  Histogram h;
+  h.add(1, 0);
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.0);
+}
+
+TEST(Histogram, MinMaxMean) {
+  Histogram h;
+  h.add(-2, 1);
+  h.add(10, 3);
+  EXPECT_EQ(h.min_value(), -2);
+  EXPECT_EQ(h.max_value(), 10);
+  EXPECT_DOUBLE_EQ(h.mean(), (-2.0 + 30.0) / 4.0);
+}
+
+TEST(Histogram, EmptyContractChecks) {
+  Histogram h;
+  EXPECT_THROW((void)h.min_value(), ContractViolation);
+  EXPECT_THROW((void)h.mean(), ContractViolation);
+  EXPECT_THROW((void)h.quantile(0.5), ContractViolation);
+}
+
+TEST(Histogram, Quantiles) {
+  Histogram h;
+  for (std::int64_t v = 1; v <= 10; ++v) h.add(v);
+  EXPECT_EQ(h.quantile(0.1), 1);
+  EXPECT_EQ(h.quantile(0.5), 5);
+  EXPECT_EQ(h.quantile(1.0), 10);
+  EXPECT_THROW((void)h.quantile(0.0), ContractViolation);
+}
+
+TEST(Histogram, Merge) {
+  Histogram a, b;
+  a.add(1, 2);
+  b.add(1, 3);
+  b.add(2, 1);
+  a.merge(b);
+  EXPECT_EQ(a.count(1), 5u);
+  EXPECT_EQ(a.count(2), 1u);
+  EXPECT_EQ(a.total(), 6u);
+}
+
+TEST(Histogram, AsciiRendersBars) {
+  Histogram h;
+  h.add(0, 2);
+  h.add(1, 4);
+  const std::string art = h.ascii(10);
+  EXPECT_NE(art.find("##########"), std::string::npos);  // the peak
+  EXPECT_NE(art.find("#####"), std::string::npos);       // half-height bar
+  EXPECT_EQ(Histogram{}.ascii(), "(empty)\n");
+}
+
+}  // namespace
+}  // namespace jamelect

@@ -1,0 +1,121 @@
+#include "sim/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/expects.hpp"
+
+#include <memory>
+
+#include "protocols/lesk.hpp"
+#include "protocols/lesu.hpp"
+#include "sim/adversary_spec.hpp"
+#include "support/rng.hpp"
+
+namespace jamelect {
+namespace {
+
+UniformProtocolFactory lesk_factory(double eps = 0.5) {
+  return [eps] { return std::make_unique<Lesk>(eps); };
+}
+
+TrialOutcome run_lewk(std::uint64_t n, const AdversarySpec& spec,
+                      std::uint64_t seed, std::int64_t max_slots,
+                      Trace* trace = nullptr) {
+  Rng rng(seed);
+  AdversarySpec s = spec;
+  s.n = n;
+  auto adv = make_adversary(s, rng.child(1));
+  Rng sim = rng.child(2);
+  return run_hybrid_notification(lesk_factory(), *adv, {n, max_slots}, sim,
+                                 trace);
+}
+
+TEST(Hybrid, RequiresAtLeastThreeStations) {
+  Rng rng(1);
+  auto adv = make_adversary(AdversarySpec{}, rng.child(1));
+  Rng sim = rng.child(2);
+  EXPECT_THROW(
+      (void)run_hybrid_notification(lesk_factory(), *adv, {2, 100}, sim),
+      ContractViolation);
+}
+
+TEST(Hybrid, ElectsWithoutAdversary) {
+  for (std::uint64_t n : {3ULL, 4ULL, 16ULL, 1024ULL, 1ULL << 16}) {
+    const auto out = run_lewk(n, AdversarySpec{}, 100 + n, 1 << 20);
+    EXPECT_TRUE(out.elected) << "n=" << n;
+    EXPECT_TRUE(out.unique_leader) << "n=" << n;
+    EXPECT_TRUE(out.all_done) << "n=" << n;
+  }
+}
+
+TEST(Hybrid, ElectsUnderSaturatingAdversary) {
+  AdversarySpec spec;
+  spec.policy = "saturating";
+  spec.T = 64;
+  spec.eps = 0.5;
+  for (std::uint64_t n : {3ULL, 64ULL, 4096ULL}) {
+    const auto out = run_lewk(n, spec, 300 + n, 1 << 22);
+    EXPECT_TRUE(out.elected) << "n=" << n;
+    EXPECT_GT(out.jams, 0) << "n=" << n;
+  }
+}
+
+TEST(Hybrid, ElectsUnderPeriodicAndBernoulli) {
+  AdversarySpec periodic;
+  periodic.policy = "periodic";
+  periodic.T = 128;
+  periodic.eps = 0.5;
+  EXPECT_TRUE(run_lewk(256, periodic, 11, 1 << 21).elected);
+
+  AdversarySpec bern;
+  bern.policy = "bernoulli";
+  bern.T = 64;
+  bern.eps = 0.5;
+  EXPECT_TRUE(run_lewk(256, bern, 13, 1 << 21).elected);
+}
+
+TEST(Hybrid, NeedsAtLeastThreeSinglesToFinish) {
+  // The Notification handshake produces Singles in C1, C2 and C3.
+  Trace trace;
+  const auto out = run_lewk(64, AdversarySpec{}, 17, 1 << 20, &trace);
+  ASSERT_TRUE(out.elected);
+  EXPECT_GE(out.singles, 3);
+  // And terminates on a C1 Null after the C3 Single.
+  const auto& last = trace.records().back();
+  EXPECT_EQ(last.state, ChannelState::kNull);
+}
+
+TEST(Hybrid, DeterministicBySeed) {
+  const auto a = run_lewk(128, AdversarySpec{}, 999, 1 << 20);
+  const auto b = run_lewk(128, AdversarySpec{}, 999, 1 << 20);
+  EXPECT_EQ(a.slots, b.slots);
+  EXPECT_EQ(a.singles, b.singles);
+  EXPECT_EQ(a.nulls, b.nulls);
+}
+
+TEST(Hybrid, WorksWithLesuInner) {
+  // LEWU at aggregate scale: Notification wrapping LESU.
+  const UniformProtocolFactory factory = [] {
+    return std::make_unique<Lesu>();
+  };
+  AdversarySpec spec;
+  spec.policy = "saturating";
+  spec.T = 64;
+  spec.eps = 0.5;
+  spec.n = 1024;
+  Rng rng(23);
+  auto adv = make_adversary(spec, rng.child(1));
+  Rng sim = rng.child(2);
+  const auto out =
+      run_hybrid_notification(factory, *adv, {1024, 1 << 23}, sim);
+  EXPECT_TRUE(out.elected);
+}
+
+TEST(Hybrid, BudgetExhaustionReportsFailure) {
+  const auto out = run_lewk(1 << 14, AdversarySpec{}, 31, 16);
+  EXPECT_FALSE(out.elected);
+  EXPECT_EQ(out.slots, 16);
+}
+
+}  // namespace
+}  // namespace jamelect

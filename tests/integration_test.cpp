@@ -1,0 +1,163 @@
+// End-to-end scenarios across the whole stack: protocols + adversaries +
+// engines + analysis, the way a downstream user would compose them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "analysis/slot_taxonomy.hpp"
+#include "analysis/theory.hpp"
+#include "protocols/interval_partition.hpp"
+#include "protocols/lesk.hpp"
+#include "protocols/lewk.hpp"
+#include "sim/aggregate.hpp"
+#include "sim/montecarlo.hpp"
+#include "support/stats.hpp"
+
+namespace jamelect {
+namespace {
+
+TEST(Integration, LeskFinishesWithinTheoryBudget) {
+  // Theorem 2.6's explicit t with beta = 1 must cover the empirical
+  // distribution comfortably (it is a w.h.p. bound with generous
+  // constants).
+  const std::uint64_t n = 4096;
+  const double eps = 0.5;
+  const double budget = lesk_time_bound(n, eps, 1.0);
+  McConfig mc;
+  mc.trials = 100;
+  mc.seed = 42;
+  mc.max_slots = static_cast<std::int64_t>(budget) + 64;
+  AdversarySpec sat;
+  sat.policy = "saturating";
+  sat.T = 64;
+  sat.eps = eps;
+  const auto res = run_aggregate_mc(
+      [eps] { return std::make_unique<Lesk>(eps); }, sat, n, mc);
+  EXPECT_EQ(res.successes, res.trials);
+  EXPECT_LT(res.slots.p99, budget);
+}
+
+TEST(Integration, MeasuredLowerBoundRespectsLemma27) {
+  // Under the periodic blocking adversary, no run beats the
+  // information-theoretic floor of (roughly) the first unjammed slot.
+  const std::uint64_t n = 1024;
+  McConfig mc;
+  mc.trials = 50;
+  mc.seed = 7;
+  mc.max_slots = 1 << 20;
+  AdversarySpec periodic;
+  periodic.policy = "periodic";
+  periodic.T = 512;
+  periodic.eps = 0.25;
+  const auto res = run_aggregate_mc(
+      [] { return std::make_unique<Lesk>(0.25); }, periodic, n, mc);
+  EXPECT_EQ(res.successes, res.trials);
+  // The first ~(1-eps)*T slots of every period are iced; electing needs
+  // at least a handful of live slots.
+  EXPECT_GT(res.slots.min, 8.0);
+}
+
+TEST(Integration, RepeatedEpochsElectDistinctLeadersOverTime) {
+  // A sensor-network pattern: re-run the election each epoch; over many
+  // epochs different stations win (fairness sanity, exchangeability).
+  const std::uint64_t n = 32;
+  std::set<StationId> winners;
+  Rng rng(2024);
+  for (int epoch = 0; epoch < 40; ++epoch) {
+    Lesk lesk(0.5);
+    auto adv = make_adversary(AdversarySpec{}, rng.child(
+        static_cast<std::uint64_t>(2 * epoch)));
+    Rng sim = rng.child(static_cast<std::uint64_t>(2 * epoch + 1));
+    const auto out = run_aggregate(lesk, *adv, {n, 100000}, sim);
+    ASSERT_TRUE(out.elected);
+    winners.insert(*out.leader);
+  }
+  EXPECT_GT(winners.size(), 5u);
+}
+
+TEST(Integration, WeakCdCostsOnlyConstantFactor) {
+  // Lemma 3.1: LEWK within a constant factor of LESK. Measure both at
+  // two sizes; the ratio must stay bounded (we allow a generous 24x;
+  // the Notification machinery inherently multiplies by ~8).
+  for (std::uint64_t n : {64ULL, 1024ULL}) {
+    McConfig mc;
+    mc.trials = 60;
+    mc.seed = 1000 + n;
+    mc.max_slots = 1 << 21;
+    AdversarySpec none;
+    const auto strong = run_aggregate_mc(
+        [] { return std::make_unique<Lesk>(0.5); }, none, n, mc);
+    const auto weak = run_hybrid_mc(
+        [] { return std::make_unique<Lesk>(0.5); }, none, n, mc);
+    ASSERT_EQ(strong.successes, mc.trials);
+    ASSERT_EQ(weak.successes, mc.trials);
+    EXPECT_LT(weak.slots.mean, 24.0 * strong.slots.mean + 64.0) << n;
+    EXPECT_GT(weak.slots.mean, strong.slots.mean) << n;
+  }
+}
+
+TEST(Integration, TaxonomyExplainsWhyJammingSlows) {
+  // Compare clean vs jammed traces: jamming converts would-be regular
+  // slots into E slots; the count of regular slots needed before the
+  // deciding Single stays comparable.
+  const std::uint64_t n = 1024;
+  const auto trace_for = [&](const std::string& policy, std::uint64_t seed) {
+    Lesk lesk(0.5);
+    AdversarySpec spec;
+    spec.policy = policy;
+    spec.T = 64;
+    spec.eps = 0.5;
+    spec.n = n;
+    Rng rng(seed);
+    auto adv = make_adversary(spec, rng.child(1));
+    Rng sim = rng.child(2);
+    Trace trace;
+    const auto out = run_aggregate(lesk, *adv, {n, 1 << 21}, sim, &trace);
+    EXPECT_TRUE(out.elected);
+    return classify_trace(trace, n, 0.5);
+  };
+  std::int64_t clean_regular = 0, jammed_regular = 0, jammed_e = 0,
+               clean_total = 0, jammed_total = 0;
+  for (std::uint64_t s = 0; s < 15; ++s) {
+    const auto clean = trace_for("none", 500 + s);
+    const auto jam = trace_for("saturating", 600 + s);
+    clean_regular += clean.regular;
+    clean_total += clean.total();
+    jammed_regular += jam.regular;
+    jammed_e += jam.jammed;
+    jammed_total += jam.total();
+  }
+  EXPECT_GT(jammed_e, 0);
+  EXPECT_GT(jammed_total, clean_total);  // jamming costs wall-clock slots
+  // Regular-slot consumption before success is the invariant quantity:
+  // same order of magnitude in both worlds.
+  EXPECT_LT(std::abs(std::log2(static_cast<double>(jammed_regular) /
+                               static_cast<double>(clean_regular))),
+            2.5);
+}
+
+TEST(Integration, PartitionDrivesNotificationSchedule) {
+  // White-box: run LEWK per-station with a trace and confirm all
+  // pre-first-single transmissions happen in C1 slots only.
+  Rng rng(77);
+  std::vector<StationProtocolPtr> stations;
+  for (int i = 0; i < 8; ++i) stations.push_back(make_lewk_station(0.5));
+  auto adv = make_adversary(AdversarySpec{}, rng.child(1));
+  SlotEngine eng(std::move(stations), std::move(adv), rng.child(2),
+                 {CdMode::kWeak, StopRule::kAllDone, 1 << 20});
+  Trace trace;
+  const auto out = eng.run(&trace);
+  ASSERT_TRUE(out.elected);
+  bool seen_single = false;
+  for (const auto& r : trace.records()) {
+    if (r.state == ChannelState::kSingle) seen_single = true;
+    if (!seen_single && r.transmitters > 0) {
+      ASSERT_EQ(classify_slot(r.slot).set, IntervalSet::kC1) << r.slot;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jamelect

@@ -1,0 +1,104 @@
+// Parameterized numeric validation of Lemma 2.1 and Lemma 2.2 — the
+// probability inequalities the whole LESK analysis (and our taxonomy
+// thresholds and adversary mirrors) rest on.
+#include "analysis/lemma_checks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace jamelect {
+namespace {
+
+class Lemma21 : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(Lemma21, NullUpperBound) {
+  const auto [n, x] = GetParam();
+  const auto s = lemma21_sides(n, x);
+  EXPECT_LE(s.exact.null, s.null_upper + 1e-12) << "n=" << n << " x=" << x;
+}
+
+TEST_P(Lemma21, CollisionUpperBound) {
+  const auto [n, x] = GetParam();
+  const auto s = lemma21_sides(n, x);
+  EXPECT_LE(s.exact.collision, s.collision_upper + 1e-12)
+      << "n=" << n << " x=" << x;
+}
+
+TEST_P(Lemma21, SingleLowerBoundExp) {
+  const auto [n, x] = GetParam();
+  // Part 3 of the lemma is exact only for x >= 1 at finite n (for
+  // x < 1 it holds asymptotically; the paper applies it in regimes
+  // where the slack is positive — Lemma24 below checks the actual
+  // downstream claim numerically).
+  if (x < 1.0) GTEST_SKIP();
+  const auto s = lemma21_sides(n, x);
+  EXPECT_GE(s.exact.single, s.single_lower_exp - 1e-12)
+      << "n=" << n << " x=" << x;
+}
+
+TEST_P(Lemma21, SingleLowerBoundPoly) {
+  const auto [n, x] = GetParam();
+  const auto s = lemma21_sides(n, x);
+  EXPECT_GE(s.exact.single, s.single_lower_poly - 1e-12)
+      << "n=" << n << " x=" << x;
+}
+
+// The lemma assumes n > 1 and x > 0 with p = 1/(xn) <= 1, i.e. x >= 1/n;
+// sweep a wide grid of both regimes (x < 1 loud, x > 1 quiet).
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Lemma21,
+    ::testing::Combine(::testing::Values<std::uint64_t>(2, 3, 10, 115, 1024,
+                                                        1 << 16, 1 << 22),
+                       ::testing::Values(0.51, 1.0, 1.5, 2.0, 4.0, 16.0, 256.0,
+                                         65536.0)));
+
+class Lemma22 : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(Lemma22, IrregularSilenceProbabilityAtMostInverseASquared) {
+  const auto [n, a] = GetParam();
+  // The IS boundary needs p = 2 ln(a)/n <= 1.
+  if (2.0 * std::log(a) > static_cast<double>(n)) GTEST_SKIP();
+  const auto s = lemma22_sides(n, a);
+  EXPECT_LE(s.is_probability, s.is_bound + 1e-12) << "n=" << n << " a=" << a;
+}
+
+TEST_P(Lemma22, IrregularCollisionProbabilityAtMostInverseA) {
+  const auto [n, a] = GetParam();
+  const auto s = lemma22_sides(n, a);
+  EXPECT_LE(s.ic_probability, s.ic_bound + 1e-12) << "n=" << n << " a=" << a;
+}
+
+// a = 8/eps >= 8 for eps <= 1.
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Lemma22,
+    ::testing::Combine(::testing::Values<std::uint64_t>(2, 16, 115, 4096,
+                                                        1 << 20),
+                       ::testing::Values(8.0, 16.0, 64.0, 800.0)));
+
+// Lemma 2.4's regular-slot Single bound: for u in the regular band the
+// Single probability is at least C = ln(a)/a^2.
+class Lemma24 : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(Lemma24, RegularSlotSingleProbability) {
+  const auto [n, a] = GetParam();
+  const double u0 = std::log2(static_cast<double>(n));
+  const double lo = u0 - std::log2(2.0 * std::log(a));
+  const double hi = u0 + 0.5 * std::log2(a);
+  const double C = std::log(a) / (a * a);
+  for (double u = std::max(0.0, lo); u <= hi; u += 0.25) {
+    const double p = std::exp2(-u);
+    if (p > 1.0) continue;
+    const double single = slot_probabilities(n, p).single;
+    ASSERT_GE(single, C) << "n=" << n << " a=" << a << " u=" << u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Lemma24,
+    ::testing::Combine(::testing::Values<std::uint64_t>(64, 1024, 1 << 16),
+                       ::testing::Values(8.0, 16.0, 64.0)));
+
+}  // namespace
+}  // namespace jamelect

@@ -1,0 +1,166 @@
+#include "protocols/lesk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/expects.hpp"
+
+#include <cmath>
+
+#include "sim/adversary_spec.hpp"
+#include "sim/aggregate.hpp"
+#include "support/rng.hpp"
+
+namespace jamelect {
+namespace {
+
+TEST(Lesk, InitialState) {
+  Lesk lesk(0.5);
+  EXPECT_DOUBLE_EQ(lesk.u(), 0.0);
+  EXPECT_DOUBLE_EQ(lesk.a(), 16.0);
+  EXPECT_DOUBLE_EQ(lesk.transmit_probability(), 1.0);  // 2^-0
+  EXPECT_FALSE(lesk.elected());
+}
+
+TEST(Lesk, RejectsBadEps) {
+  EXPECT_THROW(Lesk lesk(0.0), ContractViolation);
+  EXPECT_THROW(Lesk lesk(1.5), ContractViolation);
+  EXPECT_THROW(Lesk lesk(-0.2), ContractViolation);
+  EXPECT_NO_THROW(Lesk lesk(1.0));
+}
+
+TEST(Lesk, AsymmetricUpdates) {
+  Lesk lesk(0.5);  // a = 16, increment 1/16
+  lesk.observe(ChannelState::kCollision);
+  EXPECT_DOUBLE_EQ(lesk.u(), 1.0 / 16.0);
+  lesk.observe(ChannelState::kCollision);
+  EXPECT_DOUBLE_EQ(lesk.u(), 2.0 / 16.0);
+  lesk.observe(ChannelState::kNull);
+  EXPECT_DOUBLE_EQ(lesk.u(), 0.0);  // floored at 0, not negative
+}
+
+TEST(Lesk, OneNullNeutralizesAOverCollisions) {
+  // The paper's design intuition: a Null (-1) cancels a = 8/eps
+  // Collisions (+1/a each).
+  Lesk lesk(0.25);  // a = 32
+  for (int i = 0; i < 32; ++i) lesk.observe(ChannelState::kCollision);
+  EXPECT_NEAR(lesk.u(), 1.0, 1e-12);
+  lesk.observe(ChannelState::kNull);
+  EXPECT_NEAR(lesk.u(), 0.0, 1e-12);
+}
+
+TEST(Lesk, SingleTerminatesAndFreezes) {
+  Lesk lesk(0.5);
+  lesk.observe(ChannelState::kCollision);
+  lesk.observe(ChannelState::kSingle);
+  EXPECT_TRUE(lesk.elected());
+  const double u = lesk.u();
+  lesk.observe(ChannelState::kCollision);  // post-election input ignored
+  lesk.observe(ChannelState::kNull);
+  EXPECT_DOUBLE_EQ(lesk.u(), u);
+  EXPECT_TRUE(lesk.elected());
+}
+
+TEST(Lesk, TransmitProbabilityTracksU) {
+  Lesk lesk(LeskParams{0.5, 3.0});
+  EXPECT_DOUBLE_EQ(lesk.transmit_probability(), 0.125);
+  EXPECT_DOUBLE_EQ(lesk.estimate(), 3.0);
+}
+
+TEST(Lesk, CloneIsIndependent) {
+  Lesk lesk(0.5);
+  lesk.observe(ChannelState::kCollision);
+  auto copy = lesk.clone();
+  copy->observe(ChannelState::kNull);
+  EXPECT_DOUBLE_EQ(lesk.u(), 1.0 / 16.0);
+  EXPECT_DOUBLE_EQ(copy->estimate(), 0.0);
+}
+
+// --- behavioural tests through the aggregate engine ---
+
+TrialOutcome run_lesk(std::uint64_t n, double eps, const std::string& policy,
+                      std::int64_t T, std::uint64_t seed,
+                      std::int64_t max_slots) {
+  Lesk lesk(eps);
+  AdversarySpec spec;
+  spec.policy = policy;
+  spec.T = T;
+  spec.eps = eps;
+  spec.n = n;
+  Rng rng(seed);
+  auto adv = make_adversary(spec, rng.child(1));
+  Rng sim = rng.child(2);
+  return run_aggregate(lesk, *adv, {n, max_slots}, sim);
+}
+
+TEST(LeskBehaviour, ElectsImmediatelyWithOneStation) {
+  const auto out = run_lesk(1, 0.5, "none", 16, 42, 100);
+  EXPECT_TRUE(out.elected);
+  EXPECT_EQ(out.slots, 1);  // u = 0 -> p = 1 -> lone Single
+}
+
+TEST(LeskBehaviour, ElectsWithoutAdversary) {
+  for (std::uint64_t n : {2ULL, 10ULL, 1000ULL, 1ULL << 14}) {
+    const auto out = run_lesk(n, 0.5, "none", 16, 1000 + n, 200000);
+    EXPECT_TRUE(out.elected) << "n=" << n;
+    EXPECT_EQ(out.singles, 1) << "n=" << n;
+  }
+}
+
+TEST(LeskBehaviour, ElectsUnderSaturatingAdversary) {
+  for (std::uint64_t n : {4ULL, 256ULL, 4096ULL}) {
+    const auto out = run_lesk(n, 0.5, "saturating", 64, 7 + n, 500000);
+    EXPECT_TRUE(out.elected) << "n=" << n;
+    EXPECT_GT(out.jams, 0) << "n=" << n;
+  }
+}
+
+TEST(LeskBehaviour, ElectsUnderSingleDenialAdversary) {
+  const auto out = run_lesk(1024, 0.5, "single_denial", 64, 99, 500000);
+  EXPECT_TRUE(out.elected);
+}
+
+TEST(LeskBehaviour, SlowsDownUnderJamming) {
+  // With a small T the cost of eps = 1/2 jamming is mild (the startup
+  // ramp is Collision-dominated either way), so use a large T: the
+  // adversary's initial burst of ~(1-eps)T jams pushes u far above
+  // log2(n) and demonstrably delays the election.
+  double clean = 0, jammed = 0;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    clean += static_cast<double>(
+        run_lesk(1024, 0.5, "none", 2048, 100 + s, 500000).slots);
+    jammed += static_cast<double>(
+        run_lesk(1024, 0.5, "saturating", 2048, 200 + s, 500000).slots);
+  }
+  EXPECT_GT(jammed, clean + 5 * 500.0);
+}
+
+TEST(LeskBehaviour, SmallerEpsCostsMoreSlots) {
+  double fast = 0, slow = 0;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    fast += static_cast<double>(
+        run_lesk(256, 0.5, "saturating", 64, 300 + s, 4000000).slots);
+    slow += static_cast<double>(
+        run_lesk(256, 0.125, "saturating", 64, 400 + s, 4000000).slots);
+  }
+  EXPECT_GT(slow, fast);
+}
+
+// Uniformity (paper §1.1): the transmit probability is a deterministic
+// function of the observation history — two instances fed the same
+// history stay identical.
+TEST(Lesk, DeterministicGivenHistory) {
+  Lesk a(0.3), b(0.3);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const double r = rng.uniform();
+    const ChannelState s = r < 0.4   ? ChannelState::kNull
+                           : r < 0.9 ? ChannelState::kCollision
+                                     : ChannelState::kCollision;
+    a.observe(s);
+    b.observe(s);
+    ASSERT_DOUBLE_EQ(a.transmit_probability(), b.transmit_probability());
+  }
+}
+
+}  // namespace
+}  // namespace jamelect

@@ -1,0 +1,148 @@
+#include "support/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/expects.hpp"
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+namespace jamelect {
+namespace {
+
+TEST(Pow2U64, Values) {
+  EXPECT_EQ(pow2_u64(0), 1u);
+  EXPECT_EQ(pow2_u64(1), 2u);
+  EXPECT_EQ(pow2_u64(10), 1024u);
+  EXPECT_EQ(pow2_u64(63), 1ULL << 63);
+  EXPECT_THROW((void)pow2_u64(64), ContractViolation);
+}
+
+TEST(FloorLog2, Values) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4), 2u);
+  EXPECT_EQ(floor_log2(1023), 9u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_THROW((void)floor_log2(0), ContractViolation);
+}
+
+TEST(CeilLog2, Values) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(IsPow2, Values) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 50));
+  EXPECT_FALSE(is_pow2((1ULL << 50) + 1));
+}
+
+TEST(PowOneMinus, EdgeCases) {
+  EXPECT_DOUBLE_EQ(pow_one_minus(0.5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(pow_one_minus(0.0, 100), 1.0);
+  EXPECT_DOUBLE_EQ(pow_one_minus(1.0, 5), 0.0);
+  EXPECT_NEAR(pow_one_minus(0.5, 2), 0.25, 1e-15);
+}
+
+TEST(PowOneMinus, StableForTinyP) {
+  // (1 - 2^-40)^(2^40) ~ 1/e; naive pow() would lose this.
+  const double p = std::ldexp(1.0, -40);
+  const auto n = static_cast<std::uint64_t>(1) << 40;
+  EXPECT_NEAR(pow_one_minus(p, n), 1.0 / std::exp(1.0), 1e-9);
+}
+
+TEST(SlotProbabilities, SumsToOne) {
+  for (std::uint64_t n : {1ULL, 2ULL, 10ULL, 1000ULL, 1ULL << 20}) {
+    for (double p : {0.0, 1e-9, 1e-3, 0.1, 0.5, 0.9, 1.0}) {
+      const auto s = slot_probabilities(n, p);
+      EXPECT_NEAR(s.null + s.single + s.collision, 1.0, 1e-12)
+          << "n=" << n << " p=" << p;
+      EXPECT_GE(s.null, 0.0);
+      EXPECT_GE(s.single, 0.0);
+      EXPECT_GE(s.collision, 0.0);
+    }
+  }
+}
+
+TEST(SlotProbabilities, SingleStation) {
+  const auto s = slot_probabilities(1, 0.3);
+  EXPECT_NEAR(s.null, 0.7, 1e-15);
+  EXPECT_NEAR(s.single, 0.3, 1e-15);
+  EXPECT_NEAR(s.collision, 0.0, 1e-15);
+}
+
+TEST(SlotProbabilities, TwoStationsExact) {
+  const auto s = slot_probabilities(2, 0.5);
+  EXPECT_NEAR(s.null, 0.25, 1e-15);
+  EXPECT_NEAR(s.single, 0.5, 1e-15);
+  EXPECT_NEAR(s.collision, 0.25, 1e-15);
+}
+
+TEST(SlotProbabilities, AllTransmit) {
+  const auto one = slot_probabilities(1, 1.0);
+  EXPECT_DOUBLE_EQ(one.single, 1.0);
+  const auto many = slot_probabilities(5, 1.0);
+  EXPECT_DOUBLE_EQ(many.collision, 1.0);
+}
+
+TEST(SlotProbabilities, ZeroStations) {
+  const auto s = slot_probabilities(0, 0.7);
+  EXPECT_DOUBLE_EQ(s.null, 1.0);
+}
+
+TEST(SlotProbabilities, PeakSingleAtOneOverN) {
+  // P[Single] at p = 1/n approaches 1/e and dominates nearby p.
+  const std::uint64_t n = 1 << 16;
+  const double p_star = 1.0 / static_cast<double>(n);
+  const double at_star = slot_probabilities(n, p_star).single;
+  EXPECT_NEAR(at_star, 1.0 / std::exp(1.0), 1e-3);
+  EXPECT_GT(at_star, slot_probabilities(n, p_star * 8).single);
+  EXPECT_GT(at_star, slot_probabilities(n, p_star / 8).single);
+}
+
+TEST(TransmitProbability, Mapping) {
+  EXPECT_DOUBLE_EQ(transmit_probability(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(transmit_probability(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(transmit_probability(10.0), std::ldexp(1.0, -10));
+  EXPECT_EQ(transmit_probability(3000.0), 0.0);  // graceful underflow
+  EXPECT_THROW((void)transmit_probability(-0.5), ContractViolation);
+}
+
+TEST(CeilToSlots, Values) {
+  EXPECT_EQ(ceil_to_slots(0.0), 0);
+  EXPECT_EQ(ceil_to_slots(1.2), 2);
+  EXPECT_EQ(ceil_to_slots(7.0), 7);
+  EXPECT_EQ(ceil_to_slots(1e30), std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(ceil_to_slots(std::numeric_limits<double>::infinity()),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+// Property sweep: probabilities are monotone in the expected direction.
+class SlotProbMonotone
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(SlotProbMonotone, NullDecreasesCollisionIncreasesInP) {
+  const auto [n, p] = GetParam();
+  const auto lo = slot_probabilities(n, p);
+  const auto hi = slot_probabilities(n, std::min(1.0, p * 2));
+  EXPECT_LE(hi.null, lo.null + 1e-12);
+  EXPECT_GE(hi.collision, lo.collision - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SlotProbMonotone,
+    ::testing::Combine(::testing::Values<std::uint64_t>(2, 16, 1024, 1 << 20),
+                       ::testing::Values(1e-8, 1e-5, 1e-3, 0.05, 0.3)));
+
+}  // namespace
+}  // namespace jamelect

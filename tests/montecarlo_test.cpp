@@ -1,0 +1,122 @@
+#include "sim/montecarlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/expects.hpp"
+
+#include <memory>
+
+#include "protocols/lesk.hpp"
+#include "protocols/uniform_station.hpp"
+
+namespace jamelect {
+namespace {
+
+UniformProtocolFactory lesk_factory() {
+  return [] { return std::make_unique<Lesk>(0.5); };
+}
+
+TEST(MonteCarlo, AggregatesAllTrials) {
+  McConfig c;
+  c.trials = 50;
+  c.seed = 5;
+  c.max_slots = 100000;
+  const auto res = run_aggregate_mc(lesk_factory(), AdversarySpec{}, 64, c);
+  EXPECT_EQ(res.trials, 50u);
+  EXPECT_EQ(res.successes, 50u);
+  EXPECT_EQ(res.outcomes.size(), 50u);
+  EXPECT_DOUBLE_EQ(res.success.rate, 1.0);
+  EXPECT_GT(res.slots.mean, 0.0);
+  EXPECT_GT(res.energy_per_station.mean, 0.0);
+  EXPECT_EQ(res.slots_on_success.count, 50u);
+}
+
+TEST(MonteCarlo, ParallelAndSerialAgreeExactly) {
+  McConfig par;
+  par.trials = 40;
+  par.seed = 9;
+  par.max_slots = 100000;
+  McConfig ser = par;
+  ser.parallel = false;
+  const auto a = run_aggregate_mc(lesk_factory(), AdversarySpec{}, 128, par);
+  const auto b = run_aggregate_mc(lesk_factory(), AdversarySpec{}, 128, ser);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t k = 0; k < a.outcomes.size(); ++k) {
+    ASSERT_EQ(a.outcomes[k].slots, b.outcomes[k].slots) << k;
+    ASSERT_EQ(a.outcomes[k].nulls, b.outcomes[k].nulls) << k;
+  }
+}
+
+TEST(MonteCarlo, SeedChangesResults) {
+  McConfig c;
+  c.trials = 10;
+  c.seed = 1;
+  c.max_slots = 100000;
+  const auto a = run_aggregate_mc(lesk_factory(), AdversarySpec{}, 128, c);
+  c.seed = 2;
+  const auto b = run_aggregate_mc(lesk_factory(), AdversarySpec{}, 128, c);
+  bool any_diff = false;
+  for (std::size_t k = 0; k < 10; ++k) {
+    any_diff |= a.outcomes[k].slots != b.outcomes[k].slots;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MonteCarlo, FailuresAreCensored) {
+  McConfig c;
+  c.trials = 8;
+  c.seed = 3;
+  c.max_slots = 2;  // hopeless for n = 4096
+  const auto res = run_aggregate_mc(lesk_factory(), AdversarySpec{}, 4096, c);
+  EXPECT_EQ(res.successes, 0u);
+  EXPECT_DOUBLE_EQ(res.slots.mean, 2.0);
+  EXPECT_EQ(res.slots_on_success.count, 0u);
+  EXPECT_LT(res.success.upper, 0.5);
+}
+
+TEST(MonteCarlo, StationRunnerValidatesElection) {
+  McConfig c;
+  c.trials = 10;
+  c.seed = 7;
+  c.max_slots = 100000;
+  const auto res = run_station_mc(
+      [](StationId) -> StationProtocolPtr {
+        return std::make_unique<UniformStationAdapter>(
+            std::make_unique<Lesk>(0.5));
+      },
+      AdversarySpec{}, 16, {CdMode::kStrong, StopRule::kAllDone, 100000}, c);
+  EXPECT_EQ(res.successes, 10u);
+  for (const auto& o : res.outcomes) {
+    EXPECT_TRUE(o.unique_leader);
+    EXPECT_TRUE(o.all_done);
+    EXPECT_TRUE(o.leader.has_value());
+  }
+}
+
+TEST(MonteCarlo, RejectsZeroTrials) {
+  McConfig c;
+  c.trials = 0;
+  EXPECT_THROW((void)run_aggregate_mc(lesk_factory(), AdversarySpec{}, 4, c),
+               ContractViolation);
+}
+
+TEST(MonteCarlo, UnknownPolicyThrows) {
+  AdversarySpec bad;
+  bad.policy = "quantum";
+  McConfig c;
+  c.trials = 1;
+  EXPECT_THROW((void)run_aggregate_mc(lesk_factory(), bad, 4, c),
+               std::invalid_argument);
+}
+
+TEST(MonteCarlo, HybridRunnerWorks) {
+  McConfig c;
+  c.trials = 20;
+  c.seed = 11;
+  c.max_slots = 1 << 20;
+  const auto res = run_hybrid_mc(lesk_factory(), AdversarySpec{}, 32, c);
+  EXPECT_EQ(res.successes, 20u);
+}
+
+}  // namespace
+}  // namespace jamelect

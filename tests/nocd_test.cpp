@@ -1,0 +1,131 @@
+#include "baselines/nocd_election.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/expects.hpp"
+
+#include <cmath>
+
+#include "adversary/policies.hpp"
+#include "protocols/lesk.hpp"
+#include "sim/adversary_spec.hpp"
+#include "sim/aggregate.hpp"
+#include "support/rng.hpp"
+
+namespace jamelect {
+namespace {
+
+TEST(NoCdElection, RejectsBadParams) {
+  EXPECT_THROW(NoCdElection bad({0}), ContractViolation);
+}
+
+TEST(NoCdElection, SweepSchedule) {
+  NoCdElection p({2});  // 2 repetitions per exponent
+  EXPECT_EQ(p.epoch(), 1);
+  EXPECT_EQ(p.u(), 1);
+  EXPECT_DOUBLE_EQ(p.transmit_probability(), 0.5);
+  p.observe(ChannelState::kCollision);
+  EXPECT_EQ(p.u(), 1);  // first repetition consumed
+  p.observe(ChannelState::kCollision);
+  EXPECT_EQ(p.u(), 2);  // second repetition -> next exponent
+  p.observe(ChannelState::kCollision);
+  p.observe(ChannelState::kCollision);
+  // Epoch 1 caps u at 2^1 = 2 -> epoch 2, restart at u = 1.
+  EXPECT_EQ(p.epoch(), 2);
+  EXPECT_EQ(p.u(), 1);
+}
+
+TEST(NoCdElection, NullAndCollisionAreIndistinguishable) {
+  // The no-CD contract: the protocol's trajectory may depend only on
+  // the Single/not-Single distinction.
+  NoCdElection a({3}), b({3});
+  for (int i = 0; i < 50; ++i) {
+    a.observe(ChannelState::kNull);
+    b.observe(ChannelState::kCollision);
+    ASSERT_EQ(a.u(), b.u()) << i;
+    ASSERT_EQ(a.epoch(), b.epoch()) << i;
+    ASSERT_DOUBLE_EQ(a.transmit_probability(), b.transmit_probability()) << i;
+  }
+}
+
+TEST(NoCdElection, SingleElects) {
+  NoCdElection p;
+  p.observe(ChannelState::kCollision);
+  p.observe(ChannelState::kSingle);
+  EXPECT_TRUE(p.elected());
+  EXPECT_DOUBLE_EQ(p.transmit_probability(), 0.0);
+}
+
+TrialOutcome run_nocd(std::uint64_t n, const std::string& policy,
+                      std::uint64_t seed, std::int64_t max_slots) {
+  NoCdElection p({4});
+  AdversarySpec spec;
+  spec.policy = policy;
+  spec.T = 64;
+  spec.eps = 0.25;
+  spec.n = n;
+  Rng rng(seed);
+  auto adv = make_adversary(spec, rng.child(1));
+  Rng sim = rng.child(2);
+  return run_aggregate(p, *adv, {n, max_slots}, sim);
+}
+
+TEST(NoCdElection, ElectsInLogSquaredWithoutAdversary) {
+  for (std::uint64_t n : {64ULL, 4096ULL, 1ULL << 16}) {
+    const auto out = run_nocd(n, "none", 31 + n, 100000);
+    EXPECT_TRUE(out.elected) << n;
+    const double log2n = std::log2(static_cast<double>(n));
+    EXPECT_LT(static_cast<double>(out.slots), 24.0 * log2n * log2n) << n;
+  }
+}
+
+TEST(NoCdElection, SurvivesObliviousJamming) {
+  // Random-ish jamming alone does not kill the sweep: the unjammed
+  // quarter of the sweet-window slots still yields Singles.
+  const auto out = run_nocd(4096, "saturating", 100, 50000);
+  EXPECT_TRUE(out.elected);
+}
+
+TEST(NoCdElection, DeniedForeverByProtocolAwareAdversary) {
+  // The paper's §4 open problem, demonstrated: the sweep's transmit
+  // probability is a deterministic function of the slot index (before
+  // the first Single every observation advances it identically), so an
+  // adversary mirroring the protocol can jam exactly the slots with
+  // non-negligible Single probability. Within the (T, 1-eps) budget it
+  // ices the sweet window of EVERY pass — the election never completes.
+  const std::uint64_t n = 4096;
+  std::size_t failures = 0;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    NoCdElection protocol({4});
+    BoundedAdversary adv(
+        64, EpsRatio::from_double(0.25),
+        std::make_unique<OracleDenialPolicy>(
+            std::make_unique<NoCdElection>(NoCdElectionParams{4}), n, 1e-5));
+    Rng rng(700 + seed);
+    Rng sim = rng.child(2);
+    const auto out = run_aggregate(protocol, adv, {n, 100000}, sim);
+    failures += out.elected ? 0 : 1;
+  }
+  EXPECT_GE(failures, 3u);
+}
+
+TEST(NoCdElection, LeskResistsTheSameOracleAdversary) {
+  // The contrast that IS the paper: the identical oracle-denial attack
+  // cannot stop LESK, because denying Singles costs Collisions, each
+  // Collision moves u by only eps/8, and the adversary cannot fabricate
+  // the Nulls that pull u back into the sweet window.
+  const std::uint64_t n = 4096;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Lesk protocol(0.25);
+    BoundedAdversary adv(64, EpsRatio::from_double(0.25),
+                         std::make_unique<OracleDenialPolicy>(
+                             std::make_unique<Lesk>(0.25), n, 0.005));
+    Rng rng(800 + seed);
+    Rng sim = rng.child(2);
+    const auto out = run_aggregate(protocol, adv, {n, 1 << 21}, sim);
+    EXPECT_TRUE(out.elected) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace jamelect

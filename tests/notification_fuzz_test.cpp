@@ -1,0 +1,120 @@
+// Randomized state-machine fuzz for NotificationStation: drive the
+// station with arbitrary (but weak-CD-consistent) observation streams
+// and assert structural invariants that must hold on EVERY path, not
+// just the happy handshake:
+//   * transmit probabilities are always in [0, 1];
+//   * done() is absorbing;
+//   * phase transitions follow the paper's DAG;
+//   * a station never claims leadership unless it followed the
+//     l-path (first-loop exit via a C2 Single);
+//   * post-done behaviour is inert.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "protocols/lesk.hpp"
+#include "protocols/lesu.hpp"
+#include "protocols/notification.hpp"
+#include "support/rng.hpp"
+
+namespace jamelect {
+namespace {
+
+using Phase = NotificationStation::Phase;
+
+bool legal_transition(Phase from, Phase to) {
+  if (from == to) return true;
+  switch (from) {
+    case Phase::kFirstLoop:
+      return to == Phase::kSecondLoop || to == Phase::kAnnounceC3;
+    case Phase::kSecondLoop:
+      return to == Phase::kConfirmC1 || to == Phase::kDone;
+    case Phase::kConfirmC1:
+      return to == Phase::kDone;
+    case Phase::kAnnounceC3:
+      return to == Phase::kDone;
+    case Phase::kDone:
+      return false;
+  }
+  return false;
+}
+
+class NotificationFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NotificationFuzz, InvariantsHoldOnRandomStreams) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const bool inner_lesu = rng.bernoulli(0.3);
+  UniformProtocolFactory factory;
+  if (inner_lesu) {
+    factory = [] { return std::make_unique<Lesu>(); };
+  } else {
+    factory = [] { return std::make_unique<Lesk>(0.5); };
+  }
+  NotificationStation st(factory);
+
+  Phase prev_phase = st.phase();
+  bool was_done = false;
+  bool saw_c2_single_while_first_loop = false;
+
+  for (Slot slot = 0; slot < 4000; ++slot) {
+    const double p = st.transmit_probability(slot);
+    ASSERT_GE(p, 0.0) << "slot " << slot;
+    ASSERT_LE(p, 1.0) << "slot " << slot;
+    const bool transmitted = rng.bernoulli(p);
+
+    // Weak-CD consistency: a transmitter always perceives Collision; a
+    // listener perceives an arbitrary channel state.
+    Observation obs;
+    if (transmitted) {
+      obs = Observation::kCollision;
+    } else {
+      const double r = rng.uniform();
+      obs = r < 0.45   ? Observation::kNull
+            : r < 0.55 ? Observation::kSingle
+                       : Observation::kCollision;
+    }
+
+    const bool is_c2 =
+        classify_slot(slot).set == IntervalSet::kC2;
+    if (st.phase() == Phase::kFirstLoop && is_c2 && !transmitted &&
+        obs == Observation::kSingle) {
+      saw_c2_single_while_first_loop = true;
+    }
+
+    st.feedback(slot, transmitted, obs);
+
+    const Phase now = st.phase();
+    ASSERT_TRUE(legal_transition(prev_phase, now))
+        << "slot " << slot << ": " << static_cast<int>(prev_phase) << " -> "
+        << static_cast<int>(now);
+    prev_phase = now;
+
+    if (was_done) {
+      ASSERT_TRUE(st.done()) << "done() must be absorbing, slot " << slot;
+    }
+    was_done = st.done();
+
+    if (st.is_leader()) {
+      // Only the l-path sets the leader flag.
+      ASSERT_TRUE(saw_c2_single_while_first_loop) << "slot " << slot;
+    }
+  }
+
+  // Post-done inertia: more feedback changes nothing observable.
+  if (st.done()) {
+    const bool leader = st.is_leader();
+    for (Slot slot = 4000; slot < 4050; ++slot) {
+      ASSERT_DOUBLE_EQ(st.transmit_probability(slot), 0.0);
+      st.feedback(slot, false, Observation::kNull);
+      ASSERT_TRUE(st.done());
+      ASSERT_EQ(st.is_leader(), leader);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NotificationFuzz,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace jamelect

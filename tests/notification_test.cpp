@@ -1,0 +1,162 @@
+#include "protocols/notification.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/expects.hpp"
+
+#include <memory>
+
+#include "protocols/lesk.hpp"
+#include "protocols/lewk.hpp"
+#include "protocols/lewu.hpp"
+
+namespace jamelect {
+namespace {
+
+UniformProtocolFactory lesk_factory(double eps = 0.5) {
+  return [eps] { return std::make_unique<Lesk>(eps); };
+}
+
+TEST(NotificationStation, StartsListeningInPadding) {
+  NotificationStation st(lesk_factory());
+  EXPECT_EQ(st.phase(), NotificationStation::Phase::kFirstLoop);
+  for (Slot s : {0, 1, 2}) EXPECT_DOUBLE_EQ(st.transmit_probability(s), 0.0);
+  EXPECT_FALSE(st.done());
+  EXPECT_FALSE(st.is_leader());
+}
+
+TEST(NotificationStation, RunsInnerAOnlyInC1DuringFirstLoop) {
+  NotificationStation st(lesk_factory());
+  // Slot 3 = first C1 slot: fresh LESK has u = 0 -> p = 1.
+  EXPECT_DOUBLE_EQ(st.transmit_probability(3), 1.0);
+  // C2 and C3 slots of block 1: silent.
+  EXPECT_DOUBLE_EQ(st.transmit_probability(5), 0.0);
+  EXPECT_DOUBLE_EQ(st.transmit_probability(7), 0.0);
+}
+
+TEST(NotificationStation, RestartsInnerAAtEachC1IntervalStart) {
+  NotificationStation st(lesk_factory());
+  (void)st.transmit_probability(3);
+  st.feedback(3, false, Observation::kCollision);  // u -> 1/16
+  (void)st.transmit_probability(4);
+  st.feedback(4, false, Observation::kCollision);  // u -> 2/16
+  EXPECT_GT(st.estimate(), 0.0);
+  // Slot 9 starts C^2_1: the inner A reverts to u = 0.
+  EXPECT_DOUBLE_EQ(st.transmit_probability(9), 1.0);
+  EXPECT_DOUBLE_EQ(st.estimate(), 0.0);
+}
+
+TEST(NotificationStation, ListenerHearingC1SingleMovesToSecondLoop) {
+  NotificationStation st(lesk_factory());
+  (void)st.transmit_probability(3);
+  st.feedback(3, false, Observation::kSingle);
+  EXPECT_EQ(st.phase(), NotificationStation::Phase::kSecondLoop);
+  EXPECT_FALSE(st.done());
+  // Now silent in C1, active in C2 from its interval start (slot 5).
+  EXPECT_DOUBLE_EQ(st.transmit_probability(4), 0.0);
+  EXPECT_DOUBLE_EQ(st.transmit_probability(5), 1.0);  // fresh LESK u=0
+}
+
+TEST(NotificationStation, TransmitterMissesOwnSingleAndStaysInFirstLoop) {
+  NotificationStation st(lesk_factory());
+  (void)st.transmit_probability(3);
+  // Weak-CD: the transmitter of a Single perceives a Collision.
+  st.feedback(3, true, Observation::kCollision);
+  EXPECT_EQ(st.phase(), NotificationStation::Phase::kFirstLoop);
+}
+
+TEST(NotificationStation, LoneFirstLoopStationBecomesLeaderOnC2Single) {
+  NotificationStation st(lesk_factory());
+  (void)st.transmit_probability(3);
+  st.feedback(3, true, Observation::kCollision);  // it is l
+  // Later it hears a Single in C2 (slot 5): leader = true, announce.
+  (void)st.transmit_probability(5);
+  st.feedback(5, false, Observation::kSingle);
+  EXPECT_EQ(st.phase(), NotificationStation::Phase::kAnnounceC3);
+  EXPECT_FALSE(st.done());
+  // Transmits every C3 slot, listens in C1.
+  EXPECT_DOUBLE_EQ(st.transmit_probability(7), 1.0);
+  EXPECT_DOUBLE_EQ(st.transmit_probability(9), 0.0);
+  // A Null in C1 finishes it as THE leader.
+  st.feedback(9, false, Observation::kNull);
+  EXPECT_TRUE(st.done());
+  EXPECT_TRUE(st.is_leader());
+}
+
+TEST(NotificationStation, SecondLoopSingleSendsListenerToConfirm) {
+  NotificationStation st(lesk_factory());
+  (void)st.transmit_probability(3);
+  st.feedback(3, false, Observation::kSingle);  // -> second loop
+  (void)st.transmit_probability(5);
+  st.feedback(5, false, Observation::kSingle);  // Single in C2
+  EXPECT_EQ(st.phase(), NotificationStation::Phase::kConfirmC1);
+  // Transmits deterministically in every C1 slot.
+  EXPECT_DOUBLE_EQ(st.transmit_probability(9), 1.0);
+  EXPECT_DOUBLE_EQ(st.transmit_probability(13), 0.0);  // C2: silent
+  // Single in C3 releases it as a non-leader.
+  st.feedback(17, false, Observation::kSingle);
+  EXPECT_TRUE(st.done());
+  EXPECT_FALSE(st.is_leader());
+}
+
+TEST(NotificationStation, SStationExitsViaC3WithoutC2Status) {
+  // s transmitted the C2 Single (saw Collision), stays in the second
+  // loop, and exits as non-leader on the C3 Single.
+  NotificationStation st(lesk_factory());
+  (void)st.transmit_probability(3);
+  st.feedback(3, false, Observation::kSingle);  // -> second loop
+  (void)st.transmit_probability(5);
+  st.feedback(5, true, Observation::kCollision);  // its own C2 Single
+  EXPECT_EQ(st.phase(), NotificationStation::Phase::kSecondLoop);
+  st.feedback(7, false, Observation::kSingle);  // l's announcement in C3
+  EXPECT_TRUE(st.done());
+  EXPECT_FALSE(st.is_leader());
+}
+
+TEST(NotificationStation, ConfirmerIgnoresNonSingleC3) {
+  NotificationStation st(lesk_factory());
+  (void)st.transmit_probability(3);
+  st.feedback(3, false, Observation::kSingle);
+  (void)st.transmit_probability(5);
+  st.feedback(5, false, Observation::kSingle);
+  ASSERT_EQ(st.phase(), NotificationStation::Phase::kConfirmC1);
+  st.feedback(7, false, Observation::kCollision);  // jammed C3
+  st.feedback(8, false, Observation::kNull);
+  EXPECT_FALSE(st.done());
+}
+
+TEST(NotificationStation, LeaderIgnoresJammedC1) {
+  NotificationStation st(lesk_factory());
+  (void)st.transmit_probability(3);
+  st.feedback(3, true, Observation::kCollision);
+  (void)st.transmit_probability(5);
+  st.feedback(5, false, Observation::kSingle);
+  ASSERT_EQ(st.phase(), NotificationStation::Phase::kAnnounceC3);
+  st.feedback(9, false, Observation::kCollision);  // C1 busy or jammed
+  EXPECT_FALSE(st.done());
+  st.feedback(10, false, Observation::kNull);
+  EXPECT_TRUE(st.done());
+  EXPECT_TRUE(st.is_leader());
+}
+
+TEST(NotificationStation, RejectsNoCdObservations) {
+  NotificationStation st(lesk_factory());
+  (void)st.transmit_probability(3);
+  EXPECT_THROW(st.feedback(3, false, Observation::kNoSingle),
+               ContractViolation);
+}
+
+TEST(NotificationStation, FactoryRequired) {
+  EXPECT_THROW(NotificationStation st(nullptr), ContractViolation);
+}
+
+TEST(Factories, LewkAndLewuBuildStations) {
+  auto lewk = make_lewk_station(0.5);
+  EXPECT_EQ(lewk->name(), "Notification");
+  EXPECT_FALSE(lewk->done());
+  auto lewu = make_lewu_station();
+  EXPECT_DOUBLE_EQ(lewu->transmit_probability(3), 0.25);  // Estimation r=1
+}
+
+}  // namespace
+}  // namespace jamelect

@@ -1,0 +1,109 @@
+// Reproduces the paper's §3 one-liner: the naive odd/even notification
+// scheme works without an adversary but "even a simple adversary can
+// disrupt such algorithm by jamming some even time slot" — concretely,
+// jamming the notification slot after a Collision convinces EVERY
+// colliding transmitter that it won, electing multiple leaders. The
+// real Notification transform survives the same attack.
+#include "protocols/odd_even.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "protocols/lesk.hpp"
+#include "protocols/lewk.hpp"
+#include "sim/adversary_spec.hpp"
+#include "sim/engine.hpp"
+#include "support/expects.hpp"
+#include "support/rng.hpp"
+
+namespace jamelect {
+namespace {
+
+/// The "simple adversary": jam a notification slot whenever the
+/// preceding algorithm slot was a genuine collision (the adversary is
+/// omniscient about the past, including true transmitter counts).
+class NotificationJammer final : public JamPolicy {
+ public:
+  [[nodiscard]] bool desires_jam(Slot slot, const JammingBudget&) override {
+    return slot % 2 == 1 && last_count_ >= 2;
+  }
+  void observe(const AdversaryView& view) override {
+    last_count_ = view.true_transmitters;
+  }
+  [[nodiscard]] std::string name() const override { return "notif_jam"; }
+
+ private:
+  std::uint64_t last_count_ = 0;
+};
+
+std::vector<StationProtocolPtr> odd_even_stations(std::uint64_t n) {
+  std::vector<StationProtocolPtr> stations;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    stations.push_back(
+        std::make_unique<OddEvenStation>(std::make_unique<Lesk>(0.5)));
+  }
+  return stations;
+}
+
+std::size_t count_leaders(const SlotEngine& engine) {
+  std::size_t leaders = 0;
+  for (std::size_t i = 0; i < engine.num_stations(); ++i) {
+    if (engine.station(i).done() && engine.station(i).is_leader()) ++leaders;
+  }
+  return leaders;
+}
+
+TEST(OddEven, RejectsNullInner) {
+  EXPECT_THROW(OddEvenStation bad(nullptr), ContractViolation);
+}
+
+TEST(OddEven, CorrectWithoutAdversary) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(100 + seed);
+    SlotEngine engine(odd_even_stations(16),
+                      make_adversary(AdversarySpec{}, rng.child(1)),
+                      rng.child(2),
+                      {CdMode::kWeak, StopRule::kAllDone, 1 << 16});
+    const auto out = engine.run();
+    EXPECT_TRUE(out.elected) << seed;
+    EXPECT_TRUE(out.unique_leader) << seed;
+    EXPECT_EQ(count_leaders(engine), 1u) << seed;
+  }
+}
+
+TEST(OddEven, SimpleJammerElectsMultipleLeaders) {
+  // The safety violation: with the notification jammer the colliding
+  // transmitters of some algorithm slot all promote themselves.
+  std::size_t violations = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(200 + seed);
+    auto adversary = std::make_unique<BoundedAdversary>(
+        8, EpsRatio{1, 2}, std::make_unique<NotificationJammer>());
+    SlotEngine engine(odd_even_stations(16), std::move(adversary),
+                      rng.child(2),
+                      {CdMode::kWeak, StopRule::kAllDone, 1 << 14});
+    (void)engine.run();
+    if (count_leaders(engine) >= 2) ++violations;
+  }
+  EXPECT_GE(violations, 8u);  // nearly every run is corrupted
+}
+
+TEST(OddEven, RealNotificationSurvivesTheSameJammer) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(300 + seed);
+    auto adversary = std::make_unique<BoundedAdversary>(
+        8, EpsRatio{1, 2}, std::make_unique<NotificationJammer>());
+    std::vector<StationProtocolPtr> stations;
+    for (int i = 0; i < 16; ++i) stations.push_back(make_lewk_station(0.5));
+    SlotEngine engine(std::move(stations), std::move(adversary), rng.child(2),
+                      {CdMode::kWeak, StopRule::kAllDone, 1 << 19});
+    const auto out = engine.run();
+    EXPECT_TRUE(out.elected) << seed;
+    EXPECT_TRUE(out.unique_leader) << seed;
+    EXPECT_EQ(count_leaders(engine), 1u) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace jamelect

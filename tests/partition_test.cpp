@@ -1,0 +1,117 @@
+#include "protocols/interval_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/expects.hpp"
+
+#include <map>
+
+namespace jamelect {
+namespace {
+
+TEST(Partition, PaddingSlots) {
+  for (Slot s : {0, 1, 2}) {
+    const auto pos = classify_slot(s);
+    EXPECT_EQ(pos.set, IntervalSet::kPadding) << s;
+    EXPECT_FALSE(pos.interval_start());
+  }
+  EXPECT_THROW((void)classify_slot(-1), ContractViolation);
+}
+
+TEST(Partition, PaperBlockOne) {
+  // C^1_1 = {3,4}, C^1_2 = {5,6}, C^1_3 = {7,8}.
+  for (Slot s : {3, 4}) EXPECT_EQ(classify_slot(s).set, IntervalSet::kC1) << s;
+  for (Slot s : {5, 6}) EXPECT_EQ(classify_slot(s).set, IntervalSet::kC2) << s;
+  for (Slot s : {7, 8}) EXPECT_EQ(classify_slot(s).set, IntervalSet::kC3) << s;
+  EXPECT_EQ(classify_slot(3).block, 1);
+  EXPECT_EQ(classify_slot(3).size, 2);
+  EXPECT_TRUE(classify_slot(3).interval_start());
+  EXPECT_FALSE(classify_slot(4).interval_start());
+}
+
+TEST(Partition, PaperBlockTwo) {
+  // C^2_1 = {9..12}, C^2_2 = {13..16}, C^2_3 = {17..20}.
+  EXPECT_EQ(classify_slot(9).set, IntervalSet::kC1);
+  EXPECT_TRUE(classify_slot(9).interval_start());
+  EXPECT_EQ(classify_slot(12).set, IntervalSet::kC1);
+  EXPECT_EQ(classify_slot(13).set, IntervalSet::kC2);
+  EXPECT_EQ(classify_slot(16).set, IntervalSet::kC2);
+  EXPECT_EQ(classify_slot(17).set, IntervalSet::kC3);
+  EXPECT_EQ(classify_slot(20).set, IntervalSet::kC3);
+  EXPECT_EQ(classify_slot(20).block, 2);
+  EXPECT_EQ(classify_slot(20).size, 4);
+  EXPECT_EQ(classify_slot(20).offset, 3);
+}
+
+TEST(Partition, FirstAndEndSlotFormulas) {
+  EXPECT_EQ(interval_first_slot(1, IntervalSet::kC1), 3);
+  EXPECT_EQ(interval_first_slot(1, IntervalSet::kC2), 5);
+  EXPECT_EQ(interval_first_slot(1, IntervalSet::kC3), 7);
+  EXPECT_EQ(interval_first_slot(2, IntervalSet::kC1), 9);
+  EXPECT_EQ(interval_end_slot(2, IntervalSet::kC3), 21);
+  EXPECT_EQ(interval_first_slot(3, IntervalSet::kC1), 21);  // blocks tile
+  EXPECT_THROW((void)interval_first_slot(0, IntervalSet::kC1),
+               ContractViolation);
+  EXPECT_THROW((void)interval_first_slot(1, IntervalSet::kPadding),
+               ContractViolation);
+}
+
+TEST(Partition, TilesTheLineExactly) {
+  // Every slot in [3, 3000) belongs to exactly one interval, intervals
+  // are contiguous runs of 2^i slots, and consecutive blocks abut.
+  Slot expected_next_start = 3;
+  for (std::int64_t i = 1; expected_next_start < 3000; ++i) {
+    for (auto set : {IntervalSet::kC1, IntervalSet::kC2, IntervalSet::kC3}) {
+      EXPECT_EQ(interval_first_slot(i, set), expected_next_start);
+      expected_next_start = interval_end_slot(i, set);
+    }
+  }
+}
+
+TEST(Partition, ClassifyAgreesWithFormulasEverywhere) {
+  for (Slot s = 3; s < 5000; ++s) {
+    const auto pos = classify_slot(s);
+    ASSERT_NE(pos.set, IntervalSet::kPadding) << s;
+    ASSERT_EQ(interval_first_slot(pos.block, pos.set) + pos.offset, s) << s;
+    ASSERT_LT(pos.offset, pos.size) << s;
+    ASSERT_GE(pos.offset, 0) << s;
+    ASSERT_EQ(pos.size, std::int64_t{1} << pos.block) << s;
+  }
+}
+
+TEST(Partition, EachSetGetsEqualShareWithinABlock) {
+  std::map<IntervalSet, std::int64_t> count;
+  for (Slot s = interval_first_slot(5, IntervalSet::kC1);
+       s < interval_end_slot(5, IntervalSet::kC3); ++s) {
+    ++count[classify_slot(s).set];
+  }
+  EXPECT_EQ(count[IntervalSet::kC1], 32);
+  EXPECT_EQ(count[IntervalSet::kC2], 32);
+  EXPECT_EQ(count[IntervalSet::kC3], 32);
+}
+
+TEST(Partition, IntervalStartsAreExactlyTheFormulaPoints) {
+  std::int64_t starts_seen = 0;
+  for (Slot s = 0; s < 2000; ++s) {
+    if (classify_slot(s).interval_start()) ++starts_seen;
+  }
+  // Blocks 1..9 fit below 2000 partially; count starts of all intervals
+  // whose first slot is < 2000.
+  std::int64_t expected = 0;
+  for (std::int64_t i = 1; i <= 10; ++i) {
+    for (auto set : {IntervalSet::kC1, IntervalSet::kC2, IntervalSet::kC3}) {
+      if (interval_first_slot(i, set) < 2000) ++expected;
+    }
+  }
+  EXPECT_EQ(starts_seen, expected);
+}
+
+TEST(Partition, LargeSlotsDoNotOverflow) {
+  const Slot huge = (std::int64_t{1} << 40) + 12345;
+  const auto pos = classify_slot(huge);
+  EXPECT_NE(pos.set, IntervalSet::kPadding);
+  EXPECT_EQ(interval_first_slot(pos.block, pos.set) + pos.offset, huge);
+}
+
+}  // namespace
+}  // namespace jamelect

@@ -1,0 +1,145 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/expects.hpp"
+
+#include <array>
+#include <set>
+#include <vector>
+
+namespace jamelect {
+namespace {
+
+TEST(SplitMix64, MatchesReferenceVector) {
+  // Canonical splitmix64.c outputs for seed 0.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(sm.next(), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(sm.next(), 0x06C45D188009454FULL);
+}
+
+TEST(SplitMix64, DistinctSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Mix64, IsDeterministic) {
+  EXPECT_EQ(mix64(42, 7), mix64(42, 7));
+}
+
+TEST(Mix64, SensitiveToBothArguments) {
+  EXPECT_NE(mix64(42, 7), mix64(42, 8));
+  EXPECT_NE(mix64(42, 7), mix64(43, 7));
+  EXPECT_NE(mix64(42, 7), mix64(7, 42));  // not symmetric
+}
+
+TEST(Xoshiro, DeterministicBySeed) {
+  Xoshiro256StarStar a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, SeedsProduceDifferentStreams) {
+  Xoshiro256StarStar a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+  }
+}
+
+TEST(Rng, BernoulliRateMatches) {
+  Rng rng(5);
+  constexpr int kN = 200000;
+  int hits = 0;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(13);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(19);
+  std::array<int, 7> buckets{};
+  constexpr int kN = 70000;
+  for (int i = 0; i < kN; ++i) ++buckets[rng.below(7)];
+  for (int b : buckets) EXPECT_NEAR(b, kN / 7, 500);
+}
+
+TEST(Rng, BelowRejectsZeroBound) {
+  Rng rng(23);
+  EXPECT_THROW((void)rng.below(0), ContractViolation);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(29);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.between(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values hit
+}
+
+TEST(Rng, ChildStreamsAreIndependentAndDeterministic) {
+  Rng parent(31);
+  Rng c1 = parent.child(0);
+  Rng c2 = parent.child(1);
+  Rng c1again = parent.child(0);
+  EXPECT_NE(c1.next_u64(), c2.next_u64());
+  Rng c1b = parent.child(0);
+  EXPECT_EQ(c1again.next_u64(), c1b.next_u64());
+}
+
+TEST(Rng, ChildDoesNotPerturbParent) {
+  Rng a(37), b(37);
+  (void)a.child(5);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, GrandchildrenDistinct) {
+  Rng root(41);
+  const auto x = root.child(0).child(1).next_u64();
+  const auto y = root.child(1).child(0).next_u64();
+  EXPECT_NE(x, y);
+}
+
+}  // namespace
+}  // namespace jamelect

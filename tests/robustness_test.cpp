@@ -1,0 +1,215 @@
+// Failure injection and adversarial edge cases: the protocol stack must
+// stay correct (never elect two leaders, never violate the budget,
+// never crash) under hostile parameters — only liveness may suffer.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "protocols/lesk.hpp"
+#include "protocols/lewk.hpp"
+#include "protocols/lewu.hpp"
+#include "sim/aggregate.hpp"
+#include "sim/engine.hpp"
+#include "sim/hybrid.hpp"
+#include "sim/montecarlo.hpp"
+#include "support/rng.hpp"
+
+namespace jamelect {
+namespace {
+
+// An intentionally malicious policy that *requests* a jam every slot
+// regardless of budget — the BoundedAdversary must clamp it.
+class GreedyLiar final : public JamPolicy {
+ public:
+  [[nodiscard]] bool desires_jam(Slot, const JammingBudget&) override {
+    return true;
+  }
+  [[nodiscard]] std::string name() const override { return "liar"; }
+};
+
+TEST(Robustness, BoundedAdversaryClampsMaliciousPolicy) {
+  BoundedAdversary adv(16, {1, 4}, std::make_unique<GreedyLiar>());
+  std::int64_t jams = 0;
+  constexpr int kLen = 4000;
+  for (int i = 0; i < kLen; ++i) jams += adv.step() ? 1 : 0;
+  // Never above the (1-eps) cap.
+  EXPECT_LE(jams * 4, 3 * kLen + 4 * 16);
+}
+
+TEST(Robustness, MismatchedEpsStillSafeJustSlower) {
+  // Protocol believes eps = 0.5 but the adversary is stronger
+  // (eps = 0.25): Theorem 2.6's guarantee is void, yet the run must
+  // remain correct; with enough slots LESK usually still elects because
+  // the adversary cannot fabricate Nulls.
+  Lesk lesk(0.5);
+  AdversarySpec spec;
+  spec.policy = "saturating";
+  spec.T = 64;
+  spec.eps = 0.25;        // adversary stronger than assumed
+  spec.protocol_eps = 0.5;
+  spec.n = 256;
+  Rng rng(5);
+  auto adv = make_adversary(spec, rng.child(1));
+  Rng sim = rng.child(2);
+  const auto out = run_aggregate(lesk, *adv, {256, 1 << 22}, sim);
+  // Liveness is not guaranteed here — but safety bookkeeping is.
+  if (out.elected) {
+    EXPECT_TRUE(out.unique_leader);
+  }
+  EXPECT_LE(out.jams * 4, out.slots * 3 + 4 * 64);
+}
+
+TEST(Robustness, WeakCdNotificationNeverTwoLeaders) {
+  // Sweep adversaries and sizes; in every completed election exactly
+  // one station is the leader, every station terminated, and the
+  // leader knows.
+  for (const char* policy : {"none", "saturating", "bernoulli", "pulse"}) {
+    for (std::uint64_t n : {3ULL, 4ULL, 5ULL, 9ULL, 33ULL}) {
+      McConfig mc;
+      mc.trials = 6;
+      mc.seed = 1000 + n;
+      mc.max_slots = 1 << 20;
+      AdversarySpec spec;
+      spec.policy = policy;
+      spec.T = 32;
+      spec.eps = 0.5;
+      const auto res = run_station_mc(
+          [](StationId) -> StationProtocolPtr { return make_lewk_station(0.5); },
+          spec, n, {CdMode::kWeak, StopRule::kAllDone, mc.max_slots}, mc);
+      for (const auto& o : res.outcomes) {
+        ASSERT_TRUE(o.elected) << policy << " n=" << n;
+        ASSERT_TRUE(o.unique_leader) << policy << " n=" << n;
+        ASSERT_TRUE(o.all_done) << policy << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Robustness, LewuFullStackSmallNetwork) {
+  // The no-knowledge stack (Notification over LESU) end-to-end in the
+  // per-station engine, under jamming.
+  McConfig mc;
+  mc.trials = 3;
+  mc.seed = 77;
+  mc.max_slots = 1 << 22;
+  AdversarySpec spec;
+  spec.policy = "saturating";
+  spec.T = 32;
+  spec.eps = 0.5;
+  const auto res = run_station_mc(
+      [](StationId) -> StationProtocolPtr { return make_lewu_station(); },
+      spec, 8, {CdMode::kWeak, StopRule::kAllDone, mc.max_slots}, mc);
+  EXPECT_EQ(res.successes, res.trials);
+  for (const auto& o : res.outcomes) EXPECT_TRUE(o.unique_leader);
+}
+
+TEST(Robustness, ExtremeEpsValues) {
+  // eps = 1 (adversary may never jam in any >= T window) and
+  // eps close to 0 (adversary jams nearly everything).
+  Lesk trusting(1.0);
+  AdversarySpec none;
+  none.policy = "saturating";
+  none.T = 8;
+  none.eps = 1.0;
+  none.n = 64;
+  Rng rng(9);
+  auto adv = make_adversary(none, rng.child(1));
+  Rng sim = rng.child(2);
+  const auto out = run_aggregate(trusting, *adv, {64, 100000}, sim);
+  EXPECT_TRUE(out.elected);
+  EXPECT_EQ(out.jams, 0);
+
+  Lesk patient(0.05);
+  AdversarySpec brutal;
+  brutal.policy = "saturating";
+  brutal.T = 16;
+  brutal.eps = 0.05;
+  brutal.n = 8;
+  Rng rng2(11);
+  auto adv2 = make_adversary(brutal, rng2.child(1));
+  Rng sim2 = rng2.child(2);
+  const auto out2 = run_aggregate(patient, *adv2, {8, 1 << 23}, sim2);
+  EXPECT_TRUE(out2.elected);  // slow, but the Nulls still get through
+}
+
+TEST(Robustness, HugeTOnlyDelaysLinearly) {
+  // With T larger than the whole election, the adversary may jam every
+  // early slot; LESK must elect shortly after the jamming budget dries
+  // up near slot (1-eps)*T ... T.
+  Lesk lesk(0.5);
+  AdversarySpec spec;
+  spec.policy = "saturating";
+  spec.T = 1 << 14;
+  spec.eps = 0.5;
+  spec.n = 64;
+  Rng rng(13);
+  auto adv = make_adversary(spec, rng.child(1));
+  Rng sim = rng.child(2);
+  const auto out = run_aggregate(lesk, *adv, {64, 1 << 18}, sim);
+  EXPECT_TRUE(out.elected);
+  EXPECT_GT(out.slots, (1 << 14) / 4);  // the burst really delayed us
+}
+
+TEST(Robustness, NotificationSurvivesIntervalBuster) {
+  // The adversary purpose-built against Notification (ices whole
+  // C^i_j intervals while they fit the budget): Lemma 3.1's geometric
+  // escape must still elect — each set and the all-sets variant.
+  for (int target : {0, 1, 2, 3}) {
+    McConfig mc;
+    mc.trials = 4;
+    mc.seed = 4000 + static_cast<std::uint64_t>(target);
+    mc.max_slots = 1 << 21;
+    AdversarySpec spec;
+    spec.policy = "interval_buster";
+    spec.T = 32;
+    spec.eps = 0.5;
+    spec.target_set = target;
+    const auto res = run_hybrid_mc(
+        [] { return std::make_unique<Lesk>(0.5); }, spec, 64, mc);
+    EXPECT_EQ(res.successes, res.trials) << "target_set=" << target;
+    for (const auto& o : res.outcomes) {
+      EXPECT_GT(o.jams, 0) << "target_set=" << target;
+    }
+  }
+}
+
+TEST(Robustness, PerStationNotificationSurvivesIntervalBuster) {
+  McConfig mc;
+  mc.trials = 4;
+  mc.seed = 4100;
+  mc.max_slots = 1 << 21;
+  AdversarySpec spec;
+  spec.policy = "interval_buster";
+  spec.T = 32;
+  spec.eps = 0.5;
+  const auto res = run_station_mc(
+      [](StationId) -> StationProtocolPtr { return make_lewk_station(0.5); },
+      spec, 9, {CdMode::kWeak, StopRule::kAllDone, mc.max_slots}, mc);
+  EXPECT_EQ(res.successes, res.trials);
+  for (const auto& o : res.outcomes) {
+    EXPECT_TRUE(o.unique_leader);
+    EXPECT_TRUE(o.all_done);
+  }
+}
+
+TEST(Robustness, NotificationSurvivesPulseAlignedWithIntervals) {
+  // A pulse jammer aligned against small C-intervals: early intervals
+  // can be fully jammed, later (longer) ones cannot — Lemma 3.1's
+  // geometric escape.
+  McConfig mc;
+  mc.trials = 4;
+  mc.seed = 21;
+  mc.max_slots = 1 << 21;
+  AdversarySpec spec;
+  spec.policy = "pulse";
+  spec.on = 8;
+  spec.off = 8;
+  spec.T = 16;
+  spec.eps = 0.5;
+  const auto res = run_hybrid_mc(
+      [] { return std::make_unique<Lesk>(0.5); }, spec, 128, mc);
+  EXPECT_EQ(res.successes, res.trials);
+}
+
+}  // namespace
+}  // namespace jamelect

@@ -1,0 +1,153 @@
+// Statistical validation: empirical distributions produced by the
+// simulator match their analytic targets. Tolerances are ~4-5 sigma so
+// the tests are stable across platforms yet catch real modelling bugs
+// (which shift frequencies by far more).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/channel.hpp"
+#include "protocols/lesk.hpp"
+#include "sim/adversary_spec.hpp"
+#include "sim/aggregate.hpp"
+#include "support/math.hpp"
+#include "support/rng.hpp"
+
+namespace jamelect {
+namespace {
+
+TEST(Statistical, XoshiroBitBalance) {
+  Xoshiro256StarStar engine(123);
+  std::int64_t ones = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ones += __builtin_popcountll(engine());
+  }
+  const double mean_bits = static_cast<double>(ones) / kDraws;
+  // 64 fair bits: sd of the mean = 4 / sqrt(draws) = 0.0126.
+  EXPECT_NEAR(mean_bits, 32.0, 5 * 0.0127);
+}
+
+TEST(Statistical, XoshiroByteFrequencies) {
+  Xoshiro256StarStar engine(77);
+  std::array<std::int64_t, 256> counts{};
+  constexpr int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t v = engine();
+    for (int b = 0; b < 8; ++b) ++counts[(v >> (8 * b)) & 0xff];
+  }
+  // Chi-square against uniform over 256 cells; df = 255, mean 255,
+  // sd ~ sqrt(510) ~ 22.6 -> 255 + 5 sd ~ 368.
+  const double expected = kDraws * 8.0 / 256.0;
+  double chi2 = 0;
+  for (const auto c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 370.0);
+  EXPECT_GT(chi2, 160.0);  // suspiciously-perfect is also a bug
+}
+
+// The aggregate engine's category sampler and the per-station Bernoulli
+// counting must both match the analytic SlotProbabilities.
+class ChannelFrequencies
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(ChannelFrequencies, CategorySamplerMatchesAnalytic) {
+  const auto [n, p] = GetParam();
+  const auto probs = slot_probabilities(n, p);
+  Rng rng(1234);
+  constexpr int kDraws = 60000;
+  std::int64_t nulls = 0, singles = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double r = rng.uniform();
+    if (r < probs.null) ++nulls;
+    else if (r < probs.null + probs.single) ++singles;
+  }
+  const auto tol = [&](double q) {
+    return 5.0 * std::sqrt(q * (1 - q) / kDraws) + 1e-9;
+  };
+  EXPECT_NEAR(static_cast<double>(nulls) / kDraws, probs.null, tol(probs.null));
+  EXPECT_NEAR(static_cast<double>(singles) / kDraws, probs.single,
+              tol(probs.single));
+}
+
+TEST_P(ChannelFrequencies, PerStationCountingMatchesAnalytic) {
+  const auto [n, p] = GetParam();
+  if (n > 4096) GTEST_SKIP() << "per-station loop too slow at this n";
+  const auto probs = slot_probabilities(n, p);
+  Rng rng(4321);
+  constexpr int kDraws = 4000;
+  std::int64_t nulls = 0, singles = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    std::uint64_t count = 0;
+    for (std::uint64_t s = 0; s < n; ++s) count += rng.bernoulli(p) ? 1 : 0;
+    if (count == 0) ++nulls;
+    if (count == 1) ++singles;
+  }
+  const auto tol = [&](double q) {
+    return 5.0 * std::sqrt(q * (1 - q) / kDraws) + 1e-9;
+  };
+  EXPECT_NEAR(static_cast<double>(nulls) / kDraws, probs.null, tol(probs.null));
+  EXPECT_NEAR(static_cast<double>(singles) / kDraws, probs.single,
+              tol(probs.single));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ChannelFrequencies,
+    ::testing::Values(std::make_tuple<std::uint64_t, double>(16, 1.0 / 16),
+                      std::make_tuple<std::uint64_t, double>(256, 1.0 / 256),
+                      std::make_tuple<std::uint64_t, double>(256, 1.0 / 64),
+                      std::make_tuple<std::uint64_t, double>(1024, 1.0 / 4096),
+                      std::make_tuple<std::uint64_t, double>(1 << 20,
+                                                             1.0 / (1 << 20))));
+
+TEST(Statistical, LeskWalkConcentratesNearLog2N) {
+  // After the startup ramp, the estimate should sit within +-3 of
+  // log2 n for the overwhelming majority of slots (the regular-slot
+  // analysis); measure occupancy over a long no-election run.
+  const std::uint64_t n = 1 << 14;
+  const double u0 = 14.0;
+  Lesk lesk(0.5);
+  Rng rng(9);
+  std::int64_t in_band = 0, total = 0;
+  const std::int64_t burn_in = 16 * 14 + 64;
+  for (std::int64_t slot = 0; slot < 20000; ++slot) {
+    const double p = lesk.transmit_probability();
+    const auto probs = slot_probabilities(n, p);
+    const double r = rng.uniform();
+    // Suppress election (treat Single as Collision) to keep walking —
+    // we are probing the stationary distribution, not the stopping
+    // time.
+    const ChannelState state =
+        r < probs.null ? ChannelState::kNull : ChannelState::kCollision;
+    if (slot >= burn_in) {
+      ++total;
+      if (std::abs(lesk.u() - u0) <= 3.0) ++in_band;
+    }
+    lesk.observe(state);
+  }
+  EXPECT_GT(static_cast<double>(in_band) / static_cast<double>(total), 0.9);
+}
+
+TEST(Statistical, GoldenRegressionPins) {
+  // Seeded end-to-end pins: if any of these change, simulator behaviour
+  // changed — bump deliberately, never accidentally.
+  Lesk lesk(0.5);
+  AdversarySpec spec;
+  spec.policy = "saturating";
+  spec.T = 64;
+  spec.eps = 0.5;
+  spec.n = 1024;
+  Rng rng(20260706);
+  auto adv = make_adversary(spec, rng.child(1));
+  Rng sim = rng.child(2);
+  const auto out = run_aggregate(lesk, *adv, {1024, 1 << 20}, sim);
+  ASSERT_TRUE(out.elected);
+  EXPECT_EQ(out.slots, 142);
+  EXPECT_EQ(out.jams, 70);
+  EXPECT_EQ(out.nulls, 1);
+}
+
+}  // namespace
+}  // namespace jamelect

@@ -1,0 +1,151 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/expects.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace jamelect {
+namespace {
+
+TEST(OnlineStats, MeanAndVariance) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, RequiresSamples) {
+  OnlineStats s;
+  EXPECT_THROW((void)s.mean(), ContractViolation);
+  s.add(1.0);
+  EXPECT_NO_THROW((void)s.mean());
+  EXPECT_THROW((void)s.variance(), ContractViolation);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  Rng rng(1);
+  OnlineStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform() * 10;
+    whole.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  OnlineStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(Quantile, Interpolates) {
+  const std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0 / 3.0), 2.0);
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> v{42};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.3), 42.0);
+}
+
+TEST(Summarize, FullSummary) {
+  std::vector<double> v;
+  for (int i = 1; i <= 101; ++i) v.push_back(static_cast<double>(i));
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 101u);
+  EXPECT_DOUBLE_EQ(s.mean, 51.0);
+  EXPECT_DOUBLE_EQ(s.median, 51.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 101.0);
+  EXPECT_DOUBLE_EQ(s.p25, 26.0);
+  EXPECT_DOUBLE_EQ(s.p75, 76.0);
+  EXPECT_DOUBLE_EQ(s.p95, 96.0);
+  EXPECT_GT(s.ci95_halfwidth, 0.0);
+}
+
+TEST(Summarize, EmptyAndInt64) {
+  const Summary e = summarize(std::span<const double>{});
+  EXPECT_EQ(e.count, 0u);
+  const std::vector<std::int64_t> v{5, 1, 3};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(Wilson, CentersOnRate) {
+  const auto iv = wilson_interval(50, 100);
+  EXPECT_DOUBLE_EQ(iv.rate, 0.5);
+  EXPECT_LT(iv.lower, 0.5);
+  EXPECT_GT(iv.upper, 0.5);
+  EXPECT_NEAR(iv.upper - iv.lower, 2 * 1.96 * 0.05, 0.02);
+}
+
+TEST(Wilson, RobustAtExtremes) {
+  const auto zero = wilson_interval(0, 100);
+  EXPECT_DOUBLE_EQ(zero.rate, 0.0);
+  EXPECT_NEAR(zero.lower, 0.0, 1e-15);
+  EXPECT_GT(zero.upper, 0.0);
+  EXPECT_LT(zero.upper, 0.05);
+  const auto all = wilson_interval(100, 100);
+  EXPECT_GT(all.upper, 0.999);
+  EXPECT_LE(all.upper, 1.0);
+  EXPECT_GT(all.lower, 0.95);
+}
+
+TEST(Wilson, RejectsBadInput) {
+  EXPECT_THROW((void)wilson_interval(2, 1), ContractViolation);
+  EXPECT_THROW((void)wilson_interval(0, 0), ContractViolation);
+}
+
+TEST(FitLine, ExactLine) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{3, 5, 7, 9};  // y = 1 + 2x
+  const auto f = fit_line(x, y);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyLineRecovered) {
+  Rng rng(9);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    const double xi = static_cast<double>(i);
+    x.push_back(xi);
+    y.push_back(4.0 + 0.5 * xi + (rng.uniform() - 0.5));
+  }
+  const auto f = fit_line(x, y);
+  EXPECT_NEAR(f.slope, 0.5, 0.01);
+  EXPECT_GT(f.r2, 0.99);
+}
+
+TEST(FitLine, RejectsDegenerate) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW((void)fit_line(one, one), ContractViolation);
+  const std::vector<double> same{2.0, 2.0};
+  EXPECT_THROW((void)fit_line(same, same), ContractViolation);  // vertical
+}
+
+}  // namespace
+}  // namespace jamelect

@@ -1,0 +1,81 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/expects.hpp"
+
+namespace jamelect {
+namespace {
+
+TEST(Table, CellsAndTypes) {
+  Table t({"name", "count", "ratio"});
+  t.row() << "alpha" << std::int64_t{42} << 1.5;
+  t.row() << "beta" << std::uint64_t{7} << 0.25;
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.cell(0, 0), "alpha");
+  EXPECT_EQ(t.cell(0, 1), "42");
+  EXPECT_EQ(t.cell(1, 2), "0.25");
+}
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table t({}), ContractViolation);
+}
+
+TEST(Table, AsciiContainsHeadersAndValues) {
+  Table t({"n", "slots"});
+  t.row() << 1024 << 99.5;
+  std::ostringstream out;
+  t.print_ascii(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("slots"), std::string::npos);
+  EXPECT_NE(s.find("1024"), std::string::npos);
+  EXPECT_NE(s.find("99.5"), std::string::npos);
+  EXPECT_NE(s.find("+--"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a", "b"});
+  t.row() << "plain" << "has,comma";
+  t.row() << "has\"quote" << "x";
+  std::ostringstream out;
+  t.print_csv(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, MarkdownShape) {
+  Table t({"x"});
+  t.row() << 5;
+  std::ostringstream out;
+  t.print_markdown(out);
+  EXPECT_EQ(out.str(), "| x |\n|---|\n| 5 |\n");
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b"});
+  t.row() << "only";
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_EQ(out.str(), "a,b\nonly,\n");
+}
+
+TEST(Table, FormatPrecision) {
+  Table t({"x"});
+  t.set_precision(2);
+  EXPECT_EQ(t.format(3.14159), "3.1");
+  EXPECT_THROW(t.set_precision(0), ContractViolation);
+}
+
+TEST(Table, CellBoundsChecked) {
+  Table t({"a"});
+  t.row() << 1;
+  EXPECT_THROW((void)t.cell(1, 0), ContractViolation);
+  EXPECT_THROW((void)t.cell(0, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace jamelect

@@ -1,0 +1,160 @@
+#include "analysis/slot_taxonomy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/expects.hpp"
+
+#include <cmath>
+
+#include "protocols/lesk.hpp"
+#include "sim/adversary_spec.hpp"
+#include "sim/aggregate.hpp"
+#include "support/rng.hpp"
+
+namespace jamelect {
+namespace {
+
+SlotRecord make_rec(ChannelState state, double u, bool jammed = false) {
+  SlotRecord r;
+  r.state = state;
+  r.estimate = u;
+  r.jammed = jammed;
+  return r;
+}
+
+TEST(Taxonomy, ClassifiesByDefinition) {
+  // n = 1024 (u0 = 10), eps = 0.5 -> a = 16:
+  //   low threshold  u0 - log2(2 ln 16) = 10 - log2(5.545) ~ 7.53
+  //   high threshold u0 + 0.5 log2 16   = 12
+  const double u0 = 10.0, a = 16.0;
+  EXPECT_EQ(classify_slot_record(make_rec(ChannelState::kNull, 7.0), u0, a),
+            SlotClass::kIrregularSilence);
+  EXPECT_EQ(classify_slot_record(make_rec(ChannelState::kNull, 13.5), u0, a),
+            SlotClass::kCorrectingSilence);
+  EXPECT_EQ(classify_slot_record(make_rec(ChannelState::kNull, 10.0), u0, a),
+            SlotClass::kRegular);
+  EXPECT_EQ(
+      classify_slot_record(make_rec(ChannelState::kCollision, 12.5), u0, a),
+      SlotClass::kIrregularCollision);
+  EXPECT_EQ(
+      classify_slot_record(make_rec(ChannelState::kCollision, 7.0), u0, a),
+      SlotClass::kCorrectingCollision);
+  EXPECT_EQ(
+      classify_slot_record(make_rec(ChannelState::kCollision, 10.0), u0, a),
+      SlotClass::kRegular);
+}
+
+TEST(Taxonomy, JammedAndSingleDominate) {
+  const double u0 = 10.0, a = 16.0;
+  EXPECT_EQ(
+      classify_slot_record(make_rec(ChannelState::kCollision, 13.0, true), u0, a),
+      SlotClass::kJammed);
+  EXPECT_EQ(classify_slot_record(make_rec(ChannelState::kSingle, 10.0), u0, a),
+            SlotClass::kSingle);
+}
+
+TEST(Taxonomy, UnknownWhenNoEstimate) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(classify_slot_record(make_rec(ChannelState::kNull, nan), 10, 16),
+            SlotClass::kUnknown);
+}
+
+TEST(Taxonomy, BoundaryValuesAreInclusive) {
+  const double u0 = 10.0, a = 16.0;
+  const double low = u0 - std::log2(2.0 * std::log(a));
+  const double high = u0 + 0.5 * std::log2(a);
+  EXPECT_EQ(classify_slot_record(make_rec(ChannelState::kNull, low), u0, a),
+            SlotClass::kIrregularSilence);
+  EXPECT_EQ(
+      classify_slot_record(make_rec(ChannelState::kCollision, high), u0, a),
+      SlotClass::kIrregularCollision);
+  EXPECT_EQ(
+      classify_slot_record(make_rec(ChannelState::kNull, high + 1.0), u0, a),
+      SlotClass::kCorrectingSilence);
+}
+
+TEST(Taxonomy, RejectsSmallA) {
+  EXPECT_THROW(
+      (void)classify_slot_record(make_rec(ChannelState::kNull, 1.0), 10, 4.0),
+      ContractViolation);
+}
+
+// --- behaviour on real traces (Lemmas 2.2, 2.3, 2.5) ---
+
+struct TraceRun {
+  TaxonomyCounts counts;
+  std::int64_t slots;
+};
+
+TraceRun run_lesk_taxonomy(std::uint64_t n, double eps,
+                           const std::string& policy, std::uint64_t seed) {
+  Lesk lesk(eps);
+  AdversarySpec spec;
+  spec.policy = policy;
+  spec.T = 64;
+  spec.eps = eps;
+  spec.n = n;
+  Rng rng(seed);
+  auto adv = make_adversary(spec, rng.child(1));
+  Rng sim = rng.child(2);
+  Trace trace;
+  const auto out = run_aggregate(lesk, *adv, {n, 1 << 21}, sim, &trace);
+  EXPECT_TRUE(out.elected);
+  return {classify_trace(trace, n, eps), out.slots};
+}
+
+TEST(TaxonomyBehaviour, PartitionIsExhaustive) {
+  const auto run = run_lesk_taxonomy(1024, 0.5, "saturating", 71);
+  EXPECT_EQ(run.counts.total(), run.slots);
+  EXPECT_EQ(run.counts.unknown, 0);
+  EXPECT_EQ(run.counts.single, 1);
+}
+
+TEST(TaxonomyBehaviour, IrregularSlotsAreRareLemma22) {
+  // Aggregate over seeds; Lemma 2.2 bounds the per-slot rates by 1/a^2
+  // and 1/a. Measured rates should respect ~those ceilings.
+  std::int64_t is = 0, ic = 0, total = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto run = run_lesk_taxonomy(1024, 0.5, "saturating", 100 + seed);
+    is += run.counts.irregular_silence;
+    ic += run.counts.irregular_collision;
+    total += run.slots;
+  }
+  const double a = 16.0;
+  EXPECT_LT(static_cast<double>(is) / static_cast<double>(total),
+            1.5 / (a * a) + 0.01);
+  EXPECT_LT(static_cast<double>(ic) / static_cast<double>(total),
+            1.5 / a + 0.02);
+}
+
+TEST(TaxonomyBehaviour, CounterRelationsLemma23) {
+  for (const char* policy : {"none", "saturating", "bernoulli"}) {
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      const auto run = run_lesk_taxonomy(512, 0.5, policy, 200 + seed);
+      const auto bounds = lemma23_bounds(run.counts, 512, 0.5);
+      EXPECT_TRUE(bounds.holds())
+          << policy << " seed=" << seed << " CS=" << bounds.cs_measured
+          << "<=" << bounds.cs_bound << " CC=" << bounds.cc_measured
+          << "<=" << bounds.cc_bound;
+    }
+  }
+}
+
+TEST(TaxonomyBehaviour, StartupRampIsCorrectingCollisions) {
+  // Without an adversary a clean run is dominated by the startup ramp:
+  // u climbs from 0 to ~u0 in steps of 1/a, and every climb slot below
+  // u0 - log2(2 ln a) is a correcting collision. Lemma 2.3 p.5 budgets
+  // exactly this with its a*u0 term.
+  const auto run = run_lesk_taxonomy(1024, 0.5, "none", 303);
+  const double a = 16.0;
+  const double u0 = 10.0;
+  EXPECT_GT(run.counts.correcting_collision, run.counts.total() / 3);
+  EXPECT_LE(static_cast<double>(run.counts.correcting_collision),
+            a * u0 + a);  // the lemma's budget
+  EXPECT_GT(run.counts.regular, 0);
+  // And the post-ramp phase finishes fast: total within ~a*u0 + slack.
+  EXPECT_LT(static_cast<double>(run.counts.total()), 4.0 * a * u0);
+}
+
+}  // namespace
+}  // namespace jamelect

@@ -1,0 +1,85 @@
+#include "analysis/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/expects.hpp"
+
+#include <cmath>
+
+namespace jamelect {
+namespace {
+
+TEST(Theory, LeskBoundGrowsWithN) {
+  EXPECT_LT(lesk_time_bound(64, 0.5), lesk_time_bound(1 << 20, 0.5));
+}
+
+TEST(Theory, LeskBoundGrowsAsEpsShrinks) {
+  EXPECT_LT(lesk_time_bound(1024, 0.5), lesk_time_bound(1024, 0.25));
+  EXPECT_LT(lesk_time_bound(1024, 0.25), lesk_time_bound(1024, 0.1));
+}
+
+TEST(Theory, LeskBoundScalesLikeLogNOverEpsCubed) {
+  // Doubling log n ~ doubles the bound (for fixed eps).
+  const double r = lesk_time_bound(1 << 20, 0.5) / lesk_time_bound(1 << 10, 0.5);
+  EXPECT_GT(r, 1.7);
+  EXPECT_LT(r, 2.3);
+  // Halving eps costs ~8x / log-factor.
+  const double q = lesk_time_bound(1 << 10, 0.125) / lesk_time_bound(1 << 10, 0.25);
+  EXPECT_GT(q, 4.0);
+  EXPECT_LT(q, 16.0);
+}
+
+TEST(Theory, LeskBoundRejectsBadArgs) {
+  EXPECT_THROW((void)lesk_time_bound(0, 0.5), ContractViolation);
+  EXPECT_THROW((void)lesk_time_bound(8, 0.0), ContractViolation);
+  EXPECT_THROW((void)lesk_time_bound(8, 0.5, 0.5), ContractViolation);
+}
+
+TEST(Theory, LowerBound) {
+  EXPECT_DOUBLE_EQ(lower_bound_slots(1024, 0.5, 5), 20.0);  // (1/eps) log2 n
+  EXPECT_DOUBLE_EQ(lower_bound_slots(1024, 0.5, 100), 100.0);  // T dominates
+}
+
+TEST(Theory, EstimationRangeMatchesLemma28) {
+  const auto r = estimation_range(1 << 16, 1);
+  EXPECT_DOUBLE_EQ(r.lo, 3.0);  // log2 log2 2^16 - 1 = 4 - 1
+  EXPECT_DOUBLE_EQ(r.hi, 5.0);
+  const auto rt = estimation_range(1 << 16, 1 << 10);
+  EXPECT_DOUBLE_EQ(rt.hi, 11.0);  // log2 T + 1 dominates
+  EXPECT_THROW((void)estimation_range(1, 1), ContractViolation);
+}
+
+TEST(Theory, LesuCaseSelection) {
+  // Small T: case 1. T beyond log n / (eps^3 log(1/eps)): case 2.
+  EXPECT_TRUE(lesu_case1(1 << 20, 0.5, 16));
+  EXPECT_FALSE(lesu_case1(1 << 10, 0.5, 1 << 16));
+}
+
+TEST(Theory, LesuBoundContinuousAcrossRegimes) {
+  // Within each case the bound is monotone in T (weakly for case 1).
+  const std::uint64_t n = 1 << 14;
+  const double small_T = lesu_time_bound(n, 0.25, 4);
+  const double big_T = lesu_time_bound(n, 0.25, 1 << 20);
+  EXPECT_LT(small_T, big_T);
+}
+
+TEST(Theory, ArssBoundIsLogFourth) {
+  EXPECT_DOUBLE_EQ(arss_time_bound(1 << 10), 10000.0);
+  EXPECT_DOUBLE_EQ(arss_time_bound(1 << 20), 160000.0);
+}
+
+TEST(Theory, ArssVsLeskAsymptotics) {
+  // §1.3's claim: LESK O(log n) vs ARSS O(log^4 n) — the ratio widens.
+  const double r10 = arss_time_bound(1 << 10) / lesk_time_bound(1 << 10, 0.5);
+  const double r20 = arss_time_bound(1 << 20) / lesk_time_bound(1 << 20, 0.5);
+  EXPECT_GT(r20, r10);
+}
+
+TEST(Theory, SafeLogGuard) {
+  EXPECT_DOUBLE_EQ(safe_log2_inv_eps(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(safe_log2_inv_eps(1.0), 0.5);  // floored
+  EXPECT_THROW((void)safe_log2_inv_eps(0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace jamelect

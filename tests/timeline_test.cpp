@@ -1,0 +1,97 @@
+#include "analysis/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/expects.hpp"
+
+#include "protocols/lesk.hpp"
+#include "sim/adversary_spec.hpp"
+#include "sim/aggregate.hpp"
+#include "sim/hybrid.hpp"
+#include "support/rng.hpp"
+
+namespace jamelect {
+namespace {
+
+Trace small_trace() {
+  Trace t;
+  SlotRecord r;
+  r.slot = 0;
+  r.state = ChannelState::kNull;
+  r.estimate = 0.0;
+  t.record(r);
+  r.slot = 1;
+  r.state = ChannelState::kCollision;
+  r.jammed = true;
+  r.estimate = 5.0;
+  t.record(r);
+  r.slot = 2;
+  r.state = ChannelState::kSingle;
+  r.jammed = false;
+  r.estimate = 10.0;
+  t.record(r);
+  return t;
+}
+
+TEST(Timeline, RequiresRecordsAndWidth) {
+  Trace counters_only(false);
+  SlotRecord r;
+  counters_only.record(r);
+  EXPECT_THROW((void)render_timeline(counters_only), ContractViolation);
+  EXPECT_THROW((void)render_timeline(Trace{}), ContractViolation);
+  EXPECT_THROW((void)render_timeline(small_trace(), {5, false, 0}),
+               ContractViolation);
+}
+
+TEST(Timeline, SymbolsMatchStates) {
+  const std::string art = render_timeline(small_trace(), {100, false, 0});
+  // One cell per slot: Null, jammed Collision, Single.
+  EXPECT_NE(art.find("chan   .c!"), std::string::npos) << art;
+  EXPECT_NE(art.find("jam    .J."), std::string::npos) << art;
+}
+
+TEST(Timeline, EstimateBands) {
+  const std::string art = render_timeline(small_trace(), {100, false, 1024});
+  // u = 0 (below), 5 (below), 10 = log2(1024) (near).
+  EXPECT_NE(art.find("u      __~"), std::string::npos) << art;
+}
+
+TEST(Timeline, PartitionRow) {
+  Trace t;
+  for (Slot s = 0; s < 9; ++s) {
+    SlotRecord r;
+    r.slot = s;
+    r.state = ChannelState::kNull;
+    t.record(r);
+  }
+  const std::string art = render_timeline(t, {100, true, 0});
+  // Slots 0-2 padding, 3-4 C1, 5-6 C2, 7-8 C3.
+  EXPECT_NE(art.find("part   ---112233"), std::string::npos) << art;
+}
+
+TEST(Timeline, BucketsLongTraces) {
+  Lesk lesk(0.5);
+  AdversarySpec spec;
+  spec.policy = "saturating";
+  spec.T = 64;
+  spec.eps = 0.5;
+  spec.n = 4096;
+  Rng rng(3);
+  auto adv = make_adversary(spec, rng.child(1));
+  Rng sim = rng.child(2);
+  Trace trace;
+  (void)run_aggregate(lesk, *adv, {4096, 1 << 20}, sim, &trace);
+  const std::string art = render_timeline(trace, {60, false, 4096});
+  // Every row is bounded by the width (plus label and legend).
+  std::size_t lines = 0;
+  std::size_t pos = 0;
+  while ((pos = art.find('\n', pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  EXPECT_EQ(lines, 4u);  // ruler + chan + jam + u rows
+  EXPECT_NE(art.find('!'), std::string::npos);  // the deciding Single
+}
+
+}  // namespace
+}  // namespace jamelect

@@ -1,0 +1,67 @@
+#include "channel/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/expects.hpp"
+
+namespace jamelect {
+namespace {
+
+SlotRecord rec(Slot slot, ChannelState s, bool jammed = false,
+               std::uint32_t tx = 0) {
+  SlotRecord r;
+  r.slot = slot;
+  r.state = s;
+  r.jammed = jammed;
+  r.transmitters = tx;
+  return r;
+}
+
+TEST(Trace, CountersTrackStates) {
+  Trace t;
+  t.record(rec(0, ChannelState::kNull));
+  t.record(rec(1, ChannelState::kSingle, false, 1));
+  t.record(rec(2, ChannelState::kCollision, true, 0));
+  t.record(rec(3, ChannelState::kCollision, false, 3));
+  const auto& c = t.counters();
+  EXPECT_EQ(c.slots, 4);
+  EXPECT_EQ(c.nulls, 1);
+  EXPECT_EQ(c.singles, 1);
+  EXPECT_EQ(c.collisions, 2);
+  EXPECT_EQ(c.jammed, 1);
+  EXPECT_EQ(t.size(), 4);
+}
+
+TEST(Trace, RecordsKeptWhenEnabled) {
+  Trace t(true);
+  t.record(rec(7, ChannelState::kNull));
+  ASSERT_EQ(t.records().size(), 1u);
+  EXPECT_EQ(t.records()[0].slot, 7);
+}
+
+TEST(Trace, CounterOnlyModeRejectsRecordAccess) {
+  Trace t(false);
+  t.record(rec(0, ChannelState::kNull));
+  EXPECT_EQ(t.counters().slots, 1);
+  EXPECT_FALSE(t.keeps_records());
+  EXPECT_THROW((void)t.records(), ContractViolation);
+}
+
+TEST(Trace, ExpectedTransmissionsAccumulate) {
+  Trace t(false);
+  t.record(rec(0, ChannelState::kNull), 0.5);
+  t.record(rec(1, ChannelState::kCollision), 2.25);
+  EXPECT_DOUBLE_EQ(t.counters().expected_transmissions, 2.75);
+}
+
+TEST(Trace, ClearResetsEverything) {
+  Trace t;
+  t.record(rec(0, ChannelState::kSingle), 1.0);
+  t.clear();
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_TRUE(t.records().empty());
+  EXPECT_DOUBLE_EQ(t.counters().expected_transmissions, 0.0);
+}
+
+}  // namespace
+}  // namespace jamelect
