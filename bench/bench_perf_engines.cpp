@@ -5,7 +5,9 @@
 //   * aggregate: O(1)/slot regardless of n — the reason the E-series
 //     can sweep n = 2^20;
 //   * per-station: O(n)/slot — the exact reference engine;
-//   * hybrid: O(1)/slot Notification simulation.
+//   * hybrid: O(1)/slot Notification simulation;
+//   * cohort: O(#cohorts)/slot — per-station semantics at near-
+//     aggregate speed for protocols that stay (mostly) in lockstep.
 //
 // Protocol under measurement: SizeApproximation (it never elects, so a
 // run processes exactly the requested number of slots).
@@ -16,6 +18,7 @@
 #include "extensions/size_approximation.hpp"
 #include "protocols/uniform_station.hpp"
 #include "sim/aggregate.hpp"
+#include "sim/cohort.hpp"
 #include "sim/engine.hpp"
 #include "sim/hybrid.hpp"
 
@@ -67,6 +70,52 @@ void Perf_PerStationEngine(benchmark::State& state) {
   state.counters["n"] = static_cast<double>(n);
 }
 
+void Perf_CohortEngine(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  AdversarySpec spec = adversary("saturating", 64, 0.5);
+  spec.n = n;
+  std::int64_t slots = 0;
+  for (auto _ : state) {
+    Rng rng(13);
+    CohortEngine engine(
+        std::make_unique<UniformStationAdapter>(
+            std::make_unique<SizeApproximation>(
+                SizeApproximationParams{0.5, kSlots})),
+        n, make_adversary(spec, rng.child(1)), rng.child(2),
+        {CdMode::kStrong, StopRule::kAllDone, kSlots});
+    const auto out = engine.run();
+    slots += out.slots;
+    benchmark::DoNotOptimize(out.slots);
+  }
+  state.SetItemsProcessed(slots);
+  state.counters["n"] = static_cast<double>(n);
+}
+
+// Same workload as Perf_PerStationEngine (kSmall slots) so the
+// cohort-vs-exact speedup at per-station-feasible sizes reads directly
+// off the items/sec column.
+void Perf_CohortEngineSmall(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  AdversarySpec spec = adversary("saturating", 64, 0.5);
+  spec.n = n;
+  constexpr std::int64_t kSmall = 1 << 11;
+  std::int64_t slots = 0;
+  for (auto _ : state) {
+    Rng rng(13);
+    CohortEngine engine(
+        std::make_unique<UniformStationAdapter>(
+            std::make_unique<SizeApproximation>(
+                SizeApproximationParams{0.5, kSmall})),
+        n, make_adversary(spec, rng.child(1)), rng.child(2),
+        {CdMode::kStrong, StopRule::kAllDone, kSmall});
+    const auto out = engine.run();
+    slots += out.slots;
+    benchmark::DoNotOptimize(out.slots);
+  }
+  state.SetItemsProcessed(slots);
+  state.counters["n"] = static_cast<double>(n);
+}
+
 void Perf_HybridEngine(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(1) << state.range(0);
   AdversarySpec spec = adversary("saturating", 64, 0.5);
@@ -93,6 +142,8 @@ void Perf_HybridEngine(benchmark::State& state) {
 
 BENCHMARK(Perf_AggregateEngine)->Arg(4)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
 BENCHMARK(Perf_PerStationEngine)->Arg(4)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
+BENCHMARK(Perf_CohortEngine)->Arg(4)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(Perf_CohortEngineSmall)->Arg(4)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
 BENCHMARK(Perf_HybridEngine)->Arg(4)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Measures engine throughput (bench_perf_engines) from a Release build
+# and records the JSON series quoted in CHANGES.md. Usage:
+#   scripts/run_bench_perf.sh [build-dir] [out-file]
+# Extra arguments after the first two are passed through to the bench
+# binary (e.g. --benchmark_filter=Cohort --benchmark_repetitions=3).
+set -eu
+
+BUILD_DIR="${1:-build-release}"
+OUT_FILE="${2:-BENCH_perf_engines.json}"
+[ "$#" -ge 1 ] && shift
+[ "$#" -ge 1 ] && shift
+
+cmake -B "$BUILD_DIR" -G Ninja -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" --target bench_perf_engines
+
+"$BUILD_DIR/bench/bench_perf_engines" \
+  --benchmark_format=console \
+  --benchmark_out="$OUT_FILE" \
+  --benchmark_out_format=json \
+  "$@"
+echo "results in $OUT_FILE"

@@ -5,6 +5,7 @@
 
 #include "support/expects.hpp"
 #include "support/math.hpp"
+#include "support/state_hash.hpp"
 #include "support/stats.hpp"
 
 namespace jamelect {
@@ -35,7 +36,28 @@ void SizeApproximation::observe(ChannelState state) {
       break;
   }
   ++slots_seen_;
-  if (slots_seen_ > params_.budget / 2) samples_.push_back(u_);
+  if (slots_seen_ > params_.budget / 2) {
+    samples_.push_back(u_);
+    samples_hash_ = StateHash{}.add(samples_hash_).add(u_).value();
+  }
+}
+
+std::uint64_t SizeApproximation::state_hash() const {
+  return StateHash{}
+      .add(params_.eps)
+      .add(params_.budget)
+      .add(u_)
+      .add(slots_seen_)
+      .add(samples_hash_)
+      .value();
+}
+
+bool SizeApproximation::state_equals(const UniformProtocol& other) const {
+  const auto* o = dynamic_cast<const SizeApproximation*>(&other);
+  return o != nullptr && params_.eps == o->params_.eps &&
+         params_.budget == o->params_.budget && u_ == o->u_ &&
+         slots_seen_ == o->slots_seen_ &&
+         samples_hash_ == o->samples_hash_ && samples_ == o->samples_;
 }
 
 double SizeApproximation::estimate_log2n() const {

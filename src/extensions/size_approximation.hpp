@@ -43,6 +43,8 @@ class SizeApproximation final : public UniformProtocol {
     return std::make_unique<SizeApproximation>(*this);
   }
   [[nodiscard]] double estimate() const override { return u_; }
+  [[nodiscard]] std::uint64_t state_hash() const override;
+  [[nodiscard]] bool state_equals(const UniformProtocol& other) const override;
 
   /// True once the slot budget is exhausted.
   [[nodiscard]] bool completed() const noexcept { return slots_seen_ >= params_.budget; }
@@ -58,6 +60,10 @@ class SizeApproximation final : public UniformProtocol {
   double u_ = 0.0;
   std::int64_t slots_seen_ = 0;
   std::vector<double> samples_;  ///< u at each slot of the second half
+  /// Running fingerprint of samples_, maintained in observe() so
+  /// state_hash() stays O(1); the deep samples_ compare only runs in
+  /// state_equals(), i.e. when two instances are about to merge.
+  std::uint64_t samples_hash_ = 0;
 };
 
 }  // namespace jamelect

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "support/expects.hpp"
+#include "support/state_hash.hpp"
 
 namespace jamelect {
 
@@ -45,6 +46,25 @@ void Estimation::observe(ChannelState state) {
       begin_round(round_ + 1);
     }
   }
+}
+
+std::uint64_t Estimation::state_hash() const {
+  return StateHash{}
+      .add(L_)
+      .add(round_)
+      .add(slots_left_in_round_)
+      .add(nulls_in_round_)
+      .add(completed_)
+      .add(elected_)
+      .value();
+}
+
+bool Estimation::state_equals(const UniformProtocol& other) const {
+  const auto* o = dynamic_cast<const Estimation*>(&other);
+  return o != nullptr && L_ == o->L_ && round_ == o->round_ &&
+         slots_left_in_round_ == o->slots_left_in_round_ &&
+         nulls_in_round_ == o->nulls_in_round_ && completed_ == o->completed_ &&
+         elected_ == o->elected_;
 }
 
 std::int64_t Estimation::result() const {

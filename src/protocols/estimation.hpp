@@ -36,6 +36,8 @@ class Estimation final : public UniformProtocol {
   [[nodiscard]] UniformProtocolPtr clone() const override {
     return std::make_unique<Estimation>(*this);
   }
+  [[nodiscard]] std::uint64_t state_hash() const override;
+  [[nodiscard]] bool state_equals(const UniformProtocol& other) const override;
 
   /// True once a round accumulated >= L Nulls (the "returns i" branch).
   [[nodiscard]] bool completed() const noexcept { return completed_; }

@@ -4,6 +4,7 @@
 
 #include "support/expects.hpp"
 #include "support/math.hpp"
+#include "support/state_hash.hpp"
 
 namespace jamelect {
 
@@ -15,6 +16,22 @@ Lesk::Lesk(LeskParams params)
 
 double Lesk::transmit_probability() {
   return jamelect::transmit_probability(u_);
+}
+
+std::uint64_t Lesk::state_hash() const {
+  return StateHash{}
+      .add(params_.eps)
+      .add(params_.initial_u)
+      .add(u_)
+      .add(elected_)
+      .value();
+}
+
+bool Lesk::state_equals(const UniformProtocol& other) const {
+  const auto* o = dynamic_cast<const Lesk*>(&other);
+  return o != nullptr && params_.eps == o->params_.eps &&
+         params_.initial_u == o->params_.initial_u && u_ == o->u_ &&
+         elected_ == o->elected_;
 }
 
 void Lesk::observe(ChannelState state) {

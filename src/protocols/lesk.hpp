@@ -47,6 +47,8 @@ class Lesk final : public UniformProtocol {
     return std::make_unique<Lesk>(*this);
   }
   [[nodiscard]] double estimate() const override { return u_; }
+  [[nodiscard]] std::uint64_t state_hash() const override;
+  [[nodiscard]] bool state_equals(const UniformProtocol& other) const override;
 
   /// Current estimate u (public: it is a deterministic function of the
   /// channel history, which is why the adversary can track it too).

@@ -6,6 +6,7 @@
 
 #include "support/expects.hpp"
 #include "support/math.hpp"
+#include "support/state_hash.hpp"
 
 namespace jamelect {
 
@@ -32,6 +33,39 @@ UniformProtocolPtr Lesu::clone() const { return std::make_unique<Lesu>(*this); }
 double Lesu::estimate() const {
   if (phase_ == Phase::kLesk && lesk_ != nullptr) return lesk_->estimate();
   return std::numeric_limits<double>::quiet_NaN();
+}
+
+std::uint64_t Lesu::state_hash() const {
+  return StateHash{}
+      .add(params_.c)
+      .add(params_.estimation_L)
+      .add(params_.max_i)
+      .add(estimation_.state_hash())
+      .add(phase_ == Phase::kLesk)
+      .add(elected_)
+      .add(i_)
+      .add(j_)
+      .add(t0_)
+      .add(current_eps_)
+      .add(slots_left_)
+      .add(lesk_ ? lesk_->state_hash() : 0)
+      .value();
+}
+
+bool Lesu::state_equals(const UniformProtocol& other) const {
+  const auto* o = dynamic_cast<const Lesu*>(&other);
+  if (o == nullptr) return false;
+  if (params_.c != o->params_.c ||
+      params_.estimation_L != o->params_.estimation_L ||
+      params_.max_i != o->params_.max_i || phase_ != o->phase_ ||
+      elected_ != o->elected_ || i_ != o->i_ || j_ != o->j_ ||
+      t0_ != o->t0_ || current_eps_ != o->current_eps_ ||
+      slots_left_ != o->slots_left_) {
+    return false;
+  }
+  if (!estimation_.state_equals(o->estimation_)) return false;
+  if ((lesk_ == nullptr) != (o->lesk_ == nullptr)) return false;
+  return lesk_ == nullptr || lesk_->state_equals(*o->lesk_);
 }
 
 void Lesu::start_subexecution(std::int64_t i, std::int64_t j) {

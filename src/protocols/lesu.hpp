@@ -54,6 +54,8 @@ class Lesu final : public UniformProtocol {
   [[nodiscard]] UniformProtocolPtr clone() const override;
   /// The inner LESK's estimate while in Phase::kLesk, else NaN.
   [[nodiscard]] double estimate() const override;
+  [[nodiscard]] std::uint64_t state_hash() const override;
+  [[nodiscard]] bool state_equals(const UniformProtocol& other) const override;
 
   /// Deep copy (the inner LESK instance is cloned).
   Lesu(const Lesu& other);

@@ -1,9 +1,11 @@
 #include "protocols/notification.hpp"
 
+#include <memory>
 #include <utility>
 
 #include "channel/channel.hpp"
 #include "support/expects.hpp"
+#include "support/state_hash.hpp"
 
 namespace jamelect {
 
@@ -14,6 +16,34 @@ NotificationStation::NotificationStation(UniformProtocolFactory factory)
 
 bool NotificationStation::is_leader() const {
   return leader_ == LeaderFlag::kTrue;
+}
+
+NotificationStation::NotificationStation(const NotificationStation& other)
+    : factory_(other.factory_),
+      a_(other.a_ != nullptr ? other.a_->clone() : nullptr),
+      phase_(other.phase_),
+      leader_(other.leader_) {}
+
+StationProtocolPtr NotificationStation::clone_station() const {
+  return std::unique_ptr<NotificationStation>(new NotificationStation(*this));
+}
+
+std::uint64_t NotificationStation::state_hash() const {
+  return StateHash{}
+      .add(static_cast<std::uint64_t>(phase_))
+      .add(static_cast<std::uint64_t>(leader_))
+      .add(a_ != nullptr)
+      .add(a_ != nullptr ? a_->state_hash() : 0)
+      .value();
+}
+
+bool NotificationStation::state_equals(const StationProtocol& other) const {
+  const auto* o = dynamic_cast<const NotificationStation*>(&other);
+  if (o == nullptr || phase_ != o->phase_ || leader_ != o->leader_) {
+    return false;
+  }
+  if ((a_ == nullptr) != (o->a_ == nullptr)) return false;
+  return a_ == nullptr || a_->state_equals(*o->a_);
 }
 
 void NotificationStation::maybe_restart(const IntervalPosition& pos,

@@ -65,6 +65,19 @@ class NotificationStation final : public StationProtocol {
                          : std::numeric_limits<double>::quiet_NaN();
   }
 
+  // Cohort-compression hooks. Under the cohort engine every member
+  // descends from one prototype, so all instances share the same
+  // factory and equality of the dynamic state (phase, leader flag,
+  // inner A) implies behavioural equality. The tx flag only matters on
+  // a perceived Single (`heard_single` in feedback()), so Null and
+  // Collision slots never force a cohort split.
+  [[nodiscard]] StationProtocolPtr clone_station() const override;
+  [[nodiscard]] std::uint64_t state_hash() const override;
+  [[nodiscard]] bool state_equals(const StationProtocol& other) const override;
+  [[nodiscard]] bool feedback_tx_sensitive(Observation obs) const override {
+    return obs == Observation::kSingle;
+  }
+
   enum class Phase : std::uint8_t {
     kFirstLoop,   ///< A in C1 until Single in C1 or C2
     kSecondLoop,  ///< A in C2 until Single in C2 or C3
@@ -75,6 +88,8 @@ class NotificationStation final : public StationProtocol {
   [[nodiscard]] Phase phase() const noexcept { return phase_; }
 
  private:
+  /// Deep copy for clone_station() (the inner A instance is cloned).
+  NotificationStation(const NotificationStation& other);
   /// Restart A if `pos` begins a new interval of the set we run A in.
   void maybe_restart(const IntervalPosition& pos, IntervalSet active_set);
 

@@ -43,6 +43,45 @@ class StationProtocol {
   [[nodiscard]] virtual double estimate() const {
     return std::numeric_limits<double>::quiet_NaN();
   }
+
+  // --- Cohort-compression hooks (sim/cohort.hpp) -------------------
+  // The cohort engine groups stations with identical protocol state and
+  // advances one representative per group. Defaults are conservative:
+  // a protocol that overrides nothing cannot run compressed
+  // (clone_station() == nullptr) and is never considered equal to
+  // another instance, which forces worst-case splitting but can never
+  // produce a wrong merge.
+
+  /// Deep copy of this station's full protocol state. nullptr means the
+  /// protocol does not support cohort compression (e.g. identity-keyed
+  /// protocols like ARSS) and must run under the exact SlotEngine.
+  [[nodiscard]] virtual std::unique_ptr<StationProtocol> clone_station()
+      const {
+    return nullptr;
+  }
+
+  /// 64-bit fingerprint of the protocol state: must be equal whenever
+  /// state_equals() would return true (cheap first-stage merge filter).
+  [[nodiscard]] virtual std::uint64_t state_hash() const { return 0; }
+
+  /// Exact protocol-state equality: true only if this station and
+  /// `other` are guaranteed to behave identically on any future
+  /// observation stream. False may also mean "unknown" — the engine
+  /// then conservatively keeps the cohorts apart.
+  [[nodiscard]] virtual bool state_equals(const StationProtocol& other) const {
+    (void)other;
+    return false;
+  }
+
+  /// Whether feedback(slot, transmitted, obs) can transition this
+  /// station differently for a transmitter vs a listener that perceived
+  /// the SAME observation `obs`. When false, a mixed cohort (some
+  /// members transmitted, some listened) with identical observations
+  /// advances by a single feedback call instead of a split-and-compare.
+  [[nodiscard]] virtual bool feedback_tx_sensitive(Observation obs) const {
+    (void)obs;
+    return true;
+  }
 };
 
 using StationProtocolPtr = std::unique_ptr<StationProtocol>;

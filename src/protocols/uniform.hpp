@@ -17,6 +17,7 @@
 // unchanged in both CD models.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -57,6 +58,23 @@ class UniformProtocol {
   /// such estimator.
   [[nodiscard]] virtual double estimate() const {
     return std::numeric_limits<double>::quiet_NaN();
+  }
+
+  // --- Cohort-compression hooks ------------------------------------
+  // UniformStationAdapter forwards these so uniform protocols can run
+  // under the cohort engine (sim/cohort.hpp). Same contract as the
+  // StationProtocol hooks: state_hash() must agree whenever
+  // state_equals() is true, and state_equals() may return false for
+  // "unknown" (the engine then never merges, which is slow but safe).
+
+  /// 64-bit fingerprint of the full protocol state.
+  [[nodiscard]] virtual std::uint64_t state_hash() const { return 0; }
+
+  /// Exact state equality: true only if this instance and `other` are
+  /// guaranteed to behave identically on any future observation stream.
+  [[nodiscard]] virtual bool state_equals(const UniformProtocol& other) const {
+    (void)other;
+    return false;
   }
 };
 

@@ -2,8 +2,11 @@
 
 #include <utility>
 
+#include <memory>
+
 #include "channel/channel.hpp"
 #include "support/expects.hpp"
+#include "support/state_hash.hpp"
 
 namespace jamelect {
 
@@ -33,6 +36,27 @@ void UniformStationAdapter::feedback(Slot, bool transmitted, Observation obs) {
 
 std::string UniformStationAdapter::name() const {
   return protocol_->name() + "/station";
+}
+
+StationProtocolPtr UniformStationAdapter::clone_station() const {
+  auto copy = std::make_unique<UniformStationAdapter>(protocol_->clone());
+  copy->done_ = done_;
+  copy->leader_ = leader_;
+  return copy;
+}
+
+std::uint64_t UniformStationAdapter::state_hash() const {
+  return StateHash{}
+      .add(protocol_->state_hash())
+      .add(done_)
+      .add(leader_)
+      .value();
+}
+
+bool UniformStationAdapter::state_equals(const StationProtocol& other) const {
+  const auto* o = dynamic_cast<const UniformStationAdapter*>(&other);
+  return o != nullptr && done_ == o->done_ && leader_ == o->leader_ &&
+         protocol_->state_equals(*o->protocol_);
 }
 
 }  // namespace jamelect

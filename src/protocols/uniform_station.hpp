@@ -32,6 +32,17 @@ class UniformStationAdapter final : public StationProtocol {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] double estimate() const override { return protocol_->estimate(); }
 
+  // Cohort-compression hooks: delegate to the wrapped protocol's
+  // state_hash()/state_equals() and mix in the adapter's own flags. The
+  // tx flag only matters on a perceived Single (see feedback()), so
+  // Null/Collision slots never force a cohort split.
+  [[nodiscard]] StationProtocolPtr clone_station() const override;
+  [[nodiscard]] std::uint64_t state_hash() const override;
+  [[nodiscard]] bool state_equals(const StationProtocol& other) const override;
+  [[nodiscard]] bool feedback_tx_sensitive(Observation obs) const override {
+    return obs == Observation::kSingle;
+  }
+
   [[nodiscard]] const UniformProtocol& protocol() const noexcept { return *protocol_; }
 
  private:

@@ -1,0 +1,177 @@
+#include "sim/cohort.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "channel/channel.hpp"
+#include "support/binomial.hpp"
+#include "support/expects.hpp"
+
+namespace jamelect {
+
+CohortEngine::CohortEngine(StationProtocolPtr prototype, std::uint64_t n,
+                           std::unique_ptr<BoundedAdversary> adversary,
+                           Rng rng, EngineConfig config)
+    : n_(n), adversary_(std::move(adversary)), rng_(rng), config_(config) {
+  JAMELECT_EXPECTS(prototype != nullptr);
+  JAMELECT_EXPECTS(n >= 1);
+  JAMELECT_EXPECTS(adversary_ != nullptr);
+  JAMELECT_EXPECTS(config.max_slots >= 1);
+  // Probe compressibility up front so misuse fails at construction, not
+  // at the first weak-CD Single thousands of slots in.
+  JAMELECT_EXPECTS(prototype->clone_station() != nullptr);
+  cohorts_.push_back(Cohort{std::move(prototype), n});
+}
+
+void CohortEngine::merge_cohorts() {
+  if (cohorts_.size() < 2) return;
+  std::vector<std::uint64_t> hashes(cohorts_.size());
+  for (std::size_t i = 0; i < cohorts_.size(); ++i) {
+    hashes[i] = cohorts_[i].rep->state_hash();
+  }
+  for (std::size_t i = 0; i < cohorts_.size(); ++i) {
+    for (std::size_t j = cohorts_.size(); j-- > i + 1;) {
+      if (hashes[j] != hashes[i]) continue;
+      if (!cohorts_[i].rep->state_equals(*cohorts_[j].rep)) continue;
+      cohorts_[i].size += cohorts_[j].size;
+      cohorts_.erase(cohorts_.begin() + static_cast<std::ptrdiff_t>(j));
+      hashes.erase(hashes.begin() + static_cast<std::ptrdiff_t>(j));
+    }
+  }
+}
+
+TrialOutcome CohortEngine::run(Trace* trace) {
+  const bool tracing = trace != nullptr;
+  TrialOutcome out;
+
+  for (Slot slot = 0; slot < config_.max_slots; ++slot) {
+    // Jam bit first: the adversary moves before seeing this slot's coins.
+    const bool jammed = adversary_->step();
+
+    // Trace annotations mirror SlotEngine: the public estimate is taken
+    // from the first cohort before the slot resolves.
+    const double u_before = tracing ? cohorts_[0].rep->estimate() : 0.0;
+
+    // One Binomial(|cohort|, p) draw per cohort replaces |cohort|
+    // Bernoulli coins; the sum over cohorts has exactly the same law as
+    // SlotEngine's per-station transmitter count.
+    const std::size_t live = cohorts_.size();
+    tx_counts_.resize(live);
+    std::uint64_t total = 0;
+    double expected_tx = 0.0;
+    for (std::size_t c = 0; c < live; ++c) {
+      const double p = cohorts_[c].rep->transmit_probability(slot);
+      JAMELECT_EXPECTS(p >= 0.0 && p <= 1.0);
+      const std::uint64_t k = binomial_sample(cohorts_[c].size, p, rng_);
+      tx_counts_[c] = k;
+      total += k;
+      if (tracing) expected_tx += p * static_cast<double>(cohorts_[c].size);
+    }
+
+    const ChannelState state = resolve_slot(total, jammed);
+
+    ++out.slots;
+    if (jammed) ++out.jams;
+    switch (state) {
+      case ChannelState::kNull: ++out.nulls; break;
+      case ChannelState::kSingle: ++out.singles; break;
+      case ChannelState::kCollision: ++out.collisions; break;
+    }
+    out.transmissions += static_cast<double>(total);
+    if (tracing) {
+      SlotRecord rec;
+      rec.slot = slot;
+      rec.transmitters = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(total, 0xffffffffULL));
+      rec.jammed = jammed;
+      rec.state = state;
+      rec.estimate = u_before;
+      trace->record(rec, expected_tx);
+    }
+
+    // Feedback. Within a cohort the k transmitters are exchangeable
+    // with the size-k listeners, so delivering transmitter feedback to
+    // an (anonymous) sub-cohort of size k is exact. New cohorts created
+    // by a split are appended past `live` and already carry this slot's
+    // feedback.
+    for (std::size_t c = 0; c < live; ++c) {
+      Cohort& cohort = cohorts_[c];
+      const std::uint64_t k = tx_counts_[c];
+      const Observation obs_l = observe_slot(state, false, config_.cd);
+      const Observation obs_t = observe_slot(state, true, config_.cd);
+      if (k == 0) {
+        cohort.rep->feedback(slot, false, obs_l);
+      } else if (k == cohort.size) {
+        cohort.rep->feedback(slot, true, obs_t);
+      } else if (obs_l == obs_t && !cohort.rep->feedback_tx_sensitive(obs_l)) {
+        // Mixed slot but no divergence possible: advance in one call.
+        cohort.rep->feedback(slot, false, obs_l);
+      } else {
+        // Views may diverge: clone, advance both halves, split only if
+        // the resulting states actually differ.
+        StationProtocolPtr tx_rep = cohort.rep->clone_station();
+        JAMELECT_ENSURES(tx_rep != nullptr);
+        tx_rep->feedback(slot, true, obs_t);
+        cohort.rep->feedback(slot, false, obs_l);
+        if (!cohort.rep->state_equals(*tx_rep)) {
+          cohort.size -= k;
+          cohorts_.push_back(Cohort{std::move(tx_rep), k});
+        }
+      }
+    }
+    adversary_->observe({slot, total, jammed, state});
+
+    merge_cohorts();
+    peak_cohorts_ = std::max(peak_cohorts_, cohorts_.size());
+
+    if (config_.stop == StopRule::kFirstSingle) {
+      if (state == ChannelState::kSingle) {
+        out.elected = true;
+        // The Single's transmitter is uniform over stations by
+        // exchangeability (all start identical, coins are symmetric).
+        out.leader = static_cast<StationId>(rng_.below(n_));
+        break;
+      }
+    } else {
+      bool all_done = true;
+      for (const Cohort& cohort : cohorts_) {
+        if (!cohort.rep->done()) {
+          all_done = false;
+          break;
+        }
+      }
+      if (all_done) {
+        out.elected = true;
+        break;
+      }
+    }
+  }
+
+  // Election-quality bookkeeping, weighted by cohort size (mirrors
+  // SlotEngine's per-station scan).
+  std::uint64_t done_count = 0;
+  std::uint64_t leaders = 0;
+  for (const Cohort& cohort : cohorts_) {
+    if (cohort.rep->done()) {
+      done_count += cohort.size;
+      if (cohort.rep->is_leader()) leaders += cohort.size;
+    }
+  }
+  out.all_done = done_count == n_;
+  out.unique_leader = leaders == 1;
+  if (leaders == 1 && !out.leader.has_value()) {
+    // Identity is anonymous under compression; uniform is the exact
+    // marginal law for exchangeable stations.
+    out.leader = static_cast<StationId>(rng_.below(n_));
+  }
+  if (config_.stop == StopRule::kFirstSingle) {
+    // Selection resolution: success is the Single itself; leader
+    // identity was captured at the deciding slot.
+    out.unique_leader = out.elected;
+  } else {
+    out.elected = out.elected && out.unique_leader;
+  }
+  return out;
+}
+
+}  // namespace jamelect

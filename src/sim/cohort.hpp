@@ -1,0 +1,104 @@
+// CohortEngine — cohort-compressed per-station simulation.
+//
+// All n stations start as clones of one prototype, so at slot 0 the
+// whole network shares one protocol state. The engine keeps stations
+// grouped into *cohorts* of identical state: one representative
+// protocol instance plus a member count. A slot then costs O(#cohorts)
+// instead of O(n) — per cohort one transmit_probability() call, one
+// Binomial(|cohort|, p) draw for the transmitter count (O(1) expected,
+// support/binomial.hpp), and one or two feedback() calls.
+//
+// Cohorts split lazily, exactly when member views diverge:
+//  * A mixed slot (0 < k < |cohort| transmitters) where feedback is
+//    tx-sensitive for the perceived observation — under weak-CD that is
+//    precisely a Single slot, where the transmitter perceives Collision
+//    while listeners hear the Single (the divergence Notification is
+//    built around). The representative is cloned, transmitter and
+//    listener feedback are applied to the two copies, and the cohort
+//    splits only if the resulting states actually differ
+//    (state_equals()).
+//  * Cohorts whose states re-converge are re-merged after each slot
+//    (state_hash() filter, state_equals() confirm), so transient
+//    divergence — e.g. Notification confirmers rejoining after the
+//    announce — does not degrade the compression permanently.
+//
+// Exactness: the engine is *distributionally* exact, not stream-exact.
+// For a fixed adversary decision sequence, the per-slot transmitter
+// count in SlotEngine is a sum of independent Bernoulli(p_c) coins over
+// the members of each cohort c, i.e. exactly Binomial(|c|, p_c); the
+// cohort engine samples that law directly, so the joint law of
+// (channel states, transmitter counts, jam bits) — and hence of
+// TrialOutcome — matches SlotEngine's. It does NOT reproduce
+// SlotEngine's draws for the same seed, and it does not track
+// individual station identities: the reported leader id is drawn
+// uniformly from [0, n), which is the correct marginal law because the
+// initial stations are exchangeable. Per-station transmission counts
+// (SlotEngine::transmissions_per_station) are therefore not offered;
+// TrialOutcome::transmissions still reports the realized total.
+//
+// Requires a prototype whose clone_station() is non-null (uniform
+// adapters, Notification). Identity-keyed protocols (ARSS) cannot run
+// compressed — use SlotEngine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+#include "channel/trace.hpp"
+#include "protocols/station.hpp"
+#include "sim/engine.hpp"
+#include "sim/outcome.hpp"
+#include "support/rng.hpp"
+
+namespace jamelect {
+
+class CohortEngine {
+ public:
+  /// Models n stations that all start as copies of `prototype`. Takes
+  /// ownership of the prototype and adversary; `rng` drives the jam-
+  /// independent coins (binomial draws and the leader-id draw).
+  /// Requires prototype->clone_station() != nullptr (ContractViolation
+  /// otherwise — the protocol does not support cohort compression).
+  CohortEngine(StationProtocolPtr prototype, std::uint64_t n,
+               std::unique_ptr<BoundedAdversary> adversary, Rng rng,
+               EngineConfig config);
+
+  /// Runs to completion or slot budget; returns the outcome.
+  [[nodiscard]] TrialOutcome run(Trace* trace = nullptr);
+
+  /// Cohorts currently alive / high-water mark across the run. A
+  /// lockstep protocol stays at 1; weak-CD splits push it to a small
+  /// constant (Notification peaks at ~3: leader, confirmers, rest).
+  [[nodiscard]] std::size_t num_cohorts() const noexcept {
+    return cohorts_.size();
+  }
+  [[nodiscard]] std::size_t peak_cohorts() const noexcept {
+    return peak_cohorts_;
+  }
+
+  [[nodiscard]] std::uint64_t num_stations() const noexcept { return n_; }
+  [[nodiscard]] const BoundedAdversary& adversary() const noexcept {
+    return *adversary_;
+  }
+
+ private:
+  struct Cohort {
+    StationProtocolPtr rep;  ///< shared protocol state of all members
+    std::uint64_t size;      ///< number of member stations
+  };
+
+  /// Re-merges cohorts whose representative states have re-converged.
+  void merge_cohorts();
+
+  std::vector<Cohort> cohorts_;
+  std::uint64_t n_;
+  std::unique_ptr<BoundedAdversary> adversary_;
+  Rng rng_;
+  EngineConfig config_;
+  std::size_t peak_cohorts_ = 1;
+  std::vector<std::uint64_t> tx_counts_;  ///< per-cohort k, reused per slot
+};
+
+}  // namespace jamelect

@@ -25,6 +25,7 @@ SlotEngine::SlotEngine(std::vector<StationProtocolPtr> stations,
 
 TrialOutcome SlotEngine::run(Trace* trace) {
   const std::size_t n = stations_.size();
+  const bool tracing = trace != nullptr;
   std::vector<std::uint8_t> transmitted(n, 0);
   TrialOutcome out;
 
@@ -34,7 +35,9 @@ TrialOutcome SlotEngine::run(Trace* trace) {
 
     // A station's public estimate for the trace: take it from station 0
     // before the slot resolves (all stations agree while in lockstep).
-    const double u_before = stations_[0]->estimate();
+    // It and the expected-transmitter sum exist only to annotate
+    // traces, so the untraced hot loop skips both.
+    const double u_before = tracing ? stations_[0]->estimate() : 0.0;
 
     std::uint64_t count = 0;
     StationId last_tx = 0;
@@ -42,7 +45,7 @@ TrialOutcome SlotEngine::run(Trace* trace) {
     for (std::size_t i = 0; i < n; ++i) {
       const double p = stations_[i]->transmit_probability(slot);
       JAMELECT_EXPECTS(p >= 0.0 && p <= 1.0);
-      expected_tx += p;
+      if (tracing) expected_tx += p;
       const bool tx = rng_.bernoulli(p);
       transmitted[i] = tx ? 1 : 0;
       if (tx) {
@@ -62,7 +65,7 @@ TrialOutcome SlotEngine::run(Trace* trace) {
       case ChannelState::kSingle: ++out.singles; break;
       case ChannelState::kCollision: ++out.collisions; break;
     }
-    if (trace != nullptr) {
+    if (tracing) {
       SlotRecord rec;
       rec.slot = slot;
       rec.transmitters = static_cast<std::uint32_t>(

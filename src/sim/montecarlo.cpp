@@ -1,20 +1,67 @@
 #include "sim/montecarlo.hpp"
 
 #include <memory>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "sim/aggregate.hpp"
+#include "sim/cohort.hpp"
 #include "support/expects.hpp"
 #include "support/thread_pool.hpp"
 
 namespace jamelect {
 
-McResult run_trials(const TrialRunner& runner, std::uint64_t n_for_energy,
-                    const McConfig& config) {
-  JAMELECT_EXPECTS(config.trials >= 1);
-  JAMELECT_EXPECTS(n_for_energy >= 1);
+namespace {
 
+/// Per-thread accumulator for the streaming (keep_outcomes == false)
+/// path. Slots and jams are integers, so their multisets compress into
+/// value -> count maps; every field merges order-independently (counter
+/// addition, map addition, multiset union — energy is sorted inside
+/// summarize()), which keeps results independent of thread scheduling.
+struct TrialAccumulator {
+  std::size_t successes = 0;
+  std::unordered_map<std::int64_t, std::uint64_t> slots;
+  std::unordered_map<std::int64_t, std::uint64_t> slots_ok;
+  std::unordered_map<std::int64_t, std::uint64_t> jams;
+  std::vector<double> energy;
+};
+
+void accumulate(TrialAccumulator& acc, const TrialOutcome& o,
+                std::uint64_t n_for_energy) {
+  if (o.elected) {
+    ++acc.successes;
+    ++acc.slots_ok[o.slots];
+  }
+  ++acc.slots[o.slots];
+  ++acc.jams[o.jams];
+  acc.energy.push_back(o.transmissions / static_cast<double>(n_for_energy));
+}
+
+void merge_into(TrialAccumulator& into, TrialAccumulator&& from) {
+  into.successes += from.successes;
+  for (const auto& [v, c] : from.slots) into.slots[v] += c;
+  for (const auto& [v, c] : from.slots_ok) into.slots_ok[v] += c;
+  for (const auto& [v, c] : from.jams) into.jams[v] += c;
+  into.energy.insert(into.energy.end(), from.energy.begin(),
+                     from.energy.end());
+}
+
+[[nodiscard]] std::vector<std::pair<double, std::uint64_t>> to_value_counts(
+    const std::unordered_map<std::int64_t, std::uint64_t>& counts) {
+  std::vector<std::pair<double, std::uint64_t>> pairs;
+  pairs.reserve(counts.size());
+  for (const auto& [v, c] : counts) {
+    pairs.emplace_back(static_cast<double>(v), c);
+  }
+  return pairs;
+}
+
+/// Legacy materializing path: every TrialOutcome is kept and the
+/// summaries are computed from the full vectors.
+McResult run_trials_materialized(const TrialRunner& runner,
+                                 std::uint64_t n_for_energy,
+                                 const McConfig& config) {
   std::vector<TrialOutcome> outcomes(config.trials);
   const Rng base(config.seed);
   const auto body = [&](std::size_t k) {
@@ -47,6 +94,45 @@ McResult run_trials(const TrialRunner& runner, std::uint64_t n_for_energy,
   res.jams = summarize(std::span<const double>(jams));
   res.energy_per_station = summarize(std::span<const double>(energy));
   res.outcomes = std::move(outcomes);
+  return res;
+}
+
+}  // namespace
+
+McResult run_trials(const TrialRunner& runner, std::uint64_t n_for_energy,
+                    const McConfig& config) {
+  JAMELECT_EXPECTS(config.trials >= 1);
+  JAMELECT_EXPECTS(n_for_energy >= 1);
+  if (config.keep_outcomes) {
+    return run_trials_materialized(runner, n_for_energy, config);
+  }
+
+  // Streaming path: trials fold into per-thread accumulators and never
+  // exist all at once. Reproducibility is unchanged — trial k still
+  // derives from mix64(seed, k) regardless of which thread runs it.
+  const Rng base(config.seed);
+  const auto body = [&](TrialAccumulator& acc, std::size_t k) {
+    accumulate(acc, runner(base.child(k)), n_for_energy);
+  };
+  TrialAccumulator total;
+  if (config.parallel) {
+    total = global_pool().parallel_reduce(config.trials, TrialAccumulator{},
+                                          body, merge_into);
+  } else {
+    for (std::size_t k = 0; k < config.trials; ++k) body(total, k);
+  }
+
+  McResult res;
+  res.trials = config.trials;
+  res.successes = total.successes;
+  res.success = wilson_interval(res.successes, res.trials);
+  res.slots = summarize_weighted(to_value_counts(total.slots));
+  if (!total.slots_ok.empty()) {
+    res.slots_on_success = summarize_weighted(to_value_counts(total.slots_ok));
+  }
+  res.jams = summarize_weighted(to_value_counts(total.jams));
+  res.energy_per_station =
+      summarize(std::span<const double>(total.energy));
   return res;
 }
 
@@ -93,6 +179,22 @@ McResult run_station_mc(
     auto adv = make_adversary(spec, rng.child(0xad50));
     SlotEngine eng(std::move(stations), std::move(adv), rng.child(0x51e0),
                    engine);
+    return eng.run();
+  };
+  return run_trials(runner, n, config);
+}
+
+McResult run_cohort_mc(
+    const std::function<StationProtocolPtr()>& prototype_factory,
+    const AdversarySpec& adversary, std::uint64_t n, EngineConfig engine,
+    const McConfig& config) {
+  JAMELECT_EXPECTS(n >= 1);
+  AdversarySpec spec = adversary;
+  spec.n = n;
+  const TrialRunner runner = [&prototype_factory, spec, n, engine](Rng rng) {
+    auto adv = make_adversary(spec, rng.child(0xad50));
+    CohortEngine eng(prototype_factory(), n, std::move(adv),
+                     rng.child(0x51e0), engine);
     return eng.run();
   };
   return run_trials(runner, n, config);

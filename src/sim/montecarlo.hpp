@@ -24,6 +24,11 @@ struct McConfig {
   std::int64_t max_slots = 1'000'000;
   /// Run trials on the global thread pool (deterministic either way).
   bool parallel = true;
+  /// Materialize McResult::outcomes (per-trial detail). Off by default:
+  /// the streaming path aggregates into O(distinct-values) count maps
+  /// per thread, so million-trial sweeps don't hold a TrialOutcome per
+  /// trial in memory. Summaries are identical either way.
+  bool keep_outcomes = false;
 };
 
 /// Aggregated view over the trials of one configuration.
@@ -40,7 +45,9 @@ struct McResult {
   Summary jams;
   /// Mean per-station transmissions ("energy").
   Summary energy_per_station;
-  std::vector<TrialOutcome> outcomes;  ///< per-trial detail, trial-indexed
+  /// Per-trial detail, trial-indexed; empty unless
+  /// McConfig::keep_outcomes was set.
+  std::vector<TrialOutcome> outcomes;
 };
 
 /// One full trial: build everything from the trial-local rng, run, and
@@ -65,6 +72,14 @@ using TrialRunner = std::function<TrialOutcome(Rng trial_rng)>;
 /// Per-station engine; `station_factory(i)` builds station i.
 [[nodiscard]] McResult run_station_mc(
     const std::function<StationProtocolPtr(StationId)>& station_factory,
+    const AdversarySpec& adversary, std::uint64_t n, EngineConfig engine,
+    const McConfig& config);
+
+/// Cohort-compressed engine (sim/cohort.hpp): n stations all built as
+/// clones of `prototype_factory()`. Distributionally equivalent to
+/// run_station_mc with identical stations, at O(#cohorts) per slot.
+[[nodiscard]] McResult run_cohort_mc(
+    const std::function<StationProtocolPtr()>& prototype_factory,
     const AdversarySpec& adversary, std::uint64_t n, EngineConfig engine,
     const McConfig& config);
 

@@ -16,7 +16,7 @@ std::uint64_t binomial_small_n(std::uint64_t n, double p, Rng& rng) {
 }
 
 /// CDF inversion: walk the pmf from k = 0 upward using the recurrence
-/// P(k+1) = P(k) * (n-k)/(k+1) * p/(1-p). Intended for np <= ~32 where
+/// P(k+1) = P(k) * (n-k)/(k+1) * p/(1-p). Intended for np <= ~30 where
 /// the walk terminates quickly; P(0) = (1-p)^n is computed in log space
 /// to avoid underflow at large n.
 std::uint64_t binomial_inversion(std::uint64_t n, double p, Rng& rng) {
@@ -38,17 +38,104 @@ std::uint64_t binomial_inversion(std::uint64_t n, double p, Rng& rng) {
   return k;
 }
 
-std::uint64_t binomial_normal(std::uint64_t n, double p, Rng& rng) {
+/// Stirling-series tail of log(k!) beyond the leading terms, evaluated
+/// at x (with x2 = x*x): the BTPE paper's nested polynomial form.
+double stirling_tail(double x, double x2) {
+  return (13860.0 - (462.0 - (132.0 - (99.0 - 140.0 / x2) / x2) / x2) / x2) /
+         x / 166320.0;
+}
+
+/// BTPE — Binomial Triangle-Parallelogram-Exponential rejection
+/// (Kachitvichyanukul & Schmeiser, CACM 1988). The proposal density is
+/// a triangle around the mode flanked by a parallelogram and two
+/// exponential tails; acceptance compares against the EXACT pmf ratio
+/// f(y)/f(mode), either via the multiplicative recurrence (near the
+/// mode) or via a squeeze plus a Stirling-corrected log test (far
+/// tails). Requires p <= 1/2 and n*p >= ~30 so the mode region is wide
+/// enough for the triangle geometry.
+std::uint64_t binomial_btpe(std::uint64_t n, double p, Rng& rng) {
   const double nd = static_cast<double>(n);
-  const double mean = nd * p;
-  const double sd = std::sqrt(mean * (1.0 - p));
-  // Box-Muller from two uniforms.
-  const double u1 = std::max(rng.uniform(), 1e-300);
-  const double u2 = rng.uniform();
-  const double z =
-      std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
-  const double draw = std::round(mean + sd * z);
-  return static_cast<std::uint64_t>(std::clamp(draw, 0.0, nd));
+  const double r = p;
+  const double q = 1.0 - r;
+  const double nrq = nd * r * q;
+  const double fm = nd * r + r;
+  const double m = std::floor(fm);  // the mode of the pmf
+  // Geometry of the four proposal regions.
+  const double p1 = std::floor(2.195 * std::sqrt(nrq) - 4.6 * q) + 0.5;
+  const double xm = m + 0.5;
+  const double xl = xm - p1;
+  const double xr = xm + p1;
+  const double c = 0.134 + 20.5 / (15.3 + m);
+  double slope = (fm - xl) / (fm - xl * r);
+  const double laml = slope * (1.0 + 0.5 * slope);
+  slope = (xr - fm) / (xr * q);
+  const double lamr = slope * (1.0 + 0.5 * slope);
+  const double p2 = p1 * (1.0 + 2.0 * c);
+  const double p3 = p2 + c / laml;
+  const double p4 = p3 + c / lamr;
+
+  for (;;) {
+    const double u = rng.uniform() * p4;
+    double v = rng.uniform();
+    double y;
+    if (u <= p1) {
+      // Triangular core: accept immediately.
+      y = std::floor(xm - p1 * v + u);
+      return static_cast<std::uint64_t>(y);
+    }
+    if (u <= p2) {
+      // Parallelogram above the triangle.
+      const double x = xl + (u - p1) / c;
+      v = v * c + 1.0 - std::abs(xm - x) / p1;
+      if (v > 1.0 || v <= 0.0) continue;
+      y = std::floor(x);
+    } else if (u <= p3) {
+      // Left exponential tail.
+      y = std::floor(xl + std::log(v) / laml);
+      if (y < 0.0) continue;
+      v *= (u - p2) * laml;
+    } else {
+      // Right exponential tail.
+      y = std::floor(xr - std::log(v) / lamr);
+      if (y > nd) continue;
+      v *= (u - p3) * lamr;
+    }
+
+    // Accept y iff v <= f(y)/f(m).
+    const double k = std::abs(y - m);
+    if (k <= 20.0 || k >= nrq / 2.0 - 1.0) {
+      // Near the mode (or in the extreme tail where the recurrence is
+      // short): evaluate the ratio exactly by the recurrence.
+      const double s = r / q;
+      const double aa = s * (nd + 1.0);
+      double f = 1.0;
+      if (m < y) {
+        for (double i = m + 1.0; i <= y; i += 1.0) f *= (aa / i - s);
+      } else if (m > y) {
+        for (double i = y + 1.0; i <= m; i += 1.0) f /= (aa / i - s);
+      }
+      if (v <= f) return static_cast<std::uint64_t>(y);
+      continue;
+    }
+    // Squeeze: cheap bounds on log(f(y)/f(m)) before the full test.
+    const double rho =
+        (k / nrq) * ((k * (k / 3.0 + 0.625) + 1.0 / 6.0) / nrq + 0.5);
+    const double t = -k * k / (2.0 * nrq);
+    const double alv = std::log(v);
+    if (alv < t - rho) return static_cast<std::uint64_t>(y);
+    if (alv > t + rho) continue;
+    // Final exact test: log(f(y)/f(m)) via Stirling-corrected factorials.
+    const double x1 = y + 1.0;
+    const double f1 = m + 1.0;
+    const double z = nd + 1.0 - m;
+    const double w = nd - y + 1.0;
+    const double target =
+        xm * std::log(f1 / x1) + (nd - m + 0.5) * std::log(z / w) +
+        (y - m) * std::log(w * r / (x1 * q)) + stirling_tail(f1, f1 * f1) +
+        stirling_tail(z, z * z) + stirling_tail(x1, x1 * x1) +
+        stirling_tail(w, w * w);
+    if (alv <= target) return static_cast<std::uint64_t>(y);
+  }
 }
 
 }  // namespace
@@ -60,8 +147,8 @@ std::uint64_t binomial_sample(std::uint64_t n, double p, Rng& rng) {
   if (p > 0.5) return n - binomial_sample(n, 1.0 - p, rng);
   if (n <= 128) return binomial_small_n(n, p, rng);
   const double mean = static_cast<double>(n) * p;
-  if (mean <= 32.0) return binomial_inversion(n, p, rng);
-  return binomial_normal(n, p, rng);
+  if (mean <= 30.0) return binomial_inversion(n, p, rng);
+  return binomial_btpe(n, p, rng);
 }
 
 }  // namespace jamelect

@@ -1,15 +1,18 @@
-// Binomial(n, p) sampling for the class-compressed simulation engines.
+// Binomial(n, p) sampling for the cohort/class-compressed simulation
+// engines.
 //
-// Regimes (chosen for exactness where it matters and speed where the
-// population is huge):
-//   * n <= 128            — direct Bernoulli loop (exact);
-//   * mean <= 32          — CDF inversion from the mode-0 side using
-//                           log-space recurrence (exact to double);
-//   * otherwise           — normal approximation with continuity
-//                           correction, clamped to [0, n] (error
-//                           O(1/sqrt(mean)), negligible for the
-//                           channel-category decisions it feeds, and
-//                           statistically validated in the tests).
+// Every regime is exact (to double-precision pmf arithmetic) — there is
+// no normal-approximation fallback anywhere:
+//   * n <= 128            — direct Bernoulli loop;
+//   * mean <= 30          — CDF inversion from k = 0 using the
+//                           log-space pmf recurrence;
+//   * otherwise           — BTPE (Kachitvichyanukul & Schmeiser 1988),
+//                           a triangle/parallelogram/exponential-tail
+//                           rejection sampler whose acceptance test
+//                           evaluates the exact pmf ratio, so the
+//                           output law is Binomial(n, p) itself. O(1)
+//                           expected draws per sample at any mean.
+// p > 1/2 is reflected through k -> n - k before dispatch.
 #pragma once
 
 #include <cstdint>

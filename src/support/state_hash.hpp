@@ -1,0 +1,45 @@
+// 64-bit state fingerprints for protocol-state comparison.
+//
+// The cohort engine (sim/cohort.hpp) re-merges cohorts whose
+// representatives report identical protocol state. Hashes are the cheap
+// first-stage filter: two states are only handed to the exact
+// state_equals() check when their fingerprints collide, so the hash
+// must be a deterministic function of exactly the state that
+// state_equals() compares. Chaining goes through mix64 (support/rng.hpp)
+// so single-field differences avalanche across the whole word.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace jamelect {
+
+/// Accumulator for field-by-field state fingerprints:
+///   StateHash{}.add(u_).add(elected_).value()
+class StateHash {
+ public:
+  constexpr StateHash& add(std::uint64_t v) noexcept {
+    h_ = mix64(h_, v);
+    return *this;
+  }
+  constexpr StateHash& add(std::int64_t v) noexcept {
+    return add(static_cast<std::uint64_t>(v));
+  }
+  constexpr StateHash& add(bool v) noexcept {
+    return add(static_cast<std::uint64_t>(v ? 1 : 0));
+  }
+  StateHash& add(double v) noexcept {
+    // Bit-exact: distinguishes -0.0 from 0.0, which is stricter than
+    // ==, never weaker — a spurious hash difference only costs a merge.
+    return add(std::bit_cast<std::uint64_t>(v));
+  }
+
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 0x9e3779b97f4a7c15ULL;
+};
+
+}  // namespace jamelect

@@ -98,6 +98,65 @@ Summary summarize(std::span<const double> samples) {
   return s;
 }
 
+Summary summarize_weighted(
+    std::vector<std::pair<double, std::uint64_t>> value_counts) {
+  std::erase_if(value_counts, [](const auto& vc) { return vc.second == 0; });
+  Summary s;
+  std::uint64_t total = 0;
+  for (const auto& [v, c] : value_counts) total += c;
+  s.count = total;
+  if (total == 0) return s;
+
+  std::sort(value_counts.begin(), value_counts.end());
+
+  // Two-pass weighted moments (stable against cancellation).
+  double sum = 0.0;
+  for (const auto& [v, c] : value_counts) sum += v * static_cast<double>(c);
+  const double nd = static_cast<double>(total);
+  s.mean = sum / nd;
+  double m2 = 0.0;
+  for (const auto& [v, c] : value_counts) {
+    const double d = v - s.mean;
+    m2 += d * d * static_cast<double>(c);
+  }
+
+  // Value at 0-based rank r of the expanded sorted multiset.
+  std::vector<std::uint64_t> cumulative(value_counts.size());
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < value_counts.size(); ++i) {
+    running += value_counts[i].second;
+    cumulative[i] = running;
+  }
+  const auto at_rank = [&](std::uint64_t r) {
+    const auto it = std::upper_bound(cumulative.begin(), cumulative.end(), r);
+    return value_counts[static_cast<std::size_t>(it - cumulative.begin())]
+        .first;
+  };
+  // Type-7 quantile, matching quantile_sorted() on the expanded array.
+  const auto quantile = [&](double q) {
+    if (total == 1) return value_counts.front().first;
+    const double pos = q * static_cast<double>(total - 1);
+    const auto lo = static_cast<std::uint64_t>(pos);
+    const std::uint64_t hi = std::min(lo + 1, static_cast<std::uint64_t>(total - 1));
+    const double frac = pos - static_cast<double>(lo);
+    const double a = at_rank(lo);
+    return a + frac * (at_rank(hi) - a);
+  };
+
+  s.min = value_counts.front().first;
+  s.max = value_counts.back().first;
+  s.p25 = quantile(0.25);
+  s.median = quantile(0.50);
+  s.p75 = quantile(0.75);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  if (total >= 2) {
+    s.stddev = std::sqrt(m2 / (nd - 1.0));
+    s.ci95_halfwidth = 1.96 * s.stddev / std::sqrt(nd);
+  }
+  return s;
+}
+
 Summary summarize(std::span<const std::int64_t> samples) {
   std::vector<double> d(samples.size());
   std::transform(samples.begin(), samples.end(), d.begin(),

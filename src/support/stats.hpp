@@ -63,6 +63,17 @@ struct Summary {
 [[nodiscard]] Summary summarize(std::span<const double> samples);
 [[nodiscard]] Summary summarize(std::span<const std::int64_t> samples);
 
+/// Builds a Summary from a sample MULTISET given as value -> count
+/// pairs (need not be sorted; zero counts are ignored). Quantiles are
+/// the same type-7 interpolation summarize() would produce on the
+/// expanded samples, but nothing is expanded: the streaming Monte-Carlo
+/// path aggregates millions of integer-valued trials into count maps
+/// whose size is the number of DISTINCT values, and summarizes here in
+/// O(distinct log distinct). Mean/stddev use a weighted two-pass, so
+/// the result is independent of pair order.
+[[nodiscard]] Summary summarize_weighted(
+    std::vector<std::pair<double, std::uint64_t>> value_counts);
+
 /// Wilson score interval for a Bernoulli success rate: returns
 /// {lower, upper} bounds at ~95% confidence for `successes` out of
 /// `trials` (trials >= 1). Robust near rates of 0 and 1, which is

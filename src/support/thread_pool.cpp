@@ -1,11 +1,6 @@
 #include "support/thread_pool.hpp"
 
-#include <algorithm>
-#include <atomic>
 #include <cstdlib>
-#include <exception>
-
-#include "support/expects.hpp"
 
 namespace jamelect {
 
@@ -28,73 +23,72 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::enqueue(Task task) {
   {
     std::lock_guard lock(mutex_);
-    JAMELECT_EXPECTS(!stopping_);
-    tasks_.push(std::move(task));
+    if (stopping_) return;  // shutdown races are benign: job is stack-owned
+    tasks_.push(task);
   }
   cv_.notify_one();
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
       if (stopping_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
+      task = tasks_.front();
       tasks_.pop();
     }
-    task();
+    task.fn(*task.job, task.slot);
   }
 }
 
-void ThreadPool::parallel_for(std::size_t count,
-                              const std::function<void(std::size_t)>& body) {
+void ThreadPool::run_job_slot(ParallelJob& job, std::size_t slot) {
+  try {
+    job.run(slot);
+  } catch (...) {
+    std::lock_guard lock(job.error_mutex);
+    if (!job.error) job.error = std::current_exception();
+  }
+  if (job.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard lock(job.done_mutex);
+    job.done_cv.notify_all();
+  }
+}
+
+void ThreadPool::execute(ParallelJob& job, std::size_t count) {
   if (count == 0) return;
-  const std::size_t chunks = std::min(count, size());
-  if (chunks <= 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
+  job.count = count;
+  // Helpers beyond the caller; capped so every slot sees work.
+  const std::size_t helpers = std::min(count - 1, size());
+  // Chunks are small enough for dynamic balancing, large enough that
+  // the shared cursor is not contended.
+  job.chunk = std::max<std::size_t>(1, count / ((helpers + 1) * 8));
+
+  if (helpers == 0) {
+    job.run(0);  // exceptions propagate directly
     return;
   }
 
-  struct Shared {
-    std::atomic<std::size_t> remaining;
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
-    std::exception_ptr error;
-    std::mutex error_mutex;
-  } shared;
-  shared.remaining.store(chunks, std::memory_order_relaxed);
-
-  const std::size_t base = count / chunks;
-  const std::size_t extra = count % chunks;
-  std::size_t begin = 0;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t len = base + (c < extra ? 1 : 0);
-    const std::size_t end = begin + len;
-    submit([&shared, &body, begin, end] {
-      try {
-        for (std::size_t i = begin; i < end; ++i) body(i);
-      } catch (...) {
-        std::lock_guard lock(shared.error_mutex);
-        if (!shared.error) shared.error = std::current_exception();
-      }
-      if (shared.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard lock(shared.done_mutex);
-        shared.done_cv.notify_all();
-      }
-    });
-    begin = end;
+  job.pending.store(helpers, std::memory_order_relaxed);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    enqueue(Task{&run_job_slot, &job, h});
   }
-
-  std::unique_lock lock(shared.done_mutex);
-  shared.done_cv.wait(lock, [&shared] {
-    return shared.remaining.load(std::memory_order_acquire) == 0;
+  // The caller takes the last slot instead of blocking idle.
+  try {
+    job.run(helpers);
+  } catch (...) {
+    std::lock_guard lock(job.error_mutex);
+    if (!job.error) job.error = std::current_exception();
+  }
+  std::unique_lock lock(job.done_mutex);
+  job.done_cv.wait(lock, [&job] {
+    return job.pending.load(std::memory_order_acquire) == 0;
   });
-  if (shared.error) std::rethrow_exception(shared.error);
+  if (job.error) std::rethrow_exception(job.error);
 }
 
 ThreadPool& global_pool() {

@@ -1,0 +1,222 @@
+// Cohort-engine validation: the cohort-compressed engine must agree in
+// distribution with the exact per-station SlotEngine — same success
+// rates, same slots-to-elect law, same energy, uniform leader identity
+// — under both CD modes. The engines share no RNG stream (cohorts draw
+// one binomial where SlotEngine draws |cohort| Bernoullis), so all
+// comparisons are statistical, with the same generous 5-sigma bands as
+// equivalence_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "protocols/lesk.hpp"
+#include "protocols/lewk.hpp"
+#include "protocols/uniform_station.hpp"
+#include "sim/cohort.hpp"
+#include "sim/montecarlo.hpp"
+#include "support/expects.hpp"
+#include "support/stats.hpp"
+
+namespace jamelect {
+namespace {
+
+constexpr std::size_t kTrials = 300;
+
+McConfig mc(std::uint64_t seed, std::int64_t max_slots) {
+  McConfig c;
+  c.trials = kTrials;
+  c.seed = seed;
+  c.max_slots = max_slots;
+  return c;
+}
+
+StationProtocolPtr lesk_station() {
+  return std::make_unique<UniformStationAdapter>(std::make_unique<Lesk>(0.5));
+}
+
+void expect_means_compatible(const Summary& a, const Summary& b) {
+  // Two-sample z-ish test with a generous 5-sigma band.
+  const double se = std::sqrt(a.stddev * a.stddev / static_cast<double>(a.count) +
+                              b.stddev * b.stddev / static_cast<double>(b.count));
+  EXPECT_LT(std::abs(a.mean - b.mean), 5.0 * se + 0.05 * (a.mean + b.mean))
+      << "a=" << a.mean << " b=" << b.mean << " se=" << se;
+}
+
+class CohortEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CohortEquivalence, StrongCdLeskMatchesSlotEngine) {
+  const std::uint64_t n = GetParam();
+  AdversarySpec none;
+  const EngineConfig engine{CdMode::kStrong, StopRule::kAllDone, 100000};
+  const auto cohort =
+      run_cohort_mc(lesk_station, none, n, engine, mc(142, 100000));
+  const auto per = run_station_mc(
+      [](StationId) { return lesk_station(); }, none, n, engine,
+      mc(143, 100000));
+  EXPECT_EQ(cohort.successes, kTrials);
+  EXPECT_EQ(per.successes, kTrials);
+  expect_means_compatible(cohort.slots, per.slots);
+  expect_means_compatible(cohort.energy_per_station, per.energy_per_station);
+}
+
+TEST_P(CohortEquivalence, StrongCdLeskUnderJammingMatches) {
+  const std::uint64_t n = GetParam();
+  AdversarySpec sat;
+  sat.policy = "saturating";
+  sat.T = 32;
+  sat.eps = 0.5;
+  const EngineConfig engine{CdMode::kStrong, StopRule::kAllDone, 200000};
+  const auto cohort =
+      run_cohort_mc(lesk_station, sat, n, engine, mc(152, 200000));
+  const auto per = run_station_mc(
+      [](StationId) { return lesk_station(); }, sat, n, engine,
+      mc(153, 200000));
+  EXPECT_EQ(cohort.successes, kTrials);
+  EXPECT_EQ(per.successes, kTrials);
+  expect_means_compatible(cohort.slots, per.slots);
+  expect_means_compatible(cohort.jams, per.jams);
+}
+
+TEST_P(CohortEquivalence, WeakCdFirstSingleMatchesSlotEngine) {
+  // Bare LESK under weak-CD is selection resolution: stop at the first
+  // un-jammed Single. The transmitter's view diverges exactly there, so
+  // this exercises the split path at the deciding slot.
+  const std::uint64_t n = GetParam();
+  AdversarySpec none;
+  const EngineConfig engine{CdMode::kWeak, StopRule::kFirstSingle, 100000};
+  const auto cohort =
+      run_cohort_mc(lesk_station, none, n, engine, mc(162, 100000));
+  const auto per = run_station_mc(
+      [](StationId) { return lesk_station(); }, none, n, engine,
+      mc(163, 100000));
+  EXPECT_EQ(cohort.successes, kTrials);
+  EXPECT_EQ(per.successes, kTrials);
+  expect_means_compatible(cohort.slots, per.slots);
+}
+
+TEST_P(CohortEquivalence, WeakCdLewkMatchesSlotEngine) {
+  // Full weak-CD leader election (Notification over LESK): repeated
+  // splits (C1/C2 Singles) and re-merges (confirmers converging) are
+  // the hard case for cohort bookkeeping.
+  const std::uint64_t n = GetParam();
+  if (n < 3) GTEST_SKIP() << "Notification requires n >= 3";
+  AdversarySpec none;
+  const EngineConfig engine{CdMode::kWeak, StopRule::kAllDone, 1 << 20};
+  const auto cohort = run_cohort_mc([] { return make_lewk_station(0.5); },
+                                    none, n, engine, mc(172, 1 << 20));
+  const auto per = run_station_mc(
+      [](StationId) { return make_lewk_station(0.5); }, none, n, engine,
+      mc(173, 1 << 20));
+  EXPECT_EQ(cohort.successes, kTrials);
+  EXPECT_EQ(per.successes, kTrials);
+  expect_means_compatible(cohort.slots, per.slots);
+  expect_means_compatible(cohort.energy_per_station, per.energy_per_station);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CohortEquivalence,
+                         ::testing::Values<std::uint64_t>(3, 8, 32, 128));
+
+TEST(CohortEngine, LeaderIdentityIsUniform) {
+  // The engine never tracks member identities; the reported leader id
+  // is drawn from the exchangeability marginal. Chi-square against
+  // uniform over n = 8 stations.
+  const std::uint64_t n = 8;
+  McConfig c = mc(1818, 100000);
+  c.trials = 400;
+  c.keep_outcomes = true;
+  const EngineConfig engine{CdMode::kStrong, StopRule::kAllDone, 100000};
+  const auto res = run_cohort_mc(lesk_station, AdversarySpec{}, n, engine, c);
+  ASSERT_EQ(res.successes, c.trials);
+  std::vector<std::int64_t> counts(n, 0);
+  for (const auto& o : res.outcomes) {
+    ASSERT_TRUE(o.leader.has_value());
+    ASSERT_LT(*o.leader, n);
+    ++counts[*o.leader];
+  }
+  const double expected = static_cast<double>(c.trials) / static_cast<double>(n);
+  double chi2 = 0.0;
+  for (const auto cnt : counts) {
+    const double d = static_cast<double>(cnt) - expected;
+    chi2 += d * d / expected;
+  }
+  // df = 7: mean 7, sd sqrt(14) ~ 3.7 -> 7 + 5 sd ~ 26.
+  EXPECT_LT(chi2, 26.0);
+}
+
+TEST(CohortEngine, SuccessRatesOverlapUnderCensoring) {
+  // With a slot budget in the middle of the slots-to-elect distribution
+  // both engines succeed on a nontrivial fraction of trials; the Wilson
+  // intervals must overlap.
+  const std::uint64_t n = 32;
+  const EngineConfig engine{CdMode::kStrong, StopRule::kAllDone, 64};
+  const auto cohort =
+      run_cohort_mc(lesk_station, AdversarySpec{}, n, engine, mc(192, 64));
+  const auto per =
+      run_station_mc([](StationId) { return lesk_station(); }, AdversarySpec{},
+                     n, engine, mc(193, 64));
+  EXPECT_LE(cohort.success.lower, per.success.upper);
+  EXPECT_LE(per.success.lower, cohort.success.upper);
+}
+
+TEST(CohortEngine, DeterministicForFixedSeed) {
+  const EngineConfig engine{CdMode::kStrong, StopRule::kAllDone, 100000};
+  const auto a =
+      run_cohort_mc(lesk_station, AdversarySpec{}, 64, engine, mc(7, 100000));
+  const auto b =
+      run_cohort_mc(lesk_station, AdversarySpec{}, 64, engine, mc(7, 100000));
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_DOUBLE_EQ(a.slots.mean, b.slots.mean);
+  EXPECT_DOUBLE_EQ(a.slots.median, b.slots.median);
+  EXPECT_DOUBLE_EQ(a.energy_per_station.mean, b.energy_per_station.mean);
+  EXPECT_DOUBLE_EQ(a.jams.mean, b.jams.mean);
+}
+
+TEST(CohortEngine, LockstepStrongCdStaysCompressed) {
+  // Strong-CD uniform protocols stay in lockstep until the deciding
+  // Single splits off the leader: at most 2 cohorts ever exist.
+  auto adv = make_adversary(AdversarySpec{}, Rng(3).child(1));
+  CohortEngine eng(lesk_station(), 1 << 12, std::move(adv), Rng(3).child(2),
+                   {CdMode::kStrong, StopRule::kAllDone, 100000});
+  const auto out = eng.run();
+  EXPECT_TRUE(out.elected);
+  EXPECT_TRUE(out.unique_leader);
+  EXPECT_LE(eng.peak_cohorts(), 2u);
+}
+
+TEST(CohortEngine, WeakCdNotificationKeepsFewCohorts) {
+  // Notification's state machine induces a handful of roles (leader,
+  // second-loopers, confirmers); compression must not degrade toward
+  // one-cohort-per-station.
+  auto adv = make_adversary(AdversarySpec{}, Rng(5).child(1));
+  CohortEngine eng(make_lewk_station(0.5), 256, std::move(adv),
+                   Rng(5).child(2), {CdMode::kWeak, StopRule::kAllDone, 1 << 20});
+  const auto out = eng.run();
+  EXPECT_TRUE(out.elected);
+  EXPECT_LE(eng.peak_cohorts(), 8u);
+}
+
+TEST(CohortEngine, RejectsNonCompressibleStation) {
+  // A protocol without clone_station() support must fail fast at
+  // construction, not at the first divergence.
+  class OpaqueStation final : public StationProtocol {
+   public:
+    [[nodiscard]] double transmit_probability(Slot) override { return 0.5; }
+    void feedback(Slot, bool, Observation) override {}
+    [[nodiscard]] bool done() const override { return false; }
+    [[nodiscard]] bool is_leader() const override { return false; }
+    [[nodiscard]] std::string name() const override { return "opaque"; }
+  };
+  AdversarySpec spec;
+  spec.n = 4;
+  auto adv = make_adversary(spec, Rng(9).child(1));
+  EXPECT_THROW(CohortEngine(std::make_unique<OpaqueStation>(), 4,
+                            std::move(adv), Rng(9).child(2),
+                            {CdMode::kStrong, StopRule::kAllDone, 100}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace jamelect

@@ -21,6 +21,7 @@ TEST(MonteCarlo, AggregatesAllTrials) {
   c.trials = 50;
   c.seed = 5;
   c.max_slots = 100000;
+  c.keep_outcomes = true;
   const auto res = run_aggregate_mc(lesk_factory(), AdversarySpec{}, 64, c);
   EXPECT_EQ(res.trials, 50u);
   EXPECT_EQ(res.successes, 50u);
@@ -36,6 +37,7 @@ TEST(MonteCarlo, ParallelAndSerialAgreeExactly) {
   par.trials = 40;
   par.seed = 9;
   par.max_slots = 100000;
+  par.keep_outcomes = true;
   McConfig ser = par;
   ser.parallel = false;
   const auto a = run_aggregate_mc(lesk_factory(), AdversarySpec{}, 128, par);
@@ -52,6 +54,7 @@ TEST(MonteCarlo, SeedChangesResults) {
   c.trials = 10;
   c.seed = 1;
   c.max_slots = 100000;
+  c.keep_outcomes = true;
   const auto a = run_aggregate_mc(lesk_factory(), AdversarySpec{}, 128, c);
   c.seed = 2;
   const auto b = run_aggregate_mc(lesk_factory(), AdversarySpec{}, 128, c);
@@ -79,6 +82,7 @@ TEST(MonteCarlo, StationRunnerValidatesElection) {
   c.trials = 10;
   c.seed = 7;
   c.max_slots = 100000;
+  c.keep_outcomes = true;
   const auto res = run_station_mc(
       [](StationId) -> StationProtocolPtr {
         return std::make_unique<UniformStationAdapter>(
@@ -91,6 +95,32 @@ TEST(MonteCarlo, StationRunnerValidatesElection) {
     EXPECT_TRUE(o.all_done);
     EXPECT_TRUE(o.leader.has_value());
   }
+}
+
+TEST(MonteCarlo, StreamingMatchesMaterializedSummaries) {
+  McConfig keep;
+  keep.trials = 60;
+  keep.seed = 13;
+  keep.max_slots = 100000;
+  keep.keep_outcomes = true;
+  McConfig stream = keep;
+  stream.keep_outcomes = false;
+  const auto a = run_aggregate_mc(lesk_factory(), AdversarySpec{}, 64, keep);
+  const auto b = run_aggregate_mc(lesk_factory(), AdversarySpec{}, 64, stream);
+  EXPECT_TRUE(b.outcomes.empty());
+  EXPECT_EQ(a.successes, b.successes);
+  // Same multiset of per-trial values, so type-7 quantiles agree
+  // exactly; means use different (both exact) summation orders.
+  EXPECT_DOUBLE_EQ(a.slots.median, b.slots.median);
+  EXPECT_DOUBLE_EQ(a.slots.p95, b.slots.p95);
+  EXPECT_DOUBLE_EQ(a.slots.min, b.slots.min);
+  EXPECT_DOUBLE_EQ(a.slots.max, b.slots.max);
+  EXPECT_NEAR(a.slots.mean, b.slots.mean, 1e-9 * (1.0 + a.slots.mean));
+  EXPECT_NEAR(a.slots.stddev, b.slots.stddev, 1e-9 * (1.0 + a.slots.stddev));
+  EXPECT_NEAR(a.jams.mean, b.jams.mean, 1e-9);
+  EXPECT_NEAR(a.energy_per_station.mean, b.energy_per_station.mean,
+              1e-9 * (1.0 + a.energy_per_station.mean));
+  EXPECT_DOUBLE_EQ(a.slots_on_success.median, b.slots_on_success.median);
 }
 
 TEST(MonteCarlo, RejectsZeroTrials) {

@@ -69,6 +69,7 @@ TEST(Robustness, WeakCdNotificationNeverTwoLeaders) {
       mc.trials = 6;
       mc.seed = 1000 + n;
       mc.max_slots = 1 << 20;
+      mc.keep_outcomes = true;
       AdversarySpec spec;
       spec.policy = policy;
       spec.T = 32;
@@ -92,6 +93,7 @@ TEST(Robustness, LewuFullStackSmallNetwork) {
   mc.trials = 3;
   mc.seed = 77;
   mc.max_slots = 1 << 22;
+  mc.keep_outcomes = true;
   AdversarySpec spec;
   spec.policy = "saturating";
   spec.T = 32;
@@ -159,6 +161,7 @@ TEST(Robustness, NotificationSurvivesIntervalBuster) {
     mc.trials = 4;
     mc.seed = 4000 + static_cast<std::uint64_t>(target);
     mc.max_slots = 1 << 21;
+    mc.keep_outcomes = true;
     AdversarySpec spec;
     spec.policy = "interval_buster";
     spec.T = 32;
@@ -178,6 +181,7 @@ TEST(Robustness, PerStationNotificationSurvivesIntervalBuster) {
   mc.trials = 4;
   mc.seed = 4100;
   mc.max_slots = 1 << 21;
+  mc.keep_outcomes = true;
   AdversarySpec spec;
   spec.policy = "interval_buster";
   spec.T = 32;

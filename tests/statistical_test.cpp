@@ -5,13 +5,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "channel/channel.hpp"
 #include "protocols/lesk.hpp"
 #include "sim/adversary_spec.hpp"
 #include "sim/aggregate.hpp"
+#include "support/binomial.hpp"
 #include "support/math.hpp"
 #include "support/rng.hpp"
+#include "support/stats.hpp"
 
 namespace jamelect {
 namespace {
@@ -101,6 +104,127 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple<std::uint64_t, double>(1024, 1.0 / 4096),
                       std::make_tuple<std::uint64_t, double>(1 << 20,
                                                              1.0 / (1 << 20))));
+
+// ---------- binomial sampler regimes ----------
+// The cohort engine leans on binomial_sample() across wildly different
+// (n, p) regimes: per-slot transmitter counts range from mean << 1
+// (2^-u with u near log2 n) to mean ~ n/2 (Notification confirm/
+// announce phases). Every regime must be exact — there is no normal-
+// approximation fallback to hide behind.
+
+[[nodiscard]] double binomial_log_pmf(double n, double k, double p) {
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+         std::lgamma(n - k + 1.0) + k * std::log(p) +
+         (n - k) * std::log1p(-p);
+}
+
+// Chi-square of `draws` samples against the exact pmf over cells
+// [lo, hi] with everything outside lumped into one tail cell.
+[[nodiscard]] double binomial_chi2(std::uint64_t n, double p,
+                                   std::uint64_t lo, std::uint64_t hi,
+                                   int draws, Rng& rng) {
+  std::vector<std::int64_t> counts(hi - lo + 1, 0);
+  std::int64_t outside = 0;
+  for (int i = 0; i < draws; ++i) {
+    const std::uint64_t k = binomial_sample(n, p, rng);
+    if (k < lo || k > hi) {
+      ++outside;
+    } else {
+      ++counts[k - lo];
+    }
+  }
+  double chi2 = 0.0;
+  double covered = 0.0;
+  for (std::uint64_t k = lo; k <= hi; ++k) {
+    const double q = std::exp(binomial_log_pmf(
+        static_cast<double>(n), static_cast<double>(k), p));
+    covered += q;
+    const double expected = q * draws;
+    const double d = static_cast<double>(counts[k - lo]) - expected;
+    chi2 += d * d / expected;
+  }
+  const double tail_expected = (1.0 - covered) * draws;
+  if (tail_expected > 1.0) {
+    const double d = static_cast<double>(outside) - tail_expected;
+    chi2 += d * d / tail_expected;
+  }
+  return chi2;
+}
+
+TEST(BinomialRegimes, BtpeModerateMeanMatchesExactPmf) {
+  // n = 512, p = 1/4: mean 128 > 30 and n > 128 -> BTPE path.
+  Rng rng(2024);
+  const std::uint64_t n = 512;
+  const double p = 0.25;
+  const double sd = std::sqrt(static_cast<double>(n) * p * (1 - p));  // ~9.8
+  const auto lo = static_cast<std::uint64_t>(128.0 - 4.0 * sd);
+  const auto hi = static_cast<std::uint64_t>(128.0 + 4.0 * sd);
+  const double chi2 = binomial_chi2(n, p, lo, hi, 60000, rng);
+  // df ~ cells ~ 80: mean 80, sd sqrt(160) ~ 12.6 -> 80 + 5 sd ~ 145.
+  const double df = static_cast<double>(hi - lo + 1);
+  EXPECT_LT(chi2, df + 5.0 * std::sqrt(2.0 * df));
+}
+
+TEST(BinomialRegimes, InversionSmallMeanLargeNMatchesExactPmf) {
+  // n = 1024 > 128 but mean = 4 <= 30 -> inversion path.
+  Rng rng(2025);
+  const std::uint64_t n = 1024;
+  const double p = 4.0 / 1024.0;
+  const double chi2 = binomial_chi2(n, p, 0, 16, 60000, rng);
+  const double df = 17.0;
+  EXPECT_LT(chi2, df + 5.0 * std::sqrt(2.0 * df));
+}
+
+TEST(BinomialRegimes, HugeMeanMomentsMatch) {
+  // n = 2^31, p = 1/2: mean ~ 10^9, far above any approximation
+  // threshold — BTPE must stay exact (and O(1)) out here.
+  Rng rng(2026);
+  const std::uint64_t n = std::uint64_t{1} << 31;
+  const double p = 0.5;
+  OnlineStats stats;
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    stats.add(static_cast<double>(binomial_sample(n, p, rng)));
+  }
+  const double mean = static_cast<double>(n) * p;
+  const double var = mean * (1 - p);
+  const double se_mean = std::sqrt(var / kDraws);
+  EXPECT_NEAR(stats.mean(), mean, 5.0 * se_mean);
+  // Sample variance: relative sd ~ sqrt(2/N) ~ 0.7%; allow 5 of those.
+  EXPECT_NEAR(stats.variance() / var, 1.0, 0.05);
+}
+
+TEST(BinomialRegimes, PNearOneReflects) {
+  // p = 1 - 2^-20 with n = 2^20: the sampler must reflect through
+  // k -> n - k and draw the complement's mean-1 law exactly.
+  Rng rng(2027);
+  const std::uint64_t n = std::uint64_t{1} << 20;
+  const double p = 1.0 - 1.0 / static_cast<double>(n);
+  OnlineStats deficit;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t k = binomial_sample(n, p, rng);
+    ASSERT_LE(k, n);
+    deficit.add(static_cast<double>(n - k));
+  }
+  // n - k ~ Binomial(n, 1/n): mean 1, variance ~ 1.
+  EXPECT_NEAR(deficit.mean(), 1.0, 5.0 / std::sqrt(kDraws));
+}
+
+TEST(BinomialRegimes, PNearZeroHugeN) {
+  // n = 2^40 with mean 8: the inversion path must hold up when n
+  // dwarfs 2^32 (counts fit easily, probabilities are tiny).
+  Rng rng(2028);
+  const std::uint64_t n = std::uint64_t{1} << 40;
+  const double p = 8.0 / static_cast<double>(n);
+  OnlineStats stats;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    stats.add(static_cast<double>(binomial_sample(n, p, rng)));
+  }
+  const double se_mean = std::sqrt(8.0 / kDraws);
+  EXPECT_NEAR(stats.mean(), 8.0, 5.0 * se_mean);
+}
 
 TEST(Statistical, LeskWalkConcentratesNearLog2N) {
   // After the startup ramp, the estimate should sit within +-3 of

@@ -5,6 +5,7 @@
 #include "support/expects.hpp"
 
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "support/rng.hpp"
@@ -145,6 +146,47 @@ TEST(FitLine, RejectsDegenerate) {
   EXPECT_THROW((void)fit_line(one, one), ContractViolation);
   const std::vector<double> same{2.0, 2.0};
   EXPECT_THROW((void)fit_line(same, same), ContractViolation);  // vertical
+}
+
+
+TEST(SummarizeWeighted, MatchesExpandedSummarize) {
+  // value -> count compression must reproduce summarize() on the
+  // expanded multiset: identical type-7 quantiles, matching moments.
+  Rng rng(31);
+  std::vector<std::pair<double, std::uint64_t>> vc;
+  std::vector<double> expanded;
+  for (int v = 0; v < 40; ++v) {
+    const std::uint64_t c = 1 + rng.below(17);
+    vc.emplace_back(static_cast<double>(v * 3), c);
+    for (std::uint64_t i = 0; i < c; ++i) {
+      expanded.push_back(static_cast<double>(v * 3));
+    }
+  }
+  // Shuffle pair order: the result must be order-independent.
+  std::swap(vc[0], vc[17]);
+  std::swap(vc[3], vc[31]);
+  const Summary w = summarize_weighted(vc);
+  const Summary e = summarize(std::span<const double>(expanded));
+  EXPECT_EQ(w.count, e.count);
+  EXPECT_DOUBLE_EQ(w.min, e.min);
+  EXPECT_DOUBLE_EQ(w.max, e.max);
+  EXPECT_DOUBLE_EQ(w.p25, e.p25);
+  EXPECT_DOUBLE_EQ(w.median, e.median);
+  EXPECT_DOUBLE_EQ(w.p75, e.p75);
+  EXPECT_DOUBLE_EQ(w.p95, e.p95);
+  EXPECT_DOUBLE_EQ(w.p99, e.p99);
+  EXPECT_NEAR(w.mean, e.mean, 1e-12 * (1.0 + std::abs(e.mean)));
+  EXPECT_NEAR(w.stddev, e.stddev, 1e-9 * (1.0 + e.stddev));
+}
+
+TEST(SummarizeWeighted, IgnoresZeroCountsAndHandlesEmpty) {
+  EXPECT_EQ(summarize_weighted({}).count, 0u);
+  EXPECT_EQ(summarize_weighted({{5.0, 0}}).count, 0u);
+  const Summary s = summarize_weighted({{2.0, 0}, {7.0, 3}});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
 }
 
 }  // namespace
