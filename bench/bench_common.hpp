@@ -10,16 +10,21 @@
 //   JAMELECT_BENCH_TRIALS — Monte-Carlo trials per sweep point
 //                           (default 20; raise for smoother curves).
 //   JAMELECT_THREADS      — thread-pool width for the trial fan-out.
+//   JAMELECT_MANIFEST     — set to 0/off to skip the run manifest;
+//   JAMELECT_MANIFEST_DIR — where to write it (default: cwd).
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
 
 #include "analysis/theory.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
 #include "protocols/lesk.hpp"
 #include "protocols/lesu.hpp"
 #include "sim/montecarlo.hpp"
@@ -83,4 +88,49 @@ inline const char* policy_name(int idx) {
   }
 }
 
+/// Shared main for every bench binary: runs google-benchmark, then
+/// writes `<binary>.manifest.json` recording the full command line,
+/// environment knobs, build provenance, and the metric rollup of the
+/// run (JAMELECT_MANIFEST=0 disables; see obs/manifest.hpp).
+inline int bench_main(int argc, char** argv) {
+  obs::MetricsRegistry::global().set_enabled(true);
+
+  std::string cmdline;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0) cmdline += ' ';
+    cmdline += argv[i];
+  }
+  std::string name = argc > 0 && argv[0] != nullptr ? argv[0] : "bench";
+  if (const auto slash = name.find_last_of('/'); slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (const std::string path = obs::manifest_path_for(name); !path.empty()) {
+    obs::RunManifest manifest;
+    manifest.name = name;
+    manifest.config["cmdline"] = cmdline;
+    manifest.config["trials"] = std::to_string(trials());
+    if (const char* threads = std::getenv("JAMELECT_THREADS")) {
+      manifest.config["threads"] = threads;
+    }
+    if (!manifest.write_file(path)) {
+      std::fprintf(stderr, "warning: could not write manifest %s\n",
+                   path.c_str());
+    }
+  }
+  return 0;
+}
+
 }  // namespace jamelect::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() that also emits the run
+/// manifest. Every bench binary uses this.
+#define JAMELECT_BENCH_MAIN()                         \
+  int main(int argc, char** argv) {                   \
+    return ::jamelect::bench::bench_main(argc, argv); \
+  }

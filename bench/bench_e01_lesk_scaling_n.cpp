@@ -35,4 +35,4 @@ BENCHMARK(E01_LeskScalingN)
 }  // namespace
 }  // namespace jamelect::bench
 
-BENCHMARK_MAIN();
+JAMELECT_BENCH_MAIN();

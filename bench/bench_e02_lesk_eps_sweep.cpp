@@ -38,4 +38,4 @@ BENCHMARK(E02_LeskEpsSweep)
 }  // namespace
 }  // namespace jamelect::bench
 
-BENCHMARK_MAIN();
+JAMELECT_BENCH_MAIN();

@@ -34,4 +34,4 @@ BENCHMARK(E03_LeskTSweep)
 }  // namespace
 }  // namespace jamelect::bench
 
-BENCHMARK_MAIN();
+JAMELECT_BENCH_MAIN();

@@ -88,4 +88,4 @@ BENCHMARK(E04_EstimationAccuracy)
 }  // namespace
 }  // namespace jamelect::bench
 
-BENCHMARK_MAIN();
+JAMELECT_BENCH_MAIN();

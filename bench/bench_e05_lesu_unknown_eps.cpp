@@ -36,4 +36,4 @@ BENCHMARK(E05_LesuUnknownEps)
 }  // namespace
 }  // namespace jamelect::bench
 
-BENCHMARK_MAIN();
+JAMELECT_BENCH_MAIN();

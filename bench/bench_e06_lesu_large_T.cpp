@@ -34,4 +34,4 @@ BENCHMARK(E06_LesuLargeT)
 }  // namespace
 }  // namespace jamelect::bench
 
-BENCHMARK_MAIN();
+JAMELECT_BENCH_MAIN();

@@ -39,4 +39,4 @@ BENCHMARK(E07_WeakCdOverhead)
 }  // namespace
 }  // namespace jamelect::bench
 
-BENCHMARK_MAIN();
+JAMELECT_BENCH_MAIN();

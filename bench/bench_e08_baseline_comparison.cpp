@@ -6,6 +6,8 @@
 // substitution (DESIGN.md §5).
 #include "bench_common.hpp"
 
+#include <vector>
+
 #include "baselines/arss.hpp"
 #include "baselines/arss_flock.hpp"
 #include "baselines/nakano_olariu.hpp"
@@ -27,6 +29,10 @@ void E08_Lesk(benchmark::State& state) {
   for (auto _ : state) res = run_aggregate_mc(lesk_factory(kEps), adv, n, cfg);
   report(state, res);
   state.counters["n"] = static_cast<double>(n);
+  // Every E08 case exports the ARSS O(log^4 n) reference curve: it is
+  // the series' comparison line, and the CSV reporter aborts unless all
+  // runs in a binary carry the same counter set.
+  state.counters["log4_ref"] = arss_time_bound(n);
   state.SetLabel(jam ? "jammed" : "clean");
 }
 
@@ -39,6 +45,7 @@ void E08_Lesu(benchmark::State& state) {
   for (auto _ : state) res = run_aggregate_mc(lesu_factory(), adv, n, cfg);
   report(state, res);
   state.counters["n"] = static_cast<double>(n);
+  state.counters["log4_ref"] = arss_time_bound(n);
   state.SetLabel(jam ? "jammed" : "clean");
 }
 
@@ -76,6 +83,7 @@ void E08_Willard(benchmark::State& state) {
   }
   report(state, res);
   state.counters["n"] = static_cast<double>(n);
+  state.counters["log4_ref"] = arss_time_bound(n);
   state.SetLabel(jam ? "jammed" : "clean");
 }
 
@@ -91,6 +99,7 @@ void E08_NakanoOlariu(benchmark::State& state) {
   }
   report(state, res);
   state.counters["n"] = static_cast<double>(n);
+  state.counters["log4_ref"] = arss_time_bound(n);
   state.SetLabel(jam ? "jammed" : "clean");
 }
 
@@ -103,9 +112,13 @@ void E08_ArssLargeN(benchmark::State& state) {
   const double gamma = arss_gamma(n, kT);
   const std::size_t kTrials = trials(10);
 
-  double slots_sum = 0.0, jams_sum = 0.0;
+  std::vector<double> slots, jams, energy;
   std::size_t successes = 0;
   for (auto _ : state) {
+    slots.clear();
+    jams.clear();
+    energy.clear();
+    successes = 0;
     const Rng base(0xE08F);
     for (std::size_t t = 0; t < kTrials; ++t) {
       ArssFlockConfig config;
@@ -119,16 +132,22 @@ void E08_ArssLargeN(benchmark::State& state) {
       Rng sim = rng.child(2);
       const auto out = run_arss_flock(config, *adv, sim);
       successes += out.elected ? 1 : 0;
-      slots_sum += static_cast<double>(out.slots);
-      jams_sum += static_cast<double>(out.jams);
+      slots.push_back(static_cast<double>(out.slots));
+      jams.push_back(static_cast<double>(out.jams));
+      energy.push_back(out.transmissions / static_cast<double>(n));
     }
   }
-  const auto td = static_cast<double>(kTrials);
-  state.counters["n"] = static_cast<double>(n);
-  state.counters["slots_mean"] = slots_sum / td;
-  state.counters["jams_mean"] = jams_sum / td;
+  // Same counter set as report(): the CSV reporter requires it, and the
+  // per-trial samples are in hand anyway.
+  const Summary slots_summary = summarize(slots);
+  state.counters["slots_mean"] = slots_summary.mean;
+  state.counters["slots_median"] = slots_summary.median;
+  state.counters["slots_p95"] = slots_summary.p95;
   state.counters["success_rate"] =
-      static_cast<double>(successes) / td;
+      static_cast<double>(successes) / static_cast<double>(kTrials);
+  state.counters["jams_mean"] = summarize(jams).mean;
+  state.counters["energy_per_station"] = summarize(energy).mean;
+  state.counters["n"] = static_cast<double>(n);
   state.counters["log4_ref"] = arss_time_bound(n);
   state.SetLabel(jam ? "jammed" : "clean");
 }
@@ -146,6 +165,7 @@ void E08_NoCd(benchmark::State& state) {
   }
   report(state, res);
   state.counters["n"] = static_cast<double>(n);
+  state.counters["log4_ref"] = arss_time_bound(n);
   state.SetLabel(jam ? "jammed" : "clean");
 }
 
@@ -160,4 +180,4 @@ BENCHMARK(E08_ArssLargeN)->ArgsProduct({{12, 14, 16}, {0, 1}})->Iterations(1)->U
 }  // namespace
 }  // namespace jamelect::bench
 
-BENCHMARK_MAIN();
+JAMELECT_BENCH_MAIN();

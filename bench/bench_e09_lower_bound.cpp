@@ -35,4 +35,4 @@ BENCHMARK(E09_LowerBound)
 }  // namespace
 }  // namespace jamelect::bench
 
-BENCHMARK_MAIN();
+JAMELECT_BENCH_MAIN();

@@ -36,4 +36,4 @@ BENCHMARK(E10_SuccessProbability)
 }  // namespace
 }  // namespace jamelect::bench
 
-BENCHMARK_MAIN();
+JAMELECT_BENCH_MAIN();

@@ -69,4 +69,4 @@ BENCHMARK(E11_SlotTaxonomy)
 }  // namespace
 }  // namespace jamelect::bench
 
-BENCHMARK_MAIN();
+JAMELECT_BENCH_MAIN();

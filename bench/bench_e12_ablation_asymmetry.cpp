@@ -82,4 +82,4 @@ BENCHMARK(E12_Willard)->Arg(250)->Arg(400)->Iterations(1)->Unit(benchmark::kMill
 }  // namespace
 }  // namespace jamelect::bench
 
-BENCHMARK_MAIN();
+JAMELECT_BENCH_MAIN();

@@ -65,4 +65,4 @@ BENCHMARK(E13_ArssEnergy)->ArgsProduct({{6, 8, 10}, {0, 1}})->Iterations(1)->Uni
 }  // namespace
 }  // namespace jamelect::bench
 
-BENCHMARK_MAIN();
+JAMELECT_BENCH_MAIN();

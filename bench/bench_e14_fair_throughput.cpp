@@ -80,4 +80,4 @@ BENCHMARK(E14_ArssMac)->ArgsProduct({{4, 6, 8}, {0, 1}})->Iterations(1)->Unit(be
 }  // namespace
 }  // namespace jamelect::bench
 
-BENCHMARK_MAIN();
+JAMELECT_BENCH_MAIN();

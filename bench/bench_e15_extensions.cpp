@@ -7,12 +7,19 @@
 //     slots (the ablation the k_selection header calls out).
 #include "bench_common.hpp"
 
+#include <limits>
+
 #include "extensions/k_selection.hpp"
 #include "extensions/size_approximation.hpp"
 #include "sim/aggregate.hpp"
 
 namespace jamelect::bench {
 namespace {
+
+// The two series in this binary measure different quantities, but the
+// CSV reporter aborts unless every run carries the same counter set —
+// each family pads the other's columns with NaN ("not applicable").
+constexpr double kNotApplicable = std::numeric_limits<double>::quiet_NaN();
 
 void E15_SizeApproximation(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(1) << state.range(0);
@@ -42,6 +49,10 @@ void E15_SizeApproximation(benchmark::State& state) {
   state.counters["budget_slots"] = static_cast<double>(budget);
   state.counters["mean_abs_err_log2"] = abs_err_sum / static_cast<double>(kTrials);
   state.counters["worst_abs_err_log2"] = worst;
+  state.counters["k"] = kNotApplicable;
+  state.counters["slots_mean"] = kNotApplicable;
+  state.counters["first_round_mean"] = kNotApplicable;
+  state.counters["later_round_mean"] = kNotApplicable;
   state.SetLabel(jam ? "jammed" : "clean");
 }
 
@@ -83,6 +94,10 @@ void E15_KSelection(benchmark::State& state) {
   state.counters["first_round_mean"] = first_round / td;
   state.counters["later_round_mean"] =
       later_count > 0 ? later_rounds / static_cast<double>(later_count) : 0.0;
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["budget_slots"] = kNotApplicable;
+  state.counters["mean_abs_err_log2"] = kNotApplicable;
+  state.counters["worst_abs_err_log2"] = kNotApplicable;
   state.SetLabel(warm ? "warm_start" : "cold_start");
 }
 
@@ -98,4 +113,4 @@ BENCHMARK(E15_KSelection)
 }  // namespace
 }  // namespace jamelect::bench
 
-BENCHMARK_MAIN();
+JAMELECT_BENCH_MAIN();

@@ -14,8 +14,12 @@
 #include "bench_common.hpp"
 
 #include <memory>
+#include <ostream>
+#include <streambuf>
 
 #include "extensions/size_approximation.hpp"
+#include "obs/events.hpp"
+#include "obs/observer.hpp"
 #include "protocols/uniform_station.hpp"
 #include "sim/aggregate.hpp"
 #include "sim/cohort.hpp"
@@ -116,6 +120,43 @@ void Perf_CohortEngineSmall(benchmark::State& state) {
   state.counters["n"] = static_cast<double>(n);
 }
 
+// Perf_CohortEngine with an NDJSON event stream attached at the default
+// sampling period. The delta against Perf_CohortEngine is the full
+// telemetry cost (event construction + serialization); the acceptance
+// budget is < 5%. Output goes to a discarding streambuf so the bench
+// measures telemetry, not disk.
+void Perf_CohortEngineTelemetry(benchmark::State& state) {
+  struct NullBuf final : std::streambuf {
+    int overflow(int c) override { return traits_type::not_eof(c); }
+    std::streamsize xsputn(const char*, std::streamsize n) override {
+      return n;
+    }
+  };
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  AdversarySpec spec = adversary("saturating", 64, 0.5);
+  spec.n = n;
+  NullBuf buf;
+  std::ostream devnull(&buf);
+  obs::NdjsonSink sink(devnull);
+  obs::RunObserver observer(sink);
+  std::int64_t slots = 0;
+  for (auto _ : state) {
+    Rng rng(13);
+    EngineConfig config{CdMode::kStrong, StopRule::kAllDone, kSlots};
+    config.observer = &observer;
+    CohortEngine engine(
+        std::make_unique<UniformStationAdapter>(
+            std::make_unique<SizeApproximation>(
+                SizeApproximationParams{0.5, kSlots})),
+        n, make_adversary(spec, rng.child(1)), rng.child(2), config);
+    const auto out = engine.run();
+    slots += out.slots;
+    benchmark::DoNotOptimize(out.slots);
+  }
+  state.SetItemsProcessed(slots);
+  state.counters["n"] = static_cast<double>(n);
+}
+
 void Perf_HybridEngine(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(1) << state.range(0);
   AdversarySpec spec = adversary("saturating", 64, 0.5);
@@ -144,9 +185,10 @@ BENCHMARK(Perf_AggregateEngine)->Arg(4)->Arg(10)->Arg(20)->Unit(benchmark::kMill
 BENCHMARK(Perf_PerStationEngine)->Arg(4)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
 BENCHMARK(Perf_CohortEngine)->Arg(4)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
 BENCHMARK(Perf_CohortEngineSmall)->Arg(4)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
+BENCHMARK(Perf_CohortEngineTelemetry)->Arg(4)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
 BENCHMARK(Perf_HybridEngine)->Arg(4)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace jamelect::bench
 
-BENCHMARK_MAIN();
+JAMELECT_BENCH_MAIN();

@@ -13,11 +13,20 @@ cmake --build "$BUILD_DIR"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
 mkdir -p "$OUT_DIR"
+# Run manifests (provenance: config, seed, git SHA, metric rollup) land
+# next to the series they describe.
+JAMELECT_MANIFEST_DIR="$OUT_DIR"
+export JAMELECT_MANIFEST_DIR
 for b in "$BUILD_DIR"/bench/bench_*; do
   [ -x "$b" ] || continue
   name=$(basename "$b")
   echo "== $name"
-  "$b" --benchmark_format=console | tee "$OUT_DIR/$name.txt"
-  "$b" --benchmark_format=csv > "$OUT_DIR/$name.csv" 2>/dev/null
+  # Write to the file first, then echo it: a pipeline into tee would
+  # report tee's exit status and let a crashing bench pass silently.
+  "$b" --benchmark_format=console > "$OUT_DIR/$name.txt"
+  cat "$OUT_DIR/$name.txt"
+  # Keep stderr visible — hiding it used to mask failures; set -e plus
+  # the un-redirected exit status now abort the sweep on any error.
+  "$b" --benchmark_format=csv > "$OUT_DIR/$name.csv"
 done
 echo "results in $OUT_DIR/"

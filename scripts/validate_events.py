@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Validate an NDJSON telemetry stream against docs/event_schema.json.
+
+Usage:
+    scripts/validate_events.py events.ndjson [...]
+    some_producer | scripts/validate_events.py -
+
+Stdlib only (no jsonschema dependency): implements the subset of JSON
+Schema the event schema actually uses — type, enum, const, required,
+properties, minimum, and if/then inside allOf. Exits non-zero on the
+first malformed line, naming the line number and the failed check.
+"""
+
+import json
+import pathlib
+import sys
+
+SCHEMA_PATH = pathlib.Path(__file__).resolve().parent.parent / "docs" / "event_schema.json"
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _check_type(value, expected):
+    names = expected if isinstance(expected, list) else [expected]
+    for name in names:
+        if name == "number":
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return True
+        elif name == "integer":
+            if isinstance(value, int) and not isinstance(value, bool):
+                return True
+        else:
+            if isinstance(value, _TYPES[name]):
+                return True
+    return False
+
+
+def validate(value, schema, path="$"):
+    """Returns a list of error strings (empty if valid)."""
+    errors = []
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected const {schema['const']!r}, got {value!r}")
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in enum {schema['enum']}")
+    if "type" in schema and not _check_type(value, schema["type"]):
+        errors.append(f"{path}: expected type {schema['type']}, got {type(value).__name__}")
+    if "minimum" in schema and isinstance(value, (int, float)) and not isinstance(value, bool):
+        if value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                errors.extend(validate(value[key], sub, f"{path}.{key}"))
+    for sub in schema.get("allOf", []):
+        if "if" in sub:
+            if not validate(value, sub["if"], path):
+                if "then" in sub:
+                    errors.extend(validate(value, sub["then"], path))
+            elif "else" in sub:
+                errors.extend(validate(value, sub["else"], path))
+        else:
+            errors.extend(validate(value, sub, path))
+    return errors
+
+
+def validate_stream(lines, source):
+    count = 0
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            print(f"{source}:{lineno}: not valid JSON: {exc}", file=sys.stderr)
+            return count, False
+        errs = validate(obj, SCHEMA)
+        if errs:
+            for err in errs:
+                print(f"{source}:{lineno}: {err}", file=sys.stderr)
+            return count, False
+        count += 1
+    return count, True
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    total = 0
+    for arg in argv[1:]:
+        if arg == "-":
+            count, ok = validate_stream(sys.stdin, "<stdin>")
+        else:
+            with open(arg, encoding="utf-8") as fh:
+                count, ok = validate_stream(fh, arg)
+        if not ok:
+            return 1
+        total += count
+    print(f"OK: {total} events valid against {SCHEMA_PATH.name}")
+    if total == 0:
+        print("error: stream contained no events", file=sys.stderr)
+        return 1
+    return 0
+
+
+SCHEMA = json.loads(SCHEMA_PATH.read_text(encoding="utf-8"))
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

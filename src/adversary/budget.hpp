@@ -59,6 +59,16 @@ class JammingBudget {
   [[nodiscard]] std::int64_t jams() const noexcept { return jams_; }
   /// Jams among the last min(T, slots()) slots.
   [[nodiscard]] std::int64_t jams_in_last_T() const noexcept { return window_jams_; }
+  /// Fraction of the length-T window's jam allowance currently spent:
+  /// jams_in_last_T / ((1-eps)*T), in [0, 1]. Telemetry reports this as
+  /// the adversary's budget utilization. For eps = 1 the allowance is
+  /// zero and the spend is defined as 0.
+  [[nodiscard]] double window_spend() const noexcept {
+    const std::int64_t allowance_num = (eps_.den - eps_.num) * T_;
+    if (allowance_num == 0) return 0.0;
+    return static_cast<double>(eps_.den * window_jams_) /
+           static_cast<double>(allowance_num);
+  }
 
  private:
   [[nodiscard]] std::int64_t hypothetical_b(bool jam) const noexcept;

@@ -43,7 +43,11 @@ class Trace {
  public:
   explicit Trace(bool keep_records = true) : keep_records_(keep_records) {}
 
-  void record(const SlotRecord& rec, double expected_tx = 0.0);
+  /// Appends one slot. `expected_tx` is the slot's expected number of
+  /// transmitters (n*p summed over the population); callers without an
+  /// expectation in hand pass 0.0 explicitly — the old default argument
+  /// silently zeroed the energy accounting of forgetful call sites.
+  void record(const SlotRecord& rec, double expected_tx);
 
   [[nodiscard]] const TraceCounters& counters() const noexcept { return counters_; }
   /// Requires keep_records; throws ContractViolation otherwise.

@@ -1,0 +1,147 @@
+#include "obs/events.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstring>
+#include <ostream>
+
+namespace jamelect::obs {
+
+namespace {
+
+// Serialization writes through a raw cursor into a stack buffer — no
+// per-piece capacity checks, no allocation. std::to_chars throughout:
+// much faster than snprintf and emits the shortest digit string that
+// round-trips. Values are literals/numbers only, so no JSON escaping
+// is needed (ProtocolProbe requires string-literal names).
+//
+// kMaxLine bounds the longest possible line: a slot event is 10
+// numeric/enum fields of < 32 chars each; phase/cohort events carry
+// short literal names.
+constexpr std::size_t kMaxLine = 512;
+
+void put(char*& p, std::string_view s) {
+  std::memcpy(p, s.data(), s.size());
+  p += s.size();
+}
+
+void put_key(char*& p, std::string_view key) {
+  *p++ = '"';
+  put(p, key);
+  *p++ = '"';
+  *p++ = ':';
+}
+
+void put_str(char*& p, std::string_view key, std::string_view value) {
+  put_key(p, key);
+  *p++ = '"';
+  put(p, value);
+  *p++ = '"';
+  *p++ = ',';
+}
+
+void put_num(char*& p, std::string_view key, double v) {
+  put_key(p, key);
+  if (std::isnan(v)) {
+    put(p, "null");
+  } else {
+    p = std::to_chars(p, p + 40, v).ptr;
+  }
+  *p++ = ',';
+}
+
+void put_int(char*& p, std::string_view key, std::int64_t v) {
+  put_key(p, key);
+  p = std::to_chars(p, p + 24, v).ptr;
+  *p++ = ',';
+}
+
+void put_uint(char*& p, std::string_view key, std::uint64_t v) {
+  put_key(p, key);
+  p = std::to_chars(p, p + 24, v).ptr;
+  *p++ = ',';
+}
+
+void put_bool(char*& p, std::string_view key, bool v) {
+  put_key(p, key);
+  put(p, v ? std::string_view{"true"} : std::string_view{"false"});
+  *p++ = ',';
+}
+
+/// Writes one event as a JSON object into `buf` (>= kMaxLine bytes);
+/// returns the number of bytes written.
+std::size_t write_json(char* buf, const Event& e) {
+  char* p = buf;
+  *p++ = '{';
+  put_str(p, "ev", to_string(e.kind));
+  put_uint(p, "trial", e.trial);
+  put_int(p, "slot", e.slot);
+  switch (e.kind) {
+    case EventKind::kSlot:
+      put_str(p, "state", jamelect::to_string(e.state));
+      put_uint(p, "tx", e.transmitters);
+      put_bool(p, "jam", e.jammed);
+      put_num(p, "u", e.estimate);
+      put_num(p, "etx", e.expected_tx);
+      put_int(p, "jams", e.jams_total);
+      put_num(p, "spend", e.budget_spend);
+      break;
+    case EventKind::kBudget:
+      put_int(p, "jams", e.jams_total);
+      put_num(p, "spend", e.budget_spend);
+      break;
+    case EventKind::kPhase:
+      put_str(p, "proto", e.protocol);
+      put_str(p, "phase", e.phase);
+      put_int(p, "i", e.phase_i);
+      put_int(p, "j", e.phase_j);
+      put_num(p, "eps", e.phase_eps);
+      break;
+    case EventKind::kCohort:
+      put_str(p, "op", e.cohort_op);
+      put_uint(p, "from", e.cohort_from);
+      put_uint(p, "to", e.cohort_to);
+      put_uint(p, "live", e.cohorts_live);
+      break;
+    case EventKind::kTrialStart:
+      break;
+    case EventKind::kTrialEnd:
+      put_bool(p, "elected", e.elected);
+      put_int(p, "slots", e.slots_total);
+      put_int(p, "jams", e.jams_total);
+      put_num(p, "transmissions", e.transmissions);
+      break;
+  }
+  p[-1] = '}';  // replace the trailing comma
+  return static_cast<std::size_t>(p - buf);
+}
+
+}  // namespace
+
+std::string NdjsonSink::to_json(const Event& e) {
+  char buf[kMaxLine];
+  return std::string(buf, write_json(buf, e));
+}
+
+void NdjsonSink::on_event(const Event& event) {
+  char buf[kMaxLine];
+  std::size_t len = write_json(buf, event);
+  buf[len++] = '\n';
+  std::lock_guard lock(mutex_);
+  if (buffer_.size() + len > kBufferSize) {
+    out_->write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+  }
+  buffer_.append(buf, len);
+}
+
+void NdjsonSink::flush() {
+  std::lock_guard lock(mutex_);
+  if (!buffer_.empty()) {
+    out_->write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+  }
+  out_->flush();
+}
+
+}  // namespace jamelect::obs

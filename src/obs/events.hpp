@@ -1,0 +1,146 @@
+// Structured run events and sinks.
+//
+// Engines and protocols emit Event values through an EventSink; the
+// NdjsonSink serializes them one JSON object per line (newline-
+// delimited JSON), which streams, greps, and loads into pandas /
+// DuckDB without a parser step. docs/event_schema.json is the
+// machine-checkable schema; scripts/validate_events.py validates a
+// stream against it in CI.
+//
+// Sinks must be thread-safe: the Monte-Carlo harness runs trials on
+// the thread pool and every trial's engine writes to the same sink.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "channel/types.hpp"
+
+namespace jamelect::obs {
+
+enum class EventKind : std::uint8_t {
+  kSlot,         ///< one sampled channel slot
+  kPhase,        ///< protocol phase transition (LESU schedule, LESK elect)
+  kCohort,       ///< cohort split / merge in the cohort engine
+  kBudget,       ///< adversary budget checkpoint (emitted with slots)
+  kTrialStart,   ///< one Monte-Carlo trial begins
+  kTrialEnd,     ///< one Monte-Carlo trial finished
+};
+
+[[nodiscard]] constexpr std::string_view to_string(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kSlot: return "slot";
+    case EventKind::kPhase: return "phase";
+    case EventKind::kCohort: return "cohort";
+    case EventKind::kBudget: return "budget";
+    case EventKind::kTrialStart: return "trial_start";
+    case EventKind::kTrialEnd: return "trial_end";
+  }
+  return "?";
+}
+
+/// One telemetry event. A single flat struct (rather than a variant)
+/// keeps emission allocation-free; which fields are meaningful depends
+/// on `kind` (see docs/event_schema.json).
+struct Event {
+  EventKind kind = EventKind::kSlot;
+  std::uint64_t trial = 0;  ///< trial index (0 outside Monte-Carlo runs)
+  Slot slot = 0;
+
+  // kSlot
+  ChannelState state = ChannelState::kNull;
+  std::uint64_t transmitters = 0;
+  bool jammed = false;
+  double estimate = 0.0;     ///< protocol estimator u (NaN if none)
+  double expected_tx = 0.0;  ///< sum of transmit probabilities this slot
+
+  // kSlot + kBudget: adversary budget spend
+  std::int64_t jams_total = 0;    ///< cumulative jams so far
+  double budget_spend = 0.0;      ///< fraction of the T-window jam budget used
+
+  // kPhase
+  const char* protocol = "";  ///< emitting protocol's name ("LESK", "LESU")
+  const char* phase = "";     ///< new phase label
+  std::int64_t phase_i = 0;   ///< LESU outer index (0 if n/a)
+  std::int64_t phase_j = 0;   ///< LESU inner index (0 if n/a)
+  double phase_eps = 0.0;     ///< LESU candidate eps (0 if n/a)
+
+  // kCohort
+  const char* cohort_op = "";       ///< "split" | "merge"
+  std::uint64_t cohort_from = 0;    ///< source cohort size before the op
+  std::uint64_t cohort_to = 0;      ///< split-off / absorbed member count
+  std::uint64_t cohorts_live = 0;   ///< live cohorts after the op
+
+  // kTrialEnd
+  bool elected = false;
+  std::int64_t slots_total = 0;
+  double transmissions = 0.0;
+};
+
+/// Destination for telemetry events. Implementations must tolerate
+/// concurrent on_event() calls.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_event(const Event& event) = 0;
+};
+
+/// Thread-safe in-memory sink (tests, replay tooling).
+class VectorSink final : public EventSink {
+ public:
+  void on_event(const Event& event) override {
+    std::lock_guard lock(mutex_);
+    events_.push_back(event);
+  }
+  /// Snapshot of everything captured so far.
+  [[nodiscard]] std::vector<Event> events() const {
+    std::lock_guard lock(mutex_);
+    return events_;
+  }
+  void clear() {
+    std::lock_guard lock(mutex_);
+    events_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+};
+
+/// Serializes events as NDJSON to a caller-owned stream. Writes are
+/// serialized under a mutex; each event is formatted into a local
+/// buffer first so lines never interleave. Lines are batched in an
+/// internal buffer and pushed to the stream in ~64 KiB chunks, so the
+/// stream sees complete lines but not necessarily promptly: call
+/// flush() (or destroy the sink) before reading what was written.
+class NdjsonSink final : public EventSink {
+ public:
+  /// The stream must outlive the sink.
+  explicit NdjsonSink(std::ostream& out) : out_(&out) {
+    buffer_.reserve(kBufferSize);
+  }
+  ~NdjsonSink() override { flush(); }
+  NdjsonSink(const NdjsonSink&) = delete;
+  NdjsonSink& operator=(const NdjsonSink&) = delete;
+
+  void on_event(const Event& event) override;
+
+  /// Drains the internal buffer to the stream and flushes the stream.
+  void flush();
+
+  /// Formats one event as a single-line JSON object (no newline) —
+  /// exposed for tests and tooling.
+  [[nodiscard]] static std::string to_json(const Event& event);
+
+ private:
+  static constexpr std::size_t kBufferSize = std::size_t{1} << 16;
+
+  std::ostream* out_;
+  std::string buffer_;
+  std::mutex mutex_;
+};
+
+}  // namespace jamelect::obs

@@ -1,0 +1,115 @@
+#include "obs/manifest.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/build_info.hpp"
+#include "obs/metrics.hpp"
+
+namespace jamelect::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string RunManifest::to_json() const {
+  std::ostringstream out;
+  const auto now_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::system_clock::now().time_since_epoch())
+                          .count();
+  out << "{\n";
+  out << "  \"name\": \"" << json_escape(name) << "\",\n";
+  out << "  \"seed\": " << seed << ",\n";
+  out << "  \"created_unix_ms\": " << now_ms << ",\n";
+  out << "  \"build\": {\n";
+  out << "    \"git_sha\": \"" << json_escape(kGitSha) << "\",\n";
+  out << "    \"build_type\": \"" << json_escape(kBuildType) << "\",\n";
+  out << "    \"compiler\": \"" << json_escape(kCompiler) << "\",\n";
+  out << "    \"cxx_flags\": \"" << json_escape(kCxxFlags) << "\",\n";
+  out << "    \"obs_option\": \"" << json_escape(kObsOption) << "\",\n";
+  out << "    \"obs_compiled_in\": " << (kObsCompiledIn ? "true" : "false")
+      << "\n  },\n";
+  out << "  \"config\": {";
+  bool first = true;
+  for (const auto& [k, v] : config) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(k) << "\": \""
+        << json_escape(v) << '"';
+    first = false;
+  }
+  out << (first ? "}" : "\n  }");
+  if (include_metrics) {
+    const MetricsSnapshot snap = MetricsRegistry::global().aggregate();
+    out << ",\n  \"metrics\": {\n    \"counters\": {";
+    first = true;
+    for (const auto& [k, v] : snap.counters) {
+      out << (first ? "\n" : ",\n") << "      \"" << json_escape(k)
+          << "\": " << v;
+      first = false;
+    }
+    out << (first ? "}" : "\n    }") << ",\n    \"gauges\": {";
+    first = true;
+    for (const auto& [k, v] : snap.gauges) {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", v);
+      out << (first ? "\n" : ",\n") << "      \"" << json_escape(k)
+          << "\": " << buf;
+      first = false;
+    }
+    out << (first ? "}" : "\n    }") << ",\n    \"histograms\": {";
+    first = true;
+    for (const auto& [k, h] : snap.histograms) {
+      out << (first ? "\n" : ",\n") << "      \"" << json_escape(k)
+          << "\": {\"count\": " << h.count << ", \"sum\": " << h.sum
+          << ", \"min\": " << h.min << ", \"max\": " << h.max << '}';
+      first = false;
+    }
+    out << (first ? "}" : "\n    }") << "\n  }";
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+bool RunManifest::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json();
+  return out.good();
+}
+
+std::string manifest_path_for(const std::string& name) {
+  if (const char* flag = std::getenv("JAMELECT_MANIFEST")) {
+    if (std::strcmp(flag, "0") == 0 || std::strcmp(flag, "off") == 0) {
+      return "";
+    }
+  }
+  std::string dir = ".";
+  if (const char* env = std::getenv("JAMELECT_MANIFEST_DIR")) {
+    if (*env != '\0') dir = env;
+  }
+  return dir + "/" + name + ".manifest.json";
+}
+
+}  // namespace jamelect::obs

@@ -1,0 +1,47 @@
+// RunManifest — a self-describing record of one run.
+//
+// Every bench (and any example or sweep that opts in) writes a
+// `<name>.manifest.json` next to its results so a BENCH_*.json or CSV
+// series can be traced back to the exact configuration that produced
+// it: config key-values, RNG seed, git SHA, build type and flags
+// (obs/build_info.hpp, generated at configure time), whether telemetry
+// macros were compiled in, and a rollup of every metric the global
+// MetricsRegistry collected during the run.
+//
+// Schema: docs/OBSERVABILITY.md §Manifests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace jamelect::obs {
+
+struct RunManifest {
+  std::string name;
+  std::uint64_t seed = 0;
+  /// Free-form configuration key-values (trial counts, sweep ranges,
+  /// argv, environment knobs — whatever makes the run reproducible).
+  std::map<std::string, std::string> config;
+  /// Include the global MetricsRegistry rollup in the JSON.
+  bool include_metrics = true;
+
+  /// Serializes the manifest (plus build info and a wall-clock
+  /// timestamp) as a JSON object.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes to_json() to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+};
+
+/// Escapes a string for embedding in a JSON string literal.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Resolves where manifests should be written:
+///  * env JAMELECT_MANIFEST=0 (or "off") disables writing — returns "";
+///  * env JAMELECT_MANIFEST_DIR overrides the directory;
+///  * otherwise the current working directory.
+/// The returned path is "<dir>/<name>.manifest.json" (or "").
+[[nodiscard]] std::string manifest_path_for(const std::string& name);
+
+}  // namespace jamelect::obs

@@ -1,0 +1,173 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+
+#include "support/expects.hpp"
+
+namespace jamelect::obs {
+
+std::uint32_t log2_bucket(std::int64_t value) noexcept {
+  if (value <= 0) return 0;
+  return static_cast<std::uint32_t>(
+      std::bit_width(static_cast<std::uint64_t>(value)));
+}
+
+MetricsRegistry::MetricsRegistry() {
+  static std::atomic<std::uint64_t> next_uid{1};
+  uid_ = next_uid.fetch_add(1, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::MetricId MetricsRegistry::register_metric(
+    const std::string& name, Kind kind) {
+  JAMELECT_EXPECTS(!name.empty());
+  std::lock_guard lock(mutex_);
+  for (std::size_t i = 0; i < metas_.size(); ++i) {
+    if (metas_[i].name == name) {
+      JAMELECT_EXPECTS(metas_[i].kind == kind);
+      return static_cast<MetricId>(i);
+    }
+  }
+  JAMELECT_EXPECTS(metas_.size() < kMaxMetrics);
+  Meta meta;
+  meta.name = name;
+  meta.kind = kind;
+  if (kind == Kind::kHistogram) meta.plane = hist_planes_++;
+  planes_[metas_.size()].store(meta.plane, std::memory_order_relaxed);
+  metas_.push_back(std::move(meta));
+  return static_cast<MetricId>(metas_.size() - 1);
+}
+
+MetricsRegistry::MetricId MetricsRegistry::counter(const std::string& name) {
+  return register_metric(name, Kind::kCounter);
+}
+
+MetricsRegistry::MetricId MetricsRegistry::gauge(const std::string& name) {
+  return register_metric(name, Kind::kGauge);
+}
+
+MetricsRegistry::MetricId MetricsRegistry::histogram(const std::string& name) {
+  return register_metric(name, Kind::kHistogram);
+}
+
+MetricsRegistry::Slab& MetricsRegistry::local_slab() {
+  // One slab pointer per (thread, registry) pair. The registry owns the
+  // slab; the thread-local map only caches the lookup. Keyed by the
+  // registry's never-reused uid (not its address) so a registry
+  // allocated where a destroyed one lived cannot be handed the old,
+  // freed slab.
+  thread_local std::vector<std::pair<std::uint64_t, Slab*>> cache;
+  for (const auto& [uid, slab] : cache) {
+    if (uid == uid_) return *slab;
+  }
+  auto owned = std::make_unique<Slab>();
+  Slab* raw = owned.get();
+  {
+    std::lock_guard lock(mutex_);
+    slabs_.push_back(std::move(owned));
+  }
+  cache.emplace_back(uid_, raw);
+  return *raw;
+}
+
+std::atomic<std::int64_t>* MetricsRegistry::hist_bucket(Slab& slab,
+                                                        std::uint32_t plane,
+                                                        std::uint32_t bucket) {
+  // Growing the plane vector is rare (first sample of a histogram on
+  // this thread); reads of existing planes stay lock-free because
+  // planes are never moved once published (unique_ptr indirection).
+  {
+    std::lock_guard lock(slab.planes_mutex);
+    while (slab.hist_planes.size() <= plane) {
+      slab.hist_planes.push_back(
+          std::make_unique<std::array<std::atomic<std::int64_t>, 64>>());
+    }
+  }
+  return &(*slab.hist_planes[plane])[bucket];
+}
+
+void MetricsRegistry::add(MetricId id, std::int64_t delta) noexcept {
+  local_slab().cells[id].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::set(MetricId id, double value) noexcept {
+  gauges_[id].store(std::bit_cast<std::uint64_t>(value),
+                    std::memory_order_relaxed);
+  // Mark the gauge as written so aggregate() can distinguish "never
+  // set" from "set to 0.0": reuse the slab cell as a write counter.
+  local_slab().cells[id].fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::observe(MetricId id, std::int64_t value) noexcept {
+  Slab& slab = local_slab();
+  const std::uint32_t plane = planes_[id].load(std::memory_order_relaxed);
+  hist_bucket(slab, plane, log2_bucket(value))
+      ->fetch_add(1, std::memory_order_relaxed);
+  // Slab cell doubles as the running sum; count derives from buckets.
+  slab.cells[id].fetch_add(value, std::memory_order_relaxed);
+}
+
+MetricsSnapshot MetricsRegistry::aggregate() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot snap;
+  for (std::size_t i = 0; i < metas_.size(); ++i) {
+    const Meta& meta = metas_[i];
+    std::int64_t cell_sum = 0;
+    for (const auto& slab : slabs_) {
+      cell_sum += slab->cells[i].load(std::memory_order_relaxed);
+    }
+    switch (meta.kind) {
+      case Kind::kCounter:
+        snap.counters[meta.name] = cell_sum;
+        break;
+      case Kind::kGauge:
+        if (cell_sum > 0) {
+          snap.gauges[meta.name] = std::bit_cast<double>(
+              gauges_[i].load(std::memory_order_relaxed));
+        }
+        break;
+      case Kind::kHistogram: {
+        HistogramSnapshot hist;
+        hist.sum = cell_sum;
+        for (const auto& slab : slabs_) {
+          if (slab->hist_planes.size() <= meta.plane) continue;
+          const auto& plane = *slab->hist_planes[meta.plane];
+          for (std::size_t b = 0; b < plane.size(); ++b) {
+            hist.buckets[b] += plane[b].load(std::memory_order_relaxed);
+          }
+        }
+        for (std::size_t b = 0; b < hist.buckets.size(); ++b) {
+          const std::int64_t c = hist.buckets[b];
+          if (c == 0) continue;
+          hist.count += c;
+          // Bucket bounds: [2^(b-1), 2^b) for b >= 1, (-inf, 0] for 0.
+          const std::int64_t lo = b == 0 ? 0 : std::int64_t{1} << (b - 1);
+          const std::int64_t hi =
+              b == 0 ? 0 : (std::int64_t{1} << b) - 1;
+          if (hist.count == c) hist.min = lo;  // first non-empty bucket
+          hist.max = hi;
+        }
+        snap.histograms[meta.name] = hist;
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() noexcept {
+  std::lock_guard lock(mutex_);
+  for (const auto& slab : slabs_) {
+    for (auto& cell : slab->cells) cell.store(0, std::memory_order_relaxed);
+    for (const auto& plane : slab->hist_planes) {
+      for (auto& bucket : *plane) bucket.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& g : gauges_) g.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace jamelect::obs

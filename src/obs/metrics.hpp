@@ -1,0 +1,187 @@
+// MetricsRegistry — named, lock-free, per-thread counters / gauges /
+// log2 histograms, aggregated on demand.
+//
+// Design goals (DESIGN.md §7, docs/OBSERVABILITY.md):
+//  * Hot-path writes are one relaxed atomic add into a per-thread slab —
+//    no locks, no false sharing between metrics a thread never touches
+//    (slabs are thread-private; only the aggregator reads them).
+//  * Registration is idempotent by name and cheap enough for
+//    function-local `static` handles.
+//  * A process-global `enabled` switch makes every write a single
+//    predictable branch when telemetry is off, and the
+//    JAMELECT_OBS_* macros below compile to nothing in Release builds
+//    unless the build opts in with -DJAMELECT_OBS=ON.
+//
+// Threads never unregister: a slab outlives its thread so counts from
+// finished pool workers stay visible to aggregate(). The slab count is
+// bounded by the number of distinct threads that ever wrote a metric.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace jamelect::obs {
+
+/// True when the JAMELECT_OBS_* macros are compiled in (Debug builds,
+/// or any build configured with -DJAMELECT_OBS=ON).
+#if defined(JAMELECT_OBS_ENABLED) || !defined(NDEBUG)
+inline constexpr bool kObsCompiledIn = true;
+#else
+inline constexpr bool kObsCompiledIn = false;
+#endif
+
+/// Aggregated view of one log2-bucketed histogram. Bucket b counts
+/// samples v with 2^(b-1) <= v < 2^b (bucket 0 counts v <= 0).
+struct HistogramSnapshot {
+  std::array<std::int64_t, 64> buckets{};
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  /// Bucket-resolution bounds of the observed range (lower bound of the
+  /// first non-empty bucket / upper bound of the last); 0 if count == 0.
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+};
+
+/// On-demand rollup of every registered metric.
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Registry of named metrics. One process-wide instance (global()) is
+/// the norm; separate instances exist for tests.
+class MetricsRegistry {
+ public:
+  using MetricId = std::uint32_t;
+
+  /// Hard cap on distinct metrics per registry; registration beyond it
+  /// throws ContractViolation. Fixed so per-thread slabs never resize
+  /// (resizing would race with lock-free writers).
+  static constexpr std::size_t kMaxMetrics = 256;
+
+  MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry.
+  [[nodiscard]] static MetricsRegistry& global();
+
+  /// Registers (or looks up) a monotonically-increasing counter.
+  [[nodiscard]] MetricId counter(const std::string& name);
+  /// Registers (or looks up) a last-write-wins gauge.
+  [[nodiscard]] MetricId gauge(const std::string& name);
+  /// Registers (or looks up) a log2-bucket histogram.
+  [[nodiscard]] MetricId histogram(const std::string& name);
+
+  /// Adds `delta` to a counter. Lock-free; relaxed per-thread slab add.
+  void add(MetricId id, std::int64_t delta) noexcept;
+  /// Sets a gauge (global last-write-wins; stores the double's bits).
+  void set(MetricId id, double value) noexcept;
+  /// Records one sample into a histogram. Lock-free.
+  void observe(MetricId id, std::int64_t value) noexcept;
+
+  /// Master switch consulted by the JAMELECT_OBS_* macros; individual
+  /// add()/observe() calls are NOT gated (callers gate themselves).
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Sums every per-thread slab into one snapshot. O(threads * metrics);
+  /// safe to call concurrently with writers (counts may lag by writes
+  /// in flight, never tear).
+  [[nodiscard]] MetricsSnapshot aggregate() const;
+
+  /// Zeroes every slab and gauge. Caller must ensure no concurrent
+  /// writers (between runs, not during).
+  void reset() noexcept;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  /// Per-thread storage: one cache-line-friendly array of atomics per
+  /// metric slot plus histogram bucket planes, allocated lazily.
+  struct Slab {
+    std::array<std::atomic<std::int64_t>, kMaxMetrics> cells{};
+    /// Histogram bucket storage, indexed by per-histogram plane id.
+    std::vector<std::unique_ptr<std::array<std::atomic<std::int64_t>, 64>>>
+        hist_planes;
+    std::mutex planes_mutex;  ///< guards hist_planes growth only
+  };
+
+  [[nodiscard]] MetricId register_metric(const std::string& name, Kind kind);
+  [[nodiscard]] Slab& local_slab();
+  [[nodiscard]] std::atomic<std::int64_t>* hist_bucket(Slab& slab,
+                                                       std::uint32_t plane,
+                                                       std::uint32_t bucket);
+
+  struct Meta {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    std::uint32_t plane = 0;  ///< histogram plane id (kind == kHistogram)
+  };
+
+  /// Process-unique instance id: the thread-local slab cache keys on it
+  /// instead of `this`, so a new registry reusing a destroyed one's
+  /// address can never be handed the old (freed) slab.
+  std::uint64_t uid_;
+
+  mutable std::mutex mutex_;  ///< guards metas_, slabs_, gauges_
+  std::vector<Meta> metas_;
+  std::vector<std::unique_ptr<Slab>> slabs_;
+  std::uint32_t hist_planes_ = 0;
+  /// Lock-free mirror of Meta::plane for observe()'s hot path.
+  std::array<std::atomic<std::uint32_t>, kMaxMetrics> planes_{};
+  std::array<std::atomic<std::uint64_t>, kMaxMetrics> gauges_{};
+  std::atomic<bool> enabled_{true};
+};
+
+/// Maps a sample to its log2 bucket (see HistogramSnapshot).
+[[nodiscard]] std::uint32_t log2_bucket(std::int64_t value) noexcept;
+
+}  // namespace jamelect::obs
+
+// Hot-path macros: compiled out entirely in Release builds unless the
+// build sets -DJAMELECT_OBS=ON; otherwise one enabled() branch plus a
+// relaxed atomic add. The metric id is registered once per call site.
+#define JAMELECT_OBS_COUNT(name, delta)                                     \
+  do {                                                                      \
+    if constexpr (::jamelect::obs::kObsCompiledIn) {                        \
+      auto& jam_obs_reg = ::jamelect::obs::MetricsRegistry::global();       \
+      if (jam_obs_reg.enabled()) {                                          \
+        static const auto jam_obs_id = jam_obs_reg.counter(name);           \
+        jam_obs_reg.add(jam_obs_id, (delta));                               \
+      }                                                                     \
+    }                                                                       \
+  } while (false)
+
+#define JAMELECT_OBS_GAUGE(name, value)                                     \
+  do {                                                                      \
+    if constexpr (::jamelect::obs::kObsCompiledIn) {                        \
+      auto& jam_obs_reg = ::jamelect::obs::MetricsRegistry::global();       \
+      if (jam_obs_reg.enabled()) {                                          \
+        static const auto jam_obs_id = jam_obs_reg.gauge(name);             \
+        jam_obs_reg.set(jam_obs_id, (value));                               \
+      }                                                                     \
+    }                                                                       \
+  } while (false)
+
+#define JAMELECT_OBS_HISTOGRAM(name, value)                                 \
+  do {                                                                      \
+    if constexpr (::jamelect::obs::kObsCompiledIn) {                        \
+      auto& jam_obs_reg = ::jamelect::obs::MetricsRegistry::global();       \
+      if (jam_obs_reg.enabled()) {                                          \
+        static const auto jam_obs_id = jam_obs_reg.histogram(name);         \
+        jam_obs_reg.observe(jam_obs_id, (value));                           \
+      }                                                                     \
+    }                                                                       \
+  } while (false)

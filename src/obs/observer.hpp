@@ -1,0 +1,171 @@
+// RunObserver — the per-run hook object engines emit telemetry through.
+//
+// One RunObserver wraps one EventSink (shared across trials; sinks are
+// thread-safe) and applies deterministic slot sampling: slot events are
+// emitted every `slot_sample_period` slots, structural events (phase
+// transitions, cohort splits/merges, trial boundaries) always. The
+// sampling is a pure function of the slot index so two runs of the same
+// seed emit identical streams regardless of thread scheduling.
+//
+// Engines keep a nullable `RunObserver*` in their config structs; every
+// hook is a no-op-free direct call, so the hot path with no observer
+// attached costs exactly one pointer test per slot.
+//
+// Protocols (which know their own phase structure but not the engine)
+// emit through the narrower ProtocolProbe interface; RunObserver
+// implements it and stamps the current trial/slot on the way through.
+// Cloned protocol instances share the probe pointer (non-owning), so
+// under the cohort engine a phase transition may be reported once per
+// diverged cohort representative.
+#pragma once
+
+#include <cstdint>
+
+#include "channel/types.hpp"
+#include "obs/events.hpp"
+
+namespace jamelect::obs {
+
+/// Narrow emission interface handed to protocols (LESK, LESU).
+class ProtocolProbe {
+ public:
+  virtual ~ProtocolProbe() = default;
+  /// Reports entering `phase` of `protocol`. i/j/eps carry the LESU
+  /// schedule position (0 when not applicable). The strings must be
+  /// string literals (stored, not copied).
+  virtual void on_protocol_phase(const char* protocol, const char* phase,
+                                 std::int64_t i, std::int64_t j,
+                                 double eps) = 0;
+};
+
+struct ObserverConfig {
+  /// Emit every Nth slot event (1 = every slot). Structural events are
+  /// never sampled out. The default keeps million-trial sweeps fast
+  /// while still resolving estimator trajectories at LESK timescales.
+  std::int64_t slot_sample_period = 64;
+};
+
+class RunObserver final : public ProtocolProbe {
+ public:
+  /// The sink must outlive the observer.
+  explicit RunObserver(EventSink& sink, ObserverConfig config = {})
+      : sink_(&sink), config_(config) {
+    const std::int64_t period = config_.slot_sample_period;
+    // Integer division costs ~25 cycles — a visible fraction of a
+    // cohort-engine slot — so power-of-two periods (the default)
+    // sample with a mask instead.
+    period_mask_ = (period > 0 && (period & (period - 1)) == 0)
+                       ? period - 1
+                       : std::int64_t{-1};
+  }
+
+  /// Marks the start of trial `trial`; subsequent events carry its id.
+  void begin_trial(std::uint64_t trial) {
+    trial_ = trial;
+    slot_ = 0;
+    Event e;
+    e.kind = EventKind::kTrialStart;
+    e.trial = trial_;
+    sink_->on_event(e);
+  }
+
+  /// Marks the end of the current trial with its outcome summary.
+  void end_trial(bool elected, std::int64_t slots, std::int64_t jams,
+                 double transmissions) {
+    Event e;
+    e.kind = EventKind::kTrialEnd;
+    e.trial = trial_;
+    e.slot = slot_;
+    e.elected = elected;
+    e.slots_total = slots;
+    e.jams_total = jams;
+    e.transmissions = transmissions;
+    sink_->on_event(e);
+  }
+
+  /// Cheap pre-check: advances the slot cursor and reports whether a
+  /// slot event at (slot, state) would be emitted. Engines call this
+  /// every slot and gather the expensive arguments (estimates, budget
+  /// spend) only when it returns true, so sampled-out slots cost a
+  /// handful of instructions.
+  [[nodiscard]] bool wants_slot(Slot slot, ChannelState state) noexcept {
+    slot_ = slot;
+    if (config_.slot_sample_period <= 0) return false;
+    // Keep every Single: they are the rare, run-deciding slots.
+    const bool on_grid = period_mask_ >= 0
+                             ? (slot & period_mask_) == 0
+                             : slot % config_.slot_sample_period == 0;
+    return on_grid || state == ChannelState::kSingle;
+  }
+
+  /// Convenience wrapper: `wants_slot` + `emit_slot`. Prefer the split
+  /// form on hot paths where the arguments are costly to compute.
+  void on_slot(Slot slot, ChannelState state, std::uint64_t transmitters,
+               bool jammed, double estimate, double expected_tx,
+               std::int64_t jams_total, double budget_spend) {
+    if (!wants_slot(slot, state)) return;
+    emit_slot(slot, state, transmitters, jammed, estimate, expected_tx,
+              jams_total, budget_spend);
+  }
+
+  /// Unconditionally emits a slot event (no sampling re-check).
+  void emit_slot(Slot slot, ChannelState state, std::uint64_t transmitters,
+                 bool jammed, double estimate, double expected_tx,
+                 std::int64_t jams_total, double budget_spend) {
+    slot_ = slot;
+    Event e;
+    e.kind = EventKind::kSlot;
+    e.trial = trial_;
+    e.slot = slot;
+    e.state = state;
+    e.transmitters = transmitters;
+    e.jammed = jammed;
+    e.estimate = estimate;
+    e.expected_tx = expected_tx;
+    e.jams_total = jams_total;
+    e.budget_spend = budget_spend;
+    sink_->on_event(e);
+  }
+
+  /// Cohort engine structural events; `op` is "split" or "merge".
+  void on_cohort(Slot slot, const char* op, std::uint64_t from,
+                 std::uint64_t to, std::uint64_t live) {
+    Event e;
+    e.kind = EventKind::kCohort;
+    e.trial = trial_;
+    e.slot = slot;
+    e.cohort_op = op;
+    e.cohort_from = from;
+    e.cohort_to = to;
+    e.cohorts_live = live;
+    sink_->on_event(e);
+  }
+
+  void on_protocol_phase(const char* protocol, const char* phase,
+                         std::int64_t i, std::int64_t j, double eps) override {
+    Event e;
+    e.kind = EventKind::kPhase;
+    e.trial = trial_;
+    e.slot = slot_;
+    e.protocol = protocol;
+    e.phase = phase;
+    e.phase_i = i;
+    e.phase_j = j;
+    e.phase_eps = eps;
+    sink_->on_event(e);
+  }
+
+  [[nodiscard]] EventSink& sink() noexcept { return *sink_; }
+  [[nodiscard]] const ObserverConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  EventSink* sink_;
+  ObserverConfig config_;
+  std::int64_t period_mask_;  ///< period-1 if power of two, else -1
+  std::uint64_t trial_ = 0;
+  Slot slot_ = 0;
+};
+
+}  // namespace jamelect::obs

@@ -1,0 +1,68 @@
+#include "obs/trace_events.hpp"
+
+#include <atomic>
+#include <fstream>
+#include <ostream>
+
+namespace jamelect::obs {
+
+thread_local TraceEventRecorder::Clock::time_point
+    TraceEventRecorder::task_start_{};
+
+std::uint32_t TraceEventRecorder::thread_id() noexcept {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void TraceEventRecorder::complete(const char* name, Clock::time_point start,
+                                  Clock::time_point end) noexcept {
+  Record rec;
+  rec.name = name;
+  rec.tid = thread_id();
+  rec.ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                  start - epoch_)
+                  .count();
+  rec.dur_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+          .count();
+  std::lock_guard lock(mutex_);
+  records_.push_back(rec);
+}
+
+void TraceEventRecorder::on_task_start(std::size_t /*worker_slot*/) noexcept {
+  task_start_ = Clock::now();
+}
+
+void TraceEventRecorder::on_task_end(std::size_t /*worker_slot*/) noexcept {
+  complete("pool_task", task_start_, Clock::now());
+}
+
+std::size_t TraceEventRecorder::size() const {
+  std::lock_guard lock(mutex_);
+  return records_.size();
+}
+
+void TraceEventRecorder::write_json(std::ostream& out) const {
+  std::lock_guard lock(mutex_);
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Record& r : records_) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << r.name << "\",\"ph\":\"X\",\"cat\":\"jamelect\""
+        << ",\"pid\":1,\"tid\":" << r.tid << ",\"ts\":" << r.ts_us
+        << ",\"dur\":" << r.dur_us << '}';
+  }
+  out << "]}\n";
+}
+
+bool TraceEventRecorder::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(out);
+  return out.good();
+}
+
+}  // namespace jamelect::obs

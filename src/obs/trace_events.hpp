@@ -1,0 +1,84 @@
+// Chrome trace-event recorder (Perfetto / chrome://tracing loadable).
+//
+// Scoped wall-clock spans are collected as "complete" events
+// (ph = "X") and serialized as the Trace Event Format JSON that
+// https://ui.perfetto.dev opens directly. Intended granularity is
+// coarse — per-trial spans, thread-pool tasks, bench sections — not
+// per-slot; each span end takes a short lock to push one record.
+//
+// The recorder also implements support/thread_pool.hpp's
+// PoolTaskObserver, so attaching it to a pool
+// (`global_pool().set_task_observer(&rec)`) times every dispatched
+// task chunk with zero changes to the pool's callers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace jamelect::obs {
+
+class TraceEventRecorder final : public PoolTaskObserver {
+ public:
+  TraceEventRecorder() : epoch_(Clock::now()) {}
+
+  /// RAII span: records [construction, destruction) under `name`.
+  /// `name` must be a string literal (stored, not copied).
+  class Span {
+   public:
+    Span(TraceEventRecorder& rec, const char* name) noexcept
+        : rec_(&rec), name_(name), start_(Clock::now()) {}
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { rec_->complete(name_, start_, Clock::now()); }
+
+   private:
+    TraceEventRecorder* rec_;
+    const char* name_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  [[nodiscard]] Span span(const char* name) noexcept { return {*this, name}; }
+
+  // PoolTaskObserver: times each dispatched pool task chunk.
+  void on_task_start(std::size_t worker_slot) noexcept override;
+  void on_task_end(std::size_t worker_slot) noexcept override;
+
+  /// Number of completed spans recorded so far.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Serializes {"traceEvents": [...]} to `out`.
+  void write_json(std::ostream& out) const;
+  /// Convenience: write_json to a file; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Record {
+    const char* name;
+    std::uint32_t tid;
+    std::int64_t ts_us;   ///< microseconds since recorder epoch
+    std::int64_t dur_us;
+  };
+
+  /// Small stable integer id for the calling thread (Perfetto "tid").
+  [[nodiscard]] static std::uint32_t thread_id() noexcept;
+
+  void complete(const char* name, Clock::time_point start,
+                Clock::time_point end) noexcept;
+
+  Clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<Record> records_;
+  /// Per-(thread, recorder) start time of the currently running pool
+  /// task; pool tasks never nest, so one slot per thread suffices.
+  static thread_local Clock::time_point task_start_;
+};
+
+}  // namespace jamelect::obs

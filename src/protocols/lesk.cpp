@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/observer.hpp"
 #include "support/expects.hpp"
 #include "support/math.hpp"
 #include "support/state_hash.hpp"
@@ -45,6 +46,9 @@ void Lesk::observe(ChannelState state) {
       break;
     case ChannelState::kSingle:
       elected_ = true;
+      if (probe_ != nullptr) {
+        probe_->on_protocol_phase("LESK", "elected", 0, 0, params_.eps);
+      }
       break;
   }
 }

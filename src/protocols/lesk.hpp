@@ -49,6 +49,8 @@ class Lesk final : public UniformProtocol {
   [[nodiscard]] double estimate() const override { return u_; }
   [[nodiscard]] std::uint64_t state_hash() const override;
   [[nodiscard]] bool state_equals(const UniformProtocol& other) const override;
+  /// Telemetry: reports the terminal "elected" transition.
+  void set_probe(obs::ProtocolProbe* probe) override { probe_ = probe; }
 
   /// Current estimate u (public: it is a deterministic function of the
   /// channel history, which is why the adversary can track it too).
@@ -62,6 +64,7 @@ class Lesk final : public UniformProtocol {
   double a_;
   double u_;
   bool elected_ = false;
+  obs::ProtocolProbe* probe_ = nullptr;  ///< non-owning; never affects state
 };
 
 }  // namespace jamelect

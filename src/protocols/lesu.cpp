@@ -4,6 +4,7 @@
 #include <limits>
 #include <memory>
 
+#include "obs/observer.hpp"
 #include "support/expects.hpp"
 #include "support/math.hpp"
 #include "support/state_hash.hpp"
@@ -26,7 +27,13 @@ Lesu::Lesu(const Lesu& other)
       t0_(other.t0_),
       current_eps_(other.current_eps_),
       slots_left_(other.slots_left_),
-      lesk_(other.lesk_ ? other.lesk_->clone() : nullptr) {}
+      lesk_(other.lesk_ ? other.lesk_->clone() : nullptr),
+      probe_(other.probe_) {}
+
+void Lesu::set_probe(obs::ProtocolProbe* probe) {
+  probe_ = probe;
+  if (lesk_ != nullptr) lesk_->set_probe(probe);
+}
 
 UniformProtocolPtr Lesu::clone() const { return std::make_unique<Lesu>(*this); }
 
@@ -79,6 +86,10 @@ void Lesu::start_subexecution(std::int64_t i, std::int64_t j) {
   slots_left_ = ceil_to_slots(budget);
   JAMELECT_ENSURES(slots_left_ >= 1);
   lesk_ = std::make_unique<Lesk>(LeskParams{current_eps_, 0.0});
+  lesk_->set_probe(probe_);
+  if (probe_ != nullptr) {
+    probe_->on_protocol_phase("LESU", "subexec", i, j, current_eps_);
+  }
 }
 
 double Lesu::transmit_probability() {
@@ -93,6 +104,9 @@ void Lesu::observe(ChannelState state) {
     estimation_.observe(state);
     if (estimation_.elected()) {
       elected_ = true;
+      if (probe_ != nullptr) {
+        probe_->on_protocol_phase("LESU", "elected", 0, 0, 0.0);
+      }
       return;
     }
     if (estimation_.completed()) {
@@ -100,6 +114,9 @@ void Lesu::observe(ChannelState state) {
       t0_ = params_.c *
             std::ldexp(1.0, static_cast<int>(estimation_.result()) + 1);
       phase_ = Phase::kLesk;
+      if (probe_ != nullptr) {
+        probe_->on_protocol_phase("LESU", "estimation_done", 0, 0, 0.0);
+      }
       start_subexecution(1, 1);
     }
     return;
@@ -108,6 +125,9 @@ void Lesu::observe(ChannelState state) {
   lesk_->observe(state);
   if (lesk_->elected()) {
     elected_ = true;
+    if (probe_ != nullptr) {
+      probe_->on_protocol_phase("LESU", "elected", i_, j_, current_eps_);
+    }
     return;
   }
   if (--slots_left_ == 0) {

@@ -56,6 +56,9 @@ class Lesu final : public UniformProtocol {
   [[nodiscard]] double estimate() const override;
   [[nodiscard]] std::uint64_t state_hash() const override;
   [[nodiscard]] bool state_equals(const UniformProtocol& other) const override;
+  /// Telemetry: reports estimation completion, every (i, j) sub-
+  /// execution start, and election; forwarded to the inner LESK.
+  void set_probe(obs::ProtocolProbe* probe) override;
 
   /// Deep copy (the inner LESK instance is cloned).
   Lesu(const Lesu& other);
@@ -87,6 +90,7 @@ class Lesu final : public UniformProtocol {
   double current_eps_ = 0.0;
   std::int64_t slots_left_ = 0;
   UniformProtocolPtr lesk_;
+  obs::ProtocolProbe* probe_ = nullptr;  ///< non-owning; never affects state
 };
 
 }  // namespace jamelect

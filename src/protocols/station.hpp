@@ -15,6 +15,10 @@
 
 namespace jamelect {
 
+namespace obs {
+class ProtocolProbe;
+}  // namespace obs
+
 class StationProtocol {
  public:
   virtual ~StationProtocol() = default;
@@ -82,6 +86,11 @@ class StationProtocol {
     (void)obs;
     return true;
   }
+
+  /// Attaches a telemetry probe (obs/observer.hpp); see
+  /// UniformProtocol::set_probe for the contract. Default: ignored.
+  /// Adapters forward to their wrapped protocol.
+  virtual void set_probe(obs::ProtocolProbe* probe) { (void)probe; }
 };
 
 using StationProtocolPtr = std::unique_ptr<StationProtocol>;

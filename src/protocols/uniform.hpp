@@ -27,6 +27,10 @@
 
 namespace jamelect {
 
+namespace obs {
+class ProtocolProbe;
+}  // namespace obs
+
 /// A uniform single-channel protocol instance. One instance models the
 /// shared state of the whole network (aggregate engines) or one
 /// station's copy of it (per-station engines).
@@ -76,6 +80,15 @@ class UniformProtocol {
     (void)other;
     return false;
   }
+
+  // --- Telemetry hook ----------------------------------------------
+
+  /// Attaches a telemetry probe (obs/observer.hpp). Protocols with
+  /// internal phase structure (LESK, LESU) report transitions through
+  /// it; the default implementation ignores it. Non-owning — the probe
+  /// must outlive the protocol; clones share the pointer. Probes never
+  /// affect protocol behaviour, state_hash(), or state_equals().
+  virtual void set_probe(obs::ProtocolProbe* probe) { (void)probe; }
 };
 
 using UniformProtocolPtr = std::unique_ptr<UniformProtocol>;

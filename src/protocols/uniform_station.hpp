@@ -42,6 +42,9 @@ class UniformStationAdapter final : public StationProtocol {
   [[nodiscard]] bool feedback_tx_sensitive(Observation obs) const override {
     return obs == Observation::kSingle;
   }
+  void set_probe(obs::ProtocolProbe* probe) override {
+    protocol_->set_probe(probe);
+  }
 
   [[nodiscard]] const UniformProtocol& protocol() const noexcept { return *protocol_; }
 

@@ -1,6 +1,7 @@
 #include "sim/aggregate.hpp"
 
 #include "channel/channel.hpp"
+#include "obs/metrics.hpp"
 #include "support/expects.hpp"
 #include "support/math.hpp"
 
@@ -55,6 +56,13 @@ TrialOutcome run_aggregate(UniformProtocol& protocol,
       rec.estimate = u_before;
       trace->record(rec, static_cast<double>(config.n) * p);
     }
+    if (config.observer != nullptr &&
+        config.observer->wants_slot(slot, state)) {
+      config.observer->emit_slot(slot, state, representative_count, jammed,
+                                 u_before, static_cast<double>(config.n) * p,
+                                 adversary.budget().jams(),
+                                 adversary.budget().window_spend());
+    }
 
     protocol.observe(state);
     adversary.observe({slot, representative_count, jammed, state});
@@ -68,6 +76,8 @@ TrialOutcome run_aggregate(UniformProtocol& protocol,
       break;
     }
   }
+  JAMELECT_OBS_COUNT("engine.aggregate.runs", 1);
+  JAMELECT_OBS_COUNT("engine.aggregate.slots", out.slots);
   return out;
 }
 

@@ -18,6 +18,7 @@
 
 #include "adversary/adversary.hpp"
 #include "channel/trace.hpp"
+#include "obs/observer.hpp"
 #include "protocols/uniform.hpp"
 #include "sim/outcome.hpp"
 #include "support/rng.hpp"
@@ -27,6 +28,8 @@ namespace jamelect {
 struct AggregateConfig {
   std::uint64_t n = 1;
   std::int64_t max_slots = 1'000'000;
+  /// Optional telemetry observer (non-owning; must outlive the run).
+  obs::RunObserver* observer = nullptr;
 };
 
 /// Runs `protocol` among `config.n` stations against `adversary` until

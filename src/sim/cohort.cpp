@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "channel/channel.hpp"
+#include "obs/metrics.hpp"
 #include "support/binomial.hpp"
 #include "support/expects.hpp"
 
@@ -23,7 +24,7 @@ CohortEngine::CohortEngine(StationProtocolPtr prototype, std::uint64_t n,
   cohorts_.push_back(Cohort{std::move(prototype), n});
 }
 
-void CohortEngine::merge_cohorts() {
+void CohortEngine::merge_cohorts(Slot slot) {
   if (cohorts_.size() < 2) return;
   std::vector<std::uint64_t> hashes(cohorts_.size());
   for (std::size_t i = 0; i < cohorts_.size(); ++i) {
@@ -33,14 +34,21 @@ void CohortEngine::merge_cohorts() {
     for (std::size_t j = cohorts_.size(); j-- > i + 1;) {
       if (hashes[j] != hashes[i]) continue;
       if (!cohorts_[i].rep->state_equals(*cohorts_[j].rep)) continue;
-      cohorts_[i].size += cohorts_[j].size;
+      const std::uint64_t absorbed = cohorts_[j].size;
+      cohorts_[i].size += absorbed;
       cohorts_.erase(cohorts_.begin() + static_cast<std::ptrdiff_t>(j));
       hashes.erase(hashes.begin() + static_cast<std::ptrdiff_t>(j));
+      JAMELECT_OBS_COUNT("engine.cohort.merges", 1);
+      if (config_.observer != nullptr) {
+        config_.observer->on_cohort(slot, "merge", absorbed,
+                                    cohorts_[i].size, cohorts_.size());
+      }
     }
   }
 }
 
 TrialOutcome CohortEngine::run(Trace* trace) {
+  obs::RunObserver* const observer = config_.observer;
   const bool tracing = trace != nullptr;
   TrialOutcome out;
 
@@ -57,6 +65,11 @@ TrialOutcome CohortEngine::run(Trace* trace) {
     // SlotEngine's per-station transmitter count.
     const std::size_t live = cohorts_.size();
     tx_counts_.resize(live);
+    // Grow-only: live fluctuates slot to slot and the stores below
+    // cover [0, live), so shrinking would only add churn.
+    if (observer != nullptr && p_scratch_.size() < live) {
+      p_scratch_.resize(live);
+    }
     std::uint64_t total = 0;
     double expected_tx = 0.0;
     for (std::size_t c = 0; c < live; ++c) {
@@ -66,6 +79,9 @@ TrialOutcome CohortEngine::run(Trace* trace) {
       tx_counts_[c] = k;
       total += k;
       if (tracing) expected_tx += p * static_cast<double>(cohorts_[c].size);
+      // Stash p for the (sampled) observer path: transmit_probability
+      // is not required to be repeatable, so it runs exactly once.
+      if (observer != nullptr) p_scratch_[c] = p;
     }
 
     const ChannelState state = resolve_slot(total, jammed);
@@ -87,6 +103,23 @@ TrialOutcome CohortEngine::run(Trace* trace) {
       rec.state = state;
       rec.estimate = u_before;
       trace->record(rec, expected_tx);
+    }
+    if (observer != nullptr && observer->wants_slot(slot, state)) {
+      // Annotations are gathered lazily: representative state is
+      // untouched between the draw above and the feedback below, so
+      // estimate() still reads this slot's pre-resolution value, and
+      // the stashed probabilities reproduce the trace's expected_tx
+      // sum term for term.
+      double etx = expected_tx;
+      if (!tracing) {
+        for (std::size_t c = 0; c < live; ++c) {
+          etx += p_scratch_[c] * static_cast<double>(cohorts_[c].size);
+        }
+      }
+      observer->emit_slot(slot, state, total, jammed,
+                          tracing ? u_before : cohorts_[0].rep->estimate(),
+                          etx, adversary_->budget().jams(),
+                          adversary_->budget().window_spend());
     }
 
     // Feedback. Within a cohort the k transmitters are exchangeable
@@ -116,12 +149,17 @@ TrialOutcome CohortEngine::run(Trace* trace) {
         if (!cohort.rep->state_equals(*tx_rep)) {
           cohort.size -= k;
           cohorts_.push_back(Cohort{std::move(tx_rep), k});
+          JAMELECT_OBS_COUNT("engine.cohort.splits", 1);
+          if (observer != nullptr) {
+            observer->on_cohort(slot, "split", cohorts_[c].size + k, k,
+                                cohorts_.size());
+          }
         }
       }
     }
     adversary_->observe({slot, total, jammed, state});
 
-    merge_cohorts();
+    merge_cohorts(slot);
     peak_cohorts_ = std::max(peak_cohorts_, cohorts_.size());
 
     if (config_.stop == StopRule::kFirstSingle) {
@@ -171,6 +209,10 @@ TrialOutcome CohortEngine::run(Trace* trace) {
   } else {
     out.elected = out.elected && out.unique_leader;
   }
+  JAMELECT_OBS_COUNT("engine.cohort.runs", 1);
+  JAMELECT_OBS_COUNT("engine.cohort.slots", out.slots);
+  JAMELECT_OBS_HISTOGRAM("engine.cohort.peak_cohorts",
+                         static_cast<std::int64_t>(peak_cohorts_));
   return out;
 }
 

@@ -90,7 +90,8 @@ class CohortEngine {
   };
 
   /// Re-merges cohorts whose representative states have re-converged.
-  void merge_cohorts();
+  /// `slot` only annotates telemetry events.
+  void merge_cohorts(Slot slot);
 
   std::vector<Cohort> cohorts_;
   std::uint64_t n_;
@@ -99,6 +100,7 @@ class CohortEngine {
   EngineConfig config_;
   std::size_t peak_cohorts_ = 1;
   std::vector<std::uint64_t> tx_counts_;  ///< per-cohort k, reused per slot
+  std::vector<double> p_scratch_;  ///< per-cohort p for sampled telemetry
 };
 
 }  // namespace jamelect

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "channel/channel.hpp"
+#include "obs/metrics.hpp"
 #include "support/expects.hpp"
 
 namespace jamelect {
@@ -25,7 +26,11 @@ SlotEngine::SlotEngine(std::vector<StationProtocolPtr> stations,
 
 TrialOutcome SlotEngine::run(Trace* trace) {
   const std::size_t n = stations_.size();
+  obs::RunObserver* const observer = config_.observer;
   const bool tracing = trace != nullptr;
+  // Estimate/expected-tx annotations exist only for traces and
+  // telemetry, so the plain hot loop skips both.
+  const bool annotating = tracing || observer != nullptr;
   std::vector<std::uint8_t> transmitted(n, 0);
   TrialOutcome out;
 
@@ -35,9 +40,7 @@ TrialOutcome SlotEngine::run(Trace* trace) {
 
     // A station's public estimate for the trace: take it from station 0
     // before the slot resolves (all stations agree while in lockstep).
-    // It and the expected-transmitter sum exist only to annotate
-    // traces, so the untraced hot loop skips both.
-    const double u_before = tracing ? stations_[0]->estimate() : 0.0;
+    const double u_before = annotating ? stations_[0]->estimate() : 0.0;
 
     std::uint64_t count = 0;
     StationId last_tx = 0;
@@ -45,7 +48,7 @@ TrialOutcome SlotEngine::run(Trace* trace) {
     for (std::size_t i = 0; i < n; ++i) {
       const double p = stations_[i]->transmit_probability(slot);
       JAMELECT_EXPECTS(p >= 0.0 && p <= 1.0);
-      if (tracing) expected_tx += p;
+      if (annotating) expected_tx += p;
       const bool tx = rng_.bernoulli(p);
       transmitted[i] = tx ? 1 : 0;
       if (tx) {
@@ -74,6 +77,11 @@ TrialOutcome SlotEngine::run(Trace* trace) {
       rec.state = state;
       rec.estimate = u_before;
       trace->record(rec, expected_tx);
+    }
+    if (observer != nullptr && observer->wants_slot(slot, state)) {
+      observer->emit_slot(slot, state, count, jammed, u_before, expected_tx,
+                          adversary_->budget().jams(),
+                          adversary_->budget().window_spend());
     }
 
     for (std::size_t i = 0; i < n; ++i) {
@@ -123,6 +131,8 @@ TrialOutcome SlotEngine::run(Trace* trace) {
   } else {
     out.elected = out.elected && out.unique_leader;
   }
+  JAMELECT_OBS_COUNT("engine.station.runs", 1);
+  JAMELECT_OBS_COUNT("engine.station.slots", out.slots);
   return out;
 }
 

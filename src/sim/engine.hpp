@@ -15,6 +15,7 @@
 
 #include "adversary/adversary.hpp"
 #include "channel/trace.hpp"
+#include "obs/observer.hpp"
 #include "protocols/station.hpp"
 #include "sim/outcome.hpp"
 #include "support/rng.hpp"
@@ -36,6 +37,9 @@ struct EngineConfig {
   CdMode cd = CdMode::kStrong;
   StopRule stop = StopRule::kAllDone;
   std::int64_t max_slots = 1'000'000;
+  /// Optional telemetry observer (non-owning; must outlive the run).
+  /// Null costs one pointer test per slot.
+  obs::RunObserver* observer = nullptr;
 };
 
 class SlotEngine {

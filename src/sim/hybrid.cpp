@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "channel/channel.hpp"
+#include "obs/metrics.hpp"
 #include "protocols/interval_partition.hpp"
 #include "support/expects.hpp"
 #include "support/math.hpp"
@@ -124,6 +125,12 @@ TrialOutcome run_hybrid_notification(const UniformProtocolFactory& factory,
       rec.estimate = u_before;
       trace->record(rec, expected_tx);
     }
+    if (config.observer != nullptr &&
+        config.observer->wants_slot(slot, state)) {
+      config.observer->emit_slot(slot, state, count, jammed, u_before,
+                                 expected_tx, adversary.budget().jams(),
+                                 adversary.budget().window_spend());
+    }
     adversary.observe({slot, count, jammed, state});
 
     // --- state transitions (feedback) ---
@@ -193,6 +200,8 @@ TrialOutcome run_hybrid_notification(const UniformProtocolFactory& factory,
       break;
     }
   }
+  JAMELECT_OBS_COUNT("engine.hybrid.runs", 1);
+  JAMELECT_OBS_COUNT("engine.hybrid.slots", out.slots);
   return out;
 }
 

@@ -20,6 +20,7 @@
 
 #include "adversary/adversary.hpp"
 #include "channel/trace.hpp"
+#include "obs/observer.hpp"
 #include "protocols/uniform.hpp"
 #include "sim/outcome.hpp"
 #include "support/rng.hpp"
@@ -29,6 +30,8 @@ namespace jamelect {
 struct HybridConfig {
   std::uint64_t n = 3;  ///< n >= 3 (Lemma 3.1's regime)
   std::int64_t max_slots = 1'000'000;
+  /// Optional telemetry observer (non-owning; must outlive the run).
+  obs::RunObserver* observer = nullptr;
 };
 
 /// Runs Notification(A) with fresh inner instances from `factory`.

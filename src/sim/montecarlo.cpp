@@ -1,10 +1,19 @@
 #include "sim/montecarlo.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_events.hpp"
 #include "sim/aggregate.hpp"
 #include "sim/cohort.hpp"
 #include "support/expects.hpp"
@@ -13,6 +22,90 @@
 namespace jamelect {
 
 namespace {
+
+/// Background progress reporter for long Monte-Carlo runs. Counters are
+/// fed from trial threads with relaxed atomics; the reporter thread
+/// wakes every interval and prints a one-line status to stderr. On
+/// stop() it prints one deterministic completion line (the in-flight
+/// lines depend on wall-clock timing, the final one does not), so tests
+/// can assert on output without racing the clock.
+class Heartbeat {
+ public:
+  Heartbeat(bool enabled, std::size_t total_trials, std::int64_t interval_ms)
+      : enabled_(enabled), total_(total_trials) {
+    if (!enabled_) return;
+    start_ = std::chrono::steady_clock::now();
+    thread_ = std::thread([this, interval_ms] { loop(interval_ms); });
+  }
+
+  Heartbeat(const Heartbeat&) = delete;
+  Heartbeat& operator=(const Heartbeat&) = delete;
+
+  ~Heartbeat() { stop(); }
+
+  void on_trial(std::int64_t slots) noexcept {
+    if (!enabled_) return;
+    slots_.fetch_add(slots, std::memory_order_relaxed);
+    trials_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void stop() {
+    if (!enabled_ || stopped_) return;
+    stopped_ = true;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    std::fprintf(stderr, "[mc] %llu/%llu trials complete\n",
+                 static_cast<unsigned long long>(
+                     trials_.load(std::memory_order_relaxed)),
+                 static_cast<unsigned long long>(total_));
+    std::fflush(stderr);
+  }
+
+ private:
+  void loop(std::int64_t interval_ms) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      cv_.wait_for(lock, std::chrono::milliseconds(interval_ms));
+      if (done_) return;
+      const auto trials = trials_.load(std::memory_order_relaxed);
+      const auto slots = slots_.load(std::memory_order_relaxed);
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start_)
+              .count();
+      const double rate =
+          elapsed > 0.0 ? static_cast<double>(slots) / elapsed : 0.0;
+      const double eta =
+          trials > 0 ? elapsed / static_cast<double>(trials) *
+                           static_cast<double>(total_ - trials)
+                     : -1.0;
+      if (eta >= 0.0) {
+        std::fprintf(stderr, "[mc] %llu/%llu trials, %.3g slots/s, eta %.1fs\n",
+                     static_cast<unsigned long long>(trials),
+                     static_cast<unsigned long long>(total_), rate, eta);
+      } else {
+        std::fprintf(stderr, "[mc] %llu/%llu trials\n",
+                     static_cast<unsigned long long>(trials),
+                     static_cast<unsigned long long>(total_));
+      }
+    }
+  }
+
+  const bool enabled_;
+  const std::size_t total_;
+  std::atomic<std::uint64_t> trials_{0};
+  std::atomic<std::int64_t> slots_{0};
+  std::chrono::steady_clock::time_point start_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
 
 /// Per-thread accumulator for the streaming (keep_outcomes == false)
 /// path. Slots and jams are integers, so their multisets compress into
@@ -103,8 +196,29 @@ McResult run_trials(const TrialRunner& runner, std::uint64_t n_for_energy,
                     const McConfig& config) {
   JAMELECT_EXPECTS(config.trials >= 1);
   JAMELECT_EXPECTS(n_for_energy >= 1);
+
+  // Telemetry wrapper: spans, heartbeat counters, and trial metrics ride
+  // around the runner without touching its randomness (the trial rng is
+  // handed through untouched, so outcomes are identical with or without
+  // any of them attached).
+  Heartbeat heartbeat(config.heartbeat, config.trials,
+                      config.heartbeat_interval_ms);
+  obs::TraceEventRecorder* const recorder = config.recorder;
+  const TrialRunner wrapped = [&runner, &heartbeat, recorder](Rng trial_rng) {
+    std::optional<obs::TraceEventRecorder::Span> span;
+    if (recorder != nullptr) span.emplace(*recorder, "mc.trial");
+    TrialOutcome out = runner(trial_rng);
+    span.reset();
+    heartbeat.on_trial(out.slots);
+    JAMELECT_OBS_COUNT("mc.trials", 1);
+    JAMELECT_OBS_COUNT("mc.slots", out.slots);
+    return out;
+  };
+
   if (config.keep_outcomes) {
-    return run_trials_materialized(runner, n_for_energy, config);
+    McResult res = run_trials_materialized(wrapped, n_for_energy, config);
+    heartbeat.stop();
+    return res;
   }
 
   // Streaming path: trials fold into per-thread accumulators and never
@@ -112,7 +226,7 @@ McResult run_trials(const TrialRunner& runner, std::uint64_t n_for_energy,
   // derives from mix64(seed, k) regardless of which thread runs it.
   const Rng base(config.seed);
   const auto body = [&](TrialAccumulator& acc, std::size_t k) {
-    accumulate(acc, runner(base.child(k)), n_for_energy);
+    accumulate(acc, wrapped(base.child(k)), n_for_energy);
   };
   TrialAccumulator total;
   if (config.parallel) {
@@ -121,6 +235,7 @@ McResult run_trials(const TrialRunner& runner, std::uint64_t n_for_energy,
   } else {
     for (std::size_t k = 0; k < config.trials; ++k) body(total, k);
   }
+  heartbeat.stop();
 
   McResult res;
   res.trials = config.trials;
@@ -198,6 +313,63 @@ McResult run_cohort_mc(
     return eng.run();
   };
   return run_trials(runner, n, config);
+}
+
+TrialOutcome replay_aggregate_trial(const UniformProtocolFactory& factory,
+                                    const AdversarySpec& adversary,
+                                    std::uint64_t n, const McConfig& config,
+                                    std::size_t trial,
+                                    obs::RunObserver* observer, Trace* trace) {
+  JAMELECT_EXPECTS(trial < config.trials);
+  JAMELECT_EXPECTS(n >= 1);
+  AdversarySpec spec = adversary;
+  spec.n = n;
+  // Mirror run_aggregate_mc's runner exactly: trial randomness derives
+  // from base.child(trial), adversary from child(0xad50), sim from
+  // child(0x51e0). The observer and probe consume none of it.
+  const Rng rng = Rng(config.seed).child(trial);
+  auto protocol = factory();
+  auto adv = make_adversary(spec, rng.child(0xad50));
+  Rng sim_rng = rng.child(0x51e0);
+  AggregateConfig agg;
+  agg.n = n;
+  agg.max_slots = config.max_slots;
+  agg.observer = observer;
+  if (observer != nullptr) {
+    observer->begin_trial(trial);
+    protocol->set_probe(observer);
+  }
+  const TrialOutcome out = run_aggregate(*protocol, *adv, agg, sim_rng, trace);
+  if (observer != nullptr) {
+    observer->end_trial(out.elected, out.slots, out.jams, out.transmissions);
+  }
+  return out;
+}
+
+TrialOutcome replay_cohort_trial(
+    const std::function<StationProtocolPtr()>& prototype_factory,
+    const AdversarySpec& adversary, std::uint64_t n, EngineConfig engine,
+    const McConfig& config, std::size_t trial, obs::RunObserver* observer,
+    Trace* trace) {
+  JAMELECT_EXPECTS(trial < config.trials);
+  JAMELECT_EXPECTS(n >= 1);
+  AdversarySpec spec = adversary;
+  spec.n = n;
+  const Rng rng = Rng(config.seed).child(trial);
+  auto prototype = prototype_factory();
+  auto adv = make_adversary(spec, rng.child(0xad50));
+  if (observer != nullptr) {
+    observer->begin_trial(trial);
+    prototype->set_probe(observer);
+    engine.observer = observer;
+  }
+  CohortEngine eng(std::move(prototype), n, std::move(adv), rng.child(0x51e0),
+                   engine);
+  const TrialOutcome out = eng.run(trace);
+  if (observer != nullptr) {
+    observer->end_trial(out.elected, out.slots, out.jams, out.transmissions);
+  }
+  return out;
 }
 
 }  // namespace jamelect

@@ -18,6 +18,10 @@
 
 namespace jamelect {
 
+namespace obs {
+class TraceEventRecorder;
+}  // namespace obs
+
 struct McConfig {
   std::size_t trials = 100;
   std::uint64_t seed = 1;
@@ -29,6 +33,16 @@ struct McConfig {
   /// per thread, so million-trial sweeps don't hold a TrialOutcome per
   /// trial in memory. Summaries are identical either way.
   bool keep_outcomes = false;
+  /// Print progress lines ("[mc] done/total trials, slots/s, eta") to
+  /// stderr every `heartbeat_interval_ms` while trials are in flight,
+  /// plus one deterministic completion line. Purely observational: the
+  /// reproducibility contract (results depend only on seed and trial
+  /// index) is unaffected.
+  bool heartbeat = false;
+  std::int64_t heartbeat_interval_ms = 2000;
+  /// Optional wall-clock recorder (obs/trace_events.hpp): each trial is
+  /// wrapped in a "trial" span. Non-owning; must outlive the run.
+  obs::TraceEventRecorder* recorder = nullptr;
 };
 
 /// Aggregated view over the trials of one configuration.
@@ -82,5 +96,26 @@ using TrialRunner = std::function<TrialOutcome(Rng trial_rng)>;
     const std::function<StationProtocolPtr()>& prototype_factory,
     const AdversarySpec& adversary, std::uint64_t n, EngineConfig engine,
     const McConfig& config);
+
+/// Replays trial `trial` of the run_aggregate_mc(factory, adversary, n,
+/// config) sweep with telemetry attached: `observer` (if non-null)
+/// receives begin/end-trial markers, per-slot events, and protocol
+/// phase events; `trace` (if non-null) records the slot stream. The
+/// returned outcome is bit-identical to the original trial's — trial
+/// randomness derives only from (config.seed, trial), and observers
+/// consume no randomness.
+[[nodiscard]] TrialOutcome replay_aggregate_trial(
+    const UniformProtocolFactory& factory, const AdversarySpec& adversary,
+    std::uint64_t n, const McConfig& config, std::size_t trial,
+    obs::RunObserver* observer, Trace* trace = nullptr);
+
+/// Replays trial `trial` of the run_cohort_mc(prototype_factory,
+/// adversary, n, engine, config) sweep; same contract as
+/// replay_aggregate_trial, plus cohort split/merge events.
+[[nodiscard]] TrialOutcome replay_cohort_trial(
+    const std::function<StationProtocolPtr()>& prototype_factory,
+    const AdversarySpec& adversary, std::uint64_t n, EngineConfig engine,
+    const McConfig& config, std::size_t trial, obs::RunObserver* observer,
+    Trace* trace = nullptr);
 
 }  // namespace jamelect

@@ -42,7 +42,10 @@ void ThreadPool::worker_loop() {
       task = tasks_.front();
       tasks_.pop();
     }
+    PoolTaskObserver* obs = task_observer_.load(std::memory_order_acquire);
+    if (obs != nullptr) obs->on_task_start(task.slot);
     task.fn(*task.job, task.slot);
+    if (obs != nullptr) obs->on_task_end(task.slot);
   }
 }
 
@@ -69,7 +72,16 @@ void ThreadPool::execute(ParallelJob& job, std::size_t count) {
   job.chunk = std::max<std::size_t>(1, count / ((helpers + 1) * 8));
 
   if (helpers == 0) {
-    job.run(0);  // exceptions propagate directly
+    PoolTaskObserver* solo_obs =
+        task_observer_.load(std::memory_order_acquire);
+    if (solo_obs != nullptr) solo_obs->on_task_start(0);
+    try {
+      job.run(0);  // exceptions propagate directly
+    } catch (...) {
+      if (solo_obs != nullptr) solo_obs->on_task_end(0);
+      throw;
+    }
+    if (solo_obs != nullptr) solo_obs->on_task_end(0);
     return;
   }
 
@@ -78,12 +90,15 @@ void ThreadPool::execute(ParallelJob& job, std::size_t count) {
     enqueue(Task{&run_job_slot, &job, h});
   }
   // The caller takes the last slot instead of blocking idle.
+  PoolTaskObserver* obs = task_observer_.load(std::memory_order_acquire);
+  if (obs != nullptr) obs->on_task_start(helpers);
   try {
     job.run(helpers);
   } catch (...) {
     std::lock_guard lock(job.error_mutex);
     if (!job.error) job.error = std::current_exception();
   }
+  if (obs != nullptr) obs->on_task_end(helpers);
   std::unique_lock lock(job.done_mutex);
   job.done_cv.wait(lock, [&job] {
     return job.pending.load(std::memory_order_acquire) == 0;

@@ -24,6 +24,17 @@
 
 namespace jamelect {
 
+/// Observer for pool task execution — the hook the telemetry layer
+/// (obs/trace_events.hpp) uses to time dispatched tasks. Callbacks run
+/// on the executing thread, bracketing one task (= one worker slot's
+/// chunk loop of a parallel call); they must be noexcept and cheap.
+class PoolTaskObserver {
+ public:
+  virtual ~PoolTaskObserver() = default;
+  virtual void on_task_start(std::size_t worker_slot) noexcept = 0;
+  virtual void on_task_end(std::size_t worker_slot) noexcept = 0;
+};
+
 /// A joining, exception-propagating thread pool.
 class ThreadPool {
  public:
@@ -35,6 +46,16 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Attaches (or detaches, with nullptr) a task observer. The observer
+  /// must outlive every parallel call that runs while it is attached;
+  /// attach/detach between parallel calls, not during one.
+  void set_task_observer(PoolTaskObserver* observer) noexcept {
+    task_observer_.store(observer, std::memory_order_release);
+  }
+  [[nodiscard]] PoolTaskObserver* task_observer() const noexcept {
+    return task_observer_.load(std::memory_order_acquire);
+  }
 
   /// Runs body(i) for i in [0, count), distributing chunks dynamically
   /// across the pool (plus the calling thread). Blocks until all
@@ -137,6 +158,7 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  std::atomic<PoolTaskObserver*> task_observer_{nullptr};
 };
 
 /// Convenience: a process-wide pool for benches/examples. Lazily

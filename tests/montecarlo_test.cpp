@@ -5,7 +5,9 @@
 #include "support/expects.hpp"
 
 #include <memory>
+#include <string>
 
+#include "obs/trace_events.hpp"
 #include "protocols/lesk.hpp"
 #include "protocols/uniform_station.hpp"
 
@@ -137,6 +139,55 @@ TEST(MonteCarlo, UnknownPolicyThrows) {
   c.trials = 1;
   EXPECT_THROW((void)run_aggregate_mc(lesk_factory(), bad, 4, c),
                std::invalid_argument);
+}
+
+TEST(MonteCarlo, HeartbeatReportsButDoesNotPerturbResults) {
+  McConfig quiet;
+  quiet.trials = 30;
+  quiet.seed = 21;
+  quiet.max_slots = 100000;
+  quiet.keep_outcomes = true;
+  McConfig loud = quiet;
+  loud.heartbeat = true;
+  loud.heartbeat_interval_ms = 1;  // force in-flight lines too
+
+  ::testing::internal::CaptureStderr();
+  const auto b = run_aggregate_mc(lesk_factory(), AdversarySpec{}, 64, loud);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  const auto a = run_aggregate_mc(lesk_factory(), AdversarySpec{}, 64, quiet);
+
+  // Reproducibility contract: the heartbeat observes, never perturbs.
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t k = 0; k < a.outcomes.size(); ++k) {
+    ASSERT_EQ(a.outcomes[k].slots, b.outcomes[k].slots) << k;
+    ASSERT_EQ(a.outcomes[k].jams, b.outcomes[k].jams) << k;
+    ASSERT_EQ(a.outcomes[k].elected, b.outcomes[k].elected) << k;
+  }
+  // The completion line is deterministic (unlike the timing-dependent
+  // in-flight ones), so it is safe to assert on.
+  EXPECT_NE(err.find("[mc] 30/30 trials complete"), std::string::npos) << err;
+}
+
+TEST(MonteCarlo, HeartbeatOffPrintsNothing) {
+  McConfig c;
+  c.trials = 5;
+  c.seed = 2;
+  c.max_slots = 100000;
+  ::testing::internal::CaptureStderr();
+  (void)run_aggregate_mc(lesk_factory(), AdversarySpec{}, 16, c);
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(MonteCarlo, RecorderCapturesOneSpanPerTrial) {
+  obs::TraceEventRecorder rec;
+  McConfig c;
+  c.trials = 12;
+  c.seed = 33;
+  c.max_slots = 100000;
+  c.recorder = &rec;
+  const auto res = run_aggregate_mc(lesk_factory(), AdversarySpec{}, 32, c);
+  EXPECT_EQ(res.trials, 12u);
+  EXPECT_EQ(rec.size(), 12u);  // one "mc.trial" span per trial
 }
 
 TEST(MonteCarlo, HybridRunnerWorks) {

@@ -1,0 +1,167 @@
+#include "obs/events.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/observer.hpp"
+
+namespace jamelect::obs {
+namespace {
+
+Event slot_event() {
+  Event e;
+  e.kind = EventKind::kSlot;
+  e.trial = 3;
+  e.slot = 128;
+  e.state = ChannelState::kSingle;
+  e.transmitters = 1;
+  e.jammed = false;
+  e.estimate = 16.0;
+  e.expected_tx = 1.25;
+  e.jams_total = 7;
+  e.budget_spend = 0.5;
+  return e;
+}
+
+TEST(Events, SlotEventSerializesAllFields) {
+  const std::string json = NdjsonSink::to_json(slot_event());
+  EXPECT_EQ(json,
+            "{\"ev\":\"slot\",\"trial\":3,\"slot\":128,\"state\":\"Single\","
+            "\"tx\":1,\"jam\":false,\"u\":16,\"etx\":1.25,\"jams\":7,"
+            "\"spend\":0.5}");
+}
+
+TEST(Events, NanSerializesAsNull) {
+  Event e = slot_event();
+  e.estimate = std::numeric_limits<double>::quiet_NaN();
+  const std::string json = NdjsonSink::to_json(e);
+  EXPECT_NE(json.find("\"u\":null"), std::string::npos) << json;
+}
+
+TEST(Events, PhaseCohortAndTrialEventsSerialize) {
+  Event p;
+  p.kind = EventKind::kPhase;
+  p.trial = 1;
+  p.slot = 42;
+  p.protocol = "LESU";
+  p.phase = "subexec";
+  p.phase_i = 2;
+  p.phase_j = 3;
+  p.phase_eps = 0.125;
+  EXPECT_EQ(NdjsonSink::to_json(p),
+            "{\"ev\":\"phase\",\"trial\":1,\"slot\":42,\"proto\":\"LESU\","
+            "\"phase\":\"subexec\",\"i\":2,\"j\":3,\"eps\":0.125}");
+
+  Event c;
+  c.kind = EventKind::kCohort;
+  c.trial = 0;
+  c.slot = 9;
+  c.cohort_op = "split";
+  c.cohort_from = 64;
+  c.cohort_to = 1;
+  c.cohorts_live = 2;
+  EXPECT_EQ(NdjsonSink::to_json(c),
+            "{\"ev\":\"cohort\",\"trial\":0,\"slot\":9,\"op\":\"split\","
+            "\"from\":64,\"to\":1,\"live\":2}");
+
+  Event s;
+  s.kind = EventKind::kTrialStart;
+  s.trial = 5;
+  EXPECT_EQ(NdjsonSink::to_json(s),
+            "{\"ev\":\"trial_start\",\"trial\":5,\"slot\":0}");
+
+  Event t;
+  t.kind = EventKind::kTrialEnd;
+  t.trial = 5;
+  t.slot = 77;
+  t.elected = true;
+  t.slots_total = 78;
+  t.jams_total = 10;
+  t.transmissions = 123.5;
+  EXPECT_EQ(NdjsonSink::to_json(t),
+            "{\"ev\":\"trial_end\",\"trial\":5,\"slot\":77,\"elected\":true,"
+            "\"slots\":78,\"jams\":10,\"transmissions\":123.5}");
+}
+
+TEST(Events, NdjsonSinkWritesOneLinePerEvent) {
+  std::ostringstream out;
+  NdjsonSink sink(out);
+  sink.on_event(slot_event());
+  sink.on_event(slot_event());
+  sink.flush();  // lines are batched until flush() or destruction
+  const std::string text = out.str();
+  std::size_t lines = 0;
+  for (const char ch : text) lines += ch == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 2u);
+  EXPECT_EQ(text.find('{'), 0u);
+}
+
+TEST(Events, VectorSinkCapturesAndClears) {
+  VectorSink sink;
+  sink.on_event(slot_event());
+  ASSERT_EQ(sink.events().size(), 1u);
+  EXPECT_EQ(sink.events()[0].slot, 128);
+  sink.clear();
+  EXPECT_TRUE(sink.events().empty());
+}
+
+TEST(Observer, SamplesSlotsButKeepsSingles) {
+  VectorSink sink;
+  RunObserver obs(sink, {/*slot_sample_period=*/10});
+  obs.begin_trial(0);
+  for (Slot s = 0; s < 25; ++s) {
+    const ChannelState state =
+        s == 13 ? ChannelState::kSingle : ChannelState::kNull;
+    obs.on_slot(s, state, state == ChannelState::kSingle ? 1 : 0, false, 1.0,
+                0.5, 0, 0.0);
+  }
+  const auto events = sink.events();
+  std::vector<Slot> slots;
+  for (const Event& e : events) {
+    if (e.kind == EventKind::kSlot) slots.push_back(e.slot);
+  }
+  // Slots 0, 10, 20 by the period; 13 because it is a Single.
+  EXPECT_EQ(slots, (std::vector<Slot>{0, 10, 13, 20}));
+}
+
+TEST(Observer, PeriodOneEmitsEverySlot) {
+  VectorSink sink;
+  RunObserver obs(sink, {1});
+  obs.begin_trial(2);
+  for (Slot s = 0; s < 7; ++s) {
+    obs.on_slot(s, ChannelState::kCollision, 2, true, 4.0, 2.0, s + 1, 0.1);
+  }
+  std::size_t slot_events = 0;
+  for (const Event& e : sink.events()) {
+    if (e.kind == EventKind::kSlot) {
+      ++slot_events;
+      EXPECT_EQ(e.trial, 2u);
+    }
+  }
+  EXPECT_EQ(slot_events, 7u);
+}
+
+TEST(Observer, PhaseEventsCarryCurrentTrialAndSlot) {
+  VectorSink sink;
+  RunObserver obs(sink, {1000});  // sample out almost every slot event
+  obs.begin_trial(4);
+  obs.on_slot(17, ChannelState::kNull, 0, false, 1.0, 0.5, 0, 0.0);
+  obs.on_protocol_phase("LESK", "elected", 0, 0, 0.5);
+  obs.end_trial(true, 18, 0, 9.0);
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 3u);  // trial_start, phase, trial_end
+  EXPECT_EQ(events[1].kind, EventKind::kPhase);
+  EXPECT_EQ(events[1].trial, 4u);
+  EXPECT_EQ(events[1].slot, 17);  // stamped from the slot cursor
+  EXPECT_STREQ(events[1].protocol, "LESK");
+  EXPECT_EQ(events[2].kind, EventKind::kTrialEnd);
+  EXPECT_TRUE(events[2].elected);
+}
+
+}  // namespace
+}  // namespace jamelect::obs

@@ -1,0 +1,134 @@
+#include "obs/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/build_info.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_events.hpp"
+#include "support/thread_pool.hpp"
+
+namespace jamelect::obs {
+namespace {
+
+TEST(Manifest, JsonCarriesIdentityBuildAndConfig) {
+  RunManifest m;
+  m.name = "unit \"quoted\"";
+  m.seed = 424242;
+  m.config["trials"] = "100";
+  m.config["note"] = "line1\nline2";
+  m.include_metrics = false;
+  const std::string json = m.to_json();
+  EXPECT_NE(json.find("\"name\": \"unit \\\"quoted\\\"\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"seed\": 424242"), std::string::npos);
+  EXPECT_NE(json.find("\"created_unix_ms\": "), std::string::npos);
+  EXPECT_NE(json.find("\"git_sha\": "), std::string::npos);
+  EXPECT_NE(json.find("\"build_type\": "), std::string::npos);
+  EXPECT_NE(json.find("\"trials\": \"100\""), std::string::npos);
+  EXPECT_NE(json.find("\\nline2"), std::string::npos);
+  EXPECT_EQ(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find(kObsCompiledIn ? "\"obs_compiled_in\": true"
+                                     : "\"obs_compiled_in\": false"),
+            std::string::npos);
+}
+
+TEST(Manifest, MetricsRollupIncludesGlobalCounters) {
+  auto& reg = MetricsRegistry::global();
+  const bool was_enabled = reg.enabled();
+  reg.set_enabled(true);
+  reg.add(reg.counter("manifest.test.counter"), 5);
+  RunManifest m;
+  m.name = "rollup";
+  const std::string json = m.to_json();
+  reg.set_enabled(was_enabled);
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"manifest.test.counter\": "), std::string::npos);
+}
+
+TEST(Manifest, WriteFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "jamelect_manifest_test.json";
+  RunManifest m;
+  m.name = "file-test";
+  m.seed = 7;
+  m.include_metrics = false;
+  ASSERT_TRUE(m.write_file(path));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"name\": \"file-test\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Manifest, PathResolutionHonoursEnvironment) {
+  // Note: setenv/getenv here runs single-threaded (test main thread).
+  unsetenv("JAMELECT_MANIFEST");
+  unsetenv("JAMELECT_MANIFEST_DIR");
+  EXPECT_EQ(manifest_path_for("run"), "./run.manifest.json");
+  setenv("JAMELECT_MANIFEST_DIR", "/tmp/results", 1);
+  EXPECT_EQ(manifest_path_for("run"), "/tmp/results/run.manifest.json");
+  setenv("JAMELECT_MANIFEST", "0", 1);
+  EXPECT_EQ(manifest_path_for("run"), "");
+  setenv("JAMELECT_MANIFEST", "off", 1);
+  EXPECT_EQ(manifest_path_for("run"), "");
+  unsetenv("JAMELECT_MANIFEST");
+  unsetenv("JAMELECT_MANIFEST_DIR");
+}
+
+TEST(TraceEvents, SpansProduceChromeTraceJson) {
+  TraceEventRecorder rec;
+  {
+    const auto span = rec.span("outer");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    { const auto inner = rec.span("inner"); }
+  }
+  EXPECT_EQ(rec.size(), 2u);
+  std::ostringstream out;
+  rec.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+}
+
+TEST(TraceEvents, PoolObserverTimesDispatchedTasks) {
+  TraceEventRecorder rec;
+  ThreadPool pool(2);
+  pool.set_task_observer(&rec);
+  std::atomic<int> sum{0};
+  pool.parallel_for(64, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+  });
+  pool.set_task_observer(nullptr);
+  EXPECT_EQ(sum.load(), 64 * 63 / 2);
+  // Every participating worker slot records exactly one task span.
+  EXPECT_GE(rec.size(), 1u);
+  std::ostringstream out;
+  rec.write_json(out);
+  EXPECT_NE(out.str().find("\"name\":\"pool_task\""), std::string::npos);
+}
+
+TEST(TraceEvents, WriteFileRoundTrips) {
+  TraceEventRecorder rec;
+  { const auto span = rec.span("s"); }
+  const std::string path = ::testing::TempDir() + "jamelect_trace_test.json";
+  ASSERT_TRUE(rec.write_file(path));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"displayTimeUnit\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace jamelect::obs

@@ -1,0 +1,149 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/expects.hpp"
+#include "support/thread_pool.hpp"
+
+namespace jamelect::obs {
+namespace {
+
+TEST(Metrics, RegistrationIsIdempotentByName) {
+  MetricsRegistry reg;
+  const auto a = reg.counter("runs");
+  const auto b = reg.counter("runs");
+  const auto c = reg.counter("slots");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Metrics, CountersSumAcrossAdds) {
+  MetricsRegistry reg;
+  const auto id = reg.counter("x");
+  reg.add(id, 3);
+  reg.add(id, 4);
+  const auto snap = reg.aggregate();
+  EXPECT_EQ(snap.counters.at("x"), 7);
+}
+
+TEST(Metrics, CrossThreadAggregationSeesEveryWrite) {
+  // parallel_for fans the adds across pool workers; each worker writes
+  // its own slab and aggregate() must sum them all.
+  MetricsRegistry reg;
+  const auto id = reg.counter("parallel.adds");
+  constexpr std::size_t kAdds = 10000;
+  global_pool().parallel_for(kAdds, [&](std::size_t) { reg.add(id, 1); });
+  const auto snap = reg.aggregate();
+  EXPECT_EQ(snap.counters.at("parallel.adds"),
+            static_cast<std::int64_t>(kAdds));
+}
+
+TEST(Metrics, GaugeIsLastWriteWins) {
+  MetricsRegistry reg;
+  const auto id = reg.gauge("g");
+  reg.set(id, 1.5);
+  reg.set(id, -2.25);
+  const auto snap = reg.aggregate();
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), -2.25);
+}
+
+TEST(Metrics, HistogramBucketsByLog2) {
+  MetricsRegistry reg;
+  const auto id = reg.histogram("h");
+  reg.observe(id, 0);   // bucket 0
+  reg.observe(id, 1);   // bucket 1
+  reg.observe(id, 2);   // bucket 2
+  reg.observe(id, 3);   // bucket 2
+  reg.observe(id, 17);  // bucket 5: 16 <= 17 < 32
+  const auto snap = reg.aggregate();
+  const HistogramSnapshot& h = snap.histograms.at("h");
+  EXPECT_EQ(h.count, 5);
+  EXPECT_EQ(h.sum, 23);
+  EXPECT_EQ(h.buckets[0], 1);
+  EXPECT_EQ(h.buckets[1], 1);
+  EXPECT_EQ(h.buckets[2], 2);
+  EXPECT_EQ(h.buckets[5], 1);
+}
+
+TEST(Metrics, Log2BucketEdges) {
+  EXPECT_EQ(log2_bucket(-5), 0u);
+  EXPECT_EQ(log2_bucket(0), 0u);
+  EXPECT_EQ(log2_bucket(1), 1u);
+  EXPECT_EQ(log2_bucket(2), 2u);
+  EXPECT_EQ(log2_bucket(4), 3u);
+  EXPECT_EQ(log2_bucket(7), 3u);
+  EXPECT_EQ(log2_bucket(8), 4u);
+}
+
+TEST(Metrics, ResetZeroesEverything) {
+  MetricsRegistry reg;
+  const auto c = reg.counter("c");
+  const auto g = reg.gauge("g");
+  const auto h = reg.histogram("h");
+  reg.add(c, 9);
+  reg.set(g, 3.0);
+  reg.observe(h, 42);
+  reg.reset();
+  const auto snap = reg.aggregate();
+  EXPECT_EQ(snap.counters.at("c"), 0);
+  // A reset gauge reads as never-written: it drops out of the rollup.
+  EXPECT_EQ(snap.gauges.count("g"), 0u);
+  EXPECT_EQ(snap.histograms.at("h").count, 0);
+}
+
+TEST(Metrics, RegistrationBeyondCapacityThrows) {
+  MetricsRegistry reg;
+  for (std::size_t i = 0; i < MetricsRegistry::kMaxMetrics; ++i) {
+    std::string name = "m";
+    name += std::to_string(i);
+    (void)reg.counter(name);
+  }
+  EXPECT_THROW((void)reg.counter("one-too-many"), ContractViolation);
+}
+
+TEST(Metrics, MacrosRespectGlobalEnableSwitch) {
+  // The macros target the global registry; when compiled in they must
+  // honour enabled(), and when compiled out they must do nothing.
+  auto& reg = MetricsRegistry::global();
+  const bool was_enabled = reg.enabled();
+  reg.set_enabled(true);
+  const std::int64_t before =
+      [&] {
+        const auto snap = reg.aggregate();
+        const auto it = snap.counters.find("test.macro.count");
+        return it == snap.counters.end() ? std::int64_t{0} : it->second;
+      }();
+  JAMELECT_OBS_COUNT("test.macro.count", 2);
+  reg.set_enabled(false);
+  JAMELECT_OBS_COUNT("test.macro.count", 100);  // must be dropped
+  reg.set_enabled(true);
+  const auto snap = reg.aggregate();
+  const auto it = snap.counters.find("test.macro.count");
+  if constexpr (kObsCompiledIn) {
+    ASSERT_NE(it, snap.counters.end());
+    EXPECT_EQ(it->second, before + 2);
+  } else {
+    EXPECT_EQ(it, snap.counters.end());
+  }
+  reg.set_enabled(was_enabled);
+}
+
+TEST(Metrics, AggregateIsSafeDuringConcurrentWrites) {
+  MetricsRegistry reg;
+  const auto id = reg.counter("concurrent");
+  constexpr std::size_t kIters = 4000;
+  global_pool().parallel_for(kIters, [&](std::size_t i) {
+    reg.add(id, 1);
+    if (i % 128 == 0) {
+      const auto snap = reg.aggregate();  // must not tear or crash
+      EXPECT_GE(snap.counters.at("concurrent"), 0);
+    }
+  });
+  EXPECT_EQ(reg.aggregate().counters.at("concurrent"),
+            static_cast<std::int64_t>(kIters));
+}
+
+}  // namespace
+}  // namespace jamelect::obs

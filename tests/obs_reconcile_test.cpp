@@ -1,0 +1,205 @@
+// End-to-end telemetry validation: replaying a Monte-Carlo trial with an
+// observer attached must (a) leave the outcome bit-identical, and
+// (b) produce an event stream whose per-slot accounting reconciles
+// EXACTLY with the engine's own TraceCounters — same slot count, same
+// state taxonomy, same jam count, same expected-transmissions sum.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <string_view>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "obs/observer.hpp"
+#include "protocols/lesk.hpp"
+#include "protocols/lesu.hpp"
+#include "protocols/lewk.hpp"
+#include "sim/montecarlo.hpp"
+
+namespace jamelect {
+namespace {
+
+UniformProtocolFactory lesk_factory() {
+  return [] { return std::make_unique<Lesk>(0.5); };
+}
+
+AdversarySpec saturating() {
+  AdversarySpec spec;
+  spec.policy = "saturating";
+  spec.T = 32;
+  spec.eps = 0.5;
+  return spec;
+}
+
+McConfig mc(std::uint64_t seed, std::int64_t max_slots) {
+  McConfig c;
+  c.trials = 4;
+  c.seed = seed;
+  c.max_slots = max_slots;
+  c.keep_outcomes = true;
+  return c;
+}
+
+void expect_same_outcome(const TrialOutcome& a, const TrialOutcome& b) {
+  EXPECT_EQ(a.slots, b.slots);
+  EXPECT_EQ(a.nulls, b.nulls);
+  EXPECT_EQ(a.singles, b.singles);
+  EXPECT_EQ(a.collisions, b.collisions);
+  EXPECT_EQ(a.jams, b.jams);
+  EXPECT_EQ(a.elected, b.elected);
+  EXPECT_DOUBLE_EQ(a.transmissions, b.transmissions);
+}
+
+TEST(Reconcile, LeskReplayMatchesOriginalAndTraceCounters) {
+  const McConfig config = mc(77, 200000);
+  const std::uint64_t n = 64;
+  const auto original =
+      run_aggregate_mc(lesk_factory(), saturating(), n, config);
+  ASSERT_EQ(original.outcomes.size(), config.trials);
+
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    obs::VectorSink sink;
+    obs::RunObserver observer(sink, {/*slot_sample_period=*/1});
+    Trace trace(/*keep_records=*/false);
+    const TrialOutcome replayed = replay_aggregate_trial(
+        lesk_factory(), saturating(), n, config, trial, &observer, &trace);
+
+    // (a) Replay with telemetry attached changes nothing.
+    expect_same_outcome(replayed, original.outcomes[trial]);
+
+    // (b) Events reconcile exactly with the engine's TraceCounters.
+    const TraceCounters& c = trace.counters();
+    std::int64_t slots = 0, nulls = 0, singles = 0, collisions = 0, jams = 0;
+    double etx_sum = 0.0;
+    bool saw_spend = false;
+    for (const obs::Event& e : sink.events()) {
+      if (e.kind != obs::EventKind::kSlot) continue;
+      ++slots;
+      switch (e.state) {
+        case ChannelState::kNull: ++nulls; break;
+        case ChannelState::kSingle: ++singles; break;
+        case ChannelState::kCollision: ++collisions; break;
+      }
+      if (e.jammed) ++jams;
+      etx_sum += e.expected_tx;
+      saw_spend = saw_spend || e.budget_spend > 0.0;
+    }
+    EXPECT_EQ(slots, c.slots);
+    EXPECT_EQ(nulls, c.nulls);
+    EXPECT_EQ(singles, c.singles);
+    EXPECT_EQ(collisions, c.collisions);
+    EXPECT_EQ(jams, c.jammed);
+    // Both sides accumulate the identical per-slot doubles in the same
+    // order, so the sums are equal to the last bit.
+    EXPECT_DOUBLE_EQ(etx_sum, c.expected_transmissions);
+    EXPECT_EQ(jams, replayed.jams);
+    EXPECT_TRUE(saw_spend);  // the saturating jammer must spend budget
+
+    // Stream structure: trial_start first, trial_end last, outcome
+    // summary consistent with the replayed outcome.
+    const auto events = sink.events();
+    ASSERT_GE(events.size(), 2u);
+    EXPECT_EQ(events.front().kind, obs::EventKind::kTrialStart);
+    EXPECT_EQ(events.back().kind, obs::EventKind::kTrialEnd);
+    EXPECT_EQ(events.back().slots_total, replayed.slots);
+    EXPECT_EQ(events.back().jams_total, replayed.jams);
+    EXPECT_EQ(events.back().trial, trial);
+  }
+}
+
+TEST(Reconcile, LeskReplayExposesEstimatorTrajectory) {
+  const McConfig config = mc(91, 200000);
+  obs::VectorSink sink;
+  obs::RunObserver observer(sink, {1});
+  const auto out = replay_aggregate_trial(lesk_factory(), AdversarySpec{}, 256,
+                                          config, 0, &observer);
+  ASSERT_TRUE(out.elected);
+  std::set<double> estimates;
+  for (const obs::Event& e : sink.events()) {
+    if (e.kind == obs::EventKind::kSlot && !std::isnan(e.estimate)) {
+      estimates.insert(e.estimate);
+    }
+  }
+  // The biased random walk must actually move: many distinct u values
+  // on the way from u = 1 toward log2(n)-scale.
+  EXPECT_GE(estimates.size(), 4u);
+  EXPECT_GT(*estimates.rbegin(), *estimates.begin());
+}
+
+TEST(Reconcile, LeskElectionEmitsPhaseEvent) {
+  const McConfig config = mc(101, 200000);
+  obs::VectorSink sink;
+  obs::RunObserver observer(sink, {64});
+  const auto out = replay_aggregate_trial(lesk_factory(), AdversarySpec{}, 32,
+                                          config, 1, &observer);
+  ASSERT_TRUE(out.elected);
+  bool saw_elected = false;
+  for (const obs::Event& e : sink.events()) {
+    if (e.kind == obs::EventKind::kPhase) {
+      EXPECT_STREQ(e.protocol, "LESK");
+      if (std::string_view(e.phase) == "elected") saw_elected = true;
+    }
+  }
+  EXPECT_TRUE(saw_elected);
+}
+
+TEST(Reconcile, LesuReplayEmitsScheduleEvents) {
+  McConfig config = mc(55, 1 << 20);
+  obs::VectorSink sink;
+  obs::RunObserver observer(sink, {1024});
+  const auto out = replay_aggregate_trial(
+      [] { return std::make_unique<Lesu>(LesuParams{}); }, AdversarySpec{}, 16,
+      config, 0, &observer);
+  (void)out;
+  std::size_t lesu_phases = 0;
+  for (const obs::Event& e : sink.events()) {
+    if (e.kind == obs::EventKind::kPhase &&
+        std::string_view(e.protocol) == "LESU") {
+      ++lesu_phases;
+    }
+  }
+  EXPECT_GE(lesu_phases, 1u);
+}
+
+TEST(Reconcile, CohortReplayMatchesOriginalAndEmitsSplits) {
+  // Weak-CD Notification over LESK: the C1/C2 Singles force cohort
+  // splits, and confirmers re-merging exercises the merge path.
+  const McConfig config = mc(123, 1 << 20);
+  const std::uint64_t n = 64;
+  const EngineConfig engine{CdMode::kWeak, StopRule::kAllDone, 1 << 20};
+  const auto original = run_cohort_mc([] { return make_lewk_station(0.5); },
+                                      AdversarySpec{}, n, engine, config);
+  ASSERT_EQ(original.outcomes.size(), config.trials);
+
+  obs::VectorSink sink;
+  obs::RunObserver observer(sink, {1});
+  Trace trace(false);
+  const TrialOutcome replayed =
+      replay_cohort_trial([] { return make_lewk_station(0.5); },
+                          AdversarySpec{}, n, engine, config, 0, &observer,
+                          &trace);
+  expect_same_outcome(replayed, original.outcomes[0]);
+
+  const TraceCounters& c = trace.counters();
+  std::int64_t slots = 0;
+  std::size_t splits = 0, merges = 0;
+  for (const obs::Event& e : sink.events()) {
+    if (e.kind == obs::EventKind::kSlot) ++slots;
+    if (e.kind == obs::EventKind::kCohort) {
+      if (std::string_view(e.cohort_op) == "split") ++splits;
+      if (std::string_view(e.cohort_op) == "merge") ++merges;
+      EXPECT_GE(e.cohorts_live, 1u);
+    }
+  }
+  EXPECT_EQ(slots, c.slots);
+  EXPECT_GE(splits, 1u);  // the election's deciding Single always splits
+  // Every split that re-converged was merged; live cohorts at the end
+  // equals 1 + (splits - merges) only if no cohort survived split; just
+  // sanity-bound merges by splits.
+  EXPECT_LE(merges, splits);
+}
+
+}  // namespace
+}  // namespace jamelect

@@ -19,24 +19,24 @@ Trace small_trace() {
   r.slot = 0;
   r.state = ChannelState::kNull;
   r.estimate = 0.0;
-  t.record(r);
+  t.record(r, 0.0);
   r.slot = 1;
   r.state = ChannelState::kCollision;
   r.jammed = true;
   r.estimate = 5.0;
-  t.record(r);
+  t.record(r, 0.0);
   r.slot = 2;
   r.state = ChannelState::kSingle;
   r.jammed = false;
   r.estimate = 10.0;
-  t.record(r);
+  t.record(r, 0.0);
   return t;
 }
 
 TEST(Timeline, RequiresRecordsAndWidth) {
   Trace counters_only(false);
   SlotRecord r;
-  counters_only.record(r);
+  counters_only.record(r, 0.0);
   EXPECT_THROW((void)render_timeline(counters_only), ContractViolation);
   EXPECT_THROW((void)render_timeline(Trace{}), ContractViolation);
   EXPECT_THROW((void)render_timeline(small_trace(), {5, false, 0}),
@@ -62,7 +62,7 @@ TEST(Timeline, PartitionRow) {
     SlotRecord r;
     r.slot = s;
     r.state = ChannelState::kNull;
-    t.record(r);
+    t.record(r, 0.0);
   }
   const std::string art = render_timeline(t, {100, true, 0});
   // Slots 0-2 padding, 3-4 C1, 5-6 C2, 7-8 C3.

@@ -19,10 +19,10 @@ SlotRecord rec(Slot slot, ChannelState s, bool jammed = false,
 
 TEST(Trace, CountersTrackStates) {
   Trace t;
-  t.record(rec(0, ChannelState::kNull));
-  t.record(rec(1, ChannelState::kSingle, false, 1));
-  t.record(rec(2, ChannelState::kCollision, true, 0));
-  t.record(rec(3, ChannelState::kCollision, false, 3));
+  t.record(rec(0, ChannelState::kNull), 0.0);
+  t.record(rec(1, ChannelState::kSingle, false, 1), 0.0);
+  t.record(rec(2, ChannelState::kCollision, true, 0), 0.0);
+  t.record(rec(3, ChannelState::kCollision, false, 3), 0.0);
   const auto& c = t.counters();
   EXPECT_EQ(c.slots, 4);
   EXPECT_EQ(c.nulls, 1);
@@ -34,17 +34,54 @@ TEST(Trace, CountersTrackStates) {
 
 TEST(Trace, RecordsKeptWhenEnabled) {
   Trace t(true);
-  t.record(rec(7, ChannelState::kNull));
+  t.record(rec(7, ChannelState::kNull), 0.0);
   ASSERT_EQ(t.records().size(), 1u);
   EXPECT_EQ(t.records()[0].slot, 7);
 }
 
 TEST(Trace, CounterOnlyModeRejectsRecordAccess) {
   Trace t(false);
-  t.record(rec(0, ChannelState::kNull));
+  t.record(rec(0, ChannelState::kNull), 0.0);
   EXPECT_EQ(t.counters().slots, 1);
   EXPECT_FALSE(t.keeps_records());
   EXPECT_THROW((void)t.records(), ContractViolation);
+}
+
+TEST(Trace, CounterOnlyModeMatchesRecordingCounters) {
+  // The same slot stream must produce identical counters whether or not
+  // records are materialized — counter maintenance must not depend on
+  // the keep_records flag.
+  Trace keeping(true);
+  Trace counting(false);
+  const struct {
+    Slot slot;
+    ChannelState state;
+    bool jammed;
+    std::uint32_t tx;
+    double etx;
+  } stream[] = {
+      {0, ChannelState::kNull, false, 0, 0.25},
+      {1, ChannelState::kCollision, true, 0, 1.5},
+      {2, ChannelState::kSingle, false, 1, 1.0},
+      {3, ChannelState::kCollision, false, 5, 4.75},
+      {4, ChannelState::kNull, true, 0, 0.0},
+      {5, ChannelState::kSingle, false, 1, 0.875},
+  };
+  for (const auto& s : stream) {
+    keeping.record(rec(s.slot, s.state, s.jammed, s.tx), s.etx);
+    counting.record(rec(s.slot, s.state, s.jammed, s.tx), s.etx);
+  }
+  const TraceCounters& a = keeping.counters();
+  const TraceCounters& b = counting.counters();
+  EXPECT_EQ(a.slots, b.slots);
+  EXPECT_EQ(a.nulls, b.nulls);
+  EXPECT_EQ(a.singles, b.singles);
+  EXPECT_EQ(a.collisions, b.collisions);
+  EXPECT_EQ(a.jammed, b.jammed);
+  EXPECT_DOUBLE_EQ(a.expected_transmissions, b.expected_transmissions);
+  EXPECT_EQ(keeping.size(), counting.size());
+  EXPECT_EQ(keeping.records().size(), 6u);
+  EXPECT_THROW((void)counting.records(), ContractViolation);
 }
 
 TEST(Trace, ExpectedTransmissionsAccumulate) {
