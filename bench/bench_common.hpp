@@ -75,6 +75,19 @@ inline UniformProtocolFactory lesu_factory(LesuParams params = {}) {
   return [params] { return std::make_unique<Lesu>(params); };
 }
 
+/// Build flavour actually compiled into this binary. The library's own
+/// `library_build_type` context line reports how *libbenchmark* was
+/// built (Debian ships a debug-tagged static archive), which is useless
+/// for deciding whether the numbers are trustworthy; this reports how
+/// the bench code itself was compiled.
+inline const char* build_type() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
 /// Names for policy-index sweep arguments (benchmark args are ints).
 inline const char* policy_name(int idx) {
   switch (idx) {
@@ -93,6 +106,15 @@ inline const char* policy_name(int idx) {
 /// environment knobs, build provenance, and the metric rollup of the
 /// run (JAMELECT_MANIFEST=0 disables; see obs/manifest.hpp).
 inline int bench_main(int argc, char** argv) {
+  // Probe mode for scripts: print the compiled build flavour and exit,
+  // so scripts/run_bench_perf.sh can refuse to record debug numbers.
+  if (const char* probe = std::getenv("JAMELECT_BUILD_PROBE");
+      probe != nullptr && probe[0] != '\0' && probe[0] != '0') {
+    std::printf("%s\n", build_type());
+    return 0;
+  }
+  benchmark::AddCustomContext("jamelect_build_type", build_type());
+
   obs::MetricsRegistry::global().set_enabled(true);
 
   std::string cmdline;
@@ -114,6 +136,7 @@ inline int bench_main(int argc, char** argv) {
     obs::RunManifest manifest;
     manifest.name = name;
     manifest.config["cmdline"] = cmdline;
+    manifest.config["build_type"] = build_type();
     manifest.config["trials"] = std::to_string(trials());
     if (const char* threads = std::getenv("JAMELECT_THREADS")) {
       manifest.config["threads"] = threads;

@@ -157,6 +157,51 @@ void Perf_CohortEngineTelemetry(benchmark::State& state) {
   state.counters["n"] = static_cast<double>(n);
 }
 
+// Batched kernel Monte-Carlo (McConfig::batch) against the sequential
+// aggregate MC it replaces. Both run the *identical* trials — the batch
+// engine is bit-identical per trial — so items/sec divides into a true
+// speedup. LESK under a saturating adversary is the paper's headline
+// workload; parallel is off so the ratio is single-core engine speed,
+// not thread-pool scheduling.
+[[nodiscard]] McResult lesk_mc(std::uint64_t n, std::size_t batch,
+                               std::size_t n_trials) {
+  AdversarySpec spec = adversary("saturating", 64, 0.5);
+  McConfig config = mc(/*seed=*/23, /*max_slots=*/kSlots, n_trials);
+  config.parallel = false;
+  config.batch = batch;
+  return run_aggregate_mc(lesk_factory(0.5), spec, n, config);
+}
+
+[[nodiscard]] std::int64_t total_slots(const McResult& res) {
+  return static_cast<std::int64_t>(
+      res.slots.mean * static_cast<double>(res.slots.count) + 0.5);
+}
+
+void Perf_BatchEngine(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  std::int64_t slots = 0;
+  for (auto _ : state) {
+    const McResult res = lesk_mc(n, /*batch=*/64, /*n_trials=*/64);
+    slots += total_slots(res);
+    benchmark::DoNotOptimize(res.successes);
+  }
+  state.SetItemsProcessed(slots);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["batch"] = 64;
+}
+
+void Perf_SequentialMcBaseline(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  std::int64_t slots = 0;
+  for (auto _ : state) {
+    const McResult res = lesk_mc(n, /*batch=*/0, /*n_trials=*/64);
+    slots += total_slots(res);
+    benchmark::DoNotOptimize(res.successes);
+  }
+  state.SetItemsProcessed(slots);
+  state.counters["n"] = static_cast<double>(n);
+}
+
 void Perf_HybridEngine(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(1) << state.range(0);
   AdversarySpec spec = adversary("saturating", 64, 0.5);
@@ -187,6 +232,8 @@ BENCHMARK(Perf_CohortEngine)->Arg(4)->Arg(10)->Arg(20)->Unit(benchmark::kMillise
 BENCHMARK(Perf_CohortEngineSmall)->Arg(4)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
 BENCHMARK(Perf_CohortEngineTelemetry)->Arg(4)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
 BENCHMARK(Perf_HybridEngine)->Arg(4)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(Perf_BatchEngine)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(Perf_SequentialMcBaseline)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace jamelect::bench

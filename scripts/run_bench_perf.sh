@@ -4,6 +4,12 @@
 #   scripts/run_bench_perf.sh [build-dir] [out-file]
 # Extra arguments after the first two are passed through to the bench
 # binary (e.g. --benchmark_filter=Cohort --benchmark_repetitions=3).
+#
+# Refuses to record numbers from anything but an NDEBUG build: the
+# binary's own JAMELECT_BUILD_PROBE mode reports how the bench code was
+# actually compiled (the library_build_type line in the JSON describes
+# libbenchmark's packaging, not our flags, and is "debug" on Debian even
+# for fully optimised builds).
 set -eu
 
 BUILD_DIR="${1:-build-release}"
@@ -14,9 +20,22 @@ OUT_FILE="${2:-BENCH_perf_engines.json}"
 cmake -B "$BUILD_DIR" -G Ninja -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" --target bench_perf_engines
 
-"$BUILD_DIR/bench/bench_perf_engines" \
+BENCH="$BUILD_DIR/bench/bench_perf_engines"
+BUILD_TYPE="$(JAMELECT_BUILD_PROBE=1 "$BENCH")"
+if [ "$BUILD_TYPE" != "release" ]; then
+  echo "error: $BENCH was compiled without NDEBUG (probe says" \
+    "'$BUILD_TYPE'); refusing to record debug timings" >&2
+  exit 1
+fi
+
+"$BENCH" \
   --benchmark_format=console \
   --benchmark_out="$OUT_FILE" \
   --benchmark_out_format=json \
   "$@"
+
+if ! grep -q '"jamelect_build_type": "release"' "$OUT_FILE"; then
+  echo "error: $OUT_FILE does not carry jamelect_build_type=release" >&2
+  exit 1
+fi
 echo "results in $OUT_FILE"

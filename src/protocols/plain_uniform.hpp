@@ -1,0 +1,64 @@
+// PlainUniform — the textbook uniform protocol: transmit with the same
+// fixed probability p = 2^-u in every slot until a Single is perceived.
+//
+// With u = log2(n) this is the classic known-n ALOHA-style election
+// (success probability ~1/e per un-jammed slot); the paper's protocols
+// exist precisely because u0 = log2(n) is unknown and must be learned.
+// It serves here as (a) the simplest member of the uniform family for
+// engine tests, and (b) the third kernelized protocol of the batched
+// Monte-Carlo path (protocols/kernels.hpp).
+#pragma once
+
+#include <string>
+
+#include "protocols/uniform.hpp"
+#include "support/expects.hpp"
+#include "support/math.hpp"
+#include "support/state_hash.hpp"
+
+namespace jamelect {
+
+struct PlainUniformParams {
+  /// Broadcast exponent: every slot transmits w.p. 2^-u. Requires
+  /// u >= 0 (the Broadcast(u) domain).
+  double u = 0.0;
+};
+
+class PlainUniform final : public UniformProtocol {
+ public:
+  explicit PlainUniform(PlainUniformParams params) : params_(params) {
+    JAMELECT_EXPECTS(params.u >= 0.0);
+  }
+  explicit PlainUniform(double u) : PlainUniform(PlainUniformParams{u}) {}
+
+  [[nodiscard]] double transmit_probability() override {
+    if (elected_) return 0.0;
+    return jamelect::transmit_probability(params_.u);
+  }
+  void observe(ChannelState state) override {
+    if (!elected_ && state == ChannelState::kSingle) elected_ = true;
+  }
+  [[nodiscard]] bool elected() const override { return elected_; }
+  [[nodiscard]] std::string name() const override { return "Uniform"; }
+  [[nodiscard]] UniformProtocolPtr clone() const override {
+    return std::make_unique<PlainUniform>(*this);
+  }
+  [[nodiscard]] double estimate() const override { return params_.u; }
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    return StateHash{}.add(params_.u).add(elected_).value();
+  }
+  [[nodiscard]] bool state_equals(const UniformProtocol& other) const override {
+    const auto* o = dynamic_cast<const PlainUniform*>(&other);
+    return o != nullptr && params_.u == o->params_.u && elected_ == o->elected_;
+  }
+
+  [[nodiscard]] const PlainUniformParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  PlainUniformParams params_;
+  bool elected_ = false;
+};
+
+}  // namespace jamelect

@@ -38,8 +38,9 @@ TrialOutcome run_aggregate(UniformProtocol& protocol,
     }
     const ChannelState state = resolve_slot(representative_count, jammed);
 
+    const double expected_tx = static_cast<double>(config.n) * p;
     ++out.slots;
-    out.transmissions += static_cast<double>(config.n) * p;
+    out.transmissions += expected_tx;
     if (jammed) ++out.jams;
     switch (state) {
       case ChannelState::kNull: ++out.nulls; break;
@@ -54,12 +55,12 @@ TrialOutcome run_aggregate(UniformProtocol& protocol,
       rec.jammed = jammed;
       rec.state = state;
       rec.estimate = u_before;
-      trace->record(rec, static_cast<double>(config.n) * p);
+      trace->record(rec, expected_tx);
     }
     if (config.observer != nullptr &&
         config.observer->wants_slot(slot, state)) {
       config.observer->emit_slot(slot, state, representative_count, jammed,
-                                 u_before, static_cast<double>(config.n) * p,
+                                 u_before, expected_tx,
                                  adversary.budget().jams(),
                                  adversary.budget().window_spend());
     }

@@ -1,0 +1,434 @@
+#include "sim/batch.hpp"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "channel/channel.hpp"
+#include "obs/metrics.hpp"
+#include "protocols/interval_partition.hpp"
+#include "protocols/kernels.hpp"
+#include "support/expects.hpp"
+#include "support/math.hpp"
+#include "support/slot_prob_cache.hpp"
+
+namespace jamelect {
+
+namespace {
+
+/// Params -> kernel type map for std::visit dispatch.
+template <class Params>
+struct KernelFor;
+template <>
+struct KernelFor<PlainUniformParams> {
+  using type = kernels::UniformKernel;
+};
+template <>
+struct KernelFor<LeskParams> {
+  using type = kernels::LeskKernel;
+};
+template <>
+struct KernelFor<LesuParams> {
+  using type = kernels::LesuKernel;
+};
+
+[[nodiscard]] std::uint64_t category(double r, const SlotProbCache::Entry& e) {
+  if (r < e.c_null) return 0;
+  if (r < e.c_single) return 1;
+  return 2;
+}
+
+void record_state(TrialOutcome& o, ChannelState state) {
+  switch (state) {
+    case ChannelState::kNull: ++o.nulls; break;
+    case ChannelState::kSingle: ++o.singles; break;
+    case ChannelState::kCollision: ++o.collisions; break;
+  }
+}
+
+/// Policies whose jam schedule is a deterministic function of (slot,
+/// own budget) alone — no rng draws, no observe() feedback — produce
+/// the identical bit sequence in every lane, so one adversary instance
+/// can serve the whole chunk with a single step() per slot. The
+/// adaptive policies (bernoulli, single_denial, collision_forcer,
+/// oracle_denial, interval_buster) stay per-lane.
+[[nodiscard]] bool lane_invariant_policy(const AdversarySpec& spec) {
+  return spec.policy == "none" || spec.policy == "saturating" ||
+         spec.policy == "periodic" || spec.policy == "pulse";
+}
+
+/// Strong-CD aggregate lanes: the SoA mirror of run_aggregate
+/// (sim/aggregate.cpp), one uniform() per slot + one below(n) on
+/// election per lane, additions in the same per-lane order.
+template <class Kernel>
+void aggregate_lanes(const typename Kernel::Params& params,
+                     const AdversarySpec& spec, const BatchConfig& config,
+                     const Rng& base, std::size_t first, std::size_t count,
+                     TrialOutcome* out) {
+  JAMELECT_EXPECTS(config.n >= 1);
+  JAMELECT_EXPECTS(config.max_slots >= 1);
+  const std::uint64_t n = config.n;
+  const double nd = static_cast<double>(n);
+  SlotProbCache cache(n);
+
+  std::vector<Kernel> kernels(count, Kernel(params));
+  std::vector<Rng> rngs;
+  rngs.reserve(count);
+  // Deterministic policies share one adversary across all lanes (its rng
+  // child stream exists but is never drawn from, so lane 0's seed is as
+  // good as any); adaptive policies get one instance per lane.
+  const bool shared_adv = lane_invariant_policy(spec);
+  std::unique_ptr<BoundedAdversary> adv_shared;
+  std::vector<std::unique_ptr<BoundedAdversary>> advs;
+  if (shared_adv) {
+    adv_shared = make_adversary(spec, base.child(first).child(0xad50));
+  } else {
+    advs.resize(count);
+  }
+  std::vector<std::uint32_t> lane_trial(count);
+  std::vector<TrialOutcome> acc(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const Rng trial_rng = base.child(first + k);
+    if (!shared_adv) advs[k] = make_adversary(spec, trial_rng.child(0xad50));
+    rngs.push_back(trial_rng.child(0x51e0));
+    lane_trial[k] = static_cast<std::uint32_t>(k);
+  }
+
+  std::size_t active = count;
+  std::int64_t slots_total = 0;
+  for (Slot slot = 0; slot < config.max_slots && active > 0; ++slot) {
+    slots_total += static_cast<std::int64_t>(active);
+    const bool jam_all = shared_adv && adv_shared->step();
+    for (std::size_t lane = 0; lane < active;) {
+      Kernel& kern = kernels[lane];
+      const SlotProbCache::Entry& e = cache.lookup(kern.broadcast_u());
+      const bool jammed = shared_adv ? jam_all : advs[lane]->step();
+      const std::uint64_t cnt = category(rngs[lane].uniform(), e);
+      const ChannelState state = resolve_slot(cnt, jammed);
+
+      TrialOutcome& o = acc[lane];
+      ++o.slots;
+      o.transmissions += nd * e.p;
+      if (jammed) ++o.jams;
+      record_state(o, state);
+
+      kern.step(state);
+      if (!shared_adv) advs[lane]->observe({slot, cnt, jammed, state});
+
+      if (kern.done()) {
+        JAMELECT_ENSURES(state == ChannelState::kSingle);
+        o.elected = true;
+        o.all_done = true;
+        o.unique_leader = true;
+        o.leader = rngs[lane].below(n);
+        out[lane_trial[lane]] = o;
+        --active;
+        if (lane != active) {
+          kernels[lane] = kernels[active];
+          rngs[lane] = rngs[active];
+          if (!shared_adv) advs[lane] = std::move(advs[active]);
+          lane_trial[lane] = lane_trial[active];
+          acc[lane] = acc[active];
+        }
+      } else {
+        ++lane;
+      }
+    }
+  }
+  // Right-censored lanes: budget exhausted without election.
+  for (std::size_t lane = 0; lane < active; ++lane) {
+    out[lane_trial[lane]] = acc[lane];
+  }
+  JAMELECT_OBS_COUNT("engine.batch.aggregate_chunks", 1);
+  JAMELECT_OBS_COUNT("engine.batch.slots", slots_total);
+  JAMELECT_OBS_COUNT("engine.batch.cache_misses",
+                     static_cast<std::int64_t>(cache.misses()));
+}
+
+/// A kernel slot that may be unoccupied — the batch mirror of the
+/// UniformProtocolPtr null/reset dance in run_hybrid_notification.
+template <class Kernel>
+struct MaybeKernel {
+  Kernel kernel;
+  bool valid = false;
+};
+
+/// Weak-CD hybrid Notification lanes: the SoA mirror of
+/// run_hybrid_notification (sim/hybrid.cpp). classify_slot is shared
+/// across lanes (lockstep keeps every active lane at the same slot);
+/// each lane runs the P1..P4 phase machine with kernels standing in
+/// for the shared/l/s protocol instances.
+template <class Kernel>
+void hybrid_lanes(const typename Kernel::Params& params,
+                  const AdversarySpec& spec, const BatchConfig& config,
+                  const Rng& base, std::size_t first, std::size_t count,
+                  TrialOutcome* out) {
+  JAMELECT_EXPECTS(config.n >= 3);
+  JAMELECT_EXPECTS(config.max_slots >= 1);
+  const std::uint64_t n = config.n;
+  const double nd = static_cast<double>(n);
+  const double nm1d = static_cast<double>(n - 1);
+  SlotProbCache cache_n(n);
+  SlotProbCache cache_nm1(n - 1);
+
+  enum class Phase : std::uint8_t { kP1, kP2, kP3, kP4, kDone };
+
+  std::vector<Phase> phases(count, Phase::kP1);
+  std::vector<MaybeKernel<Kernel>> shared(count, {Kernel(params), false});
+  std::vector<MaybeKernel<Kernel>> l_a(count, {Kernel(params), false});
+  std::vector<MaybeKernel<Kernel>> s_a(count, {Kernel(params), false});
+  std::vector<Rng> rngs;
+  rngs.reserve(count);
+  const bool shared_adv = lane_invariant_policy(spec);
+  std::unique_ptr<BoundedAdversary> adv_shared;
+  std::vector<std::unique_ptr<BoundedAdversary>> advs;
+  if (shared_adv) {
+    adv_shared = make_adversary(spec, base.child(first).child(0xad50));
+  } else {
+    advs.resize(count);
+  }
+  std::vector<std::uint32_t> lane_trial(count);
+  std::vector<TrialOutcome> acc(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const Rng trial_rng = base.child(first + k);
+    if (!shared_adv) advs[k] = make_adversary(spec, trial_rng.child(0xad50));
+    rngs.push_back(trial_rng.child(0x51e0));
+    lane_trial[k] = static_cast<std::uint32_t>(k);
+  }
+
+  std::size_t active = count;
+  std::int64_t slots_total = 0;
+  for (Slot slot = 0; slot < config.max_slots && active > 0; ++slot) {
+    const IntervalPosition pos = classify_slot(slot);
+    slots_total += static_cast<std::int64_t>(active);
+    const bool jam_all = shared_adv && adv_shared->step();
+    for (std::size_t lane = 0; lane < active;) {
+      const Phase phase = phases[lane];
+      Rng& rng = rngs[lane];
+      const bool jammed = shared_adv ? jam_all : advs[lane]->step();
+
+      std::uint64_t cnt = 0;
+      double expected_tx = 0.0;
+
+      if (pos.set != IntervalSet::kPadding) {
+        switch (phase) {
+          case Phase::kP1:
+            if (pos.set == IntervalSet::kC1) {
+              if (pos.interval_start() || !shared[lane].valid) {
+                shared[lane] = {Kernel(params), true};
+              }
+              const SlotProbCache::Entry& e =
+                  cache_n.lookup(shared[lane].kernel.broadcast_u());
+              expected_tx = nd * e.p;
+              cnt = category(rng.uniform(), e);
+            }
+            break;
+          case Phase::kP2:
+            if (pos.set == IntervalSet::kC1) {
+              if (pos.interval_start() || !l_a[lane].valid) {
+                l_a[lane] = {Kernel(params), true};
+              }
+              const double p =
+                  transmit_probability(l_a[lane].kernel.broadcast_u());
+              expected_tx = p;
+              cnt = rng.bernoulli(p) ? 1 : 0;
+            } else if (pos.set == IntervalSet::kC2) {
+              if (pos.interval_start() || !shared[lane].valid) {
+                shared[lane] = {Kernel(params), true};
+              }
+              const SlotProbCache::Entry& e =
+                  cache_nm1.lookup(shared[lane].kernel.broadcast_u());
+              expected_tx = nm1d * e.p;
+              cnt = category(rng.uniform(), e);
+            }
+            break;
+          case Phase::kP3:
+            if (pos.set == IntervalSet::kC1) {
+              cnt = n - 2;  // all of R confirms; n >= 3 so cnt >= 1
+              expected_tx = static_cast<double>(n - 2);
+            } else if (pos.set == IntervalSet::kC2) {
+              if (pos.interval_start() || !s_a[lane].valid) {
+                s_a[lane] = {Kernel(params), true};
+              }
+              const double p =
+                  transmit_probability(s_a[lane].kernel.broadcast_u());
+              expected_tx = p;
+              cnt = rng.bernoulli(p) ? 1 : 0;
+            } else {  // C3: l announces
+              cnt = 1;
+              expected_tx = 1.0;
+            }
+            break;
+          case Phase::kP4:
+            if (pos.set == IntervalSet::kC3) {
+              cnt = 1;  // l keeps announcing until released
+              expected_tx = 1.0;
+            }
+            break;
+          case Phase::kDone:
+            break;
+        }
+      }
+
+      const ChannelState state = resolve_slot(cnt, jammed);
+
+      TrialOutcome& o = acc[lane];
+      ++o.slots;
+      o.transmissions += expected_tx;
+      if (jammed) ++o.jams;
+      record_state(o, state);
+      if (!shared_adv) advs[lane]->observe({slot, cnt, jammed, state});
+
+      if (pos.set != IntervalSet::kPadding) {
+        switch (phase) {
+          case Phase::kP1:
+            if (pos.set == IntervalSet::kC1) {
+              if (state == ChannelState::kSingle) {
+                l_a[lane] = {shared[lane].kernel, true};
+                l_a[lane].kernel.step(ChannelState::kCollision);
+                shared[lane].valid = false;
+                phases[lane] = Phase::kP2;
+              } else {
+                shared[lane].kernel.step(state);
+              }
+            }
+            break;
+          case Phase::kP2:
+            if (pos.set == IntervalSet::kC1) {
+              if (l_a[lane].valid) {
+                l_a[lane].kernel.step(cnt >= 1 ? ChannelState::kCollision
+                                               : state);
+              }
+            } else if (pos.set == IntervalSet::kC2) {
+              if (state == ChannelState::kSingle) {
+                s_a[lane] = {shared[lane].kernel, true};
+                s_a[lane].kernel.step(ChannelState::kCollision);
+                shared[lane].valid = false;
+                l_a[lane].valid = false;
+                phases[lane] = Phase::kP3;
+              } else if (shared[lane].valid) {
+                shared[lane].kernel.step(state);
+              }
+            }
+            break;
+          case Phase::kP3:
+            if (pos.set == IntervalSet::kC2) {
+              if (s_a[lane].valid) {
+                s_a[lane].kernel.step(cnt >= 1 ? ChannelState::kCollision
+                                               : state);
+              }
+            } else if (pos.set == IntervalSet::kC3) {
+              if (state == ChannelState::kSingle) {
+                s_a[lane].valid = false;
+                phases[lane] = Phase::kP4;
+              }
+            }
+            break;
+          case Phase::kP4:
+            if (pos.set == IntervalSet::kC1 &&
+                state == ChannelState::kNull) {
+              phases[lane] = Phase::kDone;
+            }
+            break;
+          case Phase::kDone:
+            break;
+        }
+      }
+
+      if (phases[lane] == Phase::kDone) {
+        o.elected = true;
+        o.all_done = true;
+        o.unique_leader = true;
+        o.leader = rng.below(n);
+        out[lane_trial[lane]] = o;
+        --active;
+        if (lane != active) {
+          phases[lane] = phases[active];
+          shared[lane] = shared[active];
+          l_a[lane] = l_a[active];
+          s_a[lane] = s_a[active];
+          rngs[lane] = rngs[active];
+          if (!shared_adv) advs[lane] = std::move(advs[active]);
+          lane_trial[lane] = lane_trial[active];
+          acc[lane] = acc[active];
+        }
+      } else {
+        ++lane;
+      }
+    }
+  }
+  for (std::size_t lane = 0; lane < active; ++lane) {
+    out[lane_trial[lane]] = acc[lane];
+  }
+  JAMELECT_OBS_COUNT("engine.batch.hybrid_chunks", 1);
+  JAMELECT_OBS_COUNT("engine.batch.slots", slots_total);
+  JAMELECT_OBS_COUNT(
+      "engine.batch.cache_misses",
+      static_cast<std::int64_t>(cache_n.misses() + cache_nm1.misses()));
+}
+
+}  // namespace
+
+std::optional<BatchKernelSpec> batch_kernel_spec(
+    const UniformProtocol& prototype) {
+  // A kernel always starts fresh from its params, so a recognized type
+  // only qualifies if the probed instance is still in its constructed
+  // state (state_equals against a pristine twin).
+  if (const auto* p = dynamic_cast<const PlainUniform*>(&prototype)) {
+    if (PlainUniform(p->params()).state_equals(prototype)) {
+      return BatchKernelSpec{p->params()};
+    }
+    return std::nullopt;
+  }
+  if (const auto* p = dynamic_cast<const Lesk*>(&prototype)) {
+    if (Lesk(p->params()).state_equals(prototype)) {
+      return BatchKernelSpec{p->params()};
+    }
+    return std::nullopt;
+  }
+  if (const auto* p = dynamic_cast<const Lesu*>(&prototype)) {
+    if (Lesu(p->params()).state_equals(prototype)) {
+      return BatchKernelSpec{p->params()};
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+void run_batch_aggregate_trials(const BatchKernelSpec& spec,
+                                const AdversarySpec& adversary,
+                                const BatchConfig& config, const Rng& base,
+                                std::size_t first, std::size_t count,
+                                TrialOutcome* out) {
+  JAMELECT_EXPECTS(out != nullptr || count == 0);
+  if (count == 0) return;
+  AdversarySpec adv = adversary;
+  adv.n = config.n;
+  std::visit(
+      [&](const auto& params) {
+        using Kernel = typename KernelFor<
+            std::decay_t<decltype(params)>>::type;
+        aggregate_lanes<Kernel>(params, adv, config, base, first, count, out);
+      },
+      spec);
+}
+
+void run_batch_hybrid_trials(const BatchKernelSpec& spec,
+                             const AdversarySpec& adversary,
+                             const BatchConfig& config, const Rng& base,
+                             std::size_t first, std::size_t count,
+                             TrialOutcome* out) {
+  JAMELECT_EXPECTS(out != nullptr || count == 0);
+  if (count == 0) return;
+  AdversarySpec adv = adversary;
+  adv.n = config.n;
+  std::visit(
+      [&](const auto& params) {
+        using Kernel = typename KernelFor<
+            std::decay_t<decltype(params)>>::type;
+        hybrid_lanes<Kernel>(params, adv, config, base, first, count, out);
+      },
+      spec);
+}
+
+}  // namespace jamelect

@@ -1,0 +1,80 @@
+// Batched Monte-Carlo engine: B trials in structure-of-arrays lockstep.
+//
+// The sequential MC path (sim/montecarlo.cpp run_trials) simulates one
+// trial at a time, paying per slot a virtual estimate()/
+// transmit_probability()/observe() dispatch plus a fresh log1p + 2*exp
+// chain in slot_probabilities. This engine removes both costs for the
+// kernelizable protocols (protocols/kernels.hpp): a chunk of B trials
+// advances in lockstep over parallel state arrays — one POD kernel, one
+// inline Xoshiro256** Rng and one adversary per lane — and all lanes in
+// a chunk share one SlotProbCache (support/slot_prob_cache.hpp), so a
+// slot costs a hash lookup, one uniform() draw and an inlined kernel
+// step. Finished lanes are swap-removed, keeping the inner loop dense.
+//
+// Bit-identity contract: lane k of a chunk starting at trial `first`
+// derives its randomness exactly as the sequential path does — trial
+// rng base.child(first + k), adversary from .child(0xad50), simulation
+// draws from .child(0x51e0) — and the kernels and the cache reproduce
+// the virtual classes' floating-point behavior expression-for-
+// expression. Each TrialOutcome this engine writes is therefore
+// bit-identical to the one run_aggregate_mc / run_hybrid_mc computes
+// for the same (seed, trial index); tests/batch_equivalence_test.cpp
+// enforces this for both CD modes. Consequently any batch trial can be
+// replayed with full telemetry via replay_aggregate_trial.
+//
+// Entry point for users: set McConfig::batch — run_aggregate_mc and
+// run_hybrid_mc probe their factory with batch_kernel_spec() and fall
+// back to the sequential path for protocols with no kernel twin.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <variant>
+
+#include "protocols/lesk.hpp"
+#include "protocols/lesu.hpp"
+#include "protocols/plain_uniform.hpp"
+#include "protocols/uniform.hpp"
+#include "sim/adversary_spec.hpp"
+#include "sim/outcome.hpp"
+#include "support/rng.hpp"
+
+namespace jamelect {
+
+/// Parameter pack identifying which POD kernel impersonates a protocol.
+using BatchKernelSpec =
+    std::variant<PlainUniformParams, LeskParams, LesuParams>;
+
+/// Probes a freshly constructed protocol instance for a kernel twin.
+/// Returns nullopt — i.e. "use the virtual fallback" — for protocol
+/// types without a kernel, and for recognized types whose instance is
+/// not in its initial state (e.g. a warm-started LESK whose u has
+/// already moved: kernels always start fresh from the params).
+[[nodiscard]] std::optional<BatchKernelSpec> batch_kernel_spec(
+    const UniformProtocol& prototype);
+
+struct BatchConfig {
+  std::uint64_t n = 1;
+  std::int64_t max_slots = 1'000'000;
+};
+
+/// Runs trials [first, first + count) of the run_aggregate_mc sweep
+/// whose per-trial rng base is `base` (= Rng(McConfig::seed)), writing
+/// outcome i to out[i]. Strong-CD aggregate semantics, bit-identical
+/// to run_aggregate per trial.
+void run_batch_aggregate_trials(const BatchKernelSpec& spec,
+                                const AdversarySpec& adversary,
+                                const BatchConfig& config, const Rng& base,
+                                std::size_t first, std::size_t count,
+                                TrialOutcome* out);
+
+/// Same, for the weak-CD hybrid Notification engine (run_hybrid_mc /
+/// run_hybrid_notification). Requires config.n >= 3.
+void run_batch_hybrid_trials(const BatchKernelSpec& spec,
+                             const AdversarySpec& adversary,
+                             const BatchConfig& config, const Rng& base,
+                             std::size_t first, std::size_t count,
+                             TrialOutcome* out);
+
+}  // namespace jamelect

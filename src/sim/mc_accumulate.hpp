@@ -1,0 +1,60 @@
+// Shared Monte-Carlo result aggregation, used by both the per-trial
+// driver (run_trials) and the batched driver (run_trials_batched).
+//
+// Slots and jams are integers, so their multisets compress into
+// value -> count maps; every field merges order-independently (counter
+// addition, map addition, multiset union — energy is sorted inside
+// summarize()), which keeps results independent of thread scheduling.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/outcome.hpp"
+#include "support/stats.hpp"
+
+namespace jamelect::detail {
+
+/// Per-thread accumulator for the streaming (keep_outcomes == false)
+/// path.
+struct TrialAccumulator {
+  std::size_t successes = 0;
+  std::unordered_map<std::int64_t, std::uint64_t> slots;
+  std::unordered_map<std::int64_t, std::uint64_t> slots_ok;
+  std::unordered_map<std::int64_t, std::uint64_t> jams;
+  std::vector<double> energy;
+};
+
+inline void accumulate(TrialAccumulator& acc, const TrialOutcome& o,
+                       std::uint64_t n_for_energy) {
+  if (o.elected) {
+    ++acc.successes;
+    ++acc.slots_ok[o.slots];
+  }
+  ++acc.slots[o.slots];
+  ++acc.jams[o.jams];
+  acc.energy.push_back(o.transmissions / static_cast<double>(n_for_energy));
+}
+
+inline void merge_into(TrialAccumulator& into, TrialAccumulator&& from) {
+  into.successes += from.successes;
+  for (const auto& [v, c] : from.slots) into.slots[v] += c;
+  for (const auto& [v, c] : from.slots_ok) into.slots_ok[v] += c;
+  for (const auto& [v, c] : from.jams) into.jams[v] += c;
+  into.energy.insert(into.energy.end(), from.energy.begin(),
+                     from.energy.end());
+}
+
+[[nodiscard]] inline std::vector<std::pair<double, std::uint64_t>>
+to_value_counts(const std::unordered_map<std::int64_t, std::uint64_t>& counts) {
+  std::vector<std::pair<double, std::uint64_t>> pairs;
+  pairs.reserve(counts.size());
+  for (const auto& [v, c] : counts) {
+    pairs.emplace_back(static_cast<double>(v), c);
+  }
+  return pairs;
+}
+
+}  // namespace jamelect::detail

@@ -15,7 +15,9 @@
 #include "obs/metrics.hpp"
 #include "obs/trace_events.hpp"
 #include "sim/aggregate.hpp"
+#include "sim/batch.hpp"
 #include "sim/cohort.hpp"
+#include "sim/mc_accumulate.hpp"
 #include "support/expects.hpp"
 #include "support/thread_pool.hpp"
 
@@ -107,69 +109,18 @@ class Heartbeat {
   std::thread thread_;
 };
 
-/// Per-thread accumulator for the streaming (keep_outcomes == false)
-/// path. Slots and jams are integers, so their multisets compress into
-/// value -> count maps; every field merges order-independently (counter
-/// addition, map addition, multiset union — energy is sorted inside
-/// summarize()), which keeps results independent of thread scheduling.
-struct TrialAccumulator {
-  std::size_t successes = 0;
-  std::unordered_map<std::int64_t, std::uint64_t> slots;
-  std::unordered_map<std::int64_t, std::uint64_t> slots_ok;
-  std::unordered_map<std::int64_t, std::uint64_t> jams;
-  std::vector<double> energy;
-};
+// The TrialAccumulator machinery (streaming accumulation, order-
+// independent merge) lives in sim/mc_accumulate.hpp, shared with the
+// batched driver below.
 
-void accumulate(TrialAccumulator& acc, const TrialOutcome& o,
-                std::uint64_t n_for_energy) {
-  if (o.elected) {
-    ++acc.successes;
-    ++acc.slots_ok[o.slots];
-  }
-  ++acc.slots[o.slots];
-  ++acc.jams[o.jams];
-  acc.energy.push_back(o.transmissions / static_cast<double>(n_for_energy));
-}
-
-void merge_into(TrialAccumulator& into, TrialAccumulator&& from) {
-  into.successes += from.successes;
-  for (const auto& [v, c] : from.slots) into.slots[v] += c;
-  for (const auto& [v, c] : from.slots_ok) into.slots_ok[v] += c;
-  for (const auto& [v, c] : from.jams) into.jams[v] += c;
-  into.energy.insert(into.energy.end(), from.energy.begin(),
-                     from.energy.end());
-}
-
-[[nodiscard]] std::vector<std::pair<double, std::uint64_t>> to_value_counts(
-    const std::unordered_map<std::int64_t, std::uint64_t>& counts) {
-  std::vector<std::pair<double, std::uint64_t>> pairs;
-  pairs.reserve(counts.size());
-  for (const auto& [v, c] : counts) {
-    pairs.emplace_back(static_cast<double>(v), c);
-  }
-  return pairs;
-}
-
-/// Legacy materializing path: every TrialOutcome is kept and the
-/// summaries are computed from the full vectors.
-McResult run_trials_materialized(const TrialRunner& runner,
-                                 std::uint64_t n_for_energy,
-                                 const McConfig& config) {
-  std::vector<TrialOutcome> outcomes(config.trials);
-  const Rng base(config.seed);
-  const auto body = [&](std::size_t k) {
-    outcomes[k] = runner(base.child(k));
-  };
-  if (config.parallel) {
-    global_pool().parallel_for(config.trials, body);
-  } else {
-    for (std::size_t k = 0; k < config.trials; ++k) body(k);
-  }
-
+/// Summaries from fully materialized outcomes (keep_outcomes == true);
+/// the outcome vector is moved into the result.
+McResult result_from_outcomes(std::vector<TrialOutcome>&& outcomes,
+                              std::uint64_t n_for_energy) {
   McResult res;
-  res.trials = config.trials;
+  res.trials = outcomes.size();
   std::vector<double> slots, slots_ok, jams, energy;
-  slots.reserve(config.trials);
+  slots.reserve(outcomes.size());
   for (const TrialOutcome& o : outcomes) {
     if (o.elected) {
       ++res.successes;
@@ -188,6 +139,127 @@ McResult run_trials_materialized(const TrialRunner& runner,
   res.energy_per_station = summarize(std::span<const double>(energy));
   res.outcomes = std::move(outcomes);
   return res;
+}
+
+/// Summaries from a folded accumulator (keep_outcomes == false).
+McResult result_from_accumulator(const detail::TrialAccumulator& total,
+                                 std::size_t trials) {
+  McResult res;
+  res.trials = trials;
+  res.successes = total.successes;
+  res.success = wilson_interval(res.successes, res.trials);
+  res.slots = summarize_weighted(detail::to_value_counts(total.slots));
+  if (!total.slots_ok.empty()) {
+    res.slots_on_success =
+        summarize_weighted(detail::to_value_counts(total.slots_ok));
+  }
+  res.jams = summarize_weighted(detail::to_value_counts(total.jams));
+  res.energy_per_station = summarize(std::span<const double>(total.energy));
+  return res;
+}
+
+/// Legacy materializing path: every TrialOutcome is kept and the
+/// summaries are computed from the full vectors.
+McResult run_trials_materialized(const TrialRunner& runner,
+                                 std::uint64_t n_for_energy,
+                                 const McConfig& config) {
+  std::vector<TrialOutcome> outcomes(config.trials);
+  const Rng base(config.seed);
+  const auto body = [&](std::size_t k) {
+    outcomes[k] = runner(base.child(k));
+  };
+  if (config.parallel) {
+    global_pool().parallel_for(config.trials, body);
+  } else {
+    for (std::size_t k = 0; k < config.trials; ++k) body(k);
+  }
+  return result_from_outcomes(std::move(outcomes), n_for_energy);
+}
+
+/// Runs trials [first, first + count) of a batched sweep, writing
+/// outcome first + i to out[i].
+using BatchChunkRunner = std::function<void(
+    std::size_t first, std::size_t count, TrialOutcome* out)>;
+
+/// Batched counterpart of run_trials: trials are partitioned into
+/// chunks of McConfig::batch, each chunk advanced in SoA lockstep by
+/// `chunk_runner` (sim/batch.hpp). Chunks are the parallel work items;
+/// telemetry (heartbeat, spans, metrics) wraps each chunk without
+/// touching any trial randomness. Trial k's outcome is bit-identical
+/// to the sequential path's regardless of the chunk partition.
+McResult run_trials_batched(const BatchChunkRunner& chunk_runner,
+                            std::uint64_t n_for_energy,
+                            const McConfig& config) {
+  JAMELECT_EXPECTS(config.trials >= 1);
+  JAMELECT_EXPECTS(config.batch >= 1);
+  const std::size_t chunk = config.batch;
+  const std::size_t num_chunks = (config.trials + chunk - 1) / chunk;
+
+  Heartbeat heartbeat(config.heartbeat, config.trials,
+                      config.heartbeat_interval_ms);
+  obs::TraceEventRecorder* const recorder = config.recorder;
+  const auto run_chunk = [&](std::size_t c, TrialOutcome* out) {
+    const std::size_t first = c * chunk;
+    const std::size_t count = std::min(chunk, config.trials - first);
+    std::optional<obs::TraceEventRecorder::Span> span;
+    if (recorder != nullptr) span.emplace(*recorder, "mc.batch");
+    chunk_runner(first, count, out);
+    span.reset();
+    for (std::size_t i = 0; i < count; ++i) {
+      heartbeat.on_trial(out[i].slots);
+      JAMELECT_OBS_COUNT("mc.trials", 1);
+      JAMELECT_OBS_COUNT("mc.slots", out[i].slots);
+    }
+  };
+
+  if (config.keep_outcomes) {
+    std::vector<TrialOutcome> outcomes(config.trials);
+    const auto body = [&](std::size_t c) {
+      run_chunk(c, outcomes.data() + c * chunk);
+    };
+    if (config.parallel) {
+      global_pool().parallel_for(num_chunks, body);
+    } else {
+      for (std::size_t c = 0; c < num_chunks; ++c) body(c);
+    }
+    heartbeat.stop();
+    return result_from_outcomes(std::move(outcomes), n_for_energy);
+  }
+
+  const auto body = [&](detail::TrialAccumulator& acc, std::size_t c) {
+    const std::size_t first = c * chunk;
+    const std::size_t count = std::min(chunk, config.trials - first);
+    std::vector<TrialOutcome> buf(count);
+    run_chunk(c, buf.data());
+    for (const TrialOutcome& o : buf) {
+      detail::accumulate(acc, o, n_for_energy);
+    }
+  };
+  detail::TrialAccumulator total;
+  if (config.parallel) {
+    total = global_pool().parallel_reduce(
+        num_chunks, detail::TrialAccumulator{}, body, detail::merge_into);
+  } else {
+    for (std::size_t c = 0; c < num_chunks; ++c) body(total, c);
+  }
+  heartbeat.stop();
+  return result_from_accumulator(total, config.trials);
+}
+
+/// Probes `factory` for the batched path: the protocol must have a POD
+/// kernel twin (batch_kernel_spec) and the factory must be pure — two
+/// fresh instances must be state-identical, otherwise trial outcomes
+/// would depend on factory call order and the kernel path (which
+/// constructs from params, not via the factory) could diverge.
+std::optional<BatchKernelSpec> probe_batch_factory(
+    const UniformProtocolFactory& factory) {
+  const auto probe = factory();
+  if (probe == nullptr) return std::nullopt;
+  const auto spec = batch_kernel_spec(*probe);
+  if (!spec.has_value()) return std::nullopt;
+  const auto second = factory();
+  if (second == nullptr || !probe->state_equals(*second)) return std::nullopt;
+  return spec;
 }
 
 }  // namespace
@@ -225,30 +297,18 @@ McResult run_trials(const TrialRunner& runner, std::uint64_t n_for_energy,
   // exist all at once. Reproducibility is unchanged — trial k still
   // derives from mix64(seed, k) regardless of which thread runs it.
   const Rng base(config.seed);
-  const auto body = [&](TrialAccumulator& acc, std::size_t k) {
-    accumulate(acc, wrapped(base.child(k)), n_for_energy);
+  const auto body = [&](detail::TrialAccumulator& acc, std::size_t k) {
+    detail::accumulate(acc, wrapped(base.child(k)), n_for_energy);
   };
-  TrialAccumulator total;
+  detail::TrialAccumulator total;
   if (config.parallel) {
-    total = global_pool().parallel_reduce(config.trials, TrialAccumulator{},
-                                          body, merge_into);
+    total = global_pool().parallel_reduce(
+        config.trials, detail::TrialAccumulator{}, body, detail::merge_into);
   } else {
     for (std::size_t k = 0; k < config.trials; ++k) body(total, k);
   }
   heartbeat.stop();
-
-  McResult res;
-  res.trials = config.trials;
-  res.successes = total.successes;
-  res.success = wilson_interval(res.successes, res.trials);
-  res.slots = summarize_weighted(to_value_counts(total.slots));
-  if (!total.slots_ok.empty()) {
-    res.slots_on_success = summarize_weighted(to_value_counts(total.slots_ok));
-  }
-  res.jams = summarize_weighted(to_value_counts(total.jams));
-  res.energy_per_station =
-      summarize(std::span<const double>(total.energy));
-  return res;
+  return result_from_accumulator(total, config.trials);
 }
 
 McResult run_aggregate_mc(const UniformProtocolFactory& factory,
@@ -256,6 +316,19 @@ McResult run_aggregate_mc(const UniformProtocolFactory& factory,
                           const McConfig& config) {
   AdversarySpec spec = adversary;
   spec.n = n;
+  if (config.batch > 0) {
+    if (const auto kernel = probe_batch_factory(factory)) {
+      const Rng base(config.seed);
+      const BatchChunkRunner chunk =
+          [kernel = *kernel, spec, n, max_slots = config.max_slots, base](
+              std::size_t first, std::size_t count, TrialOutcome* out) {
+            run_batch_aggregate_trials(kernel, spec, {n, max_slots}, base,
+                                       first, count, out);
+          };
+      return run_trials_batched(chunk, n, config);
+    }
+    JAMELECT_OBS_COUNT("mc.batch_fallbacks", 1);
+  }
   const TrialRunner runner = [&factory, spec, n,
                               max_slots = config.max_slots](Rng rng) {
     auto protocol = factory();
@@ -271,6 +344,19 @@ McResult run_hybrid_mc(const UniformProtocolFactory& factory,
                        const McConfig& config) {
   AdversarySpec spec = adversary;
   spec.n = n;
+  if (config.batch > 0) {
+    if (const auto kernel = probe_batch_factory(factory)) {
+      const Rng base(config.seed);
+      const BatchChunkRunner chunk =
+          [kernel = *kernel, spec, n, max_slots = config.max_slots, base](
+              std::size_t first, std::size_t count, TrialOutcome* out) {
+            run_batch_hybrid_trials(kernel, spec, {n, max_slots}, base,
+                                    first, count, out);
+          };
+      return run_trials_batched(chunk, n, config);
+    }
+    JAMELECT_OBS_COUNT("mc.batch_fallbacks", 1);
+  }
   const TrialRunner runner = [&factory, spec, n,
                               max_slots = config.max_slots](Rng rng) {
     auto adv = make_adversary(spec, rng.child(0xad50));

@@ -28,6 +28,15 @@ struct McConfig {
   std::int64_t max_slots = 1'000'000;
   /// Run trials on the global thread pool (deterministic either way).
   bool parallel = true;
+  /// Batched kernel engine (sim/batch.hpp): when > 0, run_aggregate_mc
+  /// and run_hybrid_mc advance `batch` trials per work item in SoA
+  /// lockstep with devirtualized protocol kernels and cached slot
+  /// probabilities — for kernelizable protocols (LESK, LESU, plain
+  /// uniform) only; anything else silently falls back to the
+  /// sequential path. Per-trial outcomes are bit-identical to batch ==
+  /// 0 (same mix64(seed, k) derivation per trial), so this is purely a
+  /// throughput knob. Ignored by run_station_mc / run_cohort_mc.
+  std::size_t batch = 0;
   /// Materialize McResult::outcomes (per-trial detail). Off by default:
   /// the streaming path aggregates into O(distinct-values) count maps
   /// per thread, so million-trial sweeps don't hold a TrialOutcome per

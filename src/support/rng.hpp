@@ -128,8 +128,16 @@ class Rng {
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
   [[nodiscard]] std::int64_t between(std::int64_t lo, std::int64_t hi) {
     JAMELECT_EXPECTS(lo <= hi);
-    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-    return lo + static_cast<std::int64_t>(below(span));
+    // Width in uint64 space: hi - lo would be signed overflow (UB) for
+    // e.g. [INT64_MIN, INT64_MAX], and its span + 1 wraps to 0.
+    const std::uint64_t width =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+    if (width == std::numeric_limits<std::uint64_t>::max()) {
+      // Full int64 range: every 64-bit pattern is a valid result.
+      return static_cast<std::int64_t>(next_u64());
+    }
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                     below(width + 1));
   }
 
   /// Derives a statistically independent child generator. Children with

@@ -1,0 +1,46 @@
+#include "support/slot_prob_cache.hpp"
+
+#include <utility>
+
+namespace jamelect {
+
+SlotProbCache::SlotProbCache(std::uint64_t n, std::size_t initial_capacity) : n_(n) {
+  JAMELECT_EXPECTS(n >= 1);
+  std::size_t cap = 8;
+  while (cap < initial_capacity) cap <<= 1;
+  mask_ = cap - 1;
+  slots_.assign(cap, Slot{kEmpty, {}});
+}
+
+const SlotProbCache::Entry& SlotProbCache::insert_slow(double u, std::uint64_t key) {
+  JAMELECT_EXPECTS(key != kEmpty);  // u is never NaN on the hot path
+  ++misses_;
+  if (size_ + 1 > (mask_ + 1) - (mask_ + 1) / 4) grow();
+
+  // Same call chain as the sequential aggregate engine — the cached
+  // entry is bit-identical to what run_aggregate computes per slot.
+  const double p = transmit_probability(u);
+  const SlotProbabilities probs = slot_probabilities(n_, p);
+  const Entry entry{p, probs.null, probs.null + probs.single};
+
+  std::size_t idx = hash(key) & mask_;
+  while (slots_[idx].key != kEmpty) idx = (idx + 1) & mask_;
+  slots_[idx] = Slot{key, entry};
+  ++size_;
+  return slots_[idx].entry;
+}
+
+void SlotProbCache::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  const std::size_t cap = (mask_ + 1) * 2;
+  mask_ = cap - 1;
+  slots_.assign(cap, Slot{kEmpty, {}});
+  for (const Slot& s : old) {
+    if (s.key == kEmpty) continue;
+    std::size_t idx = hash(s.key) & mask_;
+    while (slots_[idx].key != kEmpty) idx = (idx + 1) & mask_;
+    slots_[idx] = s;
+  }
+}
+
+}  // namespace jamelect

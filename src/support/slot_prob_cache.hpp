@@ -1,0 +1,98 @@
+// SlotProbCache — memoized slot_probabilities keyed on the broadcast
+// exponent u.
+//
+// LESK and LESU move u on the {-1, +eps/8} lattice: after any prefix
+// of Null/Collision observations, u lies in the small set
+// {max(0, u0 - a + b*eps/8)} of lattice points actually visited. A
+// long Monte-Carlo run therefore evaluates slot_probabilities(n, 2^-u)
+// for only a handful of distinct u values — but the sequential engine
+// recomputes the log1p + 2*exp chain every slot. This cache collapses
+// that to one open-addressing hash lookup on u's bit pattern.
+//
+// Bit-identity: entries are computed by the exact same calls the
+// aggregate engine makes — p = transmit_probability(u), then
+// slot_probabilities(n, p) — so a cached lookup returns bit-identical
+// doubles to the uncached path. Keying on the bit pattern (not the
+// value) keeps the map exact: distinct doubles never alias. +0.0 and
+// -0.0 get separate entries with equal payloads, which is merely a
+// wasted slot, never a wrong answer.
+//
+// The cache is engine-local and unsynchronized; each batch chunk owns
+// its own instance (a few dozen entries, rebuilt per chunk in O(us)).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/expects.hpp"
+#include "support/math.hpp"
+
+namespace jamelect {
+
+class SlotProbCache {
+ public:
+  struct Entry {
+    double p;         ///< transmit_probability(u)
+    double c_null;    ///< P[Null]
+    double c_single;  ///< P[Null] + P[Single]  (cumulative)
+  };
+
+  /// Cache for a fixed station count n (> 0). Starts with room for
+  /// `initial_capacity` entries (rounded up to a power of two).
+  explicit SlotProbCache(std::uint64_t n, std::size_t initial_capacity = 64);
+
+  /// Probabilities for a slot where each of n stations transmits w.p.
+  /// transmit_probability(u). Fast path: one hash + probe on a hit.
+  [[nodiscard]] const Entry& lookup(double u) {
+    const std::uint64_t key = std::bit_cast<std::uint64_t>(u);
+    std::size_t idx = hash(key) & mask_;
+    while (true) {
+      const Slot& s = slots_[idx];
+      if (s.key == key) return s.entry;
+      if (s.key == kEmpty) return insert_slow(u, key);
+      idx = (idx + 1) & mask_;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// Total misses (== distinct u values inserted) since construction.
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Slot {
+    std::uint64_t key;
+    Entry entry;
+  };
+
+  // All-ones is the negative-NaN bit pattern; broadcast_u() is never
+  // NaN (transmit_probability EXPECTS u >= 0), so it cannot collide
+  // with a real key. Crucially it is NOT the -0.0 pattern, which a
+  // protocol could legitimately produce.
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  [[nodiscard]] static std::size_t hash(std::uint64_t key) noexcept {
+    // splitmix64 finalizer: adjacent lattice points differ in few
+    // mantissa bits, so we need real avalanche before masking.
+    std::uint64_t x = key;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+
+  const Entry& insert_slow(double u, std::uint64_t key);
+  void grow();
+
+  std::uint64_t n_;
+  std::size_t mask_;  ///< capacity - 1 (capacity is a power of two)
+  std::size_t size_ = 0;
+  std::uint64_t misses_ = 0;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace jamelect

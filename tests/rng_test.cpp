@@ -5,6 +5,7 @@
 #include "support/expects.hpp"
 
 #include <array>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -104,6 +105,65 @@ TEST(Rng, BelowIsRoughlyUniform) {
 TEST(Rng, BelowRejectsZeroBound) {
   Rng rng(23);
   EXPECT_THROW((void)rng.below(0), ContractViolation);
+}
+
+TEST(Rng, BelowPowerOfTwoUsesMaskSemantics) {
+  // Power-of-two bounds take the single-draw mask fast path: the
+  // result must be exactly next_u64() & (bound - 1) of a twin stream.
+  for (const std::uint64_t bound :
+       {2ULL, 8ULL, 1024ULL, 1ULL << 40, 1ULL << 63}) {
+    Rng a(47), b(47);
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_EQ(a.below(bound), b.next_u64() & (bound - 1));
+    }
+  }
+}
+
+TEST(Rng, BelowNonPowerOfTwoStaysInRangeAtExtremes) {
+  Rng rng(53);
+  // Largest non-power-of-two bounds force the rejection path to matter.
+  for (const std::uint64_t bound :
+       {3ULL, (1ULL << 63) + 1, ~0ULL, ~0ULL - 1}) {
+    for (int i = 0; i < 200; ++i) ASSERT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BetweenFullInt64SpanDoesNotOverflow) {
+  // [INT64_MIN, INT64_MAX] has width 2^64 - 1: the naive hi - lo is
+  // signed overflow and span + 1 wraps to 0. The full span maps every
+  // 64-bit pattern to a valid result (twin-checked).
+  constexpr auto kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr auto kMax = std::numeric_limits<std::int64_t>::max();
+  Rng rng(59), twin(59);
+  bool saw_negative = false, saw_positive = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.between(kMin, kMax);
+    ASSERT_EQ(v, static_cast<std::int64_t>(twin.next_u64()));
+    saw_negative |= v < 0;
+    saw_positive |= v > 0;
+  }
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_positive);
+}
+
+TEST(Rng, BetweenNearInt64Extremes) {
+  constexpr auto kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr auto kMax = std::numeric_limits<std::int64_t>::max();
+  Rng rng(61);
+  EXPECT_EQ(rng.between(kMin, kMin), kMin);
+  EXPECT_EQ(rng.between(kMax, kMax), kMax);
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t lo_range = rng.between(kMin, kMin + 2);
+    ASSERT_GE(lo_range, kMin);
+    ASSERT_LE(lo_range, kMin + 2);
+    const std::int64_t hi_range = rng.between(kMax - 2, kMax);
+    ASSERT_GE(hi_range, kMax - 2);
+    ASSERT_LE(hi_range, kMax);
+    // Half-open-ish giant range: width 2^64 - 2 exercises below() with
+    // the largest non-full span.
+    const std::int64_t giant = rng.between(kMin, kMax - 1);
+    ASSERT_LE(giant, kMax - 1);
+  }
 }
 
 TEST(Rng, BetweenInclusive) {

@@ -1,0 +1,98 @@
+// SlotProbCache must be a transparent memo of the uncached call chain:
+// lookup(u) returns the exact doubles of transmit_probability(u) +
+// slot_probabilities(n, p), for any u, across growth and collisions.
+#include "support/slot_prob_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "support/math.hpp"
+#include "support/rng.hpp"
+
+namespace jamelect {
+namespace {
+
+[[nodiscard]] std::uint64_t bits(double x) {
+  return std::bit_cast<std::uint64_t>(x);
+}
+
+void expect_entry_exact(SlotProbCache& cache, double u) {
+  const SlotProbCache::Entry& e = cache.lookup(u);
+  const double p = transmit_probability(u);
+  const SlotProbabilities probs = slot_probabilities(cache.n(), p);
+  ASSERT_EQ(bits(e.p), bits(p)) << "u = " << u;
+  ASSERT_EQ(bits(e.c_null), bits(probs.null)) << "u = " << u;
+  ASSERT_EQ(bits(e.c_single), bits(probs.null + probs.single)) << "u = " << u;
+}
+
+TEST(SlotProbCache, MatchesUncachedPathOnLeskLattice) {
+  // The u values LESK actually visits: multiples of eps/8 minus whole
+  // steps, floored at 0.
+  for (const std::uint64_t n : {1ULL, 2ULL, 37ULL, 1ULL << 20}) {
+    SlotProbCache cache(n);
+    const double inc = 1.0 / (8.0 / 0.5);
+    double u = 0.0;
+    Rng rng(7);
+    for (int step = 0; step < 2000; ++step) {
+      expect_entry_exact(cache, u);
+      u = rng.bernoulli(0.5) ? std::max(u - 1.0, 0.0) : u + inc;
+    }
+  }
+}
+
+TEST(SlotProbCache, RepeatLookupsHitTheCache) {
+  SlotProbCache cache(1024);
+  for (int round = 0; round < 3; ++round) {
+    for (int k = 0; k < 50; ++k) {
+      (void)cache.lookup(static_cast<double>(k) * 0.0625);
+    }
+  }
+  EXPECT_EQ(cache.misses(), 50u);  // only the first round inserted
+  EXPECT_EQ(cache.size(), 50u);
+}
+
+TEST(SlotProbCache, SurvivesGrowth) {
+  SlotProbCache cache(255, /*initial_capacity=*/8);
+  std::vector<double> us;
+  Rng rng(13);
+  for (int k = 0; k < 500; ++k) us.push_back(rng.uniform() * 64.0);
+  for (const double u : us) expect_entry_exact(cache, u);
+  // Everything inserted before growth must still be found afterwards.
+  const std::uint64_t misses = cache.misses();
+  for (const double u : us) expect_entry_exact(cache, u);
+  EXPECT_EQ(cache.misses(), misses);
+}
+
+TEST(SlotProbCache, HandlesExtremeExponents) {
+  SlotProbCache cache(1ULL << 20);
+  expect_entry_exact(cache, 0.0);     // p = 1
+  expect_entry_exact(cache, 1e-300);  // p just below 1
+  expect_entry_exact(cache, 1075.0);  // 2^-u underflows to 0
+  expect_entry_exact(cache, 1e300);   // far past underflow
+}
+
+TEST(SlotProbCache, SignedZeroGetsItsOwnEntryWithEqualPayload) {
+  // -0.0 has a distinct bit pattern; if a protocol ever produced it,
+  // the cache must not confuse it with the empty sentinel and must
+  // return the same probabilities as +0.0 (transmit_probability treats
+  // them identically).
+  SlotProbCache cache(64);
+  const SlotProbCache::Entry e_pos = cache.lookup(0.0);
+  const double neg_zero = std::bit_cast<double>(0x8000000000000000ULL);
+  const SlotProbCache::Entry e_neg = cache.lookup(neg_zero);
+  EXPECT_EQ(bits(e_pos.p), bits(e_neg.p));
+  EXPECT_EQ(bits(e_pos.c_null), bits(e_neg.c_null));
+  EXPECT_EQ(bits(e_pos.c_single), bits(e_neg.c_single));
+  EXPECT_EQ(cache.misses(), 2u);  // distinct keys, two inserts
+}
+
+TEST(SlotProbCache, RejectsZeroStations) {
+  EXPECT_THROW(SlotProbCache cache(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace jamelect
