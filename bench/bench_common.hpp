@@ -28,6 +28,7 @@
 #include "protocols/lesk.hpp"
 #include "protocols/lesu.hpp"
 #include "sim/montecarlo.hpp"
+#include "support/wide_rng.hpp"
 
 namespace jamelect::bench {
 
@@ -114,6 +115,11 @@ inline int bench_main(int argc, char** argv) {
     return 0;
   }
   benchmark::AddCustomContext("jamelect_build_type", build_type());
+  // The wide-batch backend this process resolved (cpuid + build flags +
+  // JAMELECT_FORCE_SCALAR): batch-engine numbers are only comparable
+  // across runs with the same backend.
+  benchmark::AddCustomContext("jamelect_wide_isa",
+                              wide_isa_name(active_wide_isa()));
 
   obs::MetricsRegistry::global().set_enabled(true);
 
@@ -137,6 +143,7 @@ inline int bench_main(int argc, char** argv) {
     manifest.name = name;
     manifest.config["cmdline"] = cmdline;
     manifest.config["build_type"] = build_type();
+    manifest.config["wide_isa"] = wide_isa_name(active_wide_isa());
     manifest.config["trials"] = std::to_string(trials());
     if (const char* threads = std::getenv("JAMELECT_THREADS")) {
       manifest.config["threads"] = threads;

@@ -164,11 +164,13 @@ void Perf_CohortEngineTelemetry(benchmark::State& state) {
 // workload; parallel is off so the ratio is single-core engine speed,
 // not thread-pool scheduling.
 [[nodiscard]] McResult lesk_mc(std::uint64_t n, std::size_t batch,
-                               std::size_t n_trials) {
+                               std::size_t n_trials,
+                               BatchLaneMode lanes = BatchLaneMode::kAuto) {
   AdversarySpec spec = adversary("saturating", 64, 0.5);
   McConfig config = mc(/*seed=*/23, /*max_slots=*/kSlots, n_trials);
   config.parallel = false;
   config.batch = batch;
+  config.batch_lanes = lanes;
   return run_aggregate_mc(lesk_factory(0.5), spec, n, config);
 }
 
@@ -177,11 +179,31 @@ void Perf_CohortEngineTelemetry(benchmark::State& state) {
       res.slots.mean * static_cast<double>(res.slots.count) + 0.5);
 }
 
+// Pinned to the scalar lane path so the series stays comparable with
+// the pre-wide baseline (kAuto would silently go SIMD-wide here).
 void Perf_BatchEngine(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(1) << state.range(0);
   std::int64_t slots = 0;
   for (auto _ : state) {
-    const McResult res = lesk_mc(n, /*batch=*/64, /*n_trials=*/64);
+    const McResult res = lesk_mc(n, /*batch=*/64, /*n_trials=*/64,
+                                 BatchLaneMode::kScalarLanes);
+    slots += total_slots(res);
+    benchmark::DoNotOptimize(res.successes);
+  }
+  state.SetItemsProcessed(slots);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["batch"] = 64;
+}
+
+// Identical workload with the SIMD-wide lane path: items/sec over
+// Perf_BatchEngine is the wide speedup (the backend — avx2/scalar4 —
+// is recorded in the benchmark context as jamelect_wide_isa).
+void Perf_WideBatchEngine(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  std::int64_t slots = 0;
+  for (auto _ : state) {
+    const McResult res =
+        lesk_mc(n, /*batch=*/64, /*n_trials=*/64, BatchLaneMode::kWide);
     slots += total_slots(res);
     benchmark::DoNotOptimize(res.successes);
   }
@@ -233,6 +255,7 @@ BENCHMARK(Perf_CohortEngineSmall)->Arg(4)->Arg(8)->Arg(10)->Unit(benchmark::kMil
 BENCHMARK(Perf_CohortEngineTelemetry)->Arg(4)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
 BENCHMARK(Perf_HybridEngine)->Arg(4)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
 BENCHMARK(Perf_BatchEngine)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(Perf_WideBatchEngine)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
 BENCHMARK(Perf_SequentialMcBaseline)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
 
 }  // namespace

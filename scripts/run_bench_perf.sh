@@ -28,6 +28,16 @@ if [ "$BUILD_TYPE" != "release" ]; then
   exit 1
 fi
 
+# Record the SIMD feature set the batch engine can draw on: the wide
+# lane path's numbers are only comparable across machines with the same
+# backend (the binary also stamps jamelect_wide_isa into the JSON).
+if [ -r /proc/cpuinfo ]; then
+  CPU_FEATURES="$(grep -m1 '^flags' /proc/cpuinfo \
+    | tr ' ' '\n' | grep -E '^(avx|avx2|avx512[a-z]*|sse4_[12]|fma)$' \
+    | tr '\n' ' ' || true)"
+  echo "cpu simd features: ${CPU_FEATURES:-none detected}"
+fi
+
 "$BENCH" \
   --benchmark_format=console \
   --benchmark_out="$OUT_FILE" \
@@ -36,6 +46,10 @@ fi
 
 if ! grep -q '"jamelect_build_type": "release"' "$OUT_FILE"; then
   echo "error: $OUT_FILE does not carry jamelect_build_type=release" >&2
+  exit 1
+fi
+if ! grep -q '"jamelect_wide_isa"' "$OUT_FILE"; then
+  echo "error: $OUT_FILE does not record jamelect_wide_isa" >&2
   exit 1
 fi
 echo "results in $OUT_FILE"

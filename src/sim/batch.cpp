@@ -1,6 +1,8 @@
 #include "sim/batch.hpp"
 
+#include <algorithm>
 #include <memory>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -8,9 +10,11 @@
 #include "obs/metrics.hpp"
 #include "protocols/interval_partition.hpp"
 #include "protocols/kernels.hpp"
+#include "sim/batch_wide.hpp"
 #include "support/expects.hpp"
 #include "support/math.hpp"
 #include "support/slot_prob_cache.hpp"
+#include "support/wide_rng.hpp"
 
 namespace jamelect {
 
@@ -55,6 +59,21 @@ void record_state(TrialOutcome& o, ChannelState state) {
 [[nodiscard]] bool lane_invariant_policy(const AdversarySpec& spec) {
   return spec.policy == "none" || spec.policy == "saturating" ||
          spec.policy == "periodic" || spec.policy == "pulse";
+}
+
+/// SlotProbCache effectiveness rollup, shared by every lane engine.
+/// hits = lookups - misses; dense_hits is the subset of hits answered
+/// by the lattice index instead of a hash probe.
+void emit_cache_counters(const SlotProbCache& cache) {
+  JAMELECT_OBS_COUNT("engine.batch.cache_lookups",
+                     static_cast<std::int64_t>(cache.lookups()));
+  JAMELECT_OBS_COUNT(
+      "engine.batch.cache_hits",
+      static_cast<std::int64_t>(cache.lookups() - cache.misses()));
+  JAMELECT_OBS_COUNT("engine.batch.cache_dense_hits",
+                     static_cast<std::int64_t>(cache.dense_hits()));
+  JAMELECT_OBS_COUNT("engine.batch.cache_misses",
+                     static_cast<std::int64_t>(cache.misses()));
 }
 
 /// Strong-CD aggregate lanes: the SoA mirror of run_aggregate
@@ -141,8 +160,8 @@ void aggregate_lanes(const typename Kernel::Params& params,
   }
   JAMELECT_OBS_COUNT("engine.batch.aggregate_chunks", 1);
   JAMELECT_OBS_COUNT("engine.batch.slots", slots_total);
-  JAMELECT_OBS_COUNT("engine.batch.cache_misses",
-                     static_cast<std::int64_t>(cache.misses()));
+  JAMELECT_OBS_COUNT("mc.batch_scalar_slots", slots_total);
+  emit_cache_counters(cache);
 }
 
 /// A kernel slot that may be unoccupied — the batch mirror of the
@@ -152,6 +171,10 @@ struct MaybeKernel {
   Kernel kernel;
   bool valid = false;
 };
+
+/// The P1..P4 phase machine of run_hybrid_notification, shared by the
+/// scalar and wide hybrid lane engines.
+enum class HybridPhase : std::uint8_t { kP1, kP2, kP3, kP4, kDone };
 
 /// Weak-CD hybrid Notification lanes: the SoA mirror of
 /// run_hybrid_notification (sim/hybrid.cpp). classify_slot is shared
@@ -171,9 +194,7 @@ void hybrid_lanes(const typename Kernel::Params& params,
   SlotProbCache cache_n(n);
   SlotProbCache cache_nm1(n - 1);
 
-  enum class Phase : std::uint8_t { kP1, kP2, kP3, kP4, kDone };
-
-  std::vector<Phase> phases(count, Phase::kP1);
+  std::vector<HybridPhase> phases(count, HybridPhase::kP1);
   std::vector<MaybeKernel<Kernel>> shared(count, {Kernel(params), false});
   std::vector<MaybeKernel<Kernel>> l_a(count, {Kernel(params), false});
   std::vector<MaybeKernel<Kernel>> s_a(count, {Kernel(params), false});
@@ -203,7 +224,7 @@ void hybrid_lanes(const typename Kernel::Params& params,
     slots_total += static_cast<std::int64_t>(active);
     const bool jam_all = shared_adv && adv_shared->step();
     for (std::size_t lane = 0; lane < active;) {
-      const Phase phase = phases[lane];
+      const HybridPhase phase = phases[lane];
       Rng& rng = rngs[lane];
       const bool jammed = shared_adv ? jam_all : advs[lane]->step();
 
@@ -212,7 +233,7 @@ void hybrid_lanes(const typename Kernel::Params& params,
 
       if (pos.set != IntervalSet::kPadding) {
         switch (phase) {
-          case Phase::kP1:
+          case HybridPhase::kP1:
             if (pos.set == IntervalSet::kC1) {
               if (pos.interval_start() || !shared[lane].valid) {
                 shared[lane] = {Kernel(params), true};
@@ -223,7 +244,7 @@ void hybrid_lanes(const typename Kernel::Params& params,
               cnt = category(rng.uniform(), e);
             }
             break;
-          case Phase::kP2:
+          case HybridPhase::kP2:
             if (pos.set == IntervalSet::kC1) {
               if (pos.interval_start() || !l_a[lane].valid) {
                 l_a[lane] = {Kernel(params), true};
@@ -242,7 +263,7 @@ void hybrid_lanes(const typename Kernel::Params& params,
               cnt = category(rng.uniform(), e);
             }
             break;
-          case Phase::kP3:
+          case HybridPhase::kP3:
             if (pos.set == IntervalSet::kC1) {
               cnt = n - 2;  // all of R confirms; n >= 3 so cnt >= 1
               expected_tx = static_cast<double>(n - 2);
@@ -259,13 +280,13 @@ void hybrid_lanes(const typename Kernel::Params& params,
               expected_tx = 1.0;
             }
             break;
-          case Phase::kP4:
+          case HybridPhase::kP4:
             if (pos.set == IntervalSet::kC3) {
               cnt = 1;  // l keeps announcing until released
               expected_tx = 1.0;
             }
             break;
-          case Phase::kDone:
+          case HybridPhase::kDone:
             break;
         }
       }
@@ -281,19 +302,19 @@ void hybrid_lanes(const typename Kernel::Params& params,
 
       if (pos.set != IntervalSet::kPadding) {
         switch (phase) {
-          case Phase::kP1:
+          case HybridPhase::kP1:
             if (pos.set == IntervalSet::kC1) {
               if (state == ChannelState::kSingle) {
                 l_a[lane] = {shared[lane].kernel, true};
                 l_a[lane].kernel.step(ChannelState::kCollision);
                 shared[lane].valid = false;
-                phases[lane] = Phase::kP2;
+                phases[lane] = HybridPhase::kP2;
               } else {
                 shared[lane].kernel.step(state);
               }
             }
             break;
-          case Phase::kP2:
+          case HybridPhase::kP2:
             if (pos.set == IntervalSet::kC1) {
               if (l_a[lane].valid) {
                 l_a[lane].kernel.step(cnt >= 1 ? ChannelState::kCollision
@@ -305,13 +326,13 @@ void hybrid_lanes(const typename Kernel::Params& params,
                 s_a[lane].kernel.step(ChannelState::kCollision);
                 shared[lane].valid = false;
                 l_a[lane].valid = false;
-                phases[lane] = Phase::kP3;
+                phases[lane] = HybridPhase::kP3;
               } else if (shared[lane].valid) {
                 shared[lane].kernel.step(state);
               }
             }
             break;
-          case Phase::kP3:
+          case HybridPhase::kP3:
             if (pos.set == IntervalSet::kC2) {
               if (s_a[lane].valid) {
                 s_a[lane].kernel.step(cnt >= 1 ? ChannelState::kCollision
@@ -320,22 +341,22 @@ void hybrid_lanes(const typename Kernel::Params& params,
             } else if (pos.set == IntervalSet::kC3) {
               if (state == ChannelState::kSingle) {
                 s_a[lane].valid = false;
-                phases[lane] = Phase::kP4;
+                phases[lane] = HybridPhase::kP4;
               }
             }
             break;
-          case Phase::kP4:
+          case HybridPhase::kP4:
             if (pos.set == IntervalSet::kC1 &&
                 state == ChannelState::kNull) {
-              phases[lane] = Phase::kDone;
+              phases[lane] = HybridPhase::kDone;
             }
             break;
-          case Phase::kDone:
+          case HybridPhase::kDone:
             break;
         }
       }
 
-      if (phases[lane] == Phase::kDone) {
+      if (phases[lane] == HybridPhase::kDone) {
         o.elected = true;
         o.all_done = true;
         o.unique_leader = true;
@@ -362,9 +383,499 @@ void hybrid_lanes(const typename Kernel::Params& params,
   }
   JAMELECT_OBS_COUNT("engine.batch.hybrid_chunks", 1);
   JAMELECT_OBS_COUNT("engine.batch.slots", slots_total);
-  JAMELECT_OBS_COUNT(
-      "engine.batch.cache_misses",
-      static_cast<std::int64_t>(cache_n.misses() + cache_nm1.misses()));
+  JAMELECT_OBS_COUNT("mc.batch_scalar_slots", slots_total);
+  emit_cache_counters(cache_n);
+  emit_cache_counters(cache_nm1);
+}
+
+/// SIMD-wide strong-CD aggregate lanes: same per-lane draw sequence
+/// and double arithmetic as aggregate_lanes, but every slot advances
+/// all lanes through one fused primitive (sim/batch_wide.hpp) — a
+/// vector xoshiro step, branch-free classification against cached
+/// thresholds, and masked accumulator updates. Requires a
+/// lane-invariant adversary (one shared jam bit per slot). Retirement
+/// is a post-sweep compaction pass instead of the scalar mid-loop
+/// swap-remove; the two are equivalent because lanes are mutually
+/// independent within a slot (the only shared state, the adversary,
+/// steps once per slot either way).
+///
+/// Per-lane nulls/singles/transmissions live in SoA accumulators;
+/// slots and jams are chunk-shared scalars (lockstep + shared jam bit
+/// make them identical across live lanes), and collisions fall out as
+/// slots - nulls - singles. Pad lanes (count or active not a multiple
+/// of kWideLanes) carry valid-but-ignored state: they advance with
+/// their group and are never finalized.
+template <class Kernel>
+void aggregate_lanes_wide(const typename Kernel::Params& params,
+                          const AdversarySpec& spec, const BatchConfig& config,
+                          const Rng& base, std::size_t first, std::size_t count,
+                          TrialOutcome* out) {
+  JAMELECT_EXPECTS(config.n >= 1);
+  JAMELECT_EXPECTS(config.max_slots >= 1);
+  JAMELECT_EXPECTS(lane_invariant_policy(spec));
+  constexpr bool kIsUniform = std::is_same_v<Kernel, kernels::UniformKernel>;
+  constexpr bool kIsLesk = std::is_same_v<Kernel, kernels::LeskKernel>;
+  constexpr bool kIsLesu = std::is_same_v<Kernel, kernels::LesuKernel>;
+  static_assert(kIsUniform || kIsLesk || kIsLesu);
+
+  const std::uint64_t n = config.n;
+  SlotProbCache cache(n);
+  double lesk_inc = 0.0;
+  if constexpr (kIsLesk) {
+    lesk_inc = Kernel(params).inc;
+    // LESK's u moves on the {-1, +inc} lattice with 1.0 an (almost
+    // always exact) multiple of inc, so steady-state lookups hit the
+    // dense index.
+    cache.set_lattice_step(lesk_inc);
+  }
+
+  const wide::SlotOps& ops = wide::slot_ops(active_wide_isa());
+  WideXoshiro rng(count);
+  const std::size_t padded = rng.padded_lanes();
+
+  std::vector<double> c_null(padded), c_single(padded), exp_tx(padded);
+  std::vector<double> transmissions(padded, 0.0);
+  std::vector<std::int64_t> nulls(padded, 0), singles(padded, 0);
+  std::vector<std::int64_t> states(padded, 0);
+  std::vector<std::uint32_t> lane_trial(count);
+  std::vector<double> us;      // LESK / LESU: per-lane broadcast exponent
+  std::vector<Kernel> kerns;   // LESU only: full kernel state per lane
+  if constexpr (kIsLesk || kIsLesu) {
+    us.assign(padded, Kernel(params).broadcast_u());
+  }
+  if constexpr (kIsLesu) kerns.assign(count, Kernel(params));
+
+  auto adv = make_adversary(spec, base.child(first).child(0xad50));
+  for (std::size_t k = 0; k < count; ++k) {
+    // Lane k's sim stream: the exact seed derivation of the scalar
+    // path — base.child(first + k).child(0x51e0).
+    rng.seed_lane(k, base.child(first + k).child(0x51e0).seed());
+    lane_trial[k] = static_cast<std::uint32_t>(k);
+  }
+
+  if constexpr (kIsUniform) {
+    // One u forever: fill the thresholds once, never refresh.
+    const SlotProbCache::Entry e = cache.lookup(Kernel(params).broadcast_u());
+    std::fill(c_null.begin(), c_null.end(), e.c_null);
+    std::fill(c_single.begin(), c_single.end(), e.c_single);
+    std::fill(exp_tx.begin(), exp_tx.end(), e.exp_tx);
+  } else {
+    cache.lookup_lanes(us.data(), padded, c_null.data(), c_single.data(),
+                       exp_tx.data());
+  }
+
+  const wide::LaneBlock block{rng.plane(0),     rng.plane(1),
+                              rng.plane(2),     rng.plane(3),
+                              c_null.data(),    c_single.data(),
+                              exp_tx.data(),    transmissions.data(),
+                              nulls.data(),     singles.data(),
+                              states.data()};
+
+  std::size_t active = count;
+  std::int64_t slots_done = 0;  // == every live lane's slot count
+  std::int64_t jams_done = 0;   // shared jam bit: identical per lane
+  std::int64_t slots_total = 0;
+
+  const auto finalize = [&](std::size_t lane, bool elected) {
+    TrialOutcome o;
+    o.slots = slots_done;
+    o.jams = jams_done;
+    o.nulls = nulls[lane];
+    o.singles = singles[lane];
+    o.collisions = slots_done - nulls[lane] - singles[lane];
+    o.transmissions = transmissions[lane];
+    if (elected) {
+      o.elected = true;
+      o.all_done = true;
+      o.unique_leader = true;
+      o.leader = rng.below_lane(lane, n);
+    }
+    out[lane_trial[lane]] = o;
+  };
+
+  for (Slot slot = 0; slot < config.max_slots && active > 0; ++slot) {
+    slots_total += static_cast<std::int64_t>(active);
+    ++slots_done;
+    const std::size_t groups = (active + kWideLanes - 1) / kWideLanes;
+    const std::size_t span = groups * kWideLanes;
+    const bool jammed = adv->step();
+
+    if (jammed) {
+      // Every lane sees Collision regardless of its draw: advance the
+      // streams (the scalar path draws and discards), accumulate
+      // expected transmissions, fold the Collision into the kernels.
+      // No lane can retire, so no compaction pass.
+      ++jams_done;
+      if constexpr (kIsLesk) {
+        ops.jammed_slot_lesk(block, us.data(), lesk_inc, groups);
+        cache.lookup_lanes(us.data(), span, c_null.data(), c_single.data(),
+                           exp_tx.data());
+      } else if constexpr (kIsLesu) {
+        ops.jammed_slot(block, groups);
+        for (std::size_t lane = 0; lane < active; ++lane) {
+          kerns[lane].step(ChannelState::kCollision);
+          us[lane] = kerns[lane].broadcast_u();
+        }
+        cache.lookup_lanes(us.data(), span, c_null.data(), c_single.data(),
+                           exp_tx.data());
+      } else {
+        ops.jammed_slot(block, groups);
+      }
+      continue;
+    }
+
+    bool any_single;
+    if constexpr (kIsLesk) {
+      any_single = ops.clean_slot_lesk(block, us.data(), lesk_inc, groups);
+    } else {
+      any_single = ops.clean_slot(block, groups);
+    }
+    if constexpr (kIsLesu) {
+      // LESU's step is a phase machine, not a lattice walk — run it
+      // scalar per lane off the vector-classified states.
+      for (std::size_t lane = 0; lane < active; ++lane) {
+        kerns[lane].step(static_cast<ChannelState>(states[lane]));
+      }
+    }
+
+    if (any_single) {
+      // All three kernels elect exactly on a clean Single, so the
+      // classified state alone decides retirement. Re-examine a moved
+      // lane before advancing (it may have elected this slot too).
+      for (std::size_t lane = 0; lane < active;) {
+        if (states[lane] != 1) {
+          ++lane;
+          continue;
+        }
+        finalize(lane, true);
+        --active;
+        if (lane != active) {
+          rng.move_lane(lane, active);
+          transmissions[lane] = transmissions[active];
+          nulls[lane] = nulls[active];
+          singles[lane] = singles[active];
+          states[lane] = states[active];
+          lane_trial[lane] = lane_trial[active];
+          if constexpr (kIsLesk || kIsLesu) us[lane] = us[active];
+          if constexpr (kIsLesu) kerns[lane] = kerns[active];
+        }
+      }
+    }
+
+    if constexpr (kIsLesk || kIsLesu) {
+      if (active > 0) {
+        if constexpr (kIsLesu) {
+          for (std::size_t lane = 0; lane < active; ++lane) {
+            us[lane] = kerns[lane].broadcast_u();
+          }
+        }
+        const std::size_t g2 = (active + kWideLanes - 1) / kWideLanes;
+        cache.lookup_lanes(us.data(), g2 * kWideLanes, c_null.data(),
+                           c_single.data(), exp_tx.data());
+      }
+    }
+  }
+  // Right-censored lanes: budget exhausted without election.
+  for (std::size_t lane = 0; lane < active; ++lane) finalize(lane, false);
+  JAMELECT_OBS_COUNT("engine.batch.aggregate_chunks", 1);
+  JAMELECT_OBS_COUNT("engine.batch.slots", slots_total);
+  JAMELECT_OBS_COUNT("mc.batch_wide_slots", slots_total);
+  emit_cache_counters(cache);
+}
+
+/// What a hybrid lane wants from the rng this slot (pass A result).
+enum class DrawKind : std::uint8_t { kNone = 0, kCategory, kBernoulli };
+
+/// SIMD-wide weak-CD hybrid Notification lanes. The P1..P4 phase
+/// machine stays scalar (per-slot work varies per lane), but the slot
+/// is split into three passes so the rng advance — the hot, uniform
+/// part — happens wide: pass A records each lane's draw request (the
+/// first switch of hybrid_lanes with draws replaced by requests),
+/// pass B advances every drawing lane in one masked wide step, pass C
+/// consumes the draws and runs the post-state transitions. Lanes make
+/// at most one draw per slot, so per-lane draw order — and hence bit
+/// identity with hybrid_lanes — is preserved exactly.
+template <class Kernel>
+void hybrid_lanes_wide(const typename Kernel::Params& params,
+                       const AdversarySpec& spec, const BatchConfig& config,
+                       const Rng& base, std::size_t first, std::size_t count,
+                       TrialOutcome* out) {
+  JAMELECT_EXPECTS(config.n >= 3);
+  JAMELECT_EXPECTS(config.max_slots >= 1);
+  JAMELECT_EXPECTS(lane_invariant_policy(spec));
+  const std::uint64_t n = config.n;
+  SlotProbCache cache_n(n);
+  SlotProbCache cache_nm1(n - 1);
+  if constexpr (std::is_same_v<Kernel, kernels::LeskKernel>) {
+    const double inc = Kernel(params).inc;
+    cache_n.set_lattice_step(inc);
+    cache_nm1.set_lattice_step(inc);
+  }
+
+  WideXoshiro rng(count);
+  const std::size_t padded = rng.padded_lanes();
+
+  std::vector<HybridPhase> phases(count, HybridPhase::kP1);
+  std::vector<MaybeKernel<Kernel>> shared(count, {Kernel(params), false});
+  std::vector<MaybeKernel<Kernel>> l_a(count, {Kernel(params), false});
+  std::vector<MaybeKernel<Kernel>> s_a(count, {Kernel(params), false});
+  std::vector<std::uint32_t> lane_trial(count);
+  std::vector<TrialOutcome> acc(count);
+
+  // Per-slot scratch, SoA so pass B is one wide masked advance.
+  std::vector<DrawKind> draw(count, DrawKind::kNone);
+  std::vector<std::uint64_t> fixed_cnt(count, 0);
+  std::vector<double> thr0(count, 0.0), thr1(count, 0.0), slot_tx(count, 0.0);
+  std::vector<std::uint8_t> mask(padded, 0);
+  std::vector<double> r(padded, 0.0);
+
+  auto adv = make_adversary(spec, base.child(first).child(0xad50));
+  for (std::size_t k = 0; k < count; ++k) {
+    rng.seed_lane(k, base.child(first + k).child(0x51e0).seed());
+    lane_trial[k] = static_cast<std::uint32_t>(k);
+  }
+
+  std::size_t active = count;
+  std::int64_t slots_total = 0;
+  for (Slot slot = 0; slot < config.max_slots && active > 0; ++slot) {
+    const IntervalPosition pos = classify_slot(slot);
+    slots_total += static_cast<std::int64_t>(active);
+    const bool jammed = adv->step();
+
+    if (pos.set == IntervalSet::kPadding) {
+      // Nobody draws or acts in padding: the slot is a Null (or a
+      // jammed Collision) for every lane, and no phase can complete
+      // (every transition keys on C1..C3), so no retirement check.
+      const ChannelState state = resolve_slot(0, jammed);
+      for (std::size_t lane = 0; lane < active; ++lane) {
+        TrialOutcome& o = acc[lane];
+        ++o.slots;
+        if (jammed) ++o.jams;
+        record_state(o, state);
+      }
+      continue;
+    }
+
+    // Pass A: record each lane's draw request for this slot.
+    for (std::size_t lane = 0; lane < active; ++lane) {
+      DrawKind d = DrawKind::kNone;
+      std::uint64_t fc = 0;
+      double t0 = 0.0;
+      double t1 = 0.0;
+      double ex = 0.0;
+      switch (phases[lane]) {
+        case HybridPhase::kP1:
+          if (pos.set == IntervalSet::kC1) {
+            if (pos.interval_start() || !shared[lane].valid) {
+              shared[lane] = {Kernel(params), true};
+            }
+            const SlotProbCache::Entry& e =
+                cache_n.lookup(shared[lane].kernel.broadcast_u());
+            ex = e.exp_tx;
+            d = DrawKind::kCategory;
+            t0 = e.c_null;
+            t1 = e.c_single;
+          }
+          break;
+        case HybridPhase::kP2:
+          if (pos.set == IntervalSet::kC1) {
+            if (pos.interval_start() || !l_a[lane].valid) {
+              l_a[lane] = {Kernel(params), true};
+            }
+            const double p =
+                transmit_probability(l_a[lane].kernel.broadcast_u());
+            ex = p;
+            // Rng::bernoulli consumes a draw only for p in (0, 1);
+            // the degenerate cases have a fixed result.
+            if (p <= 0.0) {
+              fc = 0;
+            } else if (p >= 1.0) {
+              fc = 1;
+            } else {
+              d = DrawKind::kBernoulli;
+              t0 = p;
+            }
+          } else if (pos.set == IntervalSet::kC2) {
+            if (pos.interval_start() || !shared[lane].valid) {
+              shared[lane] = {Kernel(params), true};
+            }
+            const SlotProbCache::Entry& e =
+                cache_nm1.lookup(shared[lane].kernel.broadcast_u());
+            ex = e.exp_tx;
+            d = DrawKind::kCategory;
+            t0 = e.c_null;
+            t1 = e.c_single;
+          }
+          break;
+        case HybridPhase::kP3:
+          if (pos.set == IntervalSet::kC1) {
+            fc = n - 2;  // all of R confirms; n >= 3 so fc >= 1
+            ex = static_cast<double>(n - 2);
+          } else if (pos.set == IntervalSet::kC2) {
+            if (pos.interval_start() || !s_a[lane].valid) {
+              s_a[lane] = {Kernel(params), true};
+            }
+            const double p =
+                transmit_probability(s_a[lane].kernel.broadcast_u());
+            ex = p;
+            if (p <= 0.0) {
+              fc = 0;
+            } else if (p >= 1.0) {
+              fc = 1;
+            } else {
+              d = DrawKind::kBernoulli;
+              t0 = p;
+            }
+          } else {  // C3: l announces
+            fc = 1;
+            ex = 1.0;
+          }
+          break;
+        case HybridPhase::kP4:
+          if (pos.set == IntervalSet::kC3) {
+            fc = 1;  // l keeps announcing until released
+            ex = 1.0;
+          }
+          break;
+        case HybridPhase::kDone:
+          break;  // unreachable: done lanes retire the slot they finish
+      }
+      draw[lane] = d;
+      mask[lane] = d == DrawKind::kNone ? 0 : 1;
+      fixed_cnt[lane] = fc;
+      thr0[lane] = t0;
+      thr1[lane] = t1;
+      slot_tx[lane] = ex;
+    }
+    const std::size_t groups = (active + kWideLanes - 1) / kWideLanes;
+    for (std::size_t lane = active; lane < groups * kWideLanes; ++lane) {
+      mask[lane] = 0;  // pad lanes must not advance
+    }
+
+    // Pass B: one wide advance covering every lane that draws.
+    rng.uniform_masked(groups, mask.data(), r.data());
+
+    // Pass C: consume the draws — classification, outcome accounting,
+    // and the post-state transitions of hybrid_lanes.
+    for (std::size_t lane = 0; lane < active; ++lane) {
+      std::uint64_t cnt = fixed_cnt[lane];
+      if (draw[lane] == DrawKind::kCategory) {
+        cnt = r[lane] < thr0[lane] ? 0 : (r[lane] < thr1[lane] ? 1 : 2);
+      } else if (draw[lane] == DrawKind::kBernoulli) {
+        cnt = r[lane] < thr0[lane] ? 1 : 0;
+      }
+      const ChannelState state = resolve_slot(cnt, jammed);
+
+      TrialOutcome& o = acc[lane];
+      ++o.slots;
+      o.transmissions += slot_tx[lane];
+      if (jammed) ++o.jams;
+      record_state(o, state);
+
+      switch (phases[lane]) {
+        case HybridPhase::kP1:
+          if (pos.set == IntervalSet::kC1) {
+            if (state == ChannelState::kSingle) {
+              l_a[lane] = {shared[lane].kernel, true};
+              l_a[lane].kernel.step(ChannelState::kCollision);
+              shared[lane].valid = false;
+              phases[lane] = HybridPhase::kP2;
+            } else {
+              shared[lane].kernel.step(state);
+            }
+          }
+          break;
+        case HybridPhase::kP2:
+          if (pos.set == IntervalSet::kC1) {
+            if (l_a[lane].valid) {
+              l_a[lane].kernel.step(cnt >= 1 ? ChannelState::kCollision
+                                             : state);
+            }
+          } else if (pos.set == IntervalSet::kC2) {
+            if (state == ChannelState::kSingle) {
+              s_a[lane] = {shared[lane].kernel, true};
+              s_a[lane].kernel.step(ChannelState::kCollision);
+              shared[lane].valid = false;
+              l_a[lane].valid = false;
+              phases[lane] = HybridPhase::kP3;
+            } else if (shared[lane].valid) {
+              shared[lane].kernel.step(state);
+            }
+          }
+          break;
+        case HybridPhase::kP3:
+          if (pos.set == IntervalSet::kC2) {
+            if (s_a[lane].valid) {
+              s_a[lane].kernel.step(cnt >= 1 ? ChannelState::kCollision
+                                             : state);
+            }
+          } else if (pos.set == IntervalSet::kC3) {
+            if (state == ChannelState::kSingle) {
+              s_a[lane].valid = false;
+              phases[lane] = HybridPhase::kP4;
+            }
+          }
+          break;
+        case HybridPhase::kP4:
+          if (pos.set == IntervalSet::kC1 && state == ChannelState::kNull) {
+            phases[lane] = HybridPhase::kDone;
+          }
+          break;
+        case HybridPhase::kDone:
+          break;
+      }
+    }
+
+    // Retirement + compaction after the full sweep (equivalent to the
+    // scalar mid-loop swap-remove; lanes are independent in-slot).
+    for (std::size_t lane = 0; lane < active;) {
+      if (phases[lane] != HybridPhase::kDone) {
+        ++lane;
+        continue;
+      }
+      TrialOutcome& o = acc[lane];
+      o.elected = true;
+      o.all_done = true;
+      o.unique_leader = true;
+      o.leader = rng.below_lane(lane, n);
+      out[lane_trial[lane]] = o;
+      --active;
+      if (lane != active) {
+        phases[lane] = phases[active];
+        shared[lane] = shared[active];
+        l_a[lane] = l_a[active];
+        s_a[lane] = s_a[active];
+        rng.move_lane(lane, active);
+        lane_trial[lane] = lane_trial[active];
+        acc[lane] = acc[active];
+      }
+    }
+  }
+  for (std::size_t lane = 0; lane < active; ++lane) {
+    out[lane_trial[lane]] = acc[lane];
+  }
+  JAMELECT_OBS_COUNT("engine.batch.hybrid_chunks", 1);
+  JAMELECT_OBS_COUNT("engine.batch.slots", slots_total);
+  JAMELECT_OBS_COUNT("mc.batch_wide_slots", slots_total);
+  emit_cache_counters(cache_n);
+  emit_cache_counters(cache_nm1);
+}
+
+/// Resolves BatchLaneMode against the adversary policy: kAuto goes
+/// wide exactly when the policy is lane-invariant; kWide insists (and
+/// contract-checks) on it.
+[[nodiscard]] bool use_wide_lanes(BatchLaneMode mode,
+                                  const AdversarySpec& spec) {
+  switch (mode) {
+    case BatchLaneMode::kAuto:
+      return lane_invariant_policy(spec);
+    case BatchLaneMode::kWide:
+      JAMELECT_EXPECTS(lane_invariant_policy(spec));
+      return true;
+    case BatchLaneMode::kScalarLanes:
+      return false;
+  }
+  return false;
 }
 
 }  // namespace
@@ -408,7 +919,13 @@ void run_batch_aggregate_trials(const BatchKernelSpec& spec,
       [&](const auto& params) {
         using Kernel = typename KernelFor<
             std::decay_t<decltype(params)>>::type;
-        aggregate_lanes<Kernel>(params, adv, config, base, first, count, out);
+        if (use_wide_lanes(config.lanes, adv)) {
+          aggregate_lanes_wide<Kernel>(params, adv, config, base, first, count,
+                                       out);
+        } else {
+          aggregate_lanes<Kernel>(params, adv, config, base, first, count,
+                                  out);
+        }
       },
       spec);
 }
@@ -426,7 +943,12 @@ void run_batch_hybrid_trials(const BatchKernelSpec& spec,
       [&](const auto& params) {
         using Kernel = typename KernelFor<
             std::decay_t<decltype(params)>>::type;
-        hybrid_lanes<Kernel>(params, adv, config, base, first, count, out);
+        if (use_wide_lanes(config.lanes, adv)) {
+          hybrid_lanes_wide<Kernel>(params, adv, config, base, first, count,
+                                    out);
+        } else {
+          hybrid_lanes<Kernel>(params, adv, config, base, first, count, out);
+        }
       },
       spec);
 }

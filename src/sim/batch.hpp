@@ -22,6 +22,16 @@
 // enforces this for both CD modes. Consequently any batch trial can be
 // replayed with full telemetry via replay_aggregate_trial.
 //
+// Lane stepping comes in two flavors (BatchLaneMode): the scalar path
+// walks lanes one at a time through Rng::uniform() and a branchy
+// classification, while the SIMD-wide path (support/wide_rng.hpp +
+// sim/batch_wide.hpp) advances kWideLanes xoshiro streams per
+// instruction and classifies branch-free against cached per-lane
+// thresholds. The wide path requires a lane-invariant adversary policy
+// (shared jam bit); it preserves the contract above bit for bit —
+// tests/wide_batch_test.cpp locks wide == scalar == sequential on both
+// backends (AVX2 and the portable 4-wide fallback).
+//
 // Entry point for users: set McConfig::batch — run_aggregate_mc and
 // run_hybrid_mc probe their factory with batch_kernel_spec() and fall
 // back to the sequential path for protocols with no kernel twin.
@@ -54,9 +64,27 @@ using BatchKernelSpec =
 [[nodiscard]] std::optional<BatchKernelSpec> batch_kernel_spec(
     const UniformProtocol& prototype);
 
+/// Which lane-stepping path a batched chunk uses.
+enum class BatchLaneMode : std::uint8_t {
+  /// SIMD-wide when the adversary policy is lane-invariant (one shared
+  /// jam bit per slot: none/saturating/periodic/pulse), scalar lanes
+  /// otherwise. The default — results are identical either way.
+  kAuto = 0,
+  /// Force the SIMD-wide path (support/wide_rng.hpp — W lanes per
+  /// instruction; AVX2 or the portable 4-wide fallback, selected by
+  /// active_wide_isa()). Requires a lane-invariant adversary policy;
+  /// adaptive policies violate a contract check.
+  kWide,
+  /// Force the scalar per-lane path (one Rng step and one branchy
+  /// classification per lane per slot). Works with every policy;
+  /// useful as a baseline and for wide-vs-scalar identity tests.
+  kScalarLanes,
+};
+
 struct BatchConfig {
   std::uint64_t n = 1;
   std::int64_t max_slots = 1'000'000;
+  BatchLaneMode lanes = BatchLaneMode::kAuto;
 };
 
 /// Runs trials [first, first + count) of the run_aggregate_mc sweep

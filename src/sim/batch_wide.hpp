@@ -1,0 +1,64 @@
+// Fused per-slot SIMD primitives for the wide batch engine
+// (sim/batch.cpp aggregate_lanes_wide). One call advances every lane's
+// xoshiro256** stream, converts the draws to uniforms, classifies them
+// against per-lane cumulative thresholds, and accumulates the per-lane
+// outcome counters — branch-free, one SIMD group (kWideLanes lanes) at
+// a time.
+//
+// Classification is the branch-free mirror of batch.cpp's category():
+//   lt0 = r < c_null, lt1 = r < c_single  (lt0 implies lt1),
+//   state = 2 - lt0 - lt1   (0 = Null, 1 = Single, 2 = Collision),
+//   nulls += lt0, singles += lt1 - lt0, transmissions += exp_tx.
+// The *_lesk variants additionally fold in LeskKernel::step on the SoA
+// u array: Null -> max(u - 1, 0), Collision -> u + inc, Single ->
+// unchanged (the lane retires this slot). Jammed variants advance the
+// streams without converting (the scalar path draws and discards) and
+// accumulate only transmissions — the slot is a Collision for every
+// lane, which the engine derives as slots - nulls - singles.
+//
+// Both backends process lanes in ascending order with the exact scalar
+// double expressions (the AVX2 u64->double conversion and max/add/blend
+// sequences are exact step-for-step), so the per-lane accumulator
+// values are bit-identical to the scalar lane engine's.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "support/wide_rng.hpp"
+
+namespace jamelect::wide {
+
+/// SoA views of the wide engine's per-lane state. All arrays hold at
+/// least groups * kWideLanes elements; the rng planes come from
+/// WideXoshiro::plane(0..3).
+struct LaneBlock {
+  std::uint64_t* s0;
+  std::uint64_t* s1;
+  std::uint64_t* s2;
+  std::uint64_t* s3;
+  const double* c_null;    ///< per-lane P[Null] threshold
+  const double* c_single;  ///< per-lane P[Null] + P[Single] threshold
+  const double* exp_tx;    ///< per-lane expected transmissions (n * p)
+  double* transmissions;   ///< per-lane accumulator
+  std::int64_t* nulls;     ///< per-lane accumulator
+  std::int64_t* singles;   ///< per-lane accumulator
+  std::int64_t* states;    ///< out: this slot's ChannelState per lane
+};
+
+/// One backend's fused slot kernels; all process groups * kWideLanes
+/// lanes. The clean variants return true iff any lane resolved Single
+/// (the engine's cue to run a retirement pass).
+struct SlotOps {
+  bool (*clean_slot)(const LaneBlock& b, std::size_t groups);
+  void (*jammed_slot)(const LaneBlock& b, std::size_t groups);
+  bool (*clean_slot_lesk)(const LaneBlock& b, double* us, double inc,
+                          std::size_t groups);
+  void (*jammed_slot_lesk)(const LaneBlock& b, double* us, double inc,
+                           std::size_t groups);
+};
+
+/// The fused kernels for one backend (resolve with active_wide_isa()).
+[[nodiscard]] const SlotOps& slot_ops(WideIsa isa) noexcept;
+
+}  // namespace jamelect::wide

@@ -262,6 +262,16 @@ std::optional<BatchKernelSpec> probe_batch_factory(
   return spec;
 }
 
+/// Registers the batch-path rollup counters at zero so a run manifest
+/// always shows them when the batch knob is on — a sweep that never
+/// falls back (or never goes wide/scalar) reports an explicit 0 rather
+/// than omitting the metric.
+void register_batch_counters() {
+  JAMELECT_OBS_COUNT("mc.batch_fallbacks", 0);
+  JAMELECT_OBS_COUNT("mc.batch_wide_slots", 0);
+  JAMELECT_OBS_COUNT("mc.batch_scalar_slots", 0);
+}
+
 }  // namespace
 
 McResult run_trials(const TrialRunner& runner, std::uint64_t n_for_energy,
@@ -317,13 +327,15 @@ McResult run_aggregate_mc(const UniformProtocolFactory& factory,
   AdversarySpec spec = adversary;
   spec.n = n;
   if (config.batch > 0) {
+    register_batch_counters();
     if (const auto kernel = probe_batch_factory(factory)) {
       const Rng base(config.seed);
       const BatchChunkRunner chunk =
-          [kernel = *kernel, spec, n, max_slots = config.max_slots, base](
-              std::size_t first, std::size_t count, TrialOutcome* out) {
-            run_batch_aggregate_trials(kernel, spec, {n, max_slots}, base,
-                                       first, count, out);
+          [kernel = *kernel, spec, n, max_slots = config.max_slots,
+           lanes = config.batch_lanes,
+           base](std::size_t first, std::size_t count, TrialOutcome* out) {
+            run_batch_aggregate_trials(kernel, spec, {n, max_slots, lanes},
+                                       base, first, count, out);
           };
       return run_trials_batched(chunk, n, config);
     }
@@ -345,12 +357,14 @@ McResult run_hybrid_mc(const UniformProtocolFactory& factory,
   AdversarySpec spec = adversary;
   spec.n = n;
   if (config.batch > 0) {
+    register_batch_counters();
     if (const auto kernel = probe_batch_factory(factory)) {
       const Rng base(config.seed);
       const BatchChunkRunner chunk =
-          [kernel = *kernel, spec, n, max_slots = config.max_slots, base](
-              std::size_t first, std::size_t count, TrialOutcome* out) {
-            run_batch_hybrid_trials(kernel, spec, {n, max_slots}, base,
+          [kernel = *kernel, spec, n, max_slots = config.max_slots,
+           lanes = config.batch_lanes,
+           base](std::size_t first, std::size_t count, TrialOutcome* out) {
+            run_batch_hybrid_trials(kernel, spec, {n, max_slots, lanes}, base,
                                     first, count, out);
           };
       return run_trials_batched(chunk, n, config);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "sim/adversary_spec.hpp"
+#include "sim/batch.hpp"
 #include "sim/engine.hpp"
 #include "sim/hybrid.hpp"
 #include "sim/outcome.hpp"
@@ -37,6 +38,11 @@ struct McConfig {
   /// 0 (same mix64(seed, k) derivation per trial), so this is purely a
   /// throughput knob. Ignored by run_station_mc / run_cohort_mc.
   std::size_t batch = 0;
+  /// Lane-stepping mode for the batched engine (ignored when batch ==
+  /// 0): kAuto picks the SIMD-wide path whenever the adversary policy
+  /// is lane-invariant; see BatchLaneMode. Outcomes are bit-identical
+  /// across modes — another pure throughput knob.
+  BatchLaneMode batch_lanes = BatchLaneMode::kAuto;
   /// Materialize McResult::outcomes (per-trial detail). Off by default:
   /// the streaming path aggregates into O(distinct-values) count maps
   /// per thread, so million-trial sweeps don't hold a TrialOutcome per

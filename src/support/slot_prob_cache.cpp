@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "support/wide_rng.hpp"
+
 namespace jamelect {
 
 SlotProbCache::SlotProbCache(std::uint64_t n, std::size_t initial_capacity) : n_(n) {
@@ -12,16 +14,46 @@ SlotProbCache::SlotProbCache(std::uint64_t n, std::size_t initial_capacity) : n_
   slots_.assign(cap, Slot{kEmpty, {}});
 }
 
+void SlotProbCache::lookup_lanes(const double* us, std::size_t count,
+                                 double* c_null, double* c_single,
+                                 double* exp_tx) {
+#if defined(JAMELECT_WIDE_AVX2)
+  // With a lattice declared, each lane resolves to a fixed-stride
+  // DenseSlot, so the whole batch reduces to gathers. Pure dispatch:
+  // entries and counters are identical either way, and the same
+  // JAMELECT_FORCE_SCALAR override that pins the wide engines to the
+  // portable backend pins this loop scalar too.
+  if (!dense_.empty() && active_wide_isa() == WideIsa::kAvx2) {
+    lookup_lanes_avx2(us, count, c_null, c_single, exp_tx);
+    return;
+  }
+#endif
+  for (std::size_t k = 0; k < count; ++k) {
+    const Entry& e = lookup(us[k]);
+    c_null[k] = e.c_null;
+    c_single[k] = e.c_single;
+    exp_tx[k] = e.exp_tx;
+  }
+}
+
+void SlotProbCache::set_lattice_step(double step) {
+  JAMELECT_EXPECTS(step > 0.0);
+  inv_step_ = 1.0 / step;
+  dense_.assign(kDenseCapacity, DenseSlot{kEmpty, {}});
+}
+
 const SlotProbCache::Entry& SlotProbCache::insert_slow(double u, std::uint64_t key) {
   JAMELECT_EXPECTS(key != kEmpty);  // u is never NaN on the hot path
   ++misses_;
   if (size_ + 1 > (mask_ + 1) - (mask_ + 1) / 4) grow();
 
   // Same call chain as the sequential aggregate engine — the cached
-  // entry is bit-identical to what run_aggregate computes per slot.
+  // entry is bit-identical to what run_aggregate computes per slot
+  // (exp_tx reproduces the engine's `double(n) * p` product exactly).
   const double p = transmit_probability(u);
   const SlotProbabilities probs = slot_probabilities(n_, p);
-  const Entry entry{p, probs.null, probs.null + probs.single};
+  const Entry entry{p, probs.null, probs.null + probs.single,
+                    static_cast<double>(n_) * p};
 
   std::size_t idx = hash(key) & mask_;
   while (slots_[idx].key != kEmpty) idx = (idx + 1) & mask_;

@@ -1,0 +1,94 @@
+// Shared xoshiro256** stepping primitives for the SIMD-wide lane
+// engines (support/wide_rng.hpp, sim/batch_wide.hpp).
+//
+// The scalar step here is the exact algorithm of Xoshiro256StarStar
+// (support/rng.hpp) operating on structure-of-arrays state, and the
+// uniform conversion is the exact `(x >> 11) * 2^-53` of Rng::uniform.
+// The AVX2 block (compiled only in TUs built with -mavx2; see the
+// JAMELECT_WIDE_AVX2 gate in CMakeLists.txt) reproduces both
+// bit-for-bit with vector rotl/shift/xor and an exact two-part
+// u64→double conversion, so the wide engines can mix scalar and vector
+// stepping freely without breaking the bit-identity contract.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace jamelect::wide_detail {
+
+/// One xoshiro256** step on SoA state; returns the output word.
+/// Bit-identical to Xoshiro256StarStar::operator()().
+inline std::uint64_t step1(std::uint64_t& s0, std::uint64_t& s1,
+                           std::uint64_t& s2, std::uint64_t& s3) noexcept {
+  const auto rotl = [](std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  };
+  const std::uint64_t result = rotl(s1 * 5, 7) * 9;
+  const std::uint64_t t = s1 << 17;
+  s2 ^= s0;
+  s3 ^= s1;
+  s1 ^= s2;
+  s0 ^= s3;
+  s2 ^= t;
+  s3 = rotl(s3, 45);
+  return result;
+}
+
+/// Uniform double in [0, 1) from one output word; bit-identical to
+/// Rng::uniform (the cast of a 53-bit integer to double is exact).
+inline double to_uniform(std::uint64_t x) noexcept {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+#if defined(__AVX2__)
+
+/// Four xoshiro256** steps, one per 64-bit vector lane. State vectors
+/// are updated in place; returns the four output words.
+inline __m256i step4_avx2(__m256i& s0, __m256i& s1, __m256i& s2,
+                          __m256i& s3) noexcept {
+  const auto rotl = [](__m256i x, int k) noexcept {
+    return _mm256_or_si256(_mm256_slli_epi64(x, k),
+                           _mm256_srli_epi64(x, 64 - k));
+  };
+  // s1 * 5 and r * 9 via shift-add: AVX2 has no 64-bit multiply.
+  const __m256i s1x5 = _mm256_add_epi64(s1, _mm256_slli_epi64(s1, 2));
+  const __m256i r7 = rotl(s1x5, 7);
+  const __m256i result = _mm256_add_epi64(r7, _mm256_slli_epi64(r7, 3));
+  const __m256i t = _mm256_slli_epi64(s1, 17);
+  s2 = _mm256_xor_si256(s2, s0);
+  s3 = _mm256_xor_si256(s3, s1);
+  s1 = _mm256_xor_si256(s1, s2);
+  s0 = _mm256_xor_si256(s0, s3);
+  s2 = _mm256_xor_si256(s2, t);
+  s3 = rotl(s3, 45);
+  return result;
+}
+
+/// Exact vector u64→uniform-double conversion: v = x >> 11 is a 53-bit
+/// value, split as v = hi·2^32 + lo with hi < 2^21, lo < 2^32. Each
+/// half converts exactly via the 2^52 magic-number trick, and
+/// hi·2^32 + lo is exact because v fits in a double's 53-bit mantissa —
+/// so the result equals static_cast<double>(v) * 2^-53 bit-for-bit.
+inline __m256d to_uniform4_avx2(__m256i x) noexcept {
+  const __m256i v = _mm256_srli_epi64(x, 11);
+  const __m256i magic_i = _mm256_set1_epi64x(0x4330000000000000LL);  // 2^52
+  const __m256d magic_d = _mm256_castsi256_pd(magic_i);
+  const __m256i lo = _mm256_and_si256(v, _mm256_set1_epi64x(0xffffffffLL));
+  const __m256i hi = _mm256_srli_epi64(v, 32);
+  const __m256d lo_d =
+      _mm256_sub_pd(_mm256_castsi256_pd(_mm256_or_si256(lo, magic_i)),
+                    magic_d);
+  const __m256d hi_d =
+      _mm256_sub_pd(_mm256_castsi256_pd(_mm256_or_si256(hi, magic_i)),
+                    magic_d);
+  const __m256d vd = _mm256_add_pd(
+      _mm256_mul_pd(hi_d, _mm256_set1_pd(4294967296.0)), lo_d);
+  return _mm256_mul_pd(vd, _mm256_set1_pd(0x1.0p-53));
+}
+
+#endif  // __AVX2__
+
+}  // namespace jamelect::wide_detail

@@ -1,0 +1,285 @@
+// The SIMD-wide batch lane engines (BatchLaneMode::kWide) must return
+// bit-identical TrialOutcomes to the scalar lane path — for every
+// kernel (plain uniform, LESK, LESU), both CD modes, lane counts that
+// are not a multiple of the group width, lanes retiring mid-vector,
+// and on every available backend (AVX2 and the portable scalar4
+// fallback). kAuto must route by adversary policy, and kWide must
+// reject adaptive policies outright.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "protocols/lesk.hpp"
+#include "protocols/lesu.hpp"
+#include "protocols/plain_uniform.hpp"
+#include "sim/batch.hpp"
+#include "sim/montecarlo.hpp"
+#include "support/expects.hpp"
+#include "support/wide_rng.hpp"
+
+namespace jamelect {
+namespace {
+
+void expect_outcome_eq(const TrialOutcome& a, const TrialOutcome& b,
+                       const std::string& what, std::size_t trial) {
+  ASSERT_EQ(a.elected, b.elected) << what << " trial " << trial;
+  ASSERT_EQ(a.slots, b.slots) << what << " trial " << trial;
+  ASSERT_EQ(a.jams, b.jams) << what << " trial " << trial;
+  ASSERT_EQ(a.nulls, b.nulls) << what << " trial " << trial;
+  ASSERT_EQ(a.singles, b.singles) << what << " trial " << trial;
+  ASSERT_EQ(a.collisions, b.collisions) << what << " trial " << trial;
+  // Bit-identity, not approximate: the wide path replays the exact
+  // double arithmetic of the scalar lanes.
+  ASSERT_EQ(a.transmissions, b.transmissions) << what << " trial " << trial;
+  ASSERT_EQ(a.all_done, b.all_done) << what << " trial " << trial;
+  ASSERT_EQ(a.unique_leader, b.unique_leader) << what << " trial " << trial;
+  ASSERT_EQ(a.leader, b.leader) << what << " trial " << trial;
+}
+
+/// Backends available on this machine: scalar4 always, avx2 if usable.
+[[nodiscard]] std::vector<WideIsa> available_isas() {
+  std::vector<WideIsa> isas{WideIsa::kScalar4};
+  if (wide_avx2_supported()) isas.push_back(WideIsa::kAvx2);
+  return isas;
+}
+
+class IsaGuard {
+ public:
+  explicit IsaGuard(WideIsa isa) { set_wide_isa_for_testing(isa); }
+  ~IsaGuard() { reset_wide_isa_for_testing(); }
+  IsaGuard(const IsaGuard&) = delete;
+  IsaGuard& operator=(const IsaGuard&) = delete;
+};
+
+struct Scenario {
+  std::string name;
+  BatchKernelSpec spec;
+  AdversarySpec adversary;
+  std::uint64_t n;
+};
+
+/// One scenario per kernel, lane-invariant adversaries only (the wide
+/// path's precondition). Small n keeps elections quick, so lanes
+/// retire at staggered slots — including mid-vector, with live lanes
+/// on both sides of the retired one.
+[[nodiscard]] std::vector<Scenario> scenarios() {
+  std::vector<Scenario> list;
+  {
+    AdversarySpec none;
+    none.policy = "none";
+    list.push_back({"lesk/none", BatchKernelSpec{LeskParams{0.5, 0.0}}, none,
+                    8});
+  }
+  {
+    AdversarySpec sat;
+    sat.policy = "saturating";
+    sat.T = 32;
+    sat.eps = 0.5;
+    list.push_back(
+        {"lesk/saturating", BatchKernelSpec{LeskParams{0.25, 0.0}}, sat, 256});
+  }
+  {
+    AdversarySpec per;
+    per.policy = "periodic";
+    per.T = 16;
+    per.eps = 0.5;
+    list.push_back({"lesu/periodic", BatchKernelSpec{LesuParams{}}, per, 64});
+  }
+  {
+    AdversarySpec pulse;
+    pulse.policy = "pulse";
+    pulse.T = 24;
+    pulse.eps = 0.25;
+    list.push_back({"uniform/pulse", BatchKernelSpec{PlainUniformParams{3.0}},
+                    pulse, 16});
+  }
+  return list;
+}
+
+/// Lane counts straddling the group width: below, exact, 1 over, odd
+/// multi-group, and a larger chunk.
+constexpr std::size_t kLaneCounts[] = {1, 3, 4, 5, 7, 29};
+
+TEST(WideBatch, AggregateWideMatchesScalarLanesOnEveryBackend) {
+  for (const WideIsa isa : available_isas()) {
+    IsaGuard guard(isa);
+    for (const Scenario& sc : scenarios()) {
+      for (const std::size_t count : kLaneCounts) {
+        const Rng base(0x5eedULL);
+        BatchConfig scalar_cfg{sc.n, 20000, BatchLaneMode::kScalarLanes};
+        BatchConfig wide_cfg{sc.n, 20000, BatchLaneMode::kWide};
+        std::vector<TrialOutcome> scalar(count), wide(count);
+        run_batch_aggregate_trials(sc.spec, sc.adversary, scalar_cfg, base, 2,
+                                   count, scalar.data());
+        run_batch_aggregate_trials(sc.spec, sc.adversary, wide_cfg, base, 2,
+                                   count, wide.data());
+        for (std::size_t t = 0; t < count; ++t) {
+          expect_outcome_eq(scalar[t], wide[t],
+                            std::string(wide_isa_name(isa)) + " " + sc.name,
+                            t);
+        }
+      }
+    }
+  }
+}
+
+TEST(WideBatch, HybridWideMatchesScalarLanesOnEveryBackend) {
+  for (const WideIsa isa : available_isas()) {
+    IsaGuard guard(isa);
+    for (const Scenario& sc : scenarios()) {
+      for (const std::size_t count : kLaneCounts) {
+        const Rng base(0xabcULL);
+        BatchConfig scalar_cfg{sc.n, 40000, BatchLaneMode::kScalarLanes};
+        BatchConfig wide_cfg{sc.n, 40000, BatchLaneMode::kWide};
+        std::vector<TrialOutcome> scalar(count), wide(count);
+        run_batch_hybrid_trials(sc.spec, sc.adversary, scalar_cfg, base, 0,
+                                count, scalar.data());
+        run_batch_hybrid_trials(sc.spec, sc.adversary, wide_cfg, base, 0,
+                                count, wide.data());
+        for (std::size_t t = 0; t < count; ++t) {
+          expect_outcome_eq(scalar[t], wide[t],
+                            std::string(wide_isa_name(isa)) + " " + sc.name,
+                            t);
+        }
+      }
+    }
+  }
+}
+
+TEST(WideBatch, CensoredLanesMatchTooOnEveryBackend) {
+  // A slot budget far below the election time leaves every lane
+  // censored: accumulator totals (not just elected outcomes) must agree
+  // bit for bit.
+  for (const WideIsa isa : available_isas()) {
+    IsaGuard guard(isa);
+    const Scenario sc = scenarios()[1];  // LESK vs saturating, n = 256
+    const Rng base(0x17ULL);
+    BatchConfig scalar_cfg{sc.n, 40, BatchLaneMode::kScalarLanes};
+    BatchConfig wide_cfg{sc.n, 40, BatchLaneMode::kWide};
+    std::vector<TrialOutcome> scalar(6), wide(6);
+    run_batch_aggregate_trials(sc.spec, sc.adversary, scalar_cfg, base, 0, 6,
+                               scalar.data());
+    run_batch_aggregate_trials(sc.spec, sc.adversary, wide_cfg, base, 0, 6,
+                               wide.data());
+    for (std::size_t t = 0; t < 6; ++t) {
+      expect_outcome_eq(scalar[t], wide[t], wide_isa_name(isa), t);
+      ASSERT_FALSE(wide[t].elected);
+      ASSERT_EQ(wide[t].slots, 40);
+    }
+  }
+}
+
+TEST(WideBatch, AutoRoutesThroughMcBitIdenticalToSequential) {
+  // End-to-end through run_*_mc: batch_lanes = kAuto (the default)
+  // goes wide for these lane-invariant policies and must still match
+  // the sequential per-trial reference.
+  const UniformProtocolFactory factory = [] {
+    return std::make_unique<Lesk>(LeskParams{0.5, 0.0});
+  };
+  AdversarySpec sat;
+  sat.policy = "saturating";
+  sat.T = 32;
+  sat.eps = 0.5;
+  McConfig seq;
+  seq.trials = 21;
+  seq.seed = 0xc0deULL;
+  seq.max_slots = 20000;
+  seq.parallel = false;
+  seq.keep_outcomes = true;
+  const McResult reference = run_aggregate_mc(factory, sat, 512, seq);
+  for (const BatchLaneMode mode :
+       {BatchLaneMode::kAuto, BatchLaneMode::kWide,
+        BatchLaneMode::kScalarLanes}) {
+    McConfig cfg = seq;
+    cfg.batch = 8;
+    cfg.batch_lanes = mode;
+    const McResult batched = run_aggregate_mc(factory, sat, 512, cfg);
+    ASSERT_EQ(batched.outcomes.size(), reference.outcomes.size());
+    for (std::size_t t = 0; t < reference.outcomes.size(); ++t) {
+      expect_outcome_eq(reference.outcomes[t], batched.outcomes[t], "mc", t);
+    }
+  }
+}
+
+TEST(WideBatch, AutoFallsBackToScalarLanesForAdaptivePolicies) {
+  // bernoulli draws its jam schedule from a per-lane rng, so kAuto must
+  // quietly keep the scalar path — and still match the sequential
+  // reference.
+  const UniformProtocolFactory factory = [] {
+    return std::make_unique<Lesu>(LesuParams{});
+  };
+  AdversarySpec bern;
+  bern.policy = "bernoulli";
+  bern.T = 64;
+  bern.eps = 0.25;
+  McConfig seq;
+  seq.trials = 11;
+  seq.seed = 0xfadeULL;
+  seq.max_slots = 20000;
+  seq.parallel = false;
+  seq.keep_outcomes = true;
+  const McResult reference = run_aggregate_mc(factory, bern, 256, seq);
+  McConfig cfg = seq;
+  cfg.batch = 8;  // batch_lanes stays kAuto
+  const McResult batched = run_aggregate_mc(factory, bern, 256, cfg);
+  for (std::size_t t = 0; t < reference.outcomes.size(); ++t) {
+    expect_outcome_eq(reference.outcomes[t], batched.outcomes[t], "auto", t);
+  }
+}
+
+TEST(WideBatch, ForcingWideWithAdaptivePolicyViolatesContract) {
+  AdversarySpec bern;
+  bern.policy = "bernoulli";
+  bern.T = 64;
+  bern.eps = 0.25;
+  const BatchKernelSpec spec{LeskParams{0.5, 0.0}};
+  const BatchConfig config{64, 1000, BatchLaneMode::kWide};
+  const Rng base(1);
+  TrialOutcome out;
+  EXPECT_THROW(
+      run_batch_aggregate_trials(spec, bern, config, base, 0, 1, &out),
+      ContractViolation);
+  EXPECT_THROW(run_batch_hybrid_trials(spec, bern, config, base, 0, 1, &out),
+               ContractViolation);
+}
+
+TEST(WideBatch, WideSlotCountersRollUp) {
+  if constexpr (!obs::kObsCompiledIn) {
+    GTEST_SKIP() << "JAMELECT_OBS compiled out";
+  }
+  auto& reg = obs::MetricsRegistry::global();
+  const bool was_enabled = reg.enabled();
+  reg.reset();
+  reg.set_enabled(true);
+  const UniformProtocolFactory factory = [] {
+    return std::make_unique<Lesk>(LeskParams{0.5, 0.0});
+  };
+  AdversarySpec none;
+  none.policy = "none";
+  McConfig cfg;
+  cfg.trials = 8;
+  cfg.seed = 3;
+  cfg.max_slots = 20000;
+  cfg.parallel = false;
+  cfg.batch = 8;
+  cfg.batch_lanes = BatchLaneMode::kWide;
+  (void)run_aggregate_mc(factory, none, 64, cfg);
+  const auto snap = reg.aggregate();
+  reg.set_enabled(was_enabled);
+  // The registration shim pins all three rollup counters into the
+  // manifest; only the wide one accumulates on this run.
+  ASSERT_TRUE(snap.counters.count("mc.batch_wide_slots"));
+  ASSERT_TRUE(snap.counters.count("mc.batch_scalar_slots"));
+  ASSERT_TRUE(snap.counters.count("mc.batch_fallbacks"));
+  EXPECT_GT(snap.counters.at("mc.batch_wide_slots"), 0);
+  EXPECT_EQ(snap.counters.at("mc.batch_scalar_slots"), 0);
+  EXPECT_EQ(snap.counters.at("mc.batch_fallbacks"), 0);
+  EXPECT_GT(snap.counters.at("engine.batch.cache_lookups"), 0);
+}
+
+}  // namespace
+}  // namespace jamelect

@@ -1,0 +1,147 @@
+// WideXoshiro must reproduce the scalar Rng streams bit for bit on
+// every backend — the wide batch engines' bit-identity contract
+// bottoms out here. Each test that depends on the backend runs under
+// both (AVX2 when the machine supports it, the portable 4-wide path
+// always) via the set_wide_isa_for_testing hook.
+#include "support/wide_rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace jamelect {
+namespace {
+
+[[nodiscard]] std::uint64_t bits(double x) {
+  return std::bit_cast<std::uint64_t>(x);
+}
+
+/// Backends available on this machine: scalar4 always, avx2 if usable.
+[[nodiscard]] std::vector<WideIsa> available_isas() {
+  std::vector<WideIsa> isas{WideIsa::kScalar4};
+  if (wide_avx2_supported()) isas.push_back(WideIsa::kAvx2);
+  return isas;
+}
+
+/// Pins the backend for the duration of a scope.
+class IsaGuard {
+ public:
+  explicit IsaGuard(WideIsa isa) { set_wide_isa_for_testing(isa); }
+  ~IsaGuard() { reset_wide_isa_for_testing(); }
+  IsaGuard(const IsaGuard&) = delete;
+  IsaGuard& operator=(const IsaGuard&) = delete;
+};
+
+TEST(WideRng, ScalarLaneOpsMatchRngExactly) {
+  // next/uniform/below per lane against the scalar engine, including a
+  // non-power-of-two below() bound (rejection path).
+  WideXoshiro wide(3);
+  std::vector<Rng> scalars;
+  for (std::size_t k = 0; k < 3; ++k) {
+    const std::uint64_t seed = 0x9e37'79b9'0000'0000ULL + k;
+    wide.seed_lane(k, seed);
+    scalars.emplace_back(seed);
+  }
+  for (int step = 0; step < 200; ++step) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      ASSERT_EQ(wide.next_lane(k), scalars[k].next_u64());
+      ASSERT_EQ(bits(wide.uniform_lane(k)), bits(scalars[k].uniform()));
+      ASSERT_EQ(wide.below_lane(k, 1), scalars[k].below(1));
+      ASSERT_EQ(wide.below_lane(k, 64), scalars[k].below(64));
+      ASSERT_EQ(wide.below_lane(k, 37), scalars[k].below(37));
+    }
+  }
+}
+
+TEST(WideRng, UniformGroupsMatchesScalarStreamsOnEveryBackend) {
+  for (const WideIsa isa : available_isas()) {
+    IsaGuard guard(isa);
+    // 7 lanes: one full group plus a partial (pad lane advances too but
+    // its output is ignored).
+    WideXoshiro wide(7);
+    std::vector<Rng> scalars;
+    for (std::size_t k = 0; k < 7; ++k) {
+      const std::uint64_t seed = 1000 + 17 * k;
+      wide.seed_lane(k, seed);
+      scalars.emplace_back(seed);
+    }
+    std::vector<double> out(wide.padded_lanes());
+    for (int step = 0; step < 500; ++step) {
+      wide.uniform_groups(2, out.data());
+      for (std::size_t k = 0; k < 7; ++k) {
+        ASSERT_EQ(bits(out[k]), bits(scalars[k].uniform()))
+            << wide_isa_name(isa) << " lane " << k << " step " << step;
+      }
+    }
+  }
+}
+
+TEST(WideRng, UniformMaskedAdvancesOnlyMaskedLanes) {
+  for (const WideIsa isa : available_isas()) {
+    IsaGuard guard(isa);
+    WideXoshiro wide(8);
+    std::vector<Rng> scalars;
+    for (std::size_t k = 0; k < 8; ++k) {
+      wide.seed_lane(k, 77 + k);
+      scalars.emplace_back(77 + k);
+    }
+    std::vector<double> out(8, -1.0);
+    Rng pattern(3);
+    for (int step = 0; step < 300; ++step) {
+      // Random mask each step: exercises full groups, partial groups,
+      // and all-zero groups.
+      std::vector<std::uint8_t> mask(8);
+      for (auto& m : mask) m = pattern.bernoulli(0.5) ? 1 : 0;
+      wide.uniform_masked(2, mask.data(), out.data());
+      for (std::size_t k = 0; k < 8; ++k) {
+        if (mask[k] != 0) {
+          ASSERT_EQ(bits(out[k]), bits(scalars[k].uniform()))
+              << wide_isa_name(isa) << " lane " << k << " step " << step;
+        }
+      }
+    }
+    // Unmasked lanes never moved: their next draw still matches.
+    for (std::size_t k = 0; k < 8; ++k) {
+      ASSERT_EQ(wide.next_lane(k), scalars[k].next_u64());
+    }
+  }
+}
+
+TEST(WideRng, MoveLaneCopiesTheStream) {
+  WideXoshiro wide(5);
+  for (std::size_t k = 0; k < 5; ++k) wide.seed_lane(k, 42 + k);
+  (void)wide.next_lane(4);  // advance src so dst must copy mid-stream
+  Rng twin(46);
+  (void)twin.next_u64();
+  wide.move_lane(1, 4);
+  for (int step = 0; step < 50; ++step) {
+    ASSERT_EQ(wide.next_lane(1), twin.next_u64());
+  }
+}
+
+TEST(WideRng, PadsToGroupMultiple) {
+  EXPECT_EQ(WideXoshiro(1).padded_lanes(), kWideLanes);
+  EXPECT_EQ(WideXoshiro(4).padded_lanes(), 4u);
+  EXPECT_EQ(WideXoshiro(5).padded_lanes(), 8u);
+  EXPECT_EQ(WideXoshiro(5).lanes(), 5u);
+}
+
+TEST(WideRng, IsaNamesAndOverrides) {
+  EXPECT_STREQ(wide_isa_name(WideIsa::kScalar4), "scalar4");
+  EXPECT_STREQ(wide_isa_name(WideIsa::kAvx2), "avx2");
+  {
+    IsaGuard guard(WideIsa::kScalar4);
+    EXPECT_EQ(active_wide_isa(), WideIsa::kScalar4);
+  }
+  if (wide_avx2_supported()) {
+    IsaGuard guard(WideIsa::kAvx2);
+    EXPECT_EQ(active_wide_isa(), WideIsa::kAvx2);
+  }
+}
+
+}  // namespace
+}  // namespace jamelect
