@@ -29,4 +29,37 @@ for b in "$BUILD_DIR"/bench/bench_*; do
   # the un-redirected exit status now abort the sweep on any error.
   "$b" --benchmark_format=csv > "$OUT_DIR/$name.csv"
 done
+# Aggregate batch-kernel counters across every run manifest: how much
+# of the sweep ran on the wide (SIMD) kernel vs the scalar path, and how
+# often a config fell back off the batch engine entirely. A sudden jump
+# in fallbacks or scalar share is a perf regression even when wall-clock
+# noise hides it.
+python3 - "$OUT_DIR" <<'PYEOF'
+import glob, json, os, sys
+
+out_dir = sys.argv[1]
+totals = {"mc.batch_fallbacks": 0, "mc.batch_wide_slots": 0,
+          "mc.batch_scalar_slots": 0}
+manifests = sorted(glob.glob(os.path.join(out_dir, "*.manifest.json")))
+for path in manifests:
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"warning: skipping {path}: {e}", file=sys.stderr)
+        continue
+    counters = doc.get("metrics", {}).get("counters", {})
+    for key in totals:
+        totals[key] += int(counters.get(key, 0))
+
+wide = totals["mc.batch_wide_slots"]
+scalar = totals["mc.batch_scalar_slots"]
+slots = wide + scalar
+print(f"== batch kernel rollup ({len(manifests)} manifests)")
+print(f"   mc.batch_fallbacks    {totals['mc.batch_fallbacks']}")
+print(f"   mc.batch_wide_slots   {wide}")
+print(f"   mc.batch_scalar_slots {scalar}")
+if slots:
+    print(f"   wide share            {wide / slots:.1%}")
+PYEOF
 echo "results in $OUT_DIR/"

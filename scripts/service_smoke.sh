@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Sweep-service smoke test (CI: the service job; also runnable locally).
+#
+#   scripts/service_smoke.sh [build-dir]
+#
+# Exercises the full daemon lifecycle:
+#   1. start jamelectd on an ephemeral port, disk cache in a temp dir;
+#   2. replay a mixed loadgen trace (hot-config skew), asserting the
+#      cache actually hits;
+#   3. repeat the trace against the warm disk cache after a restart;
+#   4. SIGTERM the daemon mid-sweep and assert it drains and exits 0.
+set -eu
+
+BUILD_DIR="${1:-build}"
+DAEMON="$BUILD_DIR/tools/jamelectd"
+LOADGEN="$BUILD_DIR/tools/jamelect_loadgen"
+[ -x "$DAEMON" ] || { echo "missing $DAEMON (build first)"; exit 1; }
+[ -x "$LOADGEN" ] || { echo "missing $LOADGEN (build first)"; exit 1; }
+
+WORK=$(mktemp -d)
+LOG="$WORK/jamelectd.log"
+export JAMELECT_MANIFEST_DIR="$WORK"
+
+cleanup() {
+  [ -n "${DPID:-}" ] && kill "$DPID" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+start_daemon() {
+  "$DAEMON" --port=0 --workers=4 --cache-dir="$WORK/cache" > "$LOG" 2>&1 &
+  DPID=$!
+  # The listening line carries the ephemeral port; wait for it.
+  for _ in $(seq 1 50); do
+    PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$LOG")
+    [ -n "$PORT" ] && return 0
+    kill -0 "$DPID" 2>/dev/null || { cat "$LOG"; echo "daemon died"; exit 1; }
+    sleep 0.1
+  done
+  cat "$LOG"; echo "daemon never reported its port"; exit 1
+}
+
+echo "== cold trace (computes, then hits)"
+start_daemon
+"$LOADGEN" --port="$PORT" --requests=10000 --concurrency=8 --configs=16 \
+  --hot-frac=0.9 --trials=32 --max-slots=20000 --min-hit-rate=0.5 \
+  --manifest=loadgen_cold
+
+echo "== warm restart (disk cache only, hit rate ~1.0)"
+kill -TERM "$DPID"; wait "$DPID"
+start_daemon
+"$LOADGEN" --port="$PORT" --requests=2000 --concurrency=8 --configs=16 \
+  --hot-frac=0.9 --trials=32 --max-slots=20000 --min-hit-rate=0.99 \
+  --manifest=loadgen_warm
+
+echo "== kill mid-sweep drains and exits 0"
+# A heavy sweep (fire-and-forget) occupies a worker, then SIGTERM lands
+# while it runs; graceful drain must still end with exit status 0.
+python3 - "$PORT" <<'PYEOF'
+import json, socket, sys
+s = socket.create_connection(("127.0.0.1", int(sys.argv[1])))
+req = {"op": "sweep", "wait": False,
+       "params": {"n": 4096, "trials": 500000, "seed": 424242,
+                  "adversary": "saturating", "T": 512,
+                  "max_slots": 1000000}}
+s.sendall((json.dumps(req) + "\n").encode())
+line = s.makefile().readline()
+resp = json.loads(line)
+assert resp.get("type") == "ack", line
+PYEOF
+sleep 0.3
+kill -TERM "$DPID"
+RC=0; wait "$DPID" || RC=$?
+if [ "$RC" -ne 0 ]; then
+  cat "$LOG"; echo "daemon exited $RC after SIGTERM mid-sweep"; exit 1
+fi
+grep -q "draining" "$LOG" || { cat "$LOG"; echo "no drain message"; exit 1; }
+[ -f "$WORK/jamelectd.manifest.json" ] || {
+  echo "daemon manifest not flushed on shutdown"; exit 1; }
+DPID=""
+
+echo "service smoke OK"

@@ -1,6 +1,7 @@
 #include "obs/manifest.hpp"
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +34,55 @@ std::string json_escape(const std::string& s) {
     }
   }
   return out;
+}
+
+std::string canonical_config_json(
+    const std::map<std::string, std::string>& config) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : config) {
+    if (!first) out += ',';
+    out += '"';
+    out += json_escape(k);
+    out += "\":\"";
+    out += json_escape(v);
+    out += '"';
+    first = false;
+  }
+  out += '}';
+  return out;
+}
+
+std::string canonical_number(double value) {
+  const double r = value < 0 ? -value : value;
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      r <= 9007199254740992.0) {  // 2^53: exactly representable integers
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+std::string config_fingerprint(
+    const std::map<std::string, std::string>& config) {
+  const std::string canon = canonical_config_json(config);
+  // FNV-1a, two independent 64-bit lanes (distinct offset bases) for a
+  // 128-bit key: collisions across a cache of millions of configs are
+  // ~2^-64 likely — comfortably below any operational concern.
+  std::uint64_t h1 = 0xcbf29ce484222325ULL;
+  std::uint64_t h2 = 0x84222325cbf29ce4ULL;
+  for (const unsigned char c : canon) {
+    h1 = (h1 ^ c) * 0x100000001b3ULL;
+    h2 = (h2 ^ c) * 0x100000001b3ULL;
+  }
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(h1),
+                static_cast<unsigned long long>(h2));
+  return buf;
 }
 
 std::string RunManifest::to_json() const {

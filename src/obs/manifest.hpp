@@ -37,6 +37,33 @@ struct RunManifest {
 /// Escapes a string for embedding in a JSON string literal.
 [[nodiscard]] std::string json_escape(const std::string& s);
 
+// Canonical config serialization — the sweep service's cache identity.
+//
+// A manifest config map serializes to EXACTLY one byte sequence:
+// std::map iteration gives a total key order, json_escape is
+// deterministic, and there is no whitespace variance (single-line,
+// `{"k":"v",...}`). Two configs are the same run if and only if their
+// canonical JSON bytes are equal, so the fingerprint below is a sound
+// memoization key (src/service/result_cache.hpp).
+
+/// Single-line canonical JSON object of a config map: keys in byte
+/// order (std::map), no insignificant whitespace.
+[[nodiscard]] std::string canonical_config_json(
+    const std::map<std::string, std::string>& config);
+
+/// Canonical text form for numeric config values: integral doubles in
+/// [-2^53, 2^53] print as integers ("4096"), everything else as %.17g
+/// (shortest exact round-trip is version-dependent; 17 significant
+/// digits is exact and stable). Use this when building config maps so
+/// 0.5 serializes identically no matter which code path formatted it.
+[[nodiscard]] std::string canonical_number(double value);
+
+/// 128-bit FNV-1a of canonical_config_json(config), hex-encoded
+/// (32 chars). Deterministic across processes, platforms and field
+/// insertion orders — the manifest-keyed result cache key.
+[[nodiscard]] std::string config_fingerprint(
+    const std::map<std::string, std::string>& config);
+
 /// Resolves where manifests should be written:
 ///  * env JAMELECT_MANIFEST=0 (or "off") disables writing — returns "";
 ///  * env JAMELECT_MANIFEST_DIR overrides the directory;

@@ -1,0 +1,189 @@
+#include "service/net.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace jamelect::service {
+
+namespace {
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket tcp_listen(const std::string& host, std::uint16_t port,
+                  std::uint16_t* actual_port, std::string* error) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    if (error != nullptr) *error = errno_string("socket");
+    return {};
+  }
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad listen address '" + host + "'";
+    return {};
+  }
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    if (error != nullptr) *error = errno_string("bind");
+    return {};
+  }
+  if (::listen(sock.fd(), 128) != 0) {
+    if (error != nullptr) *error = errno_string("listen");
+    return {};
+  }
+  if (actual_port != nullptr) {
+    sockaddr_in bound = {};
+    socklen_t len = sizeof bound;
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound), &len) ==
+        0) {
+      *actual_port = ntohs(bound.sin_port);
+    }
+  }
+  return sock;
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port,
+                   std::string* error) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    if (error != nullptr) *error = errno_string("socket");
+    return {};
+  }
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad address '" + host + "'";
+    return {};
+  }
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    if (error != nullptr) *error = errno_string("connect");
+    return {};
+  }
+  // The line protocol is request/response: disable Nagle so tiny JSON
+  // frames don't serialize into 40ms delayed-ACK stalls.
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return sock;
+}
+
+int accept_with_timeout(int listen_fd, int timeout_ms) {
+  pollfd pfd = {};
+  pfd.fd = listen_fd;
+  pfd.events = POLLIN;
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc == 0) return -1;  // timeout
+  if (rc < 0) return errno == EINTR ? -1 : -2;
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) return errno == EINTR || errno == ECONNABORTED ? -1 : -2;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+bool send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t rc = ::send(fd, data.data() + sent, data.size() - sent,
+                              MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(rc);
+  }
+  return true;
+}
+
+bool LineReader::fill(int fd, int timeout_ms) {
+  timed_out_ = false;
+  pollfd pfd = {};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc == 0) {
+    timed_out_ = true;
+    return false;
+  }
+  if (rc < 0) {
+    if (errno == EINTR) {
+      timed_out_ = true;  // caller re-checks its stop condition
+      return false;
+    }
+    return false;
+  }
+  char chunk[4096];
+  const ssize_t got = ::recv(fd, chunk, sizeof chunk, 0);
+  if (got <= 0) {
+    if (got < 0 && errno == EINTR) {
+      timed_out_ = true;
+      return false;
+    }
+    return false;  // peer closed or hard error
+  }
+  buf_.append(chunk, static_cast<std::size_t>(got));
+  return true;
+}
+
+std::optional<std::string> LineReader::read_line(int fd, int timeout_ms) {
+  timed_out_ = false;
+  for (;;) {
+    const std::size_t nl = buf_.find('\n', pos_);
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(pos_, nl - pos_);
+      pos_ = nl + 1;
+      if (pos_ > (buf_.size() / 2) && pos_ > 4096) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+      }
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    if (buf_.size() - pos_ > max_line) return std::nullopt;
+    if (!fill(fd, timeout_ms)) return std::nullopt;
+  }
+}
+
+std::optional<std::string> LineReader::read_exact(int fd, std::size_t count,
+                                                  int timeout_ms) {
+  timed_out_ = false;
+  if (count > max_line) return std::nullopt;
+  while (buf_.size() - pos_ < count) {
+    if (!fill(fd, timeout_ms)) return std::nullopt;
+  }
+  std::string out = buf_.substr(pos_, count);
+  pos_ += count;
+  return out;
+}
+
+}  // namespace jamelect::service

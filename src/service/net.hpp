@@ -1,0 +1,86 @@
+// Thin POSIX TCP wrappers for the sweep daemon and its clients.
+//
+// Everything here is loopback-grade plumbing: RAII fds, bind/listen
+// with ephemeral-port discovery (port 0 + getsockname, which is what
+// lets tests and the smoke script run without port collisions),
+// poll-based timeouts so blocking loops can re-check the cooperative
+// shutdown flag, and a buffered newline reader for the NDJSON line
+// protocol. No TLS, no non-blocking state machines — the service
+// targets a trusted host boundary (docs/SERVICE.md §Security).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace jamelect::service {
+
+/// Move-only owning socket fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on host:port (port 0 = ephemeral); reports the
+/// actually-bound port via `actual_port`. Invalid socket + `error` set
+/// on failure.
+[[nodiscard]] Socket tcp_listen(const std::string& host, std::uint16_t port,
+                                std::uint16_t* actual_port,
+                                std::string* error);
+
+/// Blocking connect. Invalid socket + `error` set on failure.
+[[nodiscard]] Socket tcp_connect(const std::string& host, std::uint16_t port,
+                                 std::string* error);
+
+/// accept() with a poll timeout. Returns the connection fd, -1 on
+/// timeout or EINTR (caller re-checks its stop condition), -2 on fatal
+/// listener error.
+[[nodiscard]] int accept_with_timeout(int listen_fd, int timeout_ms);
+
+/// Writes the whole buffer; false on error/EPIPE (SIGPIPE suppressed
+/// via MSG_NOSIGNAL).
+[[nodiscard]] bool send_all(int fd, std::string_view data);
+
+/// Buffered reader for newline-delimited protocols; also feeds the
+/// HTTP shim (read_exact for Content-Length bodies).
+class LineReader {
+ public:
+  /// Reads up to and including the next '\n'; the returned line has the
+  /// trailing '\n' (and '\r') stripped. Returns nullopt on peer close,
+  /// error, or timeout (distinguish with timed_out()). Lines longer
+  /// than `max_line` are an error (oversized-frame guard).
+  [[nodiscard]] std::optional<std::string> read_line(int fd, int timeout_ms);
+
+  /// Reads exactly `count` bytes (after any buffered remainder).
+  [[nodiscard]] std::optional<std::string> read_exact(int fd,
+                                                      std::size_t count,
+                                                      int timeout_ms);
+
+  [[nodiscard]] bool timed_out() const noexcept { return timed_out_; }
+
+  static constexpr std::size_t max_line = 1 << 20;
+
+ private:
+  /// Pulls more bytes into buf_; false on close/error/timeout.
+  [[nodiscard]] bool fill(int fd, int timeout_ms);
+
+  std::string buf_;
+  std::size_t pos_ = 0;
+  bool timed_out_ = false;
+};
+
+}  // namespace jamelect::service

@@ -1,0 +1,106 @@
+#include "service/result_cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "service/json.hpp"
+
+namespace jamelect::service {
+
+namespace {
+
+/// Keys are hex fingerprints; reject anything else before it becomes a
+/// filename (defense against path traversal via a corrupted key).
+bool safe_key(const std::string& key) {
+  if (key.empty() || key.size() > 64) return false;
+  for (const char c : key) {
+    const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string disk_dir) : dir_(std::move(disk_dir)) {}
+
+std::string ResultCache::path_for(const std::string& key) const {
+  return dir_ + "/" + key + ".result.json";
+}
+
+std::optional<std::string> ResultCache::lookup(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = memory_.find(key);
+  if (it != memory_.end()) return it->second;
+  if (dir_.empty() || !safe_key(key)) return std::nullopt;
+  auto loaded = load_from_disk(key);
+  if (loaded.has_value()) memory_.emplace(key, *loaded);
+  return loaded;
+}
+
+std::optional<std::string> ResultCache::load_from_disk(
+    const std::string& key) const {
+  std::ifstream in(path_for(key));
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  const auto envelope = Json::parse(buf.str(), &error);
+  if (!envelope.has_value()) return std::nullopt;
+  const Json* stored_key = envelope->find("key");
+  const Json* result = envelope->find("result");
+  if (stored_key == nullptr || stored_key->as_string() != key ||
+      result == nullptr || !result->is_object()) {
+    return std::nullopt;  // foreign or corrupted file: treat as a miss
+  }
+  // dump() of a canonically-dumped document is byte-identical to the
+  // original (sorted keys, exact int / %.17g formatting), so the disk
+  // round-trip preserves bit-identity.
+  return result->dump();
+}
+
+void ResultCache::store(const std::string& key,
+                        const std::string& request_canonical,
+                        const std::string& result_json) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    memory_.insert_or_assign(key, result_json);
+  }
+  if (dir_.empty() || !safe_key(key)) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) return;  // disk tier is best-effort; memory already has it
+  // Hand-spliced envelope: result bytes are embedded verbatim, so what
+  // load_from_disk re-extracts is exactly what lookup() would have
+  // served from memory.
+  std::string envelope = "{\"key\":\"" + key + "\",\"request\":" +
+                         (request_canonical.empty() ? std::string("null")
+                                                    : request_canonical) +
+                         ",\"result\":" + result_json + "}\n";
+  const std::string tmp = path_for(key) + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return;
+    out << envelope;
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return;
+    }
+  }
+  // rename() is atomic within a filesystem: readers see the old state
+  // or the complete new file, never a torn write.
+  if (std::rename(tmp.c_str(), path_for(key).c_str()) != 0) {
+    std::remove(tmp.c_str());
+  }
+}
+
+std::size_t ResultCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return memory_.size();
+}
+
+}  // namespace jamelect::service

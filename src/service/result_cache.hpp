@@ -1,0 +1,58 @@
+// Manifest-keyed result cache: in-memory map + optional on-disk tier.
+//
+// Keys are obs::config_fingerprint(SweepRequest::config_map()) — the
+// canonical config+seed+git-SHA hash — and values are the EXACT bytes
+// of the canonical result JSON, so a hit is bit-identical to the
+// computation it memoizes. The disk tier makes hits survive daemon
+// restarts: each entry is one `<key>.result.json` envelope written
+// atomically (temp file + rename), loaded lazily on first miss and
+// promoted into memory.
+//
+// Thread-safe; lookups under a single mutex (entries are small strings
+// and hits must beat recomputation by ~100x, not by the last
+// microsecond of lock contention). In-flight request coalescing lives
+// one layer up, in SweepService — the cache only stores finished runs.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace jamelect::service {
+
+class ResultCache {
+ public:
+  /// `disk_dir` empty => memory-only. The directory is created on first
+  /// store if missing.
+  explicit ResultCache(std::string disk_dir);
+
+  /// The stored result JSON bytes for `key`: memory first, then disk
+  /// (a disk hit is promoted into memory). nullopt on miss.
+  [[nodiscard]] std::optional<std::string> lookup(const std::string& key);
+
+  /// Stores a finished result. `request_canonical` (the request's
+  /// canonical JSON) is embedded in the disk envelope so cache files
+  /// are self-describing; it is not needed to serve hits. Idempotent —
+  /// same key always carries the same bytes.
+  void store(const std::string& key, const std::string& request_canonical,
+             const std::string& result_json);
+
+  /// Entries currently resident in memory.
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] const std::string& disk_dir() const noexcept { return dir_; }
+
+ private:
+  [[nodiscard]] std::string path_for(const std::string& key) const;
+  /// Reads and validates a disk envelope; returns the result bytes.
+  [[nodiscard]] std::optional<std::string> load_from_disk(
+      const std::string& key) const;
+
+  mutable std::mutex mutex_;
+  std::string dir_;
+  std::unordered_map<std::string, std::string> memory_;
+};
+
+}  // namespace jamelect::service

@@ -1,0 +1,382 @@
+#include "service/server.hpp"
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <unistd.h>
+#include <utility>
+
+namespace jamelect::service {
+
+namespace {
+
+std::string error_line(int code, const std::string& message) {
+  Json out;
+  out.set_object();
+  out.set("type", "error");
+  out.set("code", code);
+  out.set("error", message);
+  return out.dump() + "\n";
+}
+
+/// Result lines splice the cached result bytes in verbatim — the
+/// envelope is built by hand so the result member stays bit-identical
+/// to what the cache stores.
+std::string result_line(const std::string& id, const std::string& cache,
+                        std::int64_t micros, const std::string& result_json) {
+  std::string out = "{\"type\":\"result\",\"id\":\"" + id + "\",\"cache\":\"" +
+                    cache + "\",\"micros\":" + std::to_string(micros) +
+                    ",\"result\":" + result_json + "}\n";
+  return out;
+}
+
+std::string status_json(const JobStatus& status) {
+  Json out;
+  out.set_object();
+  out.set("type", "status");
+  out.set("id", status.id);
+  out.set("key", status.key);
+  out.set("state", job_state_name(status.state));
+  out.set("waiters", static_cast<std::uint64_t>(status.waiters));
+  out.set("submitted_us", status.submitted_us);
+  out.set("started_us", status.started_us);
+  out.set("finished_us", status.finished_us);
+  if (!status.error.empty()) out.set("error", status.error);
+  return out.dump();
+}
+
+std::string http_response(int code, const char* reason,
+                          const std::string& content_type,
+                          const std::string& body,
+                          const std::string& extra_headers = "") {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n" + extra_headers + "\r\n" +
+                    body;
+  return out;
+}
+
+/// Prometheus metric name: "svc.latency_us" -> "jamelect_svc_latency_us".
+std::string prometheus_name(const std::string& name) {
+  std::string out = "jamelect_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheus_text(const obs::MetricsSnapshot& snap) {
+  std::string out;
+  char buf[64];
+  for (const auto& [name, value] : snap.counters) {
+    out += prometheus_name(name) + "_total " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    out += prometheus_name(name) + " " + buf + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string base = prometheus_name(name);
+    out += base + "_count " + std::to_string(h.count) + "\n";
+    out += base + "_sum " + std::to_string(h.sum) + "\n";
+    out += base + "_p50 " + std::to_string(histogram_quantile(h, 0.50)) + "\n";
+    out += base + "_p99 " + std::to_string(histogram_quantile(h, 0.99)) + "\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(SweepService& service, ServerConfig config)
+    : service_(service), config_(std::move(config)) {}
+
+SocketServer::~SocketServer() { stop(); }
+
+bool SocketServer::start(std::string* error) {
+  listener_ = tcp_listen(config_.host, config_.port, &port_, error);
+  if (!listener_.valid()) return false;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void SocketServer::stop() {
+  if (stop_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+  // Connection loops poll with idle_poll_ms slices and re-check stop_,
+  // so this wait is bounded by one slice plus one in-flight response.
+  while (active_.load(std::memory_order_acquire) > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+void SocketServer::accept_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const int fd = accept_with_timeout(listener_.fd(), config_.idle_poll_ms);
+    if (fd == -1) continue;  // timeout / EINTR: re-check stop_
+    if (fd == -2) return;    // listener died (stop() closed it)
+    active_.fetch_add(1, std::memory_order_acq_rel);
+    std::thread([this, fd] {
+      handle_connection(fd);
+      ::close(fd);
+      active_.fetch_sub(1, std::memory_order_acq_rel);
+    }).detach();
+  }
+}
+
+void SocketServer::handle_connection(int fd) {
+  LineReader reader;
+  bool first = true;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    auto line = reader.read_line(fd, config_.idle_poll_ms);
+    if (!line.has_value()) {
+      if (reader.timed_out()) continue;  // idle: re-check stop_
+      return;                            // peer closed / error / oversize
+    }
+    if (first && (line->rfind("GET ", 0) == 0 ||
+                  line->rfind("POST ", 0) == 0 ||
+                  line->rfind("HEAD ", 0) == 0 ||
+                  line->rfind("PUT ", 0) == 0 ||
+                  line->rfind("DELETE ", 0) == 0)) {
+      handle_http(fd, reader, *line);
+      return;  // Connection: close
+    }
+    first = false;
+    if (line->empty()) continue;
+    if (!handle_line(fd, *line)) return;
+  }
+}
+
+bool SocketServer::handle_line(int fd, const std::string& line) {
+  std::string parse_error;
+  const auto doc = Json::parse(line, &parse_error);
+  if (!doc.has_value() || !doc->is_object()) {
+    return send_all(fd, error_line(400, "bad JSON: " + parse_error));
+  }
+  const Json* op = doc->find("op");
+  const std::string op_name = op != nullptr ? op->as_string() : "";
+
+  if (op_name == "ping") {
+    return send_all(fd, "{\"type\":\"pong\"}\n");
+  }
+  if (op_name == "metrics") {
+    Json out;
+    out.set_object();
+    out.set("type", "metrics");
+    out.set("metrics", service_.metrics_json());
+    return send_all(fd, out.dump() + "\n");
+  }
+  if (op_name == "status") {
+    const Json* id = doc->find("id");
+    if (id == nullptr || !id->is_string()) {
+      return send_all(fd, error_line(400, "status needs an \"id\""));
+    }
+    const auto status = service_.status(id->as_string());
+    if (!status.has_value()) {
+      return send_all(fd, error_line(404, "unknown job id"));
+    }
+    return send_all(fd, status_json(*status) + "\n");
+  }
+  if (op_name == "sweep") {
+    const Json* params = doc->find("params");
+    if (params == nullptr) {
+      return send_all(fd, error_line(400, "sweep needs a \"params\" object"));
+    }
+    std::string why;
+    const auto request =
+        SweepRequest::from_json(*params, service_.config().limits, &why);
+    if (!request.has_value()) {
+      return send_all(fd, error_line(400, why));
+    }
+    const Json* wait = doc->find("wait");
+    const auto sub = service_.submit(*request);
+    return respond_sweep(fd, sub, wait == nullptr || wait->as_bool(true));
+  }
+  return send_all(fd, error_line(400, "unknown op '" + op_name + "'"));
+}
+
+bool SocketServer::respond_sweep(int fd, const SweepService::Submit& sub,
+                                 bool wait) {
+  using Outcome = SweepService::Submit::Outcome;
+  switch (sub.outcome) {
+    case Outcome::kInvalid:
+      return send_all(fd, error_line(400, sub.error));
+    case Outcome::kRejected:
+      return send_all(fd, error_line(429, sub.error));
+    case Outcome::kCached:
+      return send_all(fd, result_line("", "hit", 0, sub.result_json));
+    case Outcome::kAccepted:
+    case Outcome::kCoalesced: break;
+  }
+  const std::string cache =
+      sub.outcome == Outcome::kCoalesced ? "coalesced" : "miss";
+  Json ack;
+  ack.set_object();
+  ack.set("type", "ack");
+  ack.set("id", sub.id);
+  ack.set("key", sub.key);
+  ack.set("cache", cache);
+  if (!send_all(fd, ack.dump() + "\n")) return false;
+  if (!wait) return true;
+
+  const std::int64_t t0 = service_.now_us();
+  for (;;) {
+    const auto status = service_.wait(sub.id, config_.heartbeat_ms);
+    if (!status.has_value()) {
+      return send_all(fd, error_line(500, "job record evicted"));
+    }
+    if (status->state == JobState::kDone) {
+      return send_all(fd, result_line(sub.id, cache,
+                                      service_.now_us() - t0,
+                                      status->result_json));
+    }
+    if (status->state == JobState::kFailed) {
+      return send_all(fd, error_line(500, status->error));
+    }
+    if (stop_.load(std::memory_order_relaxed)) {
+      return send_all(fd, error_line(503, "server shutting down"));
+    }
+    Json hb;
+    hb.set_object();
+    hb.set("type", "heartbeat");
+    hb.set("id", sub.id);
+    hb.set("state", job_state_name(status->state));
+    hb.set("elapsed_ms", (service_.now_us() - t0) / 1000);
+    if (!send_all(fd, hb.dump() + "\n")) return false;
+  }
+}
+
+void SocketServer::handle_http(int fd, LineReader& reader,
+                               const std::string& request_line) {
+  // Request line: METHOD SP target SP version.
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 = request_line.find(' ', sp1 + 1);
+  const std::string method = request_line.substr(0, sp1);
+  const std::string target =
+      sp2 == std::string::npos ? request_line.substr(sp1 + 1)
+                               : request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+  // Headers: only Content-Length matters to the shim.
+  std::size_t content_length = 0;
+  for (;;) {
+    auto header = reader.read_line(fd, config_.idle_poll_ms);
+    if (!header.has_value()) {
+      if (reader.timed_out() && !stop_.load(std::memory_order_relaxed)) {
+        continue;
+      }
+      return;
+    }
+    if (header->empty()) break;
+    const std::size_t colon = header->find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = header->substr(0, colon);
+    for (char& c : name) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (name == "content-length") {
+      std::size_t pos = colon + 1;
+      while (pos < header->size() && (*header)[pos] == ' ') ++pos;
+      content_length = static_cast<std::size_t>(
+          std::strtoull(header->c_str() + pos, nullptr, 10));
+    }
+  }
+
+  if (method == "POST" && target == "/sweep") {
+    std::string body;
+    if (content_length > 0) {
+      auto read = reader.read_exact(fd, content_length, 5000);
+      if (!read.has_value()) return;
+      body = std::move(*read);
+    }
+    std::string parse_error;
+    const auto doc = Json::parse(body, &parse_error);
+    if (!doc.has_value()) {
+      (void)send_all(fd, http_response(400, "Bad Request", "application/json",
+                                       error_line(400, parse_error)));
+      return;
+    }
+    // Accept {"params":{...}} envelopes or a bare params object.
+    const Json* params = doc->find("params");
+    if (params == nullptr) params = &*doc;
+    std::string why;
+    const auto request =
+        SweepRequest::from_json(*params, service_.config().limits, &why);
+    if (!request.has_value()) {
+      (void)send_all(fd, http_response(400, "Bad Request", "application/json",
+                                       error_line(400, why)));
+      return;
+    }
+    const auto sub = service_.submit(*request);
+    using Outcome = SweepService::Submit::Outcome;
+    if (sub.outcome == Outcome::kInvalid) {
+      (void)send_all(fd, http_response(400, "Bad Request", "application/json",
+                                       error_line(400, sub.error)));
+      return;
+    }
+    if (sub.outcome == Outcome::kRejected) {
+      (void)send_all(fd,
+                     http_response(429, "Too Many Requests",
+                                   "application/json",
+                                   error_line(429, sub.error),
+                                   "Retry-After: 1\r\n"));
+      return;
+    }
+    if (sub.outcome == Outcome::kCached) {
+      (void)send_all(fd, http_response(200, "OK", "application/json",
+                                       result_line("", "hit", 0,
+                                                   sub.result_json)));
+      return;
+    }
+    const std::string cache =
+        sub.outcome == Outcome::kCoalesced ? "coalesced" : "miss";
+    const std::int64_t t0 = service_.now_us();
+    const auto status = service_.wait(sub.id);
+    if (!status.has_value() || status->state != JobState::kDone) {
+      const std::string why_failed =
+          status.has_value() ? status->error : "job record evicted";
+      (void)send_all(fd,
+                     http_response(500, "Internal Server Error",
+                                   "application/json",
+                                   error_line(500, why_failed)));
+      return;
+    }
+    (void)send_all(fd, http_response(200, "OK", "application/json",
+                                     result_line(sub.id, cache,
+                                                 service_.now_us() - t0,
+                                                 status->result_json)));
+    return;
+  }
+
+  if (method == "GET" && target.rfind("/status/", 0) == 0) {
+    const std::string id = target.substr(8);
+    const auto status = service_.status(id);
+    if (!status.has_value()) {
+      (void)send_all(fd, http_response(404, "Not Found", "application/json",
+                                       error_line(404, "unknown job id")));
+      return;
+    }
+    (void)send_all(fd, http_response(200, "OK", "application/json",
+                                     status_json(*status) + "\n"));
+    return;
+  }
+
+  if (method == "GET" && target == "/metrics") {
+    const auto snap = obs::MetricsRegistry::global().aggregate();
+    (void)send_all(
+        fd, http_response(200, "OK", "text/plain; version=0.0.4",
+                          prometheus_text(snap)));
+    return;
+  }
+
+  (void)send_all(fd, http_response(404, "Not Found", "application/json",
+                                   error_line(404, "no such endpoint")));
+}
+
+}  // namespace jamelect::service

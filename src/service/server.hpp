@@ -1,0 +1,91 @@
+// SocketServer — the daemon's transport: one TCP listener speaking the
+// newline-delimited JSON protocol, with an HTTP/1.1 shim detected per
+// connection (docs/SERVICE.md).
+//
+// Line protocol (persistent connection, one JSON object per line):
+//   {"op":"ping"}
+//   {"op":"sweep","params":{...},"wait":true}
+//   {"op":"status","id":"j7"}
+//   {"op":"metrics"}
+// A waiting sweep streams {"type":"heartbeat",...} lines while the job
+// runs, then one {"type":"result",...}. Backpressure surfaces as
+// {"type":"error","code":429,...}.
+//
+// HTTP shim (one request per connection, Connection: close):
+//   POST /sweep          body = params object       -> result envelope
+//   GET  /status/<id>                               -> job status
+//   GET  /metrics                                   -> Prometheus text
+//
+// Threading: one accept thread, one (detached, counted) thread per
+// connection — loopback-scale, matching the loadgen's persistent-
+// connection model where connection count == client concurrency.
+// stop() closes the listener, flags every connection loop, and waits
+// for the live-connection count to reach zero; connection loops poll
+// with short timeouts so that wait is bounded. Stop the SweepService
+// FIRST (it resolves every job, releasing waiting connections), then
+// the server.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "service/net.hpp"
+#include "service/service.hpp"
+
+namespace jamelect::service {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; the bound port is reported by port() after start().
+  std::uint16_t port = 0;
+  /// Cadence of line-protocol heartbeat lines while a sweep runs.
+  int heartbeat_ms = 500;
+  /// Poll slice for blocking reads/accepts — the bound on how stale a
+  /// stop() check can be.
+  int idle_poll_ms = 200;
+};
+
+class SocketServer {
+ public:
+  SocketServer(SweepService& service, ServerConfig config);
+  ~SocketServer();  // stop()
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds, listens, and starts accepting. False + `error` on failure.
+  [[nodiscard]] bool start(std::string* error);
+
+  /// The bound port (after start()).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Live connection count (tests / introspection).
+  [[nodiscard]] std::size_t connections() const noexcept {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  void stop();
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+  /// One line-protocol request; false = close the connection.
+  [[nodiscard]] bool handle_line(int fd, const std::string& line);
+  /// Runs a submitted sweep to its response line(s); false = close.
+  [[nodiscard]] bool respond_sweep(int fd, const SweepService::Submit& sub,
+                                   bool wait);
+  void handle_http(int fd, LineReader& reader,
+                   const std::string& request_line);
+
+  SweepService& service_;
+  ServerConfig config_;
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> active_{0};
+  std::thread accept_thread_;
+};
+
+}  // namespace jamelect::service

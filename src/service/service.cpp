@@ -1,0 +1,327 @@
+#include "service/service.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "support/shutdown.hpp"
+
+namespace jamelect::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+const char* job_state_name(JobState state) noexcept {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+std::int64_t histogram_quantile(const obs::HistogramSnapshot& h,
+                                double q) noexcept {
+  if (h.count <= 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double targetf = q * static_cast<double>(h.count);
+  std::int64_t target = static_cast<std::int64_t>(targetf);
+  if (static_cast<double>(target) < targetf) ++target;
+  if (target < 1) target = 1;
+  std::int64_t cumulative = 0;
+  for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+    cumulative += h.buckets[b];
+    if (cumulative >= target) {
+      if (b == 0) return 0;  // bucket 0 counts v <= 0
+      if (b >= 63) return h.max;
+      return (std::int64_t{1} << b) - 1;  // upper bound of [2^(b-1), 2^b)
+    }
+  }
+  return h.max;
+}
+
+SweepService::SweepService(ServiceConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cache_dir),
+      start_(Clock::now()) {
+  if (config_.workers == 0) config_.workers = 1;
+  auto& reg = obs::MetricsRegistry::global();
+  m_requests_ = reg.counter("svc.requests");
+  m_hits_ = reg.counter("svc.cache_hits");
+  m_misses_ = reg.counter("svc.cache_misses");
+  m_coalesced_ = reg.counter("svc.coalesced");
+  m_rejected_ = reg.counter("svc.rejected");
+  m_invalid_ = reg.counter("svc.invalid");
+  m_completed_ = reg.counter("svc.completed");
+  m_failed_ = reg.counter("svc.failed");
+  m_queue_depth_ = reg.gauge("svc.queue_depth");
+  m_latency_us_ = reg.histogram("svc.latency_us");
+  m_compute_us_ = reg.histogram("svc.compute_us");
+  m_hit_latency_us_ = reg.histogram("svc.hit_latency_us");
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SweepService::~SweepService() { stop(); }
+
+std::int64_t SweepService::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               start_)
+      .count();
+}
+
+JobStatus SweepService::snapshot(const Job& job) const {
+  JobStatus s;
+  s.id = job.id;
+  s.key = job.key;
+  s.state = job.state;
+  s.error = job.error;
+  s.result_json = job.result_json;
+  s.submitted_us = job.submitted_us;
+  s.started_us = job.started_us;
+  s.finished_us = job.finished_us;
+  s.waiters = job.waiters;
+  return s;
+}
+
+SweepService::Submit SweepService::submit(const SweepRequest& request) {
+  auto& reg = obs::MetricsRegistry::global();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  reg.add(m_requests_, 1);
+  const std::int64_t t0 = now_us();
+
+  Submit out;
+  std::string why;
+  if (!request.validate(config_.limits, &why)) {
+    reg.add(m_invalid_, 1);
+    out.outcome = Submit::Outcome::kInvalid;
+    out.error = why;
+    return out;
+  }
+  out.key = request.cache_key();
+
+  // Fast path: finished result already memoized (memory or disk).
+  if (auto cached = cache_.lookup(out.key)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    reg.add(m_hits_, 1);
+    const std::int64_t latency = now_us() - t0;
+    reg.observe(m_hit_latency_us_, latency);
+    reg.observe(m_latency_us_, latency);
+    out.outcome = Submit::Outcome::kCached;
+    out.result_json = std::move(*cached);
+    return out;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    reg.add(m_rejected_, 1);
+    out.outcome = Submit::Outcome::kRejected;
+    out.error = "service stopping";
+    return out;
+  }
+  // Coalesce: an identical job is already queued or running.
+  if (const auto it = inflight_.find(out.key); it != inflight_.end()) {
+    it->second->waiters += 1;
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    reg.add(m_coalesced_, 1);
+    out.outcome = Submit::Outcome::kCoalesced;
+    out.id = it->second->id;
+    return out;
+  }
+  // Backpressure: bounded admission queue.
+  if (queue_.size() >= config_.max_queue) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    reg.add(m_rejected_, 1);
+    out.outcome = Submit::Outcome::kRejected;
+    out.error = "queue full (depth " + std::to_string(queue_.size()) + ")";
+    return out;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->id = "j" + std::to_string(next_id_++);
+  job->key = out.key;
+  job->request = request;
+  job->submitted_us = t0;
+  jobs_.emplace(job->id, job);
+  inflight_.emplace(job->key, job);
+  queue_.push_back(job);
+  reg.set(m_queue_depth_, static_cast<double>(queue_.size()));
+  out.outcome = Submit::Outcome::kAccepted;
+  out.id = job->id;
+  lock.unlock();
+  queue_cv_.notify_one();
+  return out;
+}
+
+void SweepService::finish_job(const std::shared_ptr<Job>& job,
+                              JobState state) {
+  auto& reg = obs::MetricsRegistry::global();
+  job->state = state;
+  job->finished_us = now_us();
+  if (const auto it = inflight_.find(job->key);
+      it != inflight_.end() && it->second == job) {
+    inflight_.erase(it);
+  }
+  terminal_order_.push_back(job->id);
+  evict_history_locked();
+  reg.add(state == JobState::kDone ? m_completed_ : m_failed_, 1);
+  if (job->submitted_us >= 0) {
+    reg.observe(m_latency_us_, job->finished_us - job->submitted_us);
+  }
+  done_cv_.notify_all();
+}
+
+void SweepService::evict_history_locked() {
+  while (terminal_order_.size() > config_.max_job_history) {
+    jobs_.erase(terminal_order_.front());
+    terminal_order_.pop_front();
+  }
+}
+
+void SweepService::worker_loop() {
+  auto& reg = obs::MetricsRegistry::global();
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    auto job = queue_.front();
+    queue_.pop_front();
+    reg.set(m_queue_depth_, static_cast<double>(queue_.size()));
+    job->state = JobState::kRunning;
+    job->started_us = now_us();
+    lock.unlock();
+
+    // Second chance: another process may have populated the disk tier
+    // while this job sat in the queue.
+    std::string result;
+    std::string error;
+    bool ok = false;
+    if (auto cached = cache_.lookup(job->key)) {
+      result = std::move(*cached);
+      ok = true;
+    } else {
+      try {
+        const McResult mc = run_sweep(job->request, config_.runner);
+        if (mc.interrupted) {
+          error = "interrupted by shutdown after " +
+                  std::to_string(mc.trials) + " trials";
+        } else {
+          result = mc_result_to_json(mc).dump();
+          cache_.store(job->key, job->request.to_json().dump(), result);
+          ok = true;
+        }
+      } catch (const std::exception& e) {
+        error = e.what();
+      }
+      if (ok) {
+        computed_.fetch_add(1, std::memory_order_relaxed);
+        reg.add(m_misses_, 1);
+        reg.observe(m_compute_us_, now_us() - job->started_us);
+      }
+    }
+
+    lock.lock();
+    job->result_json = std::move(result);
+    job->error = std::move(error);
+    finish_job(job, ok ? JobState::kDone : JobState::kFailed);
+  }
+}
+
+std::optional<JobStatus> SweepService::status(const std::string& id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return snapshot(*it->second);
+}
+
+std::optional<JobStatus> SweepService::wait(const std::string& id,
+                                            std::int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  const auto job = it->second;  // keep alive across history eviction
+  const auto terminal = [&job] {
+    return job->state == JobState::kDone || job->state == JobState::kFailed;
+  };
+  if (timeout_ms < 0) {
+    done_cv_.wait(lock, terminal);
+  } else {
+    done_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), terminal);
+  }
+  return snapshot(*job);
+}
+
+void SweepService::stop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_ && workers_.empty()) return;
+  stopping_ = true;
+  // Fail everything still queued; running jobs drain in their workers.
+  while (!queue_.empty()) {
+    auto job = queue_.front();
+    queue_.pop_front();
+    job->error = "shutdown before start";
+    finish_job(job, JobState::kFailed);
+  }
+  obs::MetricsRegistry::global().set(m_queue_depth_, 0.0);
+  std::vector<std::thread> workers = std::move(workers_);
+  workers_.clear();
+  lock.unlock();
+  queue_cv_.notify_all();
+  for (std::thread& w : workers) w.join();
+  done_cv_.notify_all();
+}
+
+std::size_t SweepService::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+Json SweepService::metrics_json() const {
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().aggregate();
+  Json counters;
+  counters.set_object();
+  for (const auto& [name, value] : snap.counters) {
+    counters.set(name, value);
+  }
+  Json gauges;
+  gauges.set_object();
+  for (const auto& [name, value] : snap.gauges) {
+    gauges.set(name, value);
+  }
+  Json histograms;
+  histograms.set_object();
+  for (const auto& [name, h] : snap.histograms) {
+    Json entry;
+    entry.set_object();
+    entry.set("count", h.count);
+    entry.set("sum", h.sum);
+    entry.set("mean",
+              h.count > 0
+                  ? static_cast<double>(h.sum) / static_cast<double>(h.count)
+                  : 0.0);
+    entry.set("p50", histogram_quantile(h, 0.50));
+    entry.set("p99", histogram_quantile(h, 0.99));
+    entry.set("max", h.max);
+    histograms.set(name, std::move(entry));
+  }
+  Json out;
+  out.set_object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  out.set("queue_depth", static_cast<std::int64_t>(queue_depth()));
+  out.set("uptime_us", now_us());
+  return out;
+}
+
+}  // namespace jamelect::service

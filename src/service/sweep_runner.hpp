@@ -1,0 +1,38 @@
+// Executes a validated SweepRequest on the matching Monte-Carlo engine
+// and serializes the McResult deterministically.
+//
+// The mapping is the same one the benches use: `aggregate` runs the
+// strong-CD O(1)-per-slot engine (riding the batched/wide kernels when
+// request.batch > 0), `hybrid` wraps the protocol in weak-CD
+// Notification, `cohort` runs the compressed per-station engine via
+// UniformStationAdapter. Same request, same result bits — the service's
+// cache-hit bit-identity guarantee reduces to the engines' existing
+// reproducibility contract.
+#pragma once
+
+#include <string>
+
+#include "service/json.hpp"
+#include "service/sweep_request.hpp"
+#include "sim/montecarlo.hpp"
+
+namespace jamelect::service {
+
+/// Knobs the service (not the request) owns.
+struct RunnerConfig {
+  /// Fan trials out on the global ThreadPool. Multiple service workers
+  /// may issue parallel runs concurrently; the pool interleaves them.
+  bool mc_parallel = true;
+};
+
+/// Runs the sweep to completion (or cooperative-shutdown drain; check
+/// McResult::interrupted). Throws only on engine contract violations —
+/// requests must already be validated.
+[[nodiscard]] McResult run_sweep(const SweepRequest& request,
+                                 const RunnerConfig& runner);
+
+/// Deterministic JSON view of an McResult: canonical key order, exact
+/// integer / %.17g double formatting. Equal results <=> equal bytes.
+[[nodiscard]] Json mc_result_to_json(const McResult& result);
+
+}  // namespace jamelect::service

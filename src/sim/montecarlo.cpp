@@ -19,6 +19,7 @@
 #include "sim/cohort.hpp"
 #include "sim/mc_accumulate.hpp"
 #include "support/expects.hpp"
+#include "support/shutdown.hpp"
 #include "support/thread_pool.hpp"
 
 namespace jamelect {
@@ -119,6 +120,7 @@ McResult result_from_outcomes(std::vector<TrialOutcome>&& outcomes,
                               std::uint64_t n_for_energy) {
   McResult res;
   res.trials = outcomes.size();
+  if (outcomes.empty()) return res;  // fully-drained interrupted run
   std::vector<double> slots, slots_ok, jams, energy;
   slots.reserve(outcomes.size());
   for (const TrialOutcome& o : outcomes) {
@@ -141,11 +143,16 @@ McResult result_from_outcomes(std::vector<TrialOutcome>&& outcomes,
   return res;
 }
 
-/// Summaries from a folded accumulator (keep_outcomes == false).
+/// Summaries from a folded accumulator (keep_outcomes == false). The
+/// accumulator holds one energy sample per completed trial, so its size
+/// IS the completed-trial count (== trials unless a shutdown drained
+/// the run early).
 McResult result_from_accumulator(const detail::TrialAccumulator& total,
                                  std::size_t trials) {
   McResult res;
-  res.trials = trials;
+  res.trials = total.energy.size();
+  res.interrupted = res.trials < trials;
+  if (res.trials == 0) return res;
   res.successes = total.successes;
   res.success = wilson_interval(res.successes, res.trials);
   res.slots = summarize_weighted(detail::to_value_counts(total.slots));
@@ -164,16 +171,29 @@ McResult run_trials_materialized(const TrialRunner& runner,
                                  std::uint64_t n_for_energy,
                                  const McConfig& config) {
   std::vector<TrialOutcome> outcomes(config.trials);
+  // Written once per index by its own iteration, read only after the
+  // parallel_for joins — no synchronization needed beyond the join.
+  std::vector<std::uint8_t> ran(config.trials, 0);
   const Rng base(config.seed);
   const auto body = [&](std::size_t k) {
+    if (shutdown_requested()) return;  // drain: stop starting new trials
     outcomes[k] = runner(base.child(k));
+    ran[k] = 1;
   };
   if (config.parallel) {
     global_pool().parallel_for(config.trials, body);
   } else {
     for (std::size_t k = 0; k < config.trials; ++k) body(k);
   }
-  return result_from_outcomes(std::move(outcomes), n_for_energy);
+  std::size_t kept = 0;
+  for (std::size_t k = 0; k < config.trials; ++k) {
+    if (ran[k] != 0) outcomes[kept++] = std::move(outcomes[k]);
+  }
+  const bool interrupted = kept < config.trials;
+  outcomes.resize(kept);
+  McResult res = result_from_outcomes(std::move(outcomes), n_for_energy);
+  res.interrupted = interrupted;
+  return res;
 }
 
 /// Runs trials [first, first + count) of a batched sweep, writing
@@ -198,7 +218,11 @@ McResult run_trials_batched(const BatchChunkRunner& chunk_runner,
   Heartbeat heartbeat(config.heartbeat, config.trials,
                       config.heartbeat_interval_ms);
   obs::TraceEventRecorder* const recorder = config.recorder;
-  const auto run_chunk = [&](std::size_t c, TrialOutcome* out) {
+  /// Runs chunk c (or skips it wholesale when a shutdown is draining
+  /// the sweep); returns the number of trials completed — chunks are
+  /// all-or-nothing, so partial results never truncate a trial mid-run.
+  const auto run_chunk = [&](std::size_t c, TrialOutcome* out) -> std::size_t {
+    if (shutdown_requested()) return 0;
     const std::size_t first = c * chunk;
     const std::size_t count = std::min(chunk, config.trials - first);
     std::optional<obs::TraceEventRecorder::Span> span;
@@ -210,12 +234,14 @@ McResult run_trials_batched(const BatchChunkRunner& chunk_runner,
       JAMELECT_OBS_COUNT("mc.trials", 1);
       JAMELECT_OBS_COUNT("mc.slots", out[i].slots);
     }
+    return count;
   };
 
   if (config.keep_outcomes) {
     std::vector<TrialOutcome> outcomes(config.trials);
+    std::vector<std::uint8_t> ran(num_chunks, 0);
     const auto body = [&](std::size_t c) {
-      run_chunk(c, outcomes.data() + c * chunk);
+      ran[c] = run_chunk(c, outcomes.data() + c * chunk) > 0 ? 1 : 0;
     };
     if (config.parallel) {
       global_pool().parallel_for(num_chunks, body);
@@ -223,14 +249,27 @@ McResult run_trials_batched(const BatchChunkRunner& chunk_runner,
       for (std::size_t c = 0; c < num_chunks; ++c) body(c);
     }
     heartbeat.stop();
-    return result_from_outcomes(std::move(outcomes), n_for_energy);
+    std::size_t kept = 0;
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      if (ran[c] == 0) continue;
+      const std::size_t first = c * chunk;
+      const std::size_t count = std::min(chunk, config.trials - first);
+      for (std::size_t i = 0; i < count; ++i) {
+        outcomes[kept++] = std::move(outcomes[first + i]);
+      }
+    }
+    const bool interrupted = kept < config.trials;
+    outcomes.resize(kept);
+    McResult res = result_from_outcomes(std::move(outcomes), n_for_energy);
+    res.interrupted = interrupted;
+    return res;
   }
 
   const auto body = [&](detail::TrialAccumulator& acc, std::size_t c) {
     const std::size_t first = c * chunk;
     const std::size_t count = std::min(chunk, config.trials - first);
     std::vector<TrialOutcome> buf(count);
-    run_chunk(c, buf.data());
+    if (run_chunk(c, buf.data()) == 0) return;
     for (const TrialOutcome& o : buf) {
       detail::accumulate(acc, o, n_for_energy);
     }
@@ -308,6 +347,7 @@ McResult run_trials(const TrialRunner& runner, std::uint64_t n_for_energy,
   // derives from mix64(seed, k) regardless of which thread runs it.
   const Rng base(config.seed);
   const auto body = [&](detail::TrialAccumulator& acc, std::size_t k) {
+    if (shutdown_requested()) return;  // drain: stop starting new trials
     detail::accumulate(acc, wrapped(base.child(k)), n_for_energy);
   };
   detail::TrialAccumulator total;

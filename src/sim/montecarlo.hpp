@@ -63,6 +63,14 @@ struct McConfig {
 /// Aggregated view over the trials of one configuration.
 struct McResult {
   std::size_t trials = 0;
+  /// True when a cooperative shutdown (support/shutdown.hpp) drained
+  /// the run early: `trials` is then the number of trials that actually
+  /// completed (< McConfig::trials) and every summary covers exactly
+  /// those trials — completed trials are never truncated mid-slot.
+  /// Interrupted results must not be cached or compared across runs:
+  /// WHICH trials completed depends on scheduling at the instant of the
+  /// signal. Always false when no shutdown was requested.
+  bool interrupted = false;
   std::size_t successes = 0;
   RateInterval success = {0, 0, 0};  ///< Wilson 95% CI of success rate
   /// Slots-to-elect over ALL trials; failures are right-censored at
@@ -75,7 +83,8 @@ struct McResult {
   /// Mean per-station transmissions ("energy").
   Summary energy_per_station;
   /// Per-trial detail, trial-indexed; empty unless
-  /// McConfig::keep_outcomes was set.
+  /// McConfig::keep_outcomes was set. On an interrupted run the vector
+  /// is compacted to the completed trials, in trial order.
   std::vector<TrialOutcome> outcomes;
 };
 

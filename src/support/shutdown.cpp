@@ -1,0 +1,52 @@
+#include "support/shutdown.hpp"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace jamelect {
+
+namespace {
+
+std::atomic<bool> g_requested{false};
+std::atomic<int> g_signal{0};
+
+extern "C" void jamelect_shutdown_handler(int sig) {
+  // Only lock-free atomic stores: the complete async-signal-safe set.
+  g_signal.store(sig, std::memory_order_relaxed);
+  g_requested.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool shutdown_requested() noexcept {
+  return g_requested.load(std::memory_order_relaxed);
+}
+
+void request_shutdown(int signal) noexcept {
+  g_signal.store(signal, std::memory_order_relaxed);
+  g_requested.store(true, std::memory_order_relaxed);
+}
+
+int shutdown_signal() noexcept {
+  return g_signal.load(std::memory_order_relaxed);
+}
+
+void clear_shutdown() noexcept {
+  g_requested.store(false, std::memory_order_relaxed);
+  g_signal.store(0, std::memory_order_relaxed);
+}
+
+bool install_shutdown_handlers() noexcept {
+  struct sigaction sa = {};
+  sa.sa_handler = &jamelect_shutdown_handler;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESTART: blocking accept()/read() in the daemon should return
+  // EINTR so its loops re-check shutdown_requested() promptly.
+  sa.sa_flags = 0;
+  if (sigaction(SIGINT, &sa, nullptr) != 0) return false;
+  if (sigaction(SIGTERM, &sa, nullptr) != 0) return false;
+  return true;
+}
+
+}  // namespace jamelect

@@ -1,0 +1,34 @@
+// Process-wide cooperative shutdown: one flag, set from SIGINT/SIGTERM
+// (or programmatically), polled by long-running loops.
+//
+// The Monte-Carlo drivers (sim/montecarlo.cpp) check the flag between
+// trials/chunks and drain instead of abandoning work mid-slot, so a ^C
+// during a million-trial sweep still yields a consistent partial
+// McResult (and the sweep daemon can flush manifests and exit 0). The
+// flag is a relaxed atomic — async-signal-safe to set from a handler,
+// one predictable load to poll — and stays clear unless something
+// requests shutdown, so programs that never install the handlers see
+// zero behaviour change.
+#pragma once
+
+namespace jamelect {
+
+/// True once request_shutdown() ran (from a handler or directly).
+[[nodiscard]] bool shutdown_requested() noexcept;
+
+/// Sets the flag. Async-signal-safe; `signal` (0 = programmatic) is
+/// retained for shutdown_signal().
+void request_shutdown(int signal = 0) noexcept;
+
+/// The signal that triggered the request, or 0 (none / programmatic).
+[[nodiscard]] int shutdown_signal() noexcept;
+
+/// Clears the flag (tests; a daemon re-arming after a drained sweep).
+void clear_shutdown() noexcept;
+
+/// Installs SIGINT and SIGTERM handlers that call request_shutdown().
+/// Idempotent; returns false if sigaction failed. Call once from main —
+/// libraries must never install handlers behind a host program's back.
+bool install_shutdown_handlers() noexcept;
+
+}  // namespace jamelect

@@ -1,0 +1,265 @@
+// SweepService + ResultCache behaviour: cache hits are bit-identical
+// to fresh computation, the disk tier survives "restarts" (a new cache
+// over the same directory), the bounded queue rejects when full, and
+// identical in-flight requests coalesce onto one job.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/result_cache.hpp"
+#include "service/service.hpp"
+#include "service/sweep_request.hpp"
+#include "service/sweep_runner.hpp"
+
+namespace jamelect::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test scratch directory under the build tree's /tmp.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_(fs::temp_directory_path() /
+              ("jamelect_" + tag + "_" +
+               std::to_string(
+                   std::chrono::steady_clock::now().time_since_epoch()
+                       .count()))) {}
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+SweepRequest small_request(std::uint64_t seed) {
+  SweepRequest request;
+  request.n = 128;
+  request.trials = 16;
+  request.seed = seed;
+  request.max_slots = 10'000;
+  return request;
+}
+
+TEST(ResultCache, MemoryTier) {
+  ResultCache cache("");
+  EXPECT_FALSE(cache.lookup("aa11").has_value());
+  cache.store("aa11", "{\"n\":1}", "{\"r\":1}");
+  const auto hit = cache.lookup("aa11");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "{\"r\":1}");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCache, DiskTierSurvivesRestart) {
+  const TempDir dir("cache");
+  const std::string result = "{\"success\":{\"rate\":0.5},\"trials\":16}";
+  {
+    ResultCache cache(dir.str());
+    cache.store("bb22", "{\"n\":2}", result);
+  }
+  // A fresh cache over the same directory simulates a daemon restart:
+  // memory is empty, the disk envelope must serve the identical bytes.
+  ResultCache reborn(dir.str());
+  EXPECT_EQ(reborn.size(), 0u);
+  const auto hit = reborn.lookup("bb22");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, result);
+  EXPECT_EQ(reborn.size(), 1u);  // promoted into memory
+}
+
+TEST(ResultCache, RejectsHostileKeys) {
+  const TempDir dir("hostile");
+  ResultCache cache(dir.str());
+  // Keys are fingerprint hex; anything else must not touch the disk
+  // tier (path-traversal defense), and must simply miss.
+  EXPECT_FALSE(cache.lookup("../../etc/passwd").has_value());
+  EXPECT_FALSE(cache.lookup("").has_value());
+}
+
+TEST(SweepServiceCache, HitIsBitIdenticalToFreshComputation) {
+  ServiceConfig config;
+  config.workers = 1;
+  SweepService service(config);
+  const SweepRequest request = small_request(4242);
+
+  // First submission computes.
+  const auto first = service.submit(request);
+  ASSERT_EQ(first.outcome, SweepService::Submit::Outcome::kAccepted);
+  const auto done = service.wait(first.id);
+  ASSERT_TRUE(done.has_value());
+  ASSERT_EQ(done->state, JobState::kDone);
+
+  // Second submission must be served from cache...
+  const auto second = service.submit(request);
+  ASSERT_EQ(second.outcome, SweepService::Submit::Outcome::kCached);
+  // ...with the exact bytes of the computed result.
+  EXPECT_EQ(second.result_json, done->result_json);
+
+  // And both must equal a from-scratch recomputation (the MC
+  // reproducibility contract carried through serialization).
+  const McResult fresh = run_sweep(request, config.runner);
+  EXPECT_EQ(mc_result_to_json(fresh).dump(), second.result_json);
+
+  EXPECT_EQ(service.cache_hits(), 1u);
+  EXPECT_EQ(service.computed(), 1u);
+}
+
+TEST(SweepServiceCache, DiskHitIsBitIdenticalAcrossServices) {
+  const TempDir dir("svc_disk");
+  const SweepRequest request = small_request(777);
+  std::string computed;
+  {
+    ServiceConfig config;
+    config.workers = 1;
+    config.cache_dir = dir.str();
+    SweepService service(config);
+    const auto sub = service.submit(request);
+    ASSERT_EQ(sub.outcome, SweepService::Submit::Outcome::kAccepted);
+    const auto done = service.wait(sub.id);
+    ASSERT_TRUE(done.has_value());
+    ASSERT_EQ(done->state, JobState::kDone);
+    computed = done->result_json;
+    service.stop();
+  }
+  ServiceConfig config;
+  config.workers = 1;
+  config.cache_dir = dir.str();
+  SweepService reborn(config);
+  const auto sub = reborn.submit(request);
+  ASSERT_EQ(sub.outcome, SweepService::Submit::Outcome::kCached);
+  EXPECT_EQ(sub.result_json, computed);
+}
+
+TEST(SweepServiceCache, HitLatencyBeatsComputeByTwoOrdersOfMagnitude) {
+  using Clock = std::chrono::steady_clock;
+  ServiceConfig config;
+  config.workers = 1;
+  SweepService service(config);
+  // A deliberately heavy sweep so compute time dominates all overheads.
+  SweepRequest request;
+  request.n = 1024;
+  request.trials = 4000;
+  request.seed = 31337;
+  request.adversary = "saturating";
+  request.T = 64;
+  request.max_slots = 50'000;
+
+  const auto t0 = Clock::now();
+  const auto first = service.submit(request);
+  ASSERT_EQ(first.outcome, SweepService::Submit::Outcome::kAccepted);
+  const auto done = service.wait(first.id);
+  ASSERT_TRUE(done.has_value());
+  ASSERT_EQ(done->state, JobState::kDone);
+  const auto compute = Clock::now() - t0;
+
+  const auto t1 = Clock::now();
+  const auto second = service.submit(request);
+  const auto hit = Clock::now() - t1;
+  ASSERT_EQ(second.outcome, SweepService::Submit::Outcome::kCached);
+  EXPECT_EQ(second.result_json, done->result_json);
+  // Acceptance criterion: cached >= 100x faster than computing.
+  EXPECT_GE(compute.count(), 100 * hit.count())
+      << "compute=" << compute.count() << "ns hit=" << hit.count() << "ns";
+}
+
+TEST(SweepServiceBackpressure, QueueFullRejects) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.max_queue = 2;
+  SweepService service(config);
+  // Distinct seeds -> distinct keys -> no coalescing; a slow-ish sweep
+  // keeps the single worker busy while the queue fills.
+  std::vector<SweepService::Submit> subs;
+  int rejected = 0;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    SweepRequest request = small_request(10'000 + i);
+    request.trials = 512;
+    request.n = 512;
+    const auto sub = service.submit(request);
+    if (sub.outcome == SweepService::Submit::Outcome::kRejected) {
+      ++rejected;
+      EXPECT_NE(sub.error.find("queue full"), std::string::npos);
+    } else {
+      ASSERT_EQ(sub.outcome, SweepService::Submit::Outcome::kAccepted);
+      subs.push_back(sub);
+    }
+  }
+  EXPECT_GT(rejected, 0) << "16 submissions never overflowed max_queue=2";
+  EXPECT_EQ(service.rejected(), static_cast<std::uint64_t>(rejected));
+  for (const auto& sub : subs) {
+    const auto done = service.wait(sub.id);
+    ASSERT_TRUE(done.has_value());
+    EXPECT_EQ(done->state, JobState::kDone);
+  }
+}
+
+TEST(SweepServiceCoalescing, IdenticalInFlightRequestsShareOneJob) {
+  ServiceConfig config;
+  config.workers = 2;
+  SweepService service(config);
+  SweepRequest request = small_request(555);
+  request.trials = 2000;
+  request.n = 1024;
+  request.adversary = "saturating";
+  request.max_slots = 50'000;
+
+  const auto first = service.submit(request);
+  ASSERT_EQ(first.outcome, SweepService::Submit::Outcome::kAccepted);
+  // Re-submitting the identical request while it runs must coalesce,
+  // not enqueue a duplicate computation.
+  int coalesced = 0;
+  for (int i = 0; i < 4; ++i) {
+    const auto again = service.submit(request);
+    if (again.outcome == SweepService::Submit::Outcome::kCoalesced) {
+      EXPECT_EQ(again.id, first.id);
+      ++coalesced;
+    } else {
+      // The job may have already finished -> legitimate cache hit.
+      ASSERT_EQ(again.outcome, SweepService::Submit::Outcome::kCached);
+    }
+  }
+  const auto done = service.wait(first.id);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->state, JobState::kDone);
+  EXPECT_EQ(service.computed(), 1u) << "coalesced requests recomputed";
+  EXPECT_EQ(service.coalesced(), static_cast<std::uint64_t>(coalesced));
+  if (coalesced > 0) {
+    EXPECT_EQ(done->waiters, static_cast<std::size_t>(coalesced));
+  }
+}
+
+TEST(SweepServiceStop, FailsQueuedJobsAndWakesWaiters) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.max_queue = 8;
+  SweepService service(config);
+  std::vector<std::string> ids;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    SweepRequest request = small_request(20'000 + i);
+    request.trials = 256;
+    const auto sub = service.submit(request);
+    ASSERT_EQ(sub.outcome, SweepService::Submit::Outcome::kAccepted);
+    ids.push_back(sub.id);
+  }
+  service.stop();
+  for (const auto& id : ids) {
+    const auto status = service.status(id);
+    ASSERT_TRUE(status.has_value());
+    EXPECT_TRUE(status->state == JobState::kDone ||
+                status->state == JobState::kFailed);
+  }
+  // Submissions after stop are rejected, not queued forever.
+  const auto late = service.submit(small_request(99));
+  EXPECT_EQ(late.outcome, SweepService::Submit::Outcome::kRejected);
+}
+
+}  // namespace
+}  // namespace jamelect::service

@@ -1,0 +1,277 @@
+// SocketServer end-to-end on an ephemeral port: line protocol (ping /
+// sweep / status / metrics), the HTTP/1.1 shim, heartbeats, and
+// backpressure surfacing as 429.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/json.hpp"
+#include "service/net.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
+
+namespace jamelect::service {
+namespace {
+
+/// A service+server pair on 127.0.0.1:<ephemeral>.
+class ServerFixture {
+ public:
+  explicit ServerFixture(ServiceConfig svc_cfg = {}) {
+    service = std::make_unique<SweepService>(svc_cfg);
+    ServerConfig srv_cfg;
+    srv_cfg.port = 0;
+    srv_cfg.heartbeat_ms = 50;
+    srv_cfg.idle_poll_ms = 20;
+    server = std::make_unique<SocketServer>(*service, srv_cfg);
+    std::string error;
+    started = server->start(&error);
+    EXPECT_TRUE(started) << error;
+  }
+  ~ServerFixture() {
+    service->stop();  // resolve jobs first so waiters release...
+    server->stop();   // ...then drain connections
+  }
+
+  [[nodiscard]] Socket connect() const {
+    std::string error;
+    auto sock = tcp_connect("127.0.0.1", server->port(), &error);
+    EXPECT_TRUE(sock.valid()) << error;
+    return sock;
+  }
+
+  std::unique_ptr<SweepService> service;
+  std::unique_ptr<SocketServer> server;
+  bool started = false;
+};
+
+/// Sends one line and reads response lines until a terminal type.
+std::vector<Json> roundtrip(int fd, const std::string& line,
+                            int max_lines = 200) {
+  EXPECT_TRUE(send_all(fd, line + "\n"));
+  std::vector<Json> out;
+  LineReader reader;
+  for (int i = 0; i < max_lines; ++i) {
+    const auto resp = reader.read_line(fd, 30'000);
+    if (!resp.has_value()) break;
+    auto doc = Json::parse(*resp);
+    EXPECT_TRUE(doc.has_value()) << *resp;
+    if (!doc.has_value()) break;
+    const Json* type = doc->find("type");
+    const std::string kind = type != nullptr ? type->as_string() : "";
+    out.push_back(std::move(*doc));
+    if (kind == "result" || kind == "error" || kind == "pong" ||
+        kind == "status" || kind == "metrics") {
+      break;
+    }
+  }
+  return out;
+}
+
+std::string small_sweep(std::uint64_t seed, std::size_t trials = 16) {
+  return "{\"op\":\"sweep\",\"params\":{\"n\":128,\"trials\":" +
+         std::to_string(trials) + ",\"seed\":" + std::to_string(seed) +
+         ",\"max_slots\":10000}}";
+}
+
+TEST(ServiceServer, PingPong) {
+  const ServerFixture fx;
+  const auto sock = fx.connect();
+  const auto lines = roundtrip(sock.fd(), "{\"op\":\"ping\"}");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines.back().find("type")->as_string(), "pong");
+}
+
+TEST(ServiceServer, SweepMissThenHitOnOneConnection) {
+  const ServerFixture fx;
+  const auto sock = fx.connect();
+
+  const auto first = roundtrip(sock.fd(), small_sweep(42));
+  ASSERT_FALSE(first.empty());
+  const Json& result = first.back();
+  ASSERT_EQ(result.find("type")->as_string(), "result");
+  EXPECT_EQ(result.find("cache")->as_string(), "miss");
+  const Json* payload = result.find("result");
+  ASSERT_NE(payload, nullptr);
+  EXPECT_EQ(payload->find("trials")->as_int(), 16);
+
+  const auto second = roundtrip(sock.fd(), small_sweep(42));
+  ASSERT_EQ(second.size(), 1u);  // hits resolve inline, no ack
+  EXPECT_EQ(second.back().find("type")->as_string(), "result");
+  EXPECT_EQ(second.back().find("cache")->as_string(), "hit");
+  EXPECT_EQ(second.back().find("result")->dump(), payload->dump());
+}
+
+TEST(ServiceServer, StatusAndMetricsOps) {
+  const ServerFixture fx;
+  const auto sock = fx.connect();
+  const auto sweep = roundtrip(sock.fd(), small_sweep(7));
+  ASSERT_FALSE(sweep.empty());
+  const std::string id = sweep.front().find("id")->as_string();
+  ASSERT_FALSE(id.empty());
+
+  const auto status =
+      roundtrip(sock.fd(), "{\"op\":\"status\",\"id\":\"" + id + "\"}");
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_EQ(status.back().find("type")->as_string(), "status");
+  EXPECT_EQ(status.back().find("state")->as_string(), "done");
+
+  const auto missing =
+      roundtrip(sock.fd(), "{\"op\":\"status\",\"id\":\"j999999\"}");
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing.back().find("code")->as_int(), 404);
+
+  const auto metrics = roundtrip(sock.fd(), "{\"op\":\"metrics\"}");
+  ASSERT_EQ(metrics.size(), 1u);
+  const Json* body = metrics.back().find("metrics");
+  ASSERT_NE(body, nullptr);
+  EXPECT_NE(body->find("counters"), nullptr);
+  EXPECT_NE(body->find("histograms"), nullptr);
+}
+
+TEST(ServiceServer, MalformedAndInvalidRequests) {
+  const ServerFixture fx;
+  const auto sock = fx.connect();
+  auto bad = roundtrip(sock.fd(), "{not json");
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad.back().find("code")->as_int(), 400);
+
+  bad = roundtrip(sock.fd(), "{\"op\":\"frobnicate\"}");
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad.back().find("code")->as_int(), 400);
+
+  bad = roundtrip(sock.fd(),
+                  "{\"op\":\"sweep\",\"params\":{\"protocol\":\"aloha\"}}");
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad.back().find("code")->as_int(), 400);
+  // The connection survives bad requests.
+  const auto pong = roundtrip(sock.fd(), "{\"op\":\"ping\"}");
+  ASSERT_EQ(pong.size(), 1u);
+}
+
+TEST(ServiceServer, QueueFullSurfacesAs429) {
+  ServiceConfig svc_cfg;
+  svc_cfg.workers = 1;
+  svc_cfg.max_queue = 1;
+  const ServerFixture fx(svc_cfg);
+  const auto sock = fx.connect();
+  // Fire-and-forget sweeps (wait:false) with distinct seeds until the
+  // one-slot queue overflows.
+  bool saw_429 = false;
+  for (std::uint64_t i = 0; i < 32 && !saw_429; ++i) {
+    const std::string line =
+        "{\"op\":\"sweep\",\"wait\":false,\"params\":{\"n\":512,"
+        "\"trials\":256,\"seed\":" +
+        std::to_string(5000 + i) + ",\"max_slots\":50000}}";
+    const auto resp = roundtrip(sock.fd(), line, 1);
+    ASSERT_EQ(resp.size(), 1u);
+    const std::string kind = resp.back().find("type")->as_string();
+    if (kind == "error") {
+      EXPECT_EQ(resp.back().find("code")->as_int(), 429);
+      saw_429 = true;
+    } else {
+      EXPECT_EQ(kind, "ack");
+    }
+  }
+  EXPECT_TRUE(saw_429);
+}
+
+TEST(ServiceServer, HeartbeatsStreamWhileASweepRuns) {
+  const ServerFixture fx;
+  const auto sock = fx.connect();
+  // Heavy enough to outlast a couple of 50ms heartbeat periods.
+  const std::string line =
+      "{\"op\":\"sweep\",\"params\":{\"n\":2048,\"trials\":20000,"
+      "\"seed\":31415,\"adversary\":\"saturating\",\"T\":64,"
+      "\"max_slots\":50000}}";
+  const auto lines = roundtrip(sock.fd(), line);
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_EQ(lines.front().find("type")->as_string(), "ack");
+  EXPECT_EQ(lines.back().find("type")->as_string(), "result");
+  std::size_t heartbeats = 0;
+  for (const auto& doc : lines) {
+    if (doc.find("type")->as_string() == "heartbeat") ++heartbeats;
+  }
+  // Not asserted > 0: a fast machine may finish inside one period.
+  SUCCEED() << heartbeats << " heartbeats";
+}
+
+TEST(ServiceServer, HttpShimSweepStatusMetrics) {
+  const ServerFixture fx;
+
+  // POST /sweep with a bare params body.
+  {
+    const auto sock = fx.connect();
+    const std::string body =
+        "{\"n\":128,\"trials\":16,\"seed\":77,\"max_slots\":10000}";
+    const std::string request =
+        "POST /sweep HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n" + body;
+    ASSERT_TRUE(send_all(sock.fd(), request));
+    LineReader reader;
+    const auto status_line = reader.read_line(sock.fd(), 30'000);
+    ASSERT_TRUE(status_line.has_value());
+    EXPECT_NE(status_line->find("200 OK"), std::string::npos);
+  }
+  // Same request again: still 200, now served from cache.
+  std::string second_body;
+  {
+    const auto sock = fx.connect();
+    const std::string body =
+        "{\"n\":128,\"trials\":16,\"seed\":77,\"max_slots\":10000}";
+    const std::string request =
+        "POST /sweep HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n" + body;
+    ASSERT_TRUE(send_all(sock.fd(), request));
+    LineReader reader;
+    std::size_t content_length = 0;
+    for (;;) {
+      const auto line = reader.read_line(sock.fd(), 30'000);
+      ASSERT_TRUE(line.has_value());
+      if (line->empty()) break;
+      if (line->rfind("Content-Length:", 0) == 0) {
+        content_length = static_cast<std::size_t>(
+            std::stoull(line->substr(15)));
+      }
+    }
+    ASSERT_GT(content_length, 0u);
+    const auto body_read = reader.read_exact(sock.fd(),
+                                             content_length, 30'000);
+    ASSERT_TRUE(body_read.has_value());
+    second_body = *body_read;
+    const auto doc = Json::parse(second_body);
+    ASSERT_TRUE(doc.has_value()) << second_body;
+    EXPECT_EQ(doc->find("cache")->as_string(), "hit");
+  }
+  // GET /metrics serves Prometheus text.
+  {
+    const auto sock = fx.connect();
+    ASSERT_TRUE(send_all(sock.fd(), "GET /metrics HTTP/1.1\r\n\r\n"));
+    LineReader reader;
+    const auto status_line = reader.read_line(sock.fd(), 30'000);
+    ASSERT_TRUE(status_line.has_value());
+    EXPECT_NE(status_line->find("200 OK"), std::string::npos);
+    bool saw_counter = false;
+    for (int i = 0; i < 500; ++i) {
+      const auto line = reader.read_line(sock.fd(), 2'000);
+      if (!line.has_value()) break;
+      if (line->rfind("jamelect_svc_requests_total", 0) == 0) {
+        saw_counter = true;
+      }
+    }
+    EXPECT_TRUE(saw_counter);
+  }
+  // Unknown endpoint -> 404.
+  {
+    const auto sock = fx.connect();
+    ASSERT_TRUE(send_all(sock.fd(), "GET /nope HTTP/1.1\r\n\r\n"));
+    LineReader reader;
+    const auto status_line = reader.read_line(sock.fd(), 30'000);
+    ASSERT_TRUE(status_line.has_value());
+    EXPECT_NE(status_line->find("404"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace jamelect::service

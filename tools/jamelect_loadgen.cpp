@@ -1,0 +1,353 @@
+// jamelect_loadgen — replay a mixed sweep trace against jamelectd.
+//
+//   jamelect_loadgen --port=PORT [--host=127.0.0.1]
+//                    [--requests=10000] [--concurrency=8]
+//                    [--configs=16] [--hot-frac=0.9]
+//                    [--n=256] [--trials=32] [--eps=0.5] [--T=32]
+//                    [--adversary=none] [--max-slots=20000] [--batch=64]
+//                    [--seed=1] [--rate=0] [--min-hit-rate=-1]
+//                    [--manifest=jamelect_loadgen]
+//
+// The trace is deterministic in --seed: each request draws one of
+// --configs distinct sweep configs (distinguished by their RNG seed
+// field), with probability --hot-frac of drawing config 0 — a skewed
+// mix where the hot config becomes a cache hit after its first
+// computation, so the steady-state hit rate approaches the skew. Each
+// of --concurrency threads replays its slice over one persistent
+// line-protocol connection (closed loop; --rate=R paces each thread at
+// R requests/s, open loop). 429 rejections are counted and retried
+// after a backoff so the delivered request count stays fixed.
+//
+// Output: per-category latency percentiles (cache hit / computed miss /
+// coalesced), overall p50/p90/p99, cache hit rate, throughput — as a
+// human-readable block plus one machine-readable `loadgen_summary`
+// JSON line and a run manifest.
+//
+// Exit codes: 0 ok; 1 transport/protocol failure;
+//             2 hit rate below --min-hit-rate.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+#include <random>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/manifest.hpp"
+#include "service/json.hpp"
+#include "service/net.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct TraceConfig {
+  std::string host;
+  std::uint16_t port = 0;
+  std::uint64_t requests = 10'000;
+  std::size_t concurrency = 8;
+  std::uint64_t configs = 16;
+  double hot_frac = 0.9;
+  std::uint64_t n = 256;
+  std::uint64_t trials = 32;
+  double eps = 0.5;
+  std::int64_t T = 32;
+  std::string adversary = "none";
+  std::int64_t max_slots = 20'000;
+  std::uint64_t batch = 64;
+  std::uint64_t seed = 1;
+  double rate = 0.0;  ///< per-thread requests/s; 0 = closed loop
+};
+
+struct WorkerStats {
+  std::vector<double> hit_us;
+  std::vector<double> miss_us;
+  std::vector<double> coalesced_us;
+  std::uint64_t rejected = 0;
+  std::uint64_t errors = 0;
+  std::string first_error;
+};
+
+std::string sweep_line(const TraceConfig& trace, std::uint64_t config_index) {
+  using jamelect::service::Json;
+  Json params;
+  params.set_object();
+  params.set("protocol", "lesk");
+  params.set("engine", "aggregate");
+  params.set("n", trace.n);
+  params.set("eps", trace.eps);
+  params.set("adversary", trace.adversary);
+  params.set("T", trace.T);
+  params.set("trials", trace.trials);
+  // The per-config seed is the only varying field: `configs` distinct
+  // cache keys, all equally expensive to compute.
+  params.set("seed", trace.seed * 1'000'003 + config_index);
+  params.set("max_slots", trace.max_slots);
+  params.set("batch", trace.batch);
+  Json req;
+  req.set_object();
+  req.set("op", "sweep");
+  req.set("params", std::move(params));
+  req.set("wait", true);
+  return req.dump() + "\n";
+}
+
+/// Replays `count` requests over one persistent connection.
+void run_worker(const TraceConfig& trace, std::uint64_t count,
+                std::uint64_t worker_index, WorkerStats& stats) {
+  using jamelect::service::Json;
+  std::string error;
+  auto sock = jamelect::service::tcp_connect(trace.host, trace.port, &error);
+  if (!sock.valid()) {
+    stats.errors += count;
+    stats.first_error = error;
+    return;
+  }
+  jamelect::service::LineReader reader;
+  std::mt19937_64 rng(trace.seed ^ (0x9e3779b97f4a7c15ULL * (worker_index + 1)));
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  const auto pace = trace.rate > 0.0
+                        ? std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(1.0 / trace.rate))
+                        : Clock::duration::zero();
+  auto next_send = Clock::now();
+
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (pace != Clock::duration::zero()) {
+      std::this_thread::sleep_until(next_send);
+      next_send += pace;
+    }
+    const std::uint64_t config_index =
+        (trace.configs <= 1 || unit(rng) < trace.hot_frac)
+            ? 0
+            : 1 + rng() % (trace.configs - 1);
+    const std::string line = sweep_line(trace, config_index);
+
+    for (int attempt = 0;; ++attempt) {
+      const auto t0 = Clock::now();
+      if (!jamelect::service::send_all(sock.fd(), line)) {
+        stats.errors += 1;
+        if (stats.first_error.empty()) stats.first_error = "send failed";
+        return;
+      }
+      // Read lines until this request resolves (heartbeats in between).
+      std::string cache;
+      bool resolved = false;
+      bool rejected = false;
+      while (!resolved) {
+        auto resp = reader.read_line(sock.fd(), 60'000);
+        if (!resp.has_value()) {
+          stats.errors += 1;
+          if (stats.first_error.empty()) {
+            stats.first_error = reader.timed_out() ? "response timeout"
+                                                   : "connection closed";
+          }
+          return;
+        }
+        const auto doc = Json::parse(*resp);
+        if (!doc.has_value()) continue;
+        const Json* type = doc->find("type");
+        const std::string kind = type != nullptr ? type->as_string() : "";
+        if (kind == "ack") {
+          const Json* c = doc->find("cache");
+          if (c != nullptr) cache = c->as_string();
+        } else if (kind == "result") {
+          if (cache.empty()) {
+            const Json* c = doc->find("cache");
+            if (c != nullptr) cache = c->as_string();
+          }
+          resolved = true;
+        } else if (kind == "error") {
+          const Json* code = doc->find("code");
+          if (code != nullptr && code->as_int() == 429) {
+            rejected = true;
+            resolved = true;
+          } else {
+            stats.errors += 1;
+            if (stats.first_error.empty()) {
+              const Json* msg = doc->find("error");
+              stats.first_error = msg != nullptr ? msg->as_string() : *resp;
+            }
+            resolved = true;
+            cache.clear();
+          }
+        }
+        // heartbeats fall through and keep the loop waiting
+      }
+      if (rejected) {
+        stats.rejected += 1;
+        if (attempt < 50) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2 << std::min(attempt, 5)));
+          continue;  // retry so the delivered count stays fixed
+        }
+        break;  // give up on this request; already counted as rejected
+      }
+      const double us = std::chrono::duration<double, std::micro>(
+                            Clock::now() - t0)
+                            .count();
+      if (cache == "hit") {
+        stats.hit_us.push_back(us);
+      } else if (cache == "coalesced") {
+        stats.coalesced_us.push_back(us);
+      } else if (!cache.empty()) {
+        stats.miss_us.push_back(us);
+      }
+      break;
+    }
+  }
+}
+
+jamelect::Summary summary_of(std::vector<double>& v) {
+  std::sort(v.begin(), v.end());
+  return jamelect::summarize(std::span<const double>(v));
+}
+
+void print_lat(const char* label, const jamelect::Summary& s) {
+  std::printf("  %-10s count=%-7zu p50=%.0fus p95=%.0fus p99=%.0fus max=%.0fus\n",
+              label, s.count, s.median, s.p95, s.p99, s.max);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace jamelect;
+  const Cli cli(argc, argv);
+
+  TraceConfig trace;
+  trace.host = cli.get_string("host", "127.0.0.1");
+  trace.port = static_cast<std::uint16_t>(cli.get_uint("port", 7979));
+  trace.requests = cli.get_uint("requests", trace.requests);
+  trace.concurrency = cli.get_uint("concurrency", trace.concurrency);
+  trace.configs = std::max<std::uint64_t>(1, cli.get_uint("configs", trace.configs));
+  trace.hot_frac = cli.get_double("hot-frac", trace.hot_frac);
+  trace.n = cli.get_uint("n", trace.n);
+  trace.trials = cli.get_uint("trials", trace.trials);
+  trace.eps = cli.get_double("eps", trace.eps);
+  trace.T = cli.get_int("T", trace.T);
+  trace.adversary = cli.get_string("adversary", trace.adversary);
+  trace.max_slots = cli.get_int("max-slots", trace.max_slots);
+  trace.batch = cli.get_uint("batch", trace.batch);
+  trace.seed = cli.get_uint("seed", trace.seed);
+  trace.rate = cli.get_double("rate", trace.rate);
+  const double min_hit_rate = cli.get_double("min-hit-rate", -1.0);
+  if (trace.concurrency == 0) trace.concurrency = 1;
+
+  std::vector<WorkerStats> stats(trace.concurrency);
+  std::vector<std::thread> workers;
+  workers.reserve(trace.concurrency);
+  const auto t0 = Clock::now();
+  for (std::size_t w = 0; w < trace.concurrency; ++w) {
+    const std::uint64_t share = trace.requests / trace.concurrency +
+                                (w < trace.requests % trace.concurrency ? 1 : 0);
+    workers.emplace_back(run_worker, std::cref(trace), share, w,
+                         std::ref(stats[w]));
+  }
+  for (auto& t : workers) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  WorkerStats total;
+  for (const auto& s : stats) {
+    total.hit_us.insert(total.hit_us.end(), s.hit_us.begin(), s.hit_us.end());
+    total.miss_us.insert(total.miss_us.end(), s.miss_us.begin(),
+                         s.miss_us.end());
+    total.coalesced_us.insert(total.coalesced_us.end(),
+                              s.coalesced_us.begin(), s.coalesced_us.end());
+    total.rejected += s.rejected;
+    total.errors += s.errors;
+    if (total.first_error.empty()) total.first_error = s.first_error;
+  }
+  const std::uint64_t resolved = total.hit_us.size() + total.miss_us.size() +
+                                 total.coalesced_us.size();
+  const double hit_rate =
+      resolved > 0
+          ? static_cast<double>(total.hit_us.size() + total.coalesced_us.size()) /
+                static_cast<double>(resolved)
+          : 0.0;
+
+  std::vector<double> all;
+  all.reserve(resolved);
+  all.insert(all.end(), total.hit_us.begin(), total.hit_us.end());
+  all.insert(all.end(), total.miss_us.begin(), total.miss_us.end());
+  all.insert(all.end(), total.coalesced_us.begin(), total.coalesced_us.end());
+  const Summary s_all = summary_of(all);
+  const Summary s_hit = summary_of(total.hit_us);
+  const Summary s_miss = summary_of(total.miss_us);
+  const Summary s_coal = summary_of(total.coalesced_us);
+  const double p90 =
+      all.empty() ? 0.0 : quantile_sorted(std::span<const double>(all), 0.90);
+
+  std::printf("loadgen: %llu requests in %.2fs (%.0f req/s), hit rate %.3f\n",
+              static_cast<unsigned long long>(resolved), elapsed_s,
+              elapsed_s > 0 ? static_cast<double>(resolved) / elapsed_s : 0.0,
+              hit_rate);
+  print_lat("all", s_all);
+  std::printf("  %-10s p90=%.0fus\n", "all", p90);
+  print_lat("hit", s_hit);
+  print_lat("miss", s_miss);
+  print_lat("coalesced", s_coal);
+  if (total.rejected > 0) {
+    std::printf("  rejected (429, retried): %llu\n",
+                static_cast<unsigned long long>(total.rejected));
+  }
+  if (total.errors > 0) {
+    std::printf("  ERRORS: %llu (first: %s)\n",
+                static_cast<unsigned long long>(total.errors),
+                total.first_error.c_str());
+  }
+
+  {
+    using service::Json;
+    Json out;
+    out.set_object();
+    out.set("requests", resolved);
+    out.set("hits", static_cast<std::uint64_t>(total.hit_us.size()));
+    out.set("misses", static_cast<std::uint64_t>(total.miss_us.size()));
+    out.set("coalesced", static_cast<std::uint64_t>(total.coalesced_us.size()));
+    out.set("rejected", total.rejected);
+    out.set("errors", total.errors);
+    out.set("hit_rate", hit_rate);
+    out.set("elapsed_s", elapsed_s);
+    out.set("rps", elapsed_s > 0
+                       ? static_cast<double>(resolved) / elapsed_s
+                       : 0.0);
+    out.set("p50_us", s_all.median);
+    out.set("p90_us", p90);
+    out.set("p99_us", s_all.p99);
+    out.set("hit_p50_us", s_hit.median);
+    out.set("miss_p50_us", s_miss.median);
+    std::printf("loadgen_summary %s\n", out.dump().c_str());
+  }
+
+  obs::RunManifest manifest;
+  manifest.name = cli.get_string("manifest", "jamelect_loadgen");
+  manifest.seed = trace.seed;
+  manifest.include_metrics = false;
+  manifest.config["host"] = trace.host;
+  manifest.config["port"] = std::to_string(trace.port);
+  manifest.config["requests"] = std::to_string(trace.requests);
+  manifest.config["concurrency"] = std::to_string(trace.concurrency);
+  manifest.config["configs"] = std::to_string(trace.configs);
+  manifest.config["hot_frac"] = obs::canonical_number(trace.hot_frac);
+  manifest.config["rate"] = obs::canonical_number(trace.rate);
+  manifest.config["resolved"] = std::to_string(resolved);
+  manifest.config["hit_rate"] = obs::canonical_number(hit_rate);
+  manifest.config["p50_us"] = obs::canonical_number(s_all.median);
+  manifest.config["p99_us"] = obs::canonical_number(s_all.p99);
+  const std::string path = obs::manifest_path_for(manifest.name);
+  if (!path.empty()) (void)manifest.write_file(path);
+
+  if (total.errors > 0) return 1;
+  if (min_hit_rate >= 0.0 && hit_rate < min_hit_rate) {
+    std::fprintf(stderr, "loadgen: hit rate %.3f below threshold %.3f\n",
+                 hit_rate, min_hit_rate);
+    return 2;
+  }
+  return 0;
+}

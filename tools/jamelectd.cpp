@@ -1,0 +1,100 @@
+// jamelectd — the jamelect sweep daemon.
+//
+//   jamelectd [--host=127.0.0.1] [--port=7979] [--workers=2]
+//             [--queue=64] [--cache-dir=DIR] [--heartbeat-ms=500]
+//             [--max-trials=1000000] [--max-slots=10000000]
+//             [--manifest=jamelectd]
+//
+// Serves parameter sweeps over the newline-delimited JSON protocol and
+// the HTTP/1.1 shim (docs/SERVICE.md). Results are memoized by manifest
+// fingerprint (config + seed + git SHA) in memory and, when
+// --cache-dir (or env JAMELECT_CACHE_DIR) is set, on disk — so a
+// restarted daemon still answers repeated sweeps from cache.
+//
+// --port=0 binds an ephemeral port; the chosen port is printed on the
+// "jamelectd listening on" line, which scripts/service_smoke.sh parses.
+//
+// SIGINT/SIGTERM drain gracefully: stop admitting, fail queued jobs,
+// let running sweeps finish their current trial chunk (the Monte-Carlo
+// drivers poll the same shutdown flag), flush the run manifest, exit 0.
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
+#include "support/cli.hpp"
+#include "support/shutdown.hpp"
+
+int main(int argc, char** argv) {
+  using namespace jamelect;
+  const Cli cli(argc, argv);
+
+  service::ServiceConfig svc_cfg;
+  svc_cfg.workers = cli.get_uint("workers", 2);
+  svc_cfg.max_queue = cli.get_uint("queue", 64);
+  const char* env_cache = std::getenv("JAMELECT_CACHE_DIR");
+  svc_cfg.cache_dir =
+      cli.get_string("cache-dir", env_cache != nullptr ? env_cache : "");
+  svc_cfg.limits.max_trials = cli.get_uint("max-trials", 1'000'000);
+  svc_cfg.limits.max_slots =
+      cli.get_int("max-slots", svc_cfg.limits.max_slots);
+
+  service::ServerConfig srv_cfg;
+  srv_cfg.host = cli.get_string("host", "127.0.0.1");
+  srv_cfg.port = static_cast<std::uint16_t>(cli.get_uint("port", 7979));
+  srv_cfg.heartbeat_ms =
+      static_cast<int>(cli.get_int("heartbeat-ms", srv_cfg.heartbeat_ms));
+
+  obs::MetricsRegistry::global().set_enabled(true);
+  install_shutdown_handlers();
+
+  service::SweepService service(svc_cfg);
+  service::SocketServer server(service, srv_cfg);
+  std::string error;
+  if (!server.start(&error)) {
+    std::cerr << "jamelectd: " << error << "\n";
+    return 1;
+  }
+  std::cout << "jamelectd listening on " << srv_cfg.host << ":"
+            << server.port() << " (workers=" << svc_cfg.workers
+            << " queue=" << svc_cfg.max_queue << " cache="
+            << (svc_cfg.cache_dir.empty() ? "memory" : svc_cfg.cache_dir)
+            << ")" << std::endl;
+
+  while (!shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::cout << "jamelectd: signal " << shutdown_signal()
+            << ", draining" << std::endl;
+
+  // Order matters: stopping the service resolves every job (queued ->
+  // failed, running -> drained), which releases connections blocked in
+  // wait(); only then can the server's connection count reach zero.
+  service.stop();
+  server.stop();
+
+  obs::RunManifest manifest;
+  manifest.name = cli.get_string("manifest", "jamelectd");
+  manifest.config["host"] = srv_cfg.host;
+  manifest.config["port"] = std::to_string(server.port());
+  manifest.config["workers"] = std::to_string(svc_cfg.workers);
+  manifest.config["queue"] = std::to_string(svc_cfg.max_queue);
+  manifest.config["cache_dir"] = svc_cfg.cache_dir;
+  manifest.config["requests"] = std::to_string(service.requests());
+  manifest.config["cache_hits"] = std::to_string(service.cache_hits());
+  manifest.config["computed"] = std::to_string(service.computed());
+  manifest.config["coalesced"] = std::to_string(service.coalesced());
+  manifest.config["rejected"] = std::to_string(service.rejected());
+  const std::string path = obs::manifest_path_for(manifest.name);
+  if (!path.empty() && !manifest.write_file(path)) {
+    std::cerr << "jamelectd: cannot write manifest " << path << "\n";
+  }
+  std::cout << "jamelectd: served " << service.requests() << " requests ("
+            << service.cache_hits() << " cache hits, " << service.computed()
+            << " computed, " << service.coalesced() << " coalesced, "
+            << service.rejected() << " rejected)" << std::endl;
+  return 0;
+}
