@@ -165,12 +165,15 @@ void Perf_CohortEngineTelemetry(benchmark::State& state) {
 // not thread-pool scheduling.
 [[nodiscard]] McResult lesk_mc(std::uint64_t n, std::size_t batch,
                                std::size_t n_trials,
-                               BatchLaneMode lanes = BatchLaneMode::kAuto) {
+                               BatchLaneMode lanes = BatchLaneMode::kAuto,
+                               bool parallel = false,
+                               RngBackend rng = RngBackend::kXoshiro) {
   AdversarySpec spec = adversary("saturating", 64, 0.5);
   McConfig config = mc(/*seed=*/23, /*max_slots=*/kSlots, n_trials);
-  config.parallel = false;
+  config.parallel = parallel;
   config.batch = batch;
   config.batch_lanes = lanes;
+  config.rng_backend = rng;
   return run_aggregate_mc(lesk_factory(0.5), spec, n, config);
 }
 
@@ -204,6 +207,49 @@ void Perf_WideBatchEngine(benchmark::State& state) {
   for (auto _ : state) {
     const McResult res =
         lesk_mc(n, /*batch=*/64, /*n_trials=*/64, BatchLaneMode::kWide);
+    slots += total_slots(res);
+    benchmark::DoNotOptimize(res.successes);
+  }
+  state.SetItemsProcessed(slots);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["batch"] = 64;
+}
+
+// Multi-core wide-batch orchestration: the Perf_WideBatchEngine
+// workload scaled up (more trials, so chunks outnumber workers) and
+// fanned out over the thread pool. items/sec over a single-threaded
+// run of this same case is the parallel speedup; the fan-out width is
+// stamped into the JSON context as jamelect_threads (and the per-case
+// `threads` counter). Per-trial outcomes are bit-identical at every
+// width — tests/parallel_mc_test.cpp holds that line.
+void Perf_ParallelWideBatchEngine(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  std::int64_t slots = 0;
+  for (auto _ : state) {
+    const McResult res = lesk_mc(n, /*batch=*/64, /*n_trials=*/512,
+                                 BatchLaneMode::kWide, /*parallel=*/true);
+    slots += total_slots(res);
+    benchmark::DoNotOptimize(res.successes);
+  }
+  state.SetItemsProcessed(slots);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["batch"] = 64;
+  state.counters["threads"] =
+      static_cast<double>(global_pool().size() + 1);
+}
+
+// The wide-batch workload on the counter-keyed AES backend
+// (rng_backend=aes_ctr; implementation — aesni/soft — is stamped as
+// jamelect_rng_backend_aes). Different draws than the xoshiro series,
+// same per-slot work shape; items/sec against Perf_WideBatchEngine is
+// the cipher cost of O(1)-addressable streams.
+void Perf_AesCtrWideBatchEngine(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  std::int64_t slots = 0;
+  for (auto _ : state) {
+    const McResult res =
+        lesk_mc(n, /*batch=*/64, /*n_trials=*/64, BatchLaneMode::kWide,
+                /*parallel=*/false, RngBackend::kAesCtr);
     slots += total_slots(res);
     benchmark::DoNotOptimize(res.successes);
   }
@@ -256,6 +302,8 @@ BENCHMARK(Perf_CohortEngineTelemetry)->Arg(4)->Arg(10)->Arg(20)->Unit(benchmark:
 BENCHMARK(Perf_HybridEngine)->Arg(4)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
 BENCHMARK(Perf_BatchEngine)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
 BENCHMARK(Perf_WideBatchEngine)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(Perf_ParallelWideBatchEngine)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(Perf_AesCtrWideBatchEngine)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
 BENCHMARK(Perf_SequentialMcBaseline)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
 
 }  // namespace

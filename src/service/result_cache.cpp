@@ -23,9 +23,23 @@ bool safe_key(const std::string& key) {
   return true;
 }
 
+std::size_t entry_bytes(const std::string& key, const std::string& value) {
+  return key.size() + value.size();
+}
+
 }  // namespace
 
-ResultCache::ResultCache(std::string disk_dir) : dir_(std::move(disk_dir)) {}
+ResultCache::ResultCache(std::string disk_dir, std::size_t max_entries,
+                         std::size_t max_bytes)
+    : dir_(std::move(disk_dir)),
+      max_entries_(max_entries),
+      max_bytes_(max_bytes),
+      m_evictions_(
+          obs::MetricsRegistry::global().counter("svc.cache_evictions")) {
+  // Register at zero so a bounded daemon's /metrics always carries the
+  // counter, evictions or not.
+  obs::MetricsRegistry::global().add(m_evictions_, 0);
+}
 
 std::string ResultCache::path_for(const std::string& key) const {
   return dir_ + "/" + key + ".result.json";
@@ -34,10 +48,13 @@ std::string ResultCache::path_for(const std::string& key) const {
 std::optional<std::string> ResultCache::lookup(const std::string& key) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = memory_.find(key);
-  if (it != memory_.end()) return it->second;
+  if (it != memory_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.value;
+  }
   if (dir_.empty() || !safe_key(key)) return std::nullopt;
   auto loaded = load_from_disk(key);
-  if (loaded.has_value()) memory_.emplace(key, *loaded);
+  if (loaded.has_value()) insert_locked(key, *loaded);
   return loaded;
 }
 
@@ -62,12 +79,50 @@ std::optional<std::string> ResultCache::load_from_disk(
   return result->dump();
 }
 
+void ResultCache::insert_locked(const std::string& key,
+                                const std::string& value) {
+  const auto it = memory_.find(key);
+  if (it != memory_.end()) {
+    // Same key always carries the same bytes, but stay defensive about
+    // the accounting if they ever differ.
+    bytes_ -= entry_bytes(key, it->second.value);
+    bytes_ += entry_bytes(key, value);
+    it->second.value = value;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  } else {
+    lru_.push_front(key);
+    memory_.emplace(key, Entry{value, lru_.begin()});
+    bytes_ += entry_bytes(key, value);
+  }
+  evict_to_bounds_locked();
+}
+
+void ResultCache::evict_to_bounds_locked() {
+  const auto over = [this] {
+    // Never evict the just-touched MRU entry: a single oversized result
+    // must still be servable, so the bounds apply to entries beyond it.
+    if (memory_.size() <= 1) return false;
+    if (max_entries_ != 0 && memory_.size() > max_entries_) return true;
+    if (max_bytes_ != 0 && bytes_ > max_bytes_) return true;
+    return false;
+  };
+  while (over()) {
+    const std::string& victim = lru_.back();
+    const auto it = memory_.find(victim);
+    bytes_ -= entry_bytes(victim, it->second.value);
+    memory_.erase(it);
+    lru_.pop_back();
+    ++evictions_;
+    obs::MetricsRegistry::global().add(m_evictions_, 1);
+  }
+}
+
 void ResultCache::store(const std::string& key,
                         const std::string& request_canonical,
                         const std::string& result_json) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    memory_.insert_or_assign(key, result_json);
+    insert_locked(key, result_json);
   }
   if (dir_.empty() || !safe_key(key)) return;
   std::error_code ec;
@@ -101,6 +156,16 @@ void ResultCache::store(const std::string& key,
 std::size_t ResultCache::size() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return memory_.size();
+}
+
+std::size_t ResultCache::memory_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+std::uint64_t ResultCache::evictions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
 }
 
 }  // namespace jamelect::service

@@ -1,4 +1,5 @@
-// Manifest-keyed result cache: in-memory map + optional on-disk tier.
+// Manifest-keyed result cache: bounded in-memory LRU + optional
+// on-disk tier.
 //
 // Keys are obs::config_fingerprint(SweepRequest::config_map()) — the
 // canonical config+seed+git-SHA hash — and values are the EXACT bytes
@@ -8,6 +9,16 @@
 // atomically (temp file + rename), loaded lazily on first miss and
 // promoted into memory.
 //
+// The memory tier is bounded two ways — max_entries and max_bytes
+// (sum of key + value sizes) — with least-recently-used eviction; 0
+// means unbounded. Eviction only drops the MEMORY copy: with a disk
+// tier configured every store also landed on disk, so an evicted key
+// is still a (slower) hit that reloads and re-promotes. A long-lived
+// daemon's memory is therefore capped by configuration, not by the
+// lifetime diversity of its request stream. Evictions are counted
+// locally (evictions()) and on the global registry
+// ("svc.cache_evictions").
+//
 // Thread-safe; lookups under a single mutex (entries are small strings
 // and hits must beat recomputation by ~100x, not by the last
 // microsecond of lock contention). In-flight request coalescing lives
@@ -15,44 +26,76 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+
+#include "obs/metrics.hpp"
 
 namespace jamelect::service {
 
 class ResultCache {
  public:
   /// `disk_dir` empty => memory-only. The directory is created on first
-  /// store if missing.
-  explicit ResultCache(std::string disk_dir);
+  /// store if missing. `max_entries` / `max_bytes` bound the memory
+  /// tier (0 = unbounded).
+  explicit ResultCache(std::string disk_dir, std::size_t max_entries = 0,
+                       std::size_t max_bytes = 0);
 
   /// The stored result JSON bytes for `key`: memory first, then disk
-  /// (a disk hit is promoted into memory). nullopt on miss.
+  /// (a disk hit is promoted into memory). A hit marks the entry
+  /// most-recently-used. nullopt on miss.
   [[nodiscard]] std::optional<std::string> lookup(const std::string& key);
 
   /// Stores a finished result. `request_canonical` (the request's
   /// canonical JSON) is embedded in the disk envelope so cache files
   /// are self-describing; it is not needed to serve hits. Idempotent —
-  /// same key always carries the same bytes.
+  /// same key always carries the same bytes. May evict LRU entries
+  /// from memory to respect the bounds.
   void store(const std::string& key, const std::string& request_canonical,
              const std::string& result_json);
 
   /// Entries currently resident in memory.
   [[nodiscard]] std::size_t size() const;
 
+  /// Approximate memory-tier footprint: sum of key + value bytes.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// Memory-tier entries dropped by the LRU bound since construction.
+  [[nodiscard]] std::uint64_t evictions() const;
+
   [[nodiscard]] const std::string& disk_dir() const noexcept { return dir_; }
+  [[nodiscard]] std::size_t max_entries() const noexcept {
+    return max_entries_;
+  }
+  [[nodiscard]] std::size_t max_bytes() const noexcept { return max_bytes_; }
 
  private:
+  struct Entry {
+    std::string value;
+    std::list<std::string>::iterator lru_pos;
+  };
+
   [[nodiscard]] std::string path_for(const std::string& key) const;
   /// Reads and validates a disk envelope; returns the result bytes.
   [[nodiscard]] std::optional<std::string> load_from_disk(
       const std::string& key) const;
+  /// Inserts/refreshes key as MRU, then evicts from the LRU end until
+  /// the bounds hold. Caller holds mutex_.
+  void insert_locked(const std::string& key, const std::string& value);
+  void evict_to_bounds_locked();
 
   mutable std::mutex mutex_;
   std::string dir_;
-  std::unordered_map<std::string, std::string> memory_;
+  std::size_t max_entries_;
+  std::size_t max_bytes_;
+  std::size_t bytes_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::list<std::string> lru_;  ///< front = most recent
+  std::unordered_map<std::string, Entry> memory_;
+  obs::MetricsRegistry::MetricId m_evictions_;
 };
 
 }  // namespace jamelect::service

@@ -46,7 +46,8 @@ std::int64_t histogram_quantile(const obs::HistogramSnapshot& h,
 
 SweepService::SweepService(ServiceConfig config)
     : config_(std::move(config)),
-      cache_(config_.cache_dir),
+      cache_(config_.cache_dir, config_.cache_max_entries,
+             config_.cache_max_bytes),
       start_(Clock::now()) {
   if (config_.workers == 0) config_.workers = 1;
   auto& reg = obs::MetricsRegistry::global();
@@ -145,7 +146,11 @@ SweepService::Submit SweepService::submit(const SweepRequest& request) {
   }
 
   auto job = std::make_shared<Job>();
-  job->id = "j" + std::to_string(next_id_++);
+  // Built char-by-char: GCC 12's -O3 -Wrestrict false-fires (PR105329)
+  // on every char*-source assign/insert path here.
+  std::string id = std::to_string(next_id_++);
+  id.insert(id.begin(), 'j');
+  job->id = std::move(id);
   job->key = out.key;
   job->request = request;
   job->submitted_us = t0;

@@ -54,6 +54,11 @@ struct ServiceConfig {
   std::size_t max_queue = 64;
   /// Result-cache disk tier directory; "" = memory-only.
   std::string cache_dir;
+  /// Memory-tier bounds for the result cache (LRU eviction; 0 =
+  /// unbounded). With a disk tier configured, evicted keys are still
+  /// served — reloaded from disk on their next lookup.
+  std::size_t cache_max_entries = 0;
+  std::size_t cache_max_bytes = 0;
   /// Terminal job records kept for GET /status; oldest evicted beyond.
   std::size_t max_job_history = 4096;
   SweepLimits limits;

@@ -11,6 +11,7 @@
 #include "protocols/interval_partition.hpp"
 #include "protocols/kernels.hpp"
 #include "sim/batch_wide.hpp"
+#include "support/ctr_rng.hpp"
 #include "support/expects.hpp"
 #include "support/math.hpp"
 #include "support/slot_prob_cache.hpp"
@@ -61,37 +62,105 @@ void record_state(TrialOutcome& o, ChannelState state) {
          spec.policy == "periodic" || spec.policy == "pulse";
 }
 
-/// SlotProbCache effectiveness rollup, shared by every lane engine.
-/// hits = lookups - misses; dense_hits is the subset of hits answered
-/// by the lattice index instead of a hash probe.
-void emit_cache_counters(const SlotProbCache& cache) {
-  JAMELECT_OBS_COUNT("engine.batch.cache_lookups",
-                     static_cast<std::int64_t>(cache.lookups()));
-  JAMELECT_OBS_COUNT(
-      "engine.batch.cache_hits",
-      static_cast<std::int64_t>(cache.lookups() - cache.misses()));
-  JAMELECT_OBS_COUNT("engine.batch.cache_dense_hits",
-                     static_cast<std::int64_t>(cache.dense_hits()));
-  JAMELECT_OBS_COUNT("engine.batch.cache_misses",
-                     static_cast<std::int64_t>(cache.misses()));
+/// Per-thread reusable chunk state for the multi-core orchestrator.
+///
+/// SlotProbCache entries are pure functions of (n, u) — protocol- and
+/// trial-independent — so a warm cache from one chunk answers the next
+/// chunk's lookups without redoing the exp/log chains, and reuse can
+/// never change a result. Each worker thread owns one workspace
+/// (thread_local), so chunks sharded across the ThreadPool touch no
+/// shared mutable state: bit-identity across thread counts is
+/// structural, and TSAN has nothing to watch here. A small LRU of
+/// caches keyed by n covers sweeps that interleave station counts
+/// (the hybrid engine uses n and n - 1 in one chunk).
+///
+/// Counter discipline: caches outlive chunks, so the engine rollup
+/// must emit per-chunk DELTAS of the cache counters, not totals —
+/// emit_cache_counters() tracks the last-emitted watermark per cache.
+class BatchWorkspace {
+ public:
+  SlotProbCache& cache(std::uint64_t n) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i]->cache.n() == n) {
+        if (i != 0) {
+          std::rotate(entries_.begin(),
+                      entries_.begin() + static_cast<std::ptrdiff_t>(i),
+                      entries_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+        }
+        JAMELECT_OBS_COUNT("mc.parallel_cache_reuse", 1);
+        return entries_.front()->cache;
+      }
+    }
+    if (entries_.size() >= kMaxCaches) entries_.pop_back();
+    entries_.insert(entries_.begin(), std::make_unique<Entry>(n));
+    return entries_.front()->cache;
+  }
+
+  /// Emits the SlotProbCache effectiveness rollup accrued since the
+  /// previous call (hits = lookups - misses; dense_hits is the subset
+  /// of hits answered by the lattice index instead of a hash probe).
+  void emit_cache_counters() {
+    for (auto& e : entries_) {
+      const std::uint64_t lookups = e->cache.lookups();
+      const std::uint64_t misses = e->cache.misses();
+      const std::uint64_t dense = e->cache.dense_hits();
+      JAMELECT_OBS_COUNT(
+          "engine.batch.cache_lookups",
+          static_cast<std::int64_t>(lookups - e->lookups_seen));
+      JAMELECT_OBS_COUNT(
+          "engine.batch.cache_hits",
+          static_cast<std::int64_t>((lookups - misses) -
+                                    (e->lookups_seen - e->misses_seen)));
+      JAMELECT_OBS_COUNT("engine.batch.cache_dense_hits",
+                         static_cast<std::int64_t>(dense - e->dense_seen));
+      JAMELECT_OBS_COUNT("engine.batch.cache_misses",
+                         static_cast<std::int64_t>(misses - e->misses_seen));
+      e->lookups_seen = lookups;
+      e->misses_seen = misses;
+      e->dense_seen = dense;
+    }
+  }
+
+ private:
+  struct Entry {
+    explicit Entry(std::uint64_t n) : cache(n) {}
+    SlotProbCache cache;
+    std::uint64_t lookups_seen = 0;
+    std::uint64_t misses_seen = 0;
+    std::uint64_t dense_seen = 0;
+  };
+  static constexpr std::size_t kMaxCaches = 8;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+[[nodiscard]] BatchWorkspace& local_batch_workspace() {
+  thread_local BatchWorkspace workspace;
+  return workspace;
 }
 
 /// Strong-CD aggregate lanes: the SoA mirror of run_aggregate
 /// (sim/aggregate.cpp), one uniform() per slot + one below(n) on
 /// election per lane, additions in the same per-lane order.
-template <class Kernel>
+///
+/// `make_rng(trial)` builds the simulation-draw generator for an
+/// absolute trial index: Rng (xoshiro child chains) or AesCtrRng
+/// (counter streams) — both expose the identical uniform / bernoulli /
+/// below façade, so the engine body is backend-agnostic.
+template <class Kernel, class MakeRng>
 void aggregate_lanes(const typename Kernel::Params& params,
                      const AdversarySpec& spec, const BatchConfig& config,
                      const Rng& base, std::size_t first, std::size_t count,
-                     TrialOutcome* out) {
+                     TrialOutcome* out, const MakeRng& make_rng) {
   JAMELECT_EXPECTS(config.n >= 1);
   JAMELECT_EXPECTS(config.max_slots >= 1);
+  using LaneRng = std::decay_t<decltype(make_rng(std::size_t{0}))>;
   const std::uint64_t n = config.n;
   const double nd = static_cast<double>(n);
-  SlotProbCache cache(n);
+  BatchWorkspace& workspace = local_batch_workspace();
+  SlotProbCache& cache = workspace.cache(n);
 
   std::vector<Kernel> kernels(count, Kernel(params));
-  std::vector<Rng> rngs;
+  std::vector<LaneRng> rngs;
   rngs.reserve(count);
   // Deterministic policies share one adversary across all lanes (its rng
   // child stream exists but is never drawn from, so lane 0's seed is as
@@ -107,9 +176,10 @@ void aggregate_lanes(const typename Kernel::Params& params,
   std::vector<std::uint32_t> lane_trial(count);
   std::vector<TrialOutcome> acc(count);
   for (std::size_t k = 0; k < count; ++k) {
-    const Rng trial_rng = base.child(first + k);
-    if (!shared_adv) advs[k] = make_adversary(spec, trial_rng.child(0xad50));
-    rngs.push_back(trial_rng.child(0x51e0));
+    if (!shared_adv) {
+      advs[k] = make_adversary(spec, base.child(first + k).child(0xad50));
+    }
+    rngs.push_back(make_rng(first + k));
     lane_trial[k] = static_cast<std::uint32_t>(k);
   }
 
@@ -161,7 +231,7 @@ void aggregate_lanes(const typename Kernel::Params& params,
   JAMELECT_OBS_COUNT("engine.batch.aggregate_chunks", 1);
   JAMELECT_OBS_COUNT("engine.batch.slots", slots_total);
   JAMELECT_OBS_COUNT("mc.batch_scalar_slots", slots_total);
-  emit_cache_counters(cache);
+  workspace.emit_cache_counters();
 }
 
 /// A kernel slot that may be unoccupied — the batch mirror of the
@@ -181,24 +251,26 @@ enum class HybridPhase : std::uint8_t { kP1, kP2, kP3, kP4, kDone };
 /// across lanes (lockstep keeps every active lane at the same slot);
 /// each lane runs the P1..P4 phase machine with kernels standing in
 /// for the shared/l/s protocol instances.
-template <class Kernel>
+template <class Kernel, class MakeRng>
 void hybrid_lanes(const typename Kernel::Params& params,
                   const AdversarySpec& spec, const BatchConfig& config,
                   const Rng& base, std::size_t first, std::size_t count,
-                  TrialOutcome* out) {
+                  TrialOutcome* out, const MakeRng& make_rng) {
   JAMELECT_EXPECTS(config.n >= 3);
   JAMELECT_EXPECTS(config.max_slots >= 1);
+  using LaneRng = std::decay_t<decltype(make_rng(std::size_t{0}))>;
   const std::uint64_t n = config.n;
   const double nd = static_cast<double>(n);
   const double nm1d = static_cast<double>(n - 1);
-  SlotProbCache cache_n(n);
-  SlotProbCache cache_nm1(n - 1);
+  BatchWorkspace& workspace = local_batch_workspace();
+  SlotProbCache& cache_n = workspace.cache(n);
+  SlotProbCache& cache_nm1 = workspace.cache(n - 1);
 
   std::vector<HybridPhase> phases(count, HybridPhase::kP1);
   std::vector<MaybeKernel<Kernel>> shared(count, {Kernel(params), false});
   std::vector<MaybeKernel<Kernel>> l_a(count, {Kernel(params), false});
   std::vector<MaybeKernel<Kernel>> s_a(count, {Kernel(params), false});
-  std::vector<Rng> rngs;
+  std::vector<LaneRng> rngs;
   rngs.reserve(count);
   const bool shared_adv = lane_invariant_policy(spec);
   std::unique_ptr<BoundedAdversary> adv_shared;
@@ -211,9 +283,10 @@ void hybrid_lanes(const typename Kernel::Params& params,
   std::vector<std::uint32_t> lane_trial(count);
   std::vector<TrialOutcome> acc(count);
   for (std::size_t k = 0; k < count; ++k) {
-    const Rng trial_rng = base.child(first + k);
-    if (!shared_adv) advs[k] = make_adversary(spec, trial_rng.child(0xad50));
-    rngs.push_back(trial_rng.child(0x51e0));
+    if (!shared_adv) {
+      advs[k] = make_adversary(spec, base.child(first + k).child(0xad50));
+    }
+    rngs.push_back(make_rng(first + k));
     lane_trial[k] = static_cast<std::uint32_t>(k);
   }
 
@@ -225,7 +298,7 @@ void hybrid_lanes(const typename Kernel::Params& params,
     const bool jam_all = shared_adv && adv_shared->step();
     for (std::size_t lane = 0; lane < active;) {
       const HybridPhase phase = phases[lane];
-      Rng& rng = rngs[lane];
+      LaneRng& rng = rngs[lane];
       const bool jammed = shared_adv ? jam_all : advs[lane]->step();
 
       std::uint64_t cnt = 0;
@@ -384,8 +457,7 @@ void hybrid_lanes(const typename Kernel::Params& params,
   JAMELECT_OBS_COUNT("engine.batch.hybrid_chunks", 1);
   JAMELECT_OBS_COUNT("engine.batch.slots", slots_total);
   JAMELECT_OBS_COUNT("mc.batch_scalar_slots", slots_total);
-  emit_cache_counters(cache_n);
-  emit_cache_counters(cache_nm1);
+  workspace.emit_cache_counters();
 }
 
 /// SIMD-wide strong-CD aggregate lanes: same per-lane draw sequence
@@ -419,7 +491,8 @@ void aggregate_lanes_wide(const typename Kernel::Params& params,
   static_assert(kIsUniform || kIsLesk || kIsLesu);
 
   const std::uint64_t n = config.n;
-  SlotProbCache cache(n);
+  BatchWorkspace& workspace = local_batch_workspace();
+  SlotProbCache& cache = workspace.cache(n);
   double lesk_inc = 0.0;
   if constexpr (kIsLesk) {
     lesk_inc = Kernel(params).inc;
@@ -580,7 +653,194 @@ void aggregate_lanes_wide(const typename Kernel::Params& params,
   JAMELECT_OBS_COUNT("engine.batch.aggregate_chunks", 1);
   JAMELECT_OBS_COUNT("engine.batch.slots", slots_total);
   JAMELECT_OBS_COUNT("mc.batch_wide_slots", slots_total);
-  emit_cache_counters(cache);
+  workspace.emit_cache_counters();
+}
+
+/// SIMD-wide strong-CD aggregate lanes on the AES-CTR backend: the
+/// same orchestration as aggregate_lanes_wide, with the fused xoshiro
+/// slot primitives replaced by a batched counter advance
+/// (WideAesCtr::uniform_groups) plus portable classify/accumulate
+/// loops, and jammed slots reduced to pure counter increments
+/// (skip_groups) — a discarded CTR draw needs no cipher work. Lane k
+/// is stream `first + k` from counter 0, so results are chunk- and
+/// thread-invariant by construction and bit-identical to the scalar
+/// AesCtrRng path (same draws, same arithmetic, same order).
+template <class Kernel>
+void aggregate_lanes_wide_ctr(const typename Kernel::Params& params,
+                              const AdversarySpec& spec,
+                              const BatchConfig& config, const Rng& base,
+                              std::size_t first, std::size_t count,
+                              TrialOutcome* out) {
+  JAMELECT_EXPECTS(config.n >= 1);
+  JAMELECT_EXPECTS(config.max_slots >= 1);
+  JAMELECT_EXPECTS(lane_invariant_policy(spec));
+  constexpr bool kIsUniform = std::is_same_v<Kernel, kernels::UniformKernel>;
+  constexpr bool kIsLesk = std::is_same_v<Kernel, kernels::LeskKernel>;
+  constexpr bool kIsLesu = std::is_same_v<Kernel, kernels::LesuKernel>;
+  static_assert(kIsUniform || kIsLesk || kIsLesu);
+
+  const std::uint64_t n = config.n;
+  BatchWorkspace& workspace = local_batch_workspace();
+  SlotProbCache& cache = workspace.cache(n);
+  double lesk_inc = 0.0;
+  if constexpr (kIsLesk) {
+    lesk_inc = Kernel(params).inc;
+    cache.set_lattice_step(lesk_inc);
+  }
+
+  WideAesCtr rng(make_aes_key(base.seed()), count);
+  const std::size_t padded = rng.padded_lanes();
+
+  std::vector<double> c_null(padded), c_single(padded), exp_tx(padded);
+  std::vector<double> r(padded, 0.0);
+  std::vector<double> transmissions(padded, 0.0);
+  std::vector<std::int64_t> nulls(padded, 0), singles(padded, 0);
+  std::vector<std::int64_t> states(padded, 0);
+  std::vector<std::uint32_t> lane_trial(count);
+  std::vector<double> us;
+  std::vector<Kernel> kerns;
+  if constexpr (kIsLesk || kIsLesu) {
+    us.assign(padded, Kernel(params).broadcast_u());
+  }
+  if constexpr (kIsLesu) kerns.assign(count, Kernel(params));
+
+  auto adv = make_adversary(spec, base.child(first).child(0xad50));
+  for (std::size_t k = 0; k < count; ++k) {
+    // Lane k's sim stream IS trial first + k: the O(1) counter keying.
+    rng.seed_lane(k, static_cast<std::uint64_t>(first + k));
+    lane_trial[k] = static_cast<std::uint32_t>(k);
+  }
+
+  if constexpr (kIsUniform) {
+    const SlotProbCache::Entry e = cache.lookup(Kernel(params).broadcast_u());
+    std::fill(c_null.begin(), c_null.end(), e.c_null);
+    std::fill(c_single.begin(), c_single.end(), e.c_single);
+    std::fill(exp_tx.begin(), exp_tx.end(), e.exp_tx);
+  } else {
+    cache.lookup_lanes(us.data(), padded, c_null.data(), c_single.data(),
+                       exp_tx.data());
+  }
+
+  std::size_t active = count;
+  std::int64_t slots_done = 0;
+  std::int64_t jams_done = 0;
+  std::int64_t slots_total = 0;
+
+  const auto finalize = [&](std::size_t lane, bool elected) {
+    TrialOutcome o;
+    o.slots = slots_done;
+    o.jams = jams_done;
+    o.nulls = nulls[lane];
+    o.singles = singles[lane];
+    o.collisions = slots_done - nulls[lane] - singles[lane];
+    o.transmissions = transmissions[lane];
+    if (elected) {
+      o.elected = true;
+      o.all_done = true;
+      o.unique_leader = true;
+      o.leader = rng.below_lane(lane, n);
+    }
+    out[lane_trial[lane]] = o;
+  };
+
+  for (Slot slot = 0; slot < config.max_slots && active > 0; ++slot) {
+    slots_total += static_cast<std::int64_t>(active);
+    ++slots_done;
+    const std::size_t groups = (active + kWideLanes - 1) / kWideLanes;
+    const std::size_t span = groups * kWideLanes;
+    const bool jammed = adv->step();
+
+    if (jammed) {
+      // Every lane sees Collision regardless of its draw: a CTR draw
+      // that would be discarded is just a counter bump (the scalar
+      // path draws and discards — same stream positions either way).
+      ++jams_done;
+      rng.skip_groups(groups);
+      for (std::size_t k = 0; k < span; ++k) transmissions[k] += exp_tx[k];
+      if constexpr (kIsLesk) {
+        for (std::size_t k = 0; k < span; ++k) us[k] += lesk_inc;
+        cache.lookup_lanes(us.data(), span, c_null.data(), c_single.data(),
+                           exp_tx.data());
+      } else if constexpr (kIsLesu) {
+        for (std::size_t lane = 0; lane < active; ++lane) {
+          kerns[lane].step(ChannelState::kCollision);
+          us[lane] = kerns[lane].broadcast_u();
+        }
+        cache.lookup_lanes(us.data(), span, c_null.data(), c_single.data(),
+                           exp_tx.data());
+      }
+      continue;
+    }
+
+    // Clean slot: one batched counter advance, then a branch-free
+    // classify/accumulate loop (the portable mirror of the fused
+    // xoshiro slot primitives — same thresholds, same arithmetic).
+    rng.uniform_groups(groups, r.data());
+    bool any_single = false;
+    for (std::size_t k = 0; k < span; ++k) {
+      const double rv = r[k];
+      const bool lt0 = rv < c_null[k];
+      const bool lt1 = rv < c_single[k];
+      states[k] = lt0 ? 0 : (lt1 ? 1 : 2);
+      nulls[k] += lt0 ? 1 : 0;
+      singles[k] += (lt1 && !lt0) ? 1 : 0;
+      transmissions[k] += exp_tx[k];
+      any_single = any_single || (lt1 && !lt0);
+      if constexpr (kIsLesk) {
+        // LeskKernel::step, expression-for-expression: Null decrements
+        // (floored at 0), Collision adds inc, Single leaves u alone.
+        if (lt0) {
+          us[k] = std::max(us[k] - 1.0, 0.0);
+        } else if (!lt1) {
+          us[k] += lesk_inc;
+        }
+      }
+    }
+    if constexpr (kIsLesu) {
+      for (std::size_t lane = 0; lane < active; ++lane) {
+        kerns[lane].step(static_cast<ChannelState>(states[lane]));
+      }
+    }
+
+    if (any_single) {
+      for (std::size_t lane = 0; lane < active;) {
+        if (states[lane] != 1) {
+          ++lane;
+          continue;
+        }
+        finalize(lane, true);
+        --active;
+        if (lane != active) {
+          rng.move_lane(lane, active);
+          transmissions[lane] = transmissions[active];
+          nulls[lane] = nulls[active];
+          singles[lane] = singles[active];
+          states[lane] = states[active];
+          lane_trial[lane] = lane_trial[active];
+          if constexpr (kIsLesk || kIsLesu) us[lane] = us[active];
+          if constexpr (kIsLesu) kerns[lane] = kerns[active];
+        }
+      }
+    }
+
+    if constexpr (kIsLesk || kIsLesu) {
+      if (active > 0) {
+        if constexpr (kIsLesu) {
+          for (std::size_t lane = 0; lane < active; ++lane) {
+            us[lane] = kerns[lane].broadcast_u();
+          }
+        }
+        const std::size_t g2 = (active + kWideLanes - 1) / kWideLanes;
+        cache.lookup_lanes(us.data(), g2 * kWideLanes, c_null.data(),
+                           c_single.data(), exp_tx.data());
+      }
+    }
+  }
+  for (std::size_t lane = 0; lane < active; ++lane) finalize(lane, false);
+  JAMELECT_OBS_COUNT("engine.batch.aggregate_chunks", 1);
+  JAMELECT_OBS_COUNT("engine.batch.slots", slots_total);
+  JAMELECT_OBS_COUNT("mc.batch_wide_slots", slots_total);
+  workspace.emit_cache_counters();
 }
 
 /// What a hybrid lane wants from the rng this slot (pass A result).
@@ -595,7 +855,13 @@ enum class DrawKind : std::uint8_t { kNone = 0, kCategory, kBernoulli };
 /// consumes the draws and runs the post-state transitions. Lanes make
 /// at most one draw per slot, so per-lane draw order — and hence bit
 /// identity with hybrid_lanes — is preserved exactly.
-template <class Kernel>
+///
+/// Templated on the wide generator: WideXoshiro (lane k seeded from
+/// the child-chain stream) or WideAesCtr (lane k IS counter stream
+/// first + k). Both expose the same seed_lane / uniform_masked /
+/// below_lane / move_lane façade, so only construction and seeding
+/// differ.
+template <class Kernel, class WideRng>
 void hybrid_lanes_wide(const typename Kernel::Params& params,
                        const AdversarySpec& spec, const BatchConfig& config,
                        const Rng& base, std::size_t first, std::size_t count,
@@ -603,16 +869,25 @@ void hybrid_lanes_wide(const typename Kernel::Params& params,
   JAMELECT_EXPECTS(config.n >= 3);
   JAMELECT_EXPECTS(config.max_slots >= 1);
   JAMELECT_EXPECTS(lane_invariant_policy(spec));
+  constexpr bool kCtr = std::is_same_v<WideRng, WideAesCtr>;
   const std::uint64_t n = config.n;
-  SlotProbCache cache_n(n);
-  SlotProbCache cache_nm1(n - 1);
+  BatchWorkspace& workspace = local_batch_workspace();
+  SlotProbCache& cache_n = workspace.cache(n);
+  SlotProbCache& cache_nm1 = workspace.cache(n - 1);
   if constexpr (std::is_same_v<Kernel, kernels::LeskKernel>) {
     const double inc = Kernel(params).inc;
     cache_n.set_lattice_step(inc);
     cache_nm1.set_lattice_step(inc);
   }
 
-  WideXoshiro rng(count);
+  auto make_wide = [&] {
+    if constexpr (kCtr) {
+      return WideAesCtr(make_aes_key(base.seed()), count);
+    } else {
+      return WideXoshiro(count);
+    }
+  };
+  WideRng rng = make_wide();
   const std::size_t padded = rng.padded_lanes();
 
   std::vector<HybridPhase> phases(count, HybridPhase::kP1);
@@ -631,7 +906,11 @@ void hybrid_lanes_wide(const typename Kernel::Params& params,
 
   auto adv = make_adversary(spec, base.child(first).child(0xad50));
   for (std::size_t k = 0; k < count; ++k) {
-    rng.seed_lane(k, base.child(first + k).child(0x51e0).seed());
+    if constexpr (kCtr) {
+      rng.seed_lane(k, static_cast<std::uint64_t>(first + k));
+    } else {
+      rng.seed_lane(k, base.child(first + k).child(0x51e0).seed());
+    }
     lane_trial[k] = static_cast<std::uint32_t>(k);
   }
 
@@ -857,8 +1136,7 @@ void hybrid_lanes_wide(const typename Kernel::Params& params,
   JAMELECT_OBS_COUNT("engine.batch.hybrid_chunks", 1);
   JAMELECT_OBS_COUNT("engine.batch.slots", slots_total);
   JAMELECT_OBS_COUNT("mc.batch_wide_slots", slots_total);
-  emit_cache_counters(cache_n);
-  emit_cache_counters(cache_nm1);
+  workspace.emit_cache_counters();
 }
 
 /// Resolves BatchLaneMode against the adversary policy: kAuto goes
@@ -878,7 +1156,33 @@ void hybrid_lanes_wide(const typename Kernel::Params& params,
   return false;
 }
 
+/// Simulation-draw factory for the scalar lane engines: trial k's
+/// xoshiro stream, by the exact child-chain derivation of the
+/// sequential path.
+[[nodiscard]] auto xoshiro_make_rng(const Rng& base) {
+  return [&base](std::size_t trial) {
+    return base.child(trial).child(0x51e0);
+  };
+}
+
+/// Same, on the counter backend: trial k IS stream k under the
+/// run-wide key (two SplitMix64 words of the seed, expanded once and
+/// shared by every chunk).
+[[nodiscard]] auto aes_make_rng(const AesKey& key) {
+  return [&key](std::size_t trial) {
+    return AesCtrRng(key, static_cast<std::uint64_t>(trial));
+  };
+}
+
 }  // namespace
+
+const char* rng_backend_name(RngBackend backend) noexcept {
+  switch (backend) {
+    case RngBackend::kXoshiro: return "xoshiro";
+    case RngBackend::kAesCtr: return "aes_ctr";
+  }
+  return "unknown";
+}
 
 std::optional<BatchKernelSpec> batch_kernel_spec(
     const UniformProtocol& prototype) {
@@ -919,12 +1223,22 @@ void run_batch_aggregate_trials(const BatchKernelSpec& spec,
       [&](const auto& params) {
         using Kernel = typename KernelFor<
             std::decay_t<decltype(params)>>::type;
-        if (use_wide_lanes(config.lanes, adv)) {
+        const bool wide = use_wide_lanes(config.lanes, adv);
+        if (config.rng == RngBackend::kAesCtr) {
+          if (wide) {
+            aggregate_lanes_wide_ctr<Kernel>(params, adv, config, base, first,
+                                             count, out);
+          } else {
+            const AesKey key = make_aes_key(base.seed());
+            aggregate_lanes<Kernel>(params, adv, config, base, first, count,
+                                    out, aes_make_rng(key));
+          }
+        } else if (wide) {
           aggregate_lanes_wide<Kernel>(params, adv, config, base, first, count,
                                        out);
         } else {
           aggregate_lanes<Kernel>(params, adv, config, base, first, count,
-                                  out);
+                                  out, xoshiro_make_rng(base));
         }
       },
       spec);
@@ -943,11 +1257,22 @@ void run_batch_hybrid_trials(const BatchKernelSpec& spec,
       [&](const auto& params) {
         using Kernel = typename KernelFor<
             std::decay_t<decltype(params)>>::type;
-        if (use_wide_lanes(config.lanes, adv)) {
-          hybrid_lanes_wide<Kernel>(params, adv, config, base, first, count,
-                                    out);
+        const bool wide = use_wide_lanes(config.lanes, adv);
+        if (config.rng == RngBackend::kAesCtr) {
+          if (wide) {
+            hybrid_lanes_wide<Kernel, WideAesCtr>(params, adv, config, base,
+                                                  first, count, out);
+          } else {
+            const AesKey key = make_aes_key(base.seed());
+            hybrid_lanes<Kernel>(params, adv, config, base, first, count, out,
+                                 aes_make_rng(key));
+          }
+        } else if (wide) {
+          hybrid_lanes_wide<Kernel, WideXoshiro>(params, adv, config, base,
+                                                 first, count, out);
         } else {
-          hybrid_lanes<Kernel>(params, adv, config, base, first, count, out);
+          hybrid_lanes<Kernel>(params, adv, config, base, first, count, out,
+                               xoshiro_make_rng(base));
         }
       },
       spec);

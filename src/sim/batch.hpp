@@ -64,6 +64,28 @@ using BatchKernelSpec =
 [[nodiscard]] std::optional<BatchKernelSpec> batch_kernel_spec(
     const UniformProtocol& prototype);
 
+/// Which random-stream backend drives the simulation draws of a
+/// batched chunk.
+enum class RngBackend : std::uint8_t {
+  /// xoshiro256** streams derived by Rng::child chains — the default,
+  /// and the bit-identity reference shared with the sequential engines
+  /// (trial k simulates from Rng(seed).child(k).child(0x51e0)).
+  kXoshiro = 0,
+  /// AES-128-CTR counter streams (support/ctr_rng.hpp): trial k's
+  /// draw j is AES(key(seed), k || j) — any stream position is
+  /// addressable in O(1), so chunking, thread count, and lane width
+  /// cannot perturb a single draw by construction. Draw VALUES differ
+  /// from kXoshiro (they are different random streams): the two
+  /// backends are distinct, internally consistent result universes,
+  /// which is why the sweep service keys its result cache on the
+  /// backend. Applies to the kernelized batch path; adversary streams
+  /// stay on xoshiro (they are chunk-shared, not per-trial).
+  kAesCtr = 1,
+};
+
+/// Telemetry/manifest name of a backend: "xoshiro" / "aes_ctr".
+[[nodiscard]] const char* rng_backend_name(RngBackend backend) noexcept;
+
 /// Which lane-stepping path a batched chunk uses.
 enum class BatchLaneMode : std::uint8_t {
   /// SIMD-wide when the adversary policy is lane-invariant (one shared
@@ -85,6 +107,7 @@ struct BatchConfig {
   std::uint64_t n = 1;
   std::int64_t max_slots = 1'000'000;
   BatchLaneMode lanes = BatchLaneMode::kAuto;
+  RngBackend rng = RngBackend::kXoshiro;
 };
 
 /// Runs trials [first, first + count) of the run_aggregate_mc sweep

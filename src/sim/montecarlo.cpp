@@ -114,6 +114,13 @@ class Heartbeat {
 // independent merge) lives in sim/mc_accumulate.hpp, shared with the
 // batched driver below.
 
+/// The pool a run fans out on: an explicit McConfig::pool wins, else
+/// the process-wide default. Pure routing — per-trial results are
+/// independent of the pool and its size.
+[[nodiscard]] ThreadPool& pool_for(const McConfig& config) {
+  return config.pool != nullptr ? *config.pool : global_pool();
+}
+
 /// Summaries from fully materialized outcomes (keep_outcomes == true);
 /// the outcome vector is moved into the result.
 McResult result_from_outcomes(std::vector<TrialOutcome>&& outcomes,
@@ -181,7 +188,7 @@ McResult run_trials_materialized(const TrialRunner& runner,
     ran[k] = 1;
   };
   if (config.parallel) {
-    global_pool().parallel_for(config.trials, body);
+    pool_for(config).parallel_for(config.trials, body);
   } else {
     for (std::size_t k = 0; k < config.trials; ++k) body(k);
   }
@@ -215,6 +222,14 @@ McResult run_trials_batched(const BatchChunkRunner& chunk_runner,
   const std::size_t chunk = config.batch;
   const std::size_t num_chunks = (config.trials + chunk - 1) / chunk;
 
+  // Orchestration telemetry: how wide this sweep actually fanned out
+  // (pool workers + the participating caller) and how many chunks ran.
+  // Observational only — chunk results derive from (seed, trial index).
+  JAMELECT_OBS_GAUGE(
+      "mc.parallel_width",
+      config.parallel ? static_cast<double>(pool_for(config).size() + 1)
+                      : 1.0);
+
   Heartbeat heartbeat(config.heartbeat, config.trials,
                       config.heartbeat_interval_ms);
   obs::TraceEventRecorder* const recorder = config.recorder;
@@ -229,6 +244,7 @@ McResult run_trials_batched(const BatchChunkRunner& chunk_runner,
     if (recorder != nullptr) span.emplace(*recorder, "mc.batch");
     chunk_runner(first, count, out);
     span.reset();
+    JAMELECT_OBS_COUNT("mc.parallel_chunks", 1);
     for (std::size_t i = 0; i < count; ++i) {
       heartbeat.on_trial(out[i].slots);
       JAMELECT_OBS_COUNT("mc.trials", 1);
@@ -244,7 +260,7 @@ McResult run_trials_batched(const BatchChunkRunner& chunk_runner,
       ran[c] = run_chunk(c, outcomes.data() + c * chunk) > 0 ? 1 : 0;
     };
     if (config.parallel) {
-      global_pool().parallel_for(num_chunks, body);
+      pool_for(config).parallel_for(num_chunks, body);
     } else {
       for (std::size_t c = 0; c < num_chunks; ++c) body(c);
     }
@@ -276,7 +292,7 @@ McResult run_trials_batched(const BatchChunkRunner& chunk_runner,
   };
   detail::TrialAccumulator total;
   if (config.parallel) {
-    total = global_pool().parallel_reduce(
+    total = pool_for(config).parallel_reduce(
         num_chunks, detail::TrialAccumulator{}, body, detail::merge_into);
   } else {
     for (std::size_t c = 0; c < num_chunks; ++c) body(total, c);
@@ -309,6 +325,18 @@ void register_batch_counters() {
   JAMELECT_OBS_COUNT("mc.batch_fallbacks", 0);
   JAMELECT_OBS_COUNT("mc.batch_wide_slots", 0);
   JAMELECT_OBS_COUNT("mc.batch_scalar_slots", 0);
+  JAMELECT_OBS_COUNT("mc.parallel_chunks", 0);
+  JAMELECT_OBS_COUNT("mc.parallel_cache_reuse", 0);
+  JAMELECT_OBS_COUNT("mc.rng_backend_fallbacks", 0);
+}
+
+/// A non-kernelizable protocol dropped a batched sweep onto the
+/// sequential path, which only speaks xoshiro: a requested AES-CTR
+/// backend is silently a different ask than what ran, so count it.
+void count_backend_fallback(const McConfig& config) {
+  if (config.rng_backend == RngBackend::kAesCtr) {
+    JAMELECT_OBS_COUNT("mc.rng_backend_fallbacks", 1);
+  }
 }
 
 }  // namespace
@@ -352,7 +380,7 @@ McResult run_trials(const TrialRunner& runner, std::uint64_t n_for_energy,
   };
   detail::TrialAccumulator total;
   if (config.parallel) {
-    total = global_pool().parallel_reduce(
+    total = pool_for(config).parallel_reduce(
         config.trials, detail::TrialAccumulator{}, body, detail::merge_into);
   } else {
     for (std::size_t k = 0; k < config.trials; ++k) body(total, k);
@@ -372,14 +400,16 @@ McResult run_aggregate_mc(const UniformProtocolFactory& factory,
       const Rng base(config.seed);
       const BatchChunkRunner chunk =
           [kernel = *kernel, spec, n, max_slots = config.max_slots,
-           lanes = config.batch_lanes,
+           lanes = config.batch_lanes, rng = config.rng_backend,
            base](std::size_t first, std::size_t count, TrialOutcome* out) {
-            run_batch_aggregate_trials(kernel, spec, {n, max_slots, lanes},
-                                       base, first, count, out);
+            run_batch_aggregate_trials(kernel, spec,
+                                       {n, max_slots, lanes, rng}, base,
+                                       first, count, out);
           };
       return run_trials_batched(chunk, n, config);
     }
     JAMELECT_OBS_COUNT("mc.batch_fallbacks", 1);
+    count_backend_fallback(config);
   }
   const TrialRunner runner = [&factory, spec, n,
                               max_slots = config.max_slots](Rng rng) {
@@ -402,14 +432,15 @@ McResult run_hybrid_mc(const UniformProtocolFactory& factory,
       const Rng base(config.seed);
       const BatchChunkRunner chunk =
           [kernel = *kernel, spec, n, max_slots = config.max_slots,
-           lanes = config.batch_lanes,
+           lanes = config.batch_lanes, rng = config.rng_backend,
            base](std::size_t first, std::size_t count, TrialOutcome* out) {
-            run_batch_hybrid_trials(kernel, spec, {n, max_slots, lanes}, base,
-                                    first, count, out);
+            run_batch_hybrid_trials(kernel, spec, {n, max_slots, lanes, rng},
+                                    base, first, count, out);
           };
       return run_trials_batched(chunk, n, config);
     }
     JAMELECT_OBS_COUNT("mc.batch_fallbacks", 1);
+    count_backend_fallback(config);
   }
   const TrialRunner runner = [&factory, spec, n,
                               max_slots = config.max_slots](Rng rng) {

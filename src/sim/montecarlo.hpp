@@ -19,6 +19,8 @@
 
 namespace jamelect {
 
+class ThreadPool;
+
 namespace obs {
 class TraceEventRecorder;
 }  // namespace obs
@@ -43,6 +45,21 @@ struct McConfig {
   /// is lane-invariant; see BatchLaneMode. Outcomes are bit-identical
   /// across modes — another pure throughput knob.
   BatchLaneMode batch_lanes = BatchLaneMode::kAuto;
+  /// Random-stream backend for the batched engine (ignored when batch
+  /// == 0): kXoshiro reproduces the sequential path bit for bit;
+  /// kAesCtr keys trial k's draws as AES-CTR stream k — a DIFFERENT
+  /// (internally consistent) result universe whose per-trial outcomes
+  /// are invariant across thread counts, lane modes, and AES
+  /// implementations. Non-kernelizable protocols fall back to the
+  /// sequential xoshiro path regardless (counted by
+  /// mc.rng_backend_fallbacks).
+  RngBackend rng_backend = RngBackend::kXoshiro;
+  /// Pool to fan trials out on when `parallel` (nullptr = the
+  /// process-wide global_pool()). Non-owning; must outlive the run.
+  /// Results are bit-identical for every pool size — this exists so
+  /// callers (and the scheduling-determinism tests) can pin an exact
+  /// worker count without touching JAMELECT_THREADS.
+  ThreadPool* pool = nullptr;
   /// Materialize McResult::outcomes (per-trial detail). Off by default:
   /// the streaming path aggregates into O(distinct-values) count maps
   /// per thread, so million-trial sweeps don't hold a TrialOutcome per

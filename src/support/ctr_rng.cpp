@@ -1,0 +1,268 @@
+#include "support/ctr_rng.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace jamelect {
+
+namespace ctr_detail {
+
+// ---- portable AES-128, encrypt-only ---------------------------------
+//
+// The S-box is built once from first principles (GF(2^8) inverse via
+// log/antilog tables over generator 0x03, then the FIPS-197 affine
+// transform) instead of a transcribed 256-entry literal; the FIPS-197
+// Appendix C vector in tests/ctr_rng_test.cpp pins the result, and the
+// AES-NI backend must agree bit-for-bit on every block.
+
+[[nodiscard]] constexpr std::uint8_t xtime(std::uint8_t x) noexcept {
+  return static_cast<std::uint8_t>(
+      static_cast<std::uint8_t>(x << 1) ^ ((x >> 7) != 0 ? 0x1b : 0x00));
+}
+
+[[nodiscard]] constexpr std::uint8_t rotl8(std::uint8_t x, int k) noexcept {
+  return static_cast<std::uint8_t>(
+      static_cast<std::uint8_t>(x << k) | (x >> (8 - k)));
+}
+
+namespace {
+
+struct Sbox {
+  std::uint8_t s[256];
+};
+
+[[nodiscard]] const Sbox& sbox() noexcept {
+  static const Sbox table = [] {
+    std::uint8_t pow[255];
+    std::uint8_t log[256] = {};
+    std::uint8_t p = 1;
+    for (int i = 0; i < 255; ++i) {
+      pow[i] = p;
+      log[p] = static_cast<std::uint8_t>(i);
+      p = static_cast<std::uint8_t>(p ^ xtime(p));  // p *= 0x03 in GF(2^8)
+    }
+    Sbox t{};
+    for (int x = 0; x < 256; ++x) {
+      const std::uint8_t inv =
+          x == 0 ? std::uint8_t{0} : pow[(255 - log[x]) % 255];
+      t.s[x] = static_cast<std::uint8_t>(inv ^ rotl8(inv, 1) ^ rotl8(inv, 2) ^
+                                         rotl8(inv, 3) ^ rotl8(inv, 4) ^ 0x63);
+    }
+    return t;
+  }();
+  return table;
+}
+
+// State byte i = row (i % 4) of column (i / 4), as FIPS-197 lays the
+// input block out. ShiftRows rotates row r left by r columns.
+void shift_rows(std::uint8_t s[16]) noexcept {
+  std::uint8_t t[16];
+  for (int c = 0; c < 4; ++c) {
+    for (int r = 0; r < 4; ++r) t[4 * c + r] = s[4 * ((c + r) % 4) + r];
+  }
+  std::memcpy(s, t, 16);
+}
+
+void mix_columns(std::uint8_t s[16]) noexcept {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = s + 4 * c;
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    const std::uint8_t all =
+        static_cast<std::uint8_t>(a0 ^ a1 ^ a2 ^ a3);
+    col[0] = static_cast<std::uint8_t>(a0 ^ all ^
+                                       xtime(static_cast<std::uint8_t>(a0 ^ a1)));
+    col[1] = static_cast<std::uint8_t>(a1 ^ all ^
+                                       xtime(static_cast<std::uint8_t>(a1 ^ a2)));
+    col[2] = static_cast<std::uint8_t>(a2 ^ all ^
+                                       xtime(static_cast<std::uint8_t>(a2 ^ a3)));
+    col[3] = static_cast<std::uint8_t>(a3 ^ all ^
+                                       xtime(static_cast<std::uint8_t>(a3 ^ a0)));
+  }
+}
+
+}  // namespace
+
+void encrypt_block_soft(const AesKey& key, const std::uint8_t in[16],
+                        std::uint8_t out[16]) noexcept {
+  const std::uint8_t* rk = key.round_keys.data();
+  const Sbox& box = sbox();
+  std::uint8_t s[16];
+  for (int i = 0; i < 16; ++i) s[i] = static_cast<std::uint8_t>(in[i] ^ rk[i]);
+  for (int round = 1; round <= 9; ++round) {
+    for (auto& b : s) b = box.s[b];
+    shift_rows(s);
+    mix_columns(s);
+    const std::uint8_t* k = rk + 16 * round;
+    for (int i = 0; i < 16; ++i) s[i] = static_cast<std::uint8_t>(s[i] ^ k[i]);
+  }
+  for (auto& b : s) b = box.s[b];
+  shift_rows(s);
+  const std::uint8_t* k = rk + 160;
+  for (int i = 0; i < 16; ++i)
+    out[i] = static_cast<std::uint8_t>(s[i] ^ k[i]);
+}
+
+}  // namespace ctr_detail
+
+AesKey expand_aes_key(
+    const std::array<std::uint8_t, 16>& cipher_key) noexcept {
+  using ctr_detail::sbox;
+  using ctr_detail::xtime;
+  AesKey key;
+  std::uint8_t* rk = key.round_keys.data();
+  std::memcpy(rk, cipher_key.data(), 16);
+  std::uint8_t rcon = 1;
+  for (std::size_t i = 16; i < 176; i += 4) {
+    std::uint8_t t[4] = {rk[i - 4], rk[i - 3], rk[i - 2], rk[i - 1]};
+    if (i % 16 == 0) {
+      const std::uint8_t first = t[0];
+      t[0] = static_cast<std::uint8_t>(sbox().s[t[1]] ^ rcon);
+      t[1] = sbox().s[t[2]];
+      t[2] = sbox().s[t[3]];
+      t[3] = sbox().s[first];
+      rcon = xtime(rcon);
+    }
+    for (std::size_t j = 0; j < 4; ++j)
+      rk[i + j] = static_cast<std::uint8_t>(rk[i + j - 16] ^ t[j]);
+  }
+  return key;
+}
+
+AesKey make_aes_key(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  std::array<std::uint8_t, 16> cipher_key;
+  for (int half = 0; half < 2; ++half) {
+    const std::uint64_t w = sm.next();
+    for (int b = 0; b < 8; ++b)
+      cipher_key[static_cast<std::size_t>(8 * half + b)] =
+          static_cast<std::uint8_t>(w >> (8 * b));
+  }
+  return expand_aes_key(cipher_key);
+}
+
+namespace {
+
+constexpr int kAesUnresolved = -1;
+std::atomic<int> g_aes_isa{kAesUnresolved};
+
+[[nodiscard]] bool force_soft_aes_env() noexcept {
+  const char* v = std::getenv("JAMELECT_FORCE_SOFT_AES");
+  if (v == nullptr || v[0] == '\0') return false;
+  return !(v[0] == '0' && v[1] == '\0');
+}
+
+[[nodiscard]] AesIsa resolve_aes_isa() noexcept {
+  if (aesni_supported() && !force_soft_aes_env()) return AesIsa::kAesni;
+  return AesIsa::kSoft;
+}
+
+inline void store_le64(std::uint8_t* p, std::uint64_t v) noexcept {
+  for (int b = 0; b < 8; ++b) p[b] = static_cast<std::uint8_t>(v >> (8 * b));
+}
+
+[[nodiscard]] inline std::uint64_t load_le64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int b = 7; b >= 0; --b) v = (v << 8) | p[b];
+  return v;
+}
+
+}  // namespace
+
+AesIsa active_aes_isa() noexcept {
+  int v = g_aes_isa.load(std::memory_order_acquire);
+  if (v == kAesUnresolved) {
+    v = static_cast<int>(resolve_aes_isa());
+    g_aes_isa.store(v, std::memory_order_release);
+  }
+  return static_cast<AesIsa>(v);
+}
+
+bool aesni_supported() noexcept {
+#if defined(JAMELECT_AESNI)
+  return __builtin_cpu_supports("aes") != 0;
+#else
+  return false;
+#endif
+}
+
+const char* aes_isa_name(AesIsa isa) noexcept {
+  return isa == AesIsa::kAesni ? "aesni" : "soft";
+}
+
+void set_aes_isa_for_testing(AesIsa isa) {
+  JAMELECT_EXPECTS(isa != AesIsa::kAesni || aesni_supported());
+  g_aes_isa.store(static_cast<int>(isa), std::memory_order_release);
+}
+
+void reset_aes_isa_for_testing() noexcept {
+  g_aes_isa.store(kAesUnresolved, std::memory_order_release);
+}
+
+void aes_ctr_blocks(AesIsa isa, const AesKey& key,
+                    const std::uint64_t* streams,
+                    const std::uint64_t* counters, std::size_t n,
+                    std::uint64_t* out) noexcept {
+  constexpr std::size_t kChunk = 8;
+  std::uint8_t in[kChunk * 16];
+  std::uint8_t enc[kChunk * 16];
+  while (n > 0) {
+    const std::size_t m = n < kChunk ? n : kChunk;
+    for (std::size_t i = 0; i < m; ++i) {
+      store_le64(in + 16 * i, streams[i]);
+      store_le64(in + 16 * i + 8, counters[i]);
+    }
+#if defined(JAMELECT_AESNI)
+    if (isa == AesIsa::kAesni) {
+      ctr_detail::encrypt_blocks_aesni(key, in, enc, m);
+    } else {
+      for (std::size_t i = 0; i < m; ++i)
+        ctr_detail::encrypt_block_soft(key, in + 16 * i, enc + 16 * i);
+    }
+#else
+    (void)isa;
+    for (std::size_t i = 0; i < m; ++i)
+      ctr_detail::encrypt_block_soft(key, in + 16 * i, enc + 16 * i);
+#endif
+    for (std::size_t i = 0; i < m; ++i) out[i] = load_le64(enc + 16 * i);
+    streams += m;
+    counters += m;
+    out += m;
+    n -= m;
+  }
+}
+
+void WideAesCtr::uniform_groups(std::size_t groups, double* out) noexcept {
+  const std::size_t n = groups * kWideLanes;
+  aes_ctr_blocks(isa_, key_, stream_.data(), ctr_.data(), n,
+                 scratch_o_.data());
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] = wide_detail::to_uniform(scratch_o_[k]);
+    ++ctr_[k];
+  }
+}
+
+void WideAesCtr::uniform_masked(std::size_t groups, const std::uint8_t* mask,
+                                double* out) noexcept {
+  const std::size_t n = groups * kWideLanes;
+  std::size_t m = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (mask[k] != 0) {
+      scratch_s_[m] = stream_[k];
+      scratch_c_[m] = ctr_[k];
+      ++m;
+    }
+  }
+  if (m == 0) return;
+  aes_ctr_blocks(isa_, key_, scratch_s_.data(), scratch_c_.data(), m,
+                 scratch_o_.data());
+  std::size_t j = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (mask[k] != 0) {
+      out[k] = wide_detail::to_uniform(scratch_o_[j++]);
+      ++ctr_[k];
+    }
+  }
+}
+
+}  // namespace jamelect

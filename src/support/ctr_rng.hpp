@@ -1,0 +1,295 @@
+// AesCtrRng — counter-based pseudo-random generation in the style of
+// Salmon et al., "Parallel random numbers: as easy as 1, 2, 3"
+// (SC'11): draw j of stream s under run seed q is AES-128(key(q),
+// s || j), a pure function of (seed, stream, counter).
+//
+// Why a second backend next to xoshiro256**: the sequential engines
+// derive per-trial streams by walking `Rng::child` chains, which is
+// cheap but *stateful* — a lane's position depends on how many draws
+// came before it. A counter generator has no position at all: any
+// trial's stream, and any offset within it, is addressable in O(1),
+// so chunking, thread count, lane width, and work-stealing order can
+// change freely without touching a single random draw. That is the
+// property the multi-core wide-batch orchestrator (sim/montecarlo.cpp)
+// and the sweep service's result-cache contract rely on.
+//
+// Keying: the 128-bit cipher key is expanded from the 64-bit run seed
+// via SplitMix64 (make_aes_key); the plaintext block is the little-
+// endian pair (stream, counter), with stream = absolute trial index on
+// the simulation path. Draw = low 64 bits of the ciphertext; uniform
+// conversion is the exact `(x >> 11) * 2^-53` of Rng::uniform, and
+// below()/bernoulli() reproduce Rng's algorithms verbatim so engine
+// code is backend-agnostic.
+//
+// Backends: AES-NI (ctr_rng_aesni.cpp, the only support TU built
+// -maes, compile-gated by JAMELECT_AESNI) and a portable software
+// AES-128 (encrypt-only, table S-box) producing bit-identical blocks.
+// Selection mirrors the wide-RNG dispatch: resolved once per process
+// from compile support, cpuid, and the JAMELECT_FORCE_SOFT_AES
+// environment override; tests/ctr_rng_test.cpp locks the backends to
+// each other and to the FIPS-197 Appendix C vector.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "support/expects.hpp"
+#include "support/rng.hpp"
+#include "support/wide_rng.hpp"
+
+namespace jamelect {
+
+enum class AesIsa : std::uint8_t {
+  kSoft = 0,   ///< portable software AES-128 (encrypt-only)
+  kAesni = 1,  ///< hardware AES-NI rounds
+};
+
+/// The AES backend this process uses: kAesni when the binary was built
+/// with -maes support, the CPU reports the `aes` feature, and
+/// JAMELECT_FORCE_SOFT_AES is unset (or "0"); kSoft otherwise.
+/// Resolved on first call, then cached.
+[[nodiscard]] AesIsa active_aes_isa() noexcept;
+
+/// True iff the AES-NI backend is usable in this binary on this CPU
+/// (ignores the JAMELECT_FORCE_SOFT_AES override).
+[[nodiscard]] bool aesni_supported() noexcept;
+
+/// Telemetry name of a backend: "aesni" / "soft".
+[[nodiscard]] const char* aes_isa_name(AesIsa isa) noexcept;
+
+/// Test hook: pin active_aes_isa() to `isa` for the current process.
+/// Requires aesni_supported() when pinning kAesni. Not safe against
+/// concurrently running generators.
+void set_aes_isa_for_testing(AesIsa isa);
+
+/// Test hook: drop the pin/cache; the next active_aes_isa() call
+/// re-resolves from the environment and cpuid.
+void reset_aes_isa_for_testing() noexcept;
+
+/// Expanded AES-128 key schedule: 11 round keys of 16 bytes, in the
+/// byte order of FIPS-197. Plain bytes so both backends (and any SIMD
+/// width) load from the same source of truth.
+struct AesKey {
+  alignas(16) std::array<std::uint8_t, 176> round_keys;
+};
+
+/// FIPS-197 key expansion of a 16-byte AES-128 cipher key.
+[[nodiscard]] AesKey expand_aes_key(
+    const std::array<std::uint8_t, 16>& cipher_key) noexcept;
+
+/// Derives the run cipher key from a 64-bit seed: two SplitMix64 words,
+/// little-endian, expanded. One key per Monte-Carlo run; every trial
+/// stream lives under it.
+[[nodiscard]] AesKey make_aes_key(std::uint64_t seed) noexcept;
+
+/// out[i] = low 64 bits (little-endian) of AES-128_key(streams[i] ||
+/// counters[i]), with the plaintext block holding both u64s
+/// little-endian. The workhorse shared by the scalar and wide
+/// generators; `isa` picks the backend (callers cache it once so the
+/// dispatch atomic is off the hot path).
+void aes_ctr_blocks(AesIsa isa, const AesKey& key,
+                    const std::uint64_t* streams,
+                    const std::uint64_t* counters, std::size_t n,
+                    std::uint64_t* out) noexcept;
+
+namespace ctr_detail {
+
+/// Portable AES-128 single-block encrypt (FIPS-197, encrypt-only).
+void encrypt_block_soft(const AesKey& key, const std::uint8_t in[16],
+                        std::uint8_t out[16]) noexcept;
+
+#if defined(JAMELECT_AESNI)
+/// Implemented in ctr_rng_aesni.cpp (the only support TU built -maes);
+/// interleaves 4 blocks to cover the aesenc latency.
+void encrypt_blocks_aesni(const AesKey& key, const std::uint8_t* in,
+                          std::uint8_t* out, std::size_t nblocks) noexcept;
+#endif
+
+}  // namespace ctr_detail
+
+/// Scalar counter-based generator for one stream. Satisfies
+/// std::uniform_random_bit_generator; mirrors the Rng distribution
+/// façade (uniform / bernoulli / below) bit-for-bit in algorithm so the
+/// lane engines template over either. Draw j is a pure function of
+/// (key, stream, j): seek(j) is O(1) and draws are prefetched in small
+/// blocks purely for AES pipelining — buffering never changes values.
+class AesCtrRng {
+ public:
+  using result_type = std::uint64_t;
+
+  AesCtrRng(const AesKey& key, std::uint64_t stream) noexcept
+      : key_(key), stream_(stream) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  [[nodiscard]] std::uint64_t stream() const noexcept { return stream_; }
+
+  /// Counter of the next draw (counters wrap mod 2^64).
+  [[nodiscard]] std::uint64_t position() const noexcept {
+    return next_ - (len_ - pos_);
+  }
+
+  /// O(1) reposition: the next draw is draw `counter` of this stream.
+  void seek(std::uint64_t counter) noexcept {
+    next_ = counter;
+    pos_ = len_ = 0;
+  }
+
+  result_type operator()() noexcept {
+    if (pos_ == len_) refill();
+    return buf_[pos_++];
+  }
+
+  /// Uniform double in [0, 1); exact formula of Rng::uniform.
+  [[nodiscard]] double uniform() noexcept {
+    return wide_detail::to_uniform((*this)());
+  }
+
+  /// Bernoulli draw; consumes a draw only for p in (0, 1), like Rng.
+  [[nodiscard]] bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Uniform integer in [0, bound); the exact mask/rejection algorithm
+  /// of Rng::below.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) {
+    JAMELECT_EXPECTS(bound > 0);
+    if ((bound & (bound - 1)) == 0) return (*this)() & (bound - 1);
+    const std::uint64_t limit =
+        std::numeric_limits<std::uint64_t>::max() -
+        std::numeric_limits<std::uint64_t>::max() % bound;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r < limit) return r % bound;
+    }
+  }
+
+ private:
+  static constexpr std::size_t kBuffer = 4;
+
+  void refill() noexcept {
+    std::uint64_t streams[kBuffer];
+    std::uint64_t counters[kBuffer];
+    for (std::size_t i = 0; i < kBuffer; ++i) {
+      streams[i] = stream_;
+      counters[i] = next_ + i;  // wraps mod 2^64 by design
+    }
+    aes_ctr_blocks(isa_, key_, streams, counters, kBuffer, buf_);
+    next_ += kBuffer;
+    pos_ = 0;
+    len_ = kBuffer;
+  }
+
+  AesKey key_;
+  std::uint64_t stream_;
+  std::uint64_t next_ = 0;  ///< first counter not yet in buf_
+  std::size_t pos_ = 0;
+  std::size_t len_ = 0;
+  std::uint64_t buf_[kBuffer] = {};
+  AesIsa isa_ = active_aes_isa();
+};
+
+/// SoA multi-stream counter generator: the wide-plane counterpart of
+/// WideXoshiro with the same lane/padding/group conventions, so the
+/// wide batch engines consume either through one template. Lane k
+/// seeded with seed_lane(k, s) produces the EXACT stream of
+/// AesCtrRng(key, s); state per lane is just (stream id, counter), so
+/// move_lane is two word copies and a jammed slot's discarded draws
+/// are counter increments with no cipher work at all (skip_groups).
+class WideAesCtr {
+ public:
+  WideAesCtr(const AesKey& key, std::size_t lanes)
+      : key_(key),
+        lanes_(lanes),
+        padded_((lanes + kWideLanes - 1) / kWideLanes * kWideLanes),
+        stream_(padded_, 0),
+        ctr_(padded_, 0),
+        scratch_s_(padded_),
+        scratch_c_(padded_),
+        scratch_o_(padded_) {
+    JAMELECT_EXPECTS(lanes >= 1);
+  }
+
+  [[nodiscard]] std::size_t lanes() const noexcept { return lanes_; }
+  [[nodiscard]] std::size_t padded_lanes() const noexcept { return padded_; }
+
+  /// (Re)binds one lane to `stream`, rewound to counter 0.
+  void seed_lane(std::size_t lane, std::uint64_t stream) noexcept {
+    stream_[lane] = stream;
+    ctr_[lane] = 0;
+  }
+
+  /// One draw of `lane`; bit-identical to the lane's AesCtrRng twin.
+  [[nodiscard]] std::uint64_t next_lane(std::size_t lane) noexcept {
+    std::uint64_t out;
+    aes_ctr_blocks(isa_, key_, &stream_[lane], &ctr_[lane], 1, &out);
+    ++ctr_[lane];
+    return out;
+  }
+
+  /// Uniform double in [0, 1); bit-identical to AesCtrRng::uniform.
+  [[nodiscard]] double uniform_lane(std::size_t lane) noexcept {
+    return wide_detail::to_uniform(next_lane(lane));
+  }
+
+  /// Uniform integer in [0, bound); exact algorithm of Rng::below.
+  [[nodiscard]] std::uint64_t below_lane(std::size_t lane,
+                                         std::uint64_t bound) {
+    JAMELECT_EXPECTS(bound > 0);
+    if ((bound & (bound - 1)) == 0) return next_lane(lane) & (bound - 1);
+    const std::uint64_t limit =
+        std::numeric_limits<std::uint64_t>::max() -
+        std::numeric_limits<std::uint64_t>::max() % bound;
+    for (;;) {
+      const std::uint64_t r = next_lane(lane);
+      if (r < limit) return r % bound;
+    }
+  }
+
+  /// Copies lane `src`'s stream position onto lane `dst` (swap-remove
+  /// compaction). `src` is left untouched.
+  void move_lane(std::size_t dst, std::size_t src) noexcept {
+    stream_[dst] = stream_[src];
+    ctr_[dst] = ctr_[src];
+  }
+
+  /// Advances lanes [0, groups * kWideLanes) one draw each, writing
+  /// lane k's uniform to out[k]. Requires groups * kWideLanes <=
+  /// padded_lanes().
+  void uniform_groups(std::size_t groups, double* out) noexcept;
+
+  /// Advances ONLY the lanes with mask[k] != 0 among the first
+  /// groups * kWideLanes lanes, writing their uniforms to out[k];
+  /// unmasked lanes keep their counter and their out slot.
+  void uniform_masked(std::size_t groups, const std::uint8_t* mask,
+                      double* out) noexcept;
+
+  /// Discards one draw from each of the first groups * kWideLanes
+  /// lanes: pure counter increments, no cipher work. Bit-identical to
+  /// drawing and ignoring the results (the CTR payoff on jammed slots).
+  void skip_groups(std::size_t groups) noexcept {
+    const std::size_t n = groups * kWideLanes;
+    for (std::size_t k = 0; k < n; ++k) ++ctr_[k];
+  }
+
+ private:
+  AesKey key_;
+  std::size_t lanes_;
+  std::size_t padded_;
+  AesIsa isa_ = active_aes_isa();
+  std::vector<std::uint64_t> stream_;
+  std::vector<std::uint64_t> ctr_;
+  std::vector<std::uint64_t> scratch_s_;  ///< compacted streams (masked path)
+  std::vector<std::uint64_t> scratch_c_;  ///< compacted counters
+  std::vector<std::uint64_t> scratch_o_;  ///< raw draw output
+};
+
+}  // namespace jamelect

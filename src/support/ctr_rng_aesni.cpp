@@ -1,0 +1,63 @@
+// AES-NI backend for the counter RNG (support/ctr_rng.hpp). This is
+// the only support TU compiled with -maes (see the JAMELECT_AESNI gate
+// in CMakeLists.txt); callers reach it through aes_ctr_blocks after
+// active_aes_isa() has confirmed cpuid support at runtime.
+#include "support/ctr_rng.hpp"
+
+#if defined(JAMELECT_AESNI)
+
+#include <wmmintrin.h>
+
+#include <emmintrin.h>
+
+namespace jamelect::ctr_detail {
+
+namespace {
+
+inline __m128i encrypt_one(const __m128i rk[11], __m128i block) noexcept {
+  block = _mm_xor_si128(block, rk[0]);
+  for (int r = 1; r <= 9; ++r) block = _mm_aesenc_si128(block, rk[r]);
+  return _mm_aesenclast_si128(block, rk[10]);
+}
+
+}  // namespace
+
+void encrypt_blocks_aesni(const AesKey& key, const std::uint8_t* in,
+                          std::uint8_t* out, std::size_t nblocks) noexcept {
+  __m128i rk[11];
+  for (int r = 0; r < 11; ++r) {
+    rk[r] = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(key.round_keys.data() + 16 * r));
+  }
+  std::size_t i = 0;
+  // Four blocks in flight: aesenc latency is ~4 cycles at 1/cycle
+  // throughput, so independent chains keep the unit busy.
+  for (; i + 4 <= nblocks; i += 4) {
+    const __m128i* src = reinterpret_cast<const __m128i*>(in + 16 * i);
+    __m128i b0 = _mm_xor_si128(_mm_loadu_si128(src + 0), rk[0]);
+    __m128i b1 = _mm_xor_si128(_mm_loadu_si128(src + 1), rk[0]);
+    __m128i b2 = _mm_xor_si128(_mm_loadu_si128(src + 2), rk[0]);
+    __m128i b3 = _mm_xor_si128(_mm_loadu_si128(src + 3), rk[0]);
+    for (int r = 1; r <= 9; ++r) {
+      b0 = _mm_aesenc_si128(b0, rk[r]);
+      b1 = _mm_aesenc_si128(b1, rk[r]);
+      b2 = _mm_aesenc_si128(b2, rk[r]);
+      b3 = _mm_aesenc_si128(b3, rk[r]);
+    }
+    __m128i* dst = reinterpret_cast<__m128i*>(out + 16 * i);
+    _mm_storeu_si128(dst + 0, _mm_aesenclast_si128(b0, rk[10]));
+    _mm_storeu_si128(dst + 1, _mm_aesenclast_si128(b1, rk[10]));
+    _mm_storeu_si128(dst + 2, _mm_aesenclast_si128(b2, rk[10]));
+    _mm_storeu_si128(dst + 3, _mm_aesenclast_si128(b3, rk[10]));
+  }
+  for (; i < nblocks; ++i) {
+    const __m128i block =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 16 * i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * i),
+                     encrypt_one(rk, block));
+  }
+}
+
+}  // namespace jamelect::ctr_detail
+
+#endif  // JAMELECT_AESNI

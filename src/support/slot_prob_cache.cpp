@@ -38,7 +38,15 @@ void SlotProbCache::lookup_lanes(const double* us, std::size_t count,
 
 void SlotProbCache::set_lattice_step(double step) {
   JAMELECT_EXPECTS(step > 0.0);
-  inv_step_ = 1.0 / step;
+  // Re-declaring the step the lattice already uses keeps the dense
+  // index warm: long-lived caches (the per-thread BatchWorkspace) see
+  // one set_lattice_step per chunk, and clearing it each time would
+  // throw away exactly the entries the next chunk re-asks for.
+  // Entries are pure functions of (n, u), so staying warm cannot
+  // change a lookup result. A genuinely different step still rebuilds.
+  const double inv = 1.0 / step;
+  if (inv == inv_step_ && !dense_.empty()) return;
+  inv_step_ = inv;
   dense_.assign(kDenseCapacity, DenseSlot{kEmpty, {}});
 }
 

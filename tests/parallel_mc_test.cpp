@@ -1,0 +1,255 @@
+// Scheduling determinism of the multi-core wide-batch orchestrator:
+// per-trial TrialOutcomes must be bit-identical across thread counts
+// (pools pinned to 1, 3, and 8 workers via McConfig::pool), lane modes,
+// and RNG backends — with partial final chunks in play — and a mid-run
+// cooperative shutdown must drain to a chunk-aligned subset whose
+// outcomes match the uninterrupted run trial for trial.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "protocols/lesk.hpp"
+#include "sim/batch.hpp"
+#include "sim/montecarlo.hpp"
+#include "support/shutdown.hpp"
+#include "support/thread_pool.hpp"
+
+namespace jamelect {
+namespace {
+
+void expect_outcome_eq(const TrialOutcome& a, const TrialOutcome& b,
+                       const std::string& what, std::size_t trial) {
+  ASSERT_EQ(a.elected, b.elected) << what << " trial " << trial;
+  ASSERT_EQ(a.slots, b.slots) << what << " trial " << trial;
+  ASSERT_EQ(a.jams, b.jams) << what << " trial " << trial;
+  ASSERT_EQ(a.nulls, b.nulls) << what << " trial " << trial;
+  ASSERT_EQ(a.singles, b.singles) << what << " trial " << trial;
+  ASSERT_EQ(a.collisions, b.collisions) << what << " trial " << trial;
+  ASSERT_EQ(a.transmissions, b.transmissions) << what << " trial " << trial;
+}
+
+[[nodiscard]] bool outcome_equal(const TrialOutcome& a, const TrialOutcome& b) {
+  return a.elected == b.elected && a.slots == b.slots && a.jams == b.jams &&
+         a.nulls == b.nulls && a.singles == b.singles &&
+         a.collisions == b.collisions && a.transmissions == b.transmissions;
+}
+
+UniformProtocolFactory lesk_factory() {
+  return [] { return std::make_unique<Lesk>(LeskParams{0.5, 0.0}); };
+}
+
+/// A lane-invariant jamming adversary so BatchLaneMode::kWide is legal.
+AdversarySpec saturating() {
+  AdversarySpec spec;
+  spec.policy = "saturating";
+  spec.T = 32;
+  spec.eps = 0.5;
+  return spec;
+}
+
+/// trials = 20 with batch = 7 forces a partial final chunk (7, 7, 6).
+McConfig orchestrated(RngBackend rng, BatchLaneMode lanes, ThreadPool* pool) {
+  McConfig config;
+  config.trials = 20;
+  config.seed = 0x5eedULL;
+  config.max_slots = 20'000;
+  config.parallel = pool != nullptr;
+  config.batch = 7;
+  config.batch_lanes = lanes;
+  config.rng_backend = rng;
+  config.pool = pool;
+  config.keep_outcomes = true;
+  return config;
+}
+
+const char* backend_name(RngBackend rng) {
+  return rng == RngBackend::kAesCtr ? "aes_ctr" : "xoshiro";
+}
+
+TEST(ParallelMc, OutcomesInvariantAcrossPoolSizesLaneModesAndBackends) {
+  // The orchestrator contract: for a fixed backend, every combination
+  // of worker count and lane mode yields the same per-trial outcomes as
+  // the sequential chunk walk — chunk partitioning and work-stealing
+  // order must never touch a random draw.
+  for (const RngBackend rng : {RngBackend::kXoshiro, RngBackend::kAesCtr}) {
+    const McResult reference = run_aggregate_mc(
+        lesk_factory(), saturating(), 256,
+        orchestrated(rng, BatchLaneMode::kScalarLanes, nullptr));
+    ASSERT_EQ(reference.outcomes.size(), 20u);
+    for (const BatchLaneMode mode :
+         {BatchLaneMode::kScalarLanes, BatchLaneMode::kWide,
+          BatchLaneMode::kAuto}) {
+      for (const std::size_t workers : {1u, 3u, 8u}) {
+        ThreadPool pool(workers);
+        ASSERT_EQ(pool.size(), workers);
+        const McResult result = run_aggregate_mc(
+            lesk_factory(), saturating(), 256, orchestrated(rng, mode, &pool));
+        const std::string what = std::string(backend_name(rng)) + "/mode" +
+                                 std::to_string(static_cast<int>(mode)) +
+                                 "/workers" + std::to_string(workers);
+        ASSERT_EQ(result.outcomes.size(), reference.outcomes.size()) << what;
+        for (std::size_t t = 0; t < reference.outcomes.size(); ++t) {
+          expect_outcome_eq(reference.outcomes[t], result.outcomes[t], what,
+                            t);
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelMc, HybridOutcomesInvariantAcrossPoolSizesAndBackends) {
+  for (const RngBackend rng : {RngBackend::kXoshiro, RngBackend::kAesCtr}) {
+    const McResult reference =
+        run_hybrid_mc(lesk_factory(), saturating(), 256,
+                      orchestrated(rng, BatchLaneMode::kWide, nullptr));
+    ASSERT_EQ(reference.outcomes.size(), 20u);
+    for (const std::size_t workers : {1u, 3u, 8u}) {
+      ThreadPool pool(workers);
+      const McResult result =
+          run_hybrid_mc(lesk_factory(), saturating(), 256,
+                        orchestrated(rng, BatchLaneMode::kWide, &pool));
+      const std::string what = std::string("hybrid/") + backend_name(rng) +
+                               "/workers" + std::to_string(workers);
+      ASSERT_EQ(result.outcomes.size(), reference.outcomes.size()) << what;
+      for (std::size_t t = 0; t < reference.outcomes.size(); ++t) {
+        expect_outcome_eq(reference.outcomes[t], result.outcomes[t], what, t);
+      }
+    }
+  }
+}
+
+TEST(ParallelMc, XoshiroOrchestratorMatchesSequentialUnbatchedReference) {
+  // The xoshiro backend is not merely internally consistent: batched +
+  // parallel + wide must reproduce the plain sequential per-trial path
+  // bit for bit (same mix64(seed, k) stream derivation).
+  McConfig seq;
+  seq.trials = 20;
+  seq.seed = 0x5eedULL;
+  seq.max_slots = 20'000;
+  seq.parallel = false;
+  seq.keep_outcomes = true;
+  const McResult reference =
+      run_aggregate_mc(lesk_factory(), saturating(), 256, seq);
+  ThreadPool pool(3);
+  const McResult batched = run_aggregate_mc(
+      lesk_factory(), saturating(), 256,
+      orchestrated(RngBackend::kXoshiro, BatchLaneMode::kWide, &pool));
+  ASSERT_EQ(batched.outcomes.size(), reference.outcomes.size());
+  for (std::size_t t = 0; t < reference.outcomes.size(); ++t) {
+    expect_outcome_eq(reference.outcomes[t], batched.outcomes[t], "seq-ref",
+                      t);
+  }
+}
+
+TEST(ParallelMc, AesBackendIsADistinctResultUniverse) {
+  // aes_ctr is a different (internally consistent) stream family, not a
+  // re-encoding of xoshiro: the sweeps must disagree somewhere.
+  const McResult xo = run_aggregate_mc(
+      lesk_factory(), saturating(), 256,
+      orchestrated(RngBackend::kXoshiro, BatchLaneMode::kWide, nullptr));
+  const McResult aes = run_aggregate_mc(
+      lesk_factory(), saturating(), 256,
+      orchestrated(RngBackend::kAesCtr, BatchLaneMode::kWide, nullptr));
+  ASSERT_EQ(xo.outcomes.size(), aes.outcomes.size());
+  bool any_diff = false;
+  for (std::size_t t = 0; t < xo.outcomes.size(); ++t) {
+    if (!outcome_equal(xo.outcomes[t], aes.outcomes[t])) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff) << "aes_ctr reproduced the xoshiro sweep exactly";
+}
+
+TEST(ParallelMc, MidRunDrainIsChunkAlignedSubsetOnPinnedPool) {
+  // Race a cooperative shutdown against an orchestrated sweep on a
+  // pinned 3-worker pool. Chunks are all-or-nothing, so the partial
+  // result must cover a whole number of chunks, and — because trial k's
+  // outcome depends only on (seed, k) — every completed chunk must
+  // match the same chunk of an uninterrupted run bit for bit.
+  struct Guard {
+    Guard() { clear_shutdown(); }
+    ~Guard() { clear_shutdown(); }
+  } guard;
+
+  constexpr std::size_t kTrials = 50'000;
+  constexpr std::size_t kBatch = 8;  // divides kTrials: all chunks whole
+  ThreadPool pool(3);
+  McConfig config =
+      orchestrated(RngBackend::kAesCtr, BatchLaneMode::kWide, &pool);
+  config.trials = kTrials;
+  config.batch = kBatch;
+  config.max_slots = 10'000;
+
+  std::thread killer([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    request_shutdown();
+  });
+  const McResult partial =
+      run_aggregate_mc(lesk_factory(), AdversarySpec{}, 256, config);
+  killer.join();
+  clear_shutdown();
+  if (!partial.interrupted) GTEST_SKIP() << "sweep outran the shutdown";
+  ASSERT_LT(partial.trials, kTrials);
+  EXPECT_LE(partial.successes, partial.trials);
+  EXPECT_EQ(partial.outcomes.size(), partial.trials);
+  EXPECT_EQ(partial.trials % kBatch, 0u) << "mid-chunk tear";
+
+  McConfig full_config = config;
+  full_config.pool = nullptr;
+  full_config.parallel = false;
+  const McResult full =
+      run_aggregate_mc(lesk_factory(), AdversarySpec{}, 256, full_config);
+  ASSERT_FALSE(full.interrupted);
+  ASSERT_EQ(full.outcomes.size(), kTrials);
+  // The partial outcomes are whole chunks in trial order; match them
+  // greedily against the full run's chunk sequence.
+  std::size_t matched = 0;
+  for (std::size_t chunk = 0; chunk * kBatch < kTrials; ++chunk) {
+    if (matched >= partial.outcomes.size()) break;
+    bool equal = true;
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      if (!outcome_equal(partial.outcomes[matched + i],
+                         full.outcomes[chunk * kBatch + i])) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) matched += kBatch;
+  }
+  EXPECT_EQ(matched, partial.outcomes.size())
+      << "some completed chunk matches no chunk of the full run";
+}
+
+TEST(ParallelMc, OrchestrationMetricsRollUp) {
+  if constexpr (!obs::kObsCompiledIn) {
+    GTEST_SKIP() << "JAMELECT_OBS compiled out";
+  }
+  auto& reg = obs::MetricsRegistry::global();
+  const bool was_enabled = reg.enabled();
+  reg.reset();
+  reg.set_enabled(true);
+  ThreadPool pool(3);
+  (void)run_aggregate_mc(
+      lesk_factory(), saturating(), 256,
+      orchestrated(RngBackend::kAesCtr, BatchLaneMode::kWide, &pool));
+  const auto snap = reg.aggregate();
+  reg.set_enabled(was_enabled);
+  // 20 trials in chunks of 7 -> 3 chunk work items.
+  ASSERT_TRUE(snap.counters.count("mc.parallel_chunks"));
+  EXPECT_EQ(snap.counters.at("mc.parallel_chunks"), 3);
+  // Kernelizable protocol + lane-invariant policy: no backend fallback.
+  ASSERT_TRUE(snap.counters.count("mc.rng_backend_fallbacks"));
+  EXPECT_EQ(snap.counters.at("mc.rng_backend_fallbacks"), 0);
+  // Per-worker workspaces are registered even when reuse is zero.
+  EXPECT_TRUE(snap.counters.count("mc.parallel_cache_reuse"));
+  // Effective width gauge: 3 workers + the participating caller.
+  ASSERT_TRUE(snap.gauges.count("mc.parallel_width"));
+  EXPECT_EQ(snap.gauges.at("mc.parallel_width"), 4.0);
+}
+
+}  // namespace
+}  // namespace jamelect

@@ -75,6 +75,77 @@ TEST(ResultCache, DiskTierSurvivesRestart) {
   EXPECT_EQ(reborn.size(), 1u);  // promoted into memory
 }
 
+TEST(ResultCache, EntryCapEvictsLeastRecentlyUsed) {
+  ResultCache cache("", /*max_entries=*/2);
+  EXPECT_EQ(cache.max_entries(), 2u);
+  cache.store("aa01", "", "{\"r\":1}");
+  cache.store("aa02", "", "{\"r\":2}");
+  // Touch aa01 so aa02 becomes the LRU victim of the next insert.
+  EXPECT_TRUE(cache.lookup("aa01").has_value());
+  cache.store("aa03", "", "{\"r\":3}");
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.lookup("aa02").has_value());  // no disk tier: gone
+  EXPECT_TRUE(cache.lookup("aa01").has_value());
+  EXPECT_TRUE(cache.lookup("aa03").has_value());
+}
+
+TEST(ResultCache, ByteCapBoundsMemoryButKeepsTheMruEntry) {
+  const std::string big(1024, 'x');
+  ResultCache cache("", /*max_entries=*/0, /*max_bytes=*/1500);
+  cache.store("bb01", "", big);
+  cache.store("bb02", "", big);  // over budget: bb01 must go
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_LE(cache.memory_bytes(), 1500u);
+  EXPECT_FALSE(cache.lookup("bb01").has_value());
+  EXPECT_TRUE(cache.lookup("bb02").has_value());
+  // A single result larger than the whole budget is still servable:
+  // the bound never evicts the just-stored MRU entry.
+  const std::string huge(4096, 'y');
+  ResultCache tiny("", 0, 16);
+  tiny.store("bb03", "", huge);
+  EXPECT_EQ(tiny.size(), 1u);
+  const auto hit = tiny.lookup("bb03");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, huge);
+}
+
+TEST(ResultCache, DiskTierServesEvictedKeysAndRepromotes) {
+  const TempDir dir("evict");
+  ResultCache cache(dir.str(), /*max_entries=*/2);
+  cache.store("cc01", "{\"n\":1}", "{\"r\":1}");
+  cache.store("cc02", "{\"n\":2}", "{\"r\":2}");
+  cache.store("cc03", "{\"n\":3}", "{\"r\":3}");  // evicts cc01 from memory
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  // The evicted key is still a hit — served from disk, bit-identical,
+  // and promoted back into memory (evicting the new LRU, cc02).
+  const auto hit = cache.lookup("cc01");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "{\"r\":1}");
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 2u);
+  // cc02 in turn reloads from disk.
+  const auto hit2 = cache.lookup("cc02");
+  ASSERT_TRUE(hit2.has_value());
+  EXPECT_EQ(*hit2, "{\"r\":2}");
+}
+
+TEST(SweepRequestKeying, RngBackendIsPartOfTheCacheKey) {
+  // The backends are different result universes, so requests differing
+  // only in `rng` must never share a cache entry...
+  SweepRequest xo = small_request(1234);
+  SweepRequest aes = small_request(1234);
+  aes.rng = "aes_ctr";
+  EXPECT_NE(xo.cache_key(), aes.cache_key());
+  // ...while `batch` (a pure throughput knob with bit-identical
+  // outcomes) deliberately is NOT keyed.
+  SweepRequest batched = small_request(1234);
+  batched.batch = 64;
+  EXPECT_EQ(xo.cache_key(), batched.cache_key());
+}
+
 TEST(ResultCache, RejectsHostileKeys) {
   const TempDir dir("hostile");
   ResultCache cache(dir.str());

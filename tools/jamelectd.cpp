@@ -2,6 +2,7 @@
 //
 //   jamelectd [--host=127.0.0.1] [--port=7979] [--workers=2]
 //             [--queue=64] [--cache-dir=DIR] [--heartbeat-ms=500]
+//             [--cache-max-entries=0] [--cache-max-bytes=0]
 //             [--max-trials=1000000] [--max-slots=10000000]
 //             [--manifest=jamelectd]
 //
@@ -38,6 +39,10 @@ int main(int argc, char** argv) {
   const char* env_cache = std::getenv("JAMELECT_CACHE_DIR");
   svc_cfg.cache_dir =
       cli.get_string("cache-dir", env_cache != nullptr ? env_cache : "");
+  // 0 = unbounded; with --cache-dir set, keys evicted by these bounds
+  // are still served from the disk tier.
+  svc_cfg.cache_max_entries = cli.get_uint("cache-max-entries", 0);
+  svc_cfg.cache_max_bytes = cli.get_uint("cache-max-bytes", 0);
   svc_cfg.limits.max_trials = cli.get_uint("max-trials", 1'000'000);
   svc_cfg.limits.max_slots =
       cli.get_int("max-slots", svc_cfg.limits.max_slots);
@@ -83,6 +88,11 @@ int main(int argc, char** argv) {
   manifest.config["workers"] = std::to_string(svc_cfg.workers);
   manifest.config["queue"] = std::to_string(svc_cfg.max_queue);
   manifest.config["cache_dir"] = svc_cfg.cache_dir;
+  manifest.config["cache_max_entries"] =
+      std::to_string(svc_cfg.cache_max_entries);
+  manifest.config["cache_max_bytes"] = std::to_string(svc_cfg.cache_max_bytes);
+  manifest.config["cache_evictions"] =
+      std::to_string(service.cache().evictions());
   manifest.config["requests"] = std::to_string(service.requests());
   manifest.config["cache_hits"] = std::to_string(service.cache_hits());
   manifest.config["computed"] = std::to_string(service.computed());
