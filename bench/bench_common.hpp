@@ -21,6 +21,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "analysis/theory.hpp"
 #include "obs/manifest.hpp"
@@ -113,7 +114,15 @@ inline int bench_main(int argc, char** argv) {
   // so scripts/run_bench_perf.sh can refuse to record debug numbers.
   if (const char* probe = std::getenv("JAMELECT_BUILD_PROBE");
       probe != nullptr && probe[0] != '\0' && probe[0] != '0') {
-    std::printf("%s\n", build_type());
+    // "obs" reports whether observability is compiled in (the CI
+    // profiler-overhead guard asserts OFF builds really compiled it
+    // out); any other non-zero value keeps the original build-flavour
+    // probe contract ("release"/"debug", exact match).
+    if (std::string_view(probe) == "obs") {
+      std::printf("obs=%s\n", obs::kObsCompiledIn ? "on" : "off");
+    } else {
+      std::printf("%s\n", build_type());
+    }
     return 0;
   }
   benchmark::AddCustomContext("jamelect_build_type", build_type());

@@ -7,8 +7,11 @@
 //                          [--manifest=telemetry_demo]
 //
 // Produces three artifacts:
-//   * events.ndjson — structured slot/phase/trial events (validate with
-//     scripts/validate_events.py, schema docs/event_schema.json);
+//   * events.ndjson — structured slot/phase/trial events, followed by
+//     span records (flight-recorder dump of the replay), one flight
+//     summary line, and one per-request timing envelope — all kinds
+//     validate with scripts/validate_events.py against
+//     docs/event_schema.json;
 //   * trace.json    — Chrome trace-event spans, open in
 //     https://ui.perfetto.dev;
 //   * <manifest>.manifest.json — config + seed + build + metric rollup.
@@ -23,6 +26,7 @@
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/observer.hpp"
+#include "obs/span.hpp"
 #include "obs/trace_events.hpp"
 #include "protocols/lesk.hpp"
 #include "sim/montecarlo.hpp"
@@ -63,13 +67,35 @@ int main(int argc, char** argv) {
   obs::RunObserver observer(sink, {sample});
   obs::TraceEventRecorder recorder;
 
+  // Derive the demo's trace id the same way a traced client would: from
+  // the run seed and the trial index. Everything recorded under the
+  // ScopedTrace below carries it, so the span records in the events
+  // stream reassemble into one lineage.
+  const obs::TraceId demo_trace = obs::TraceId::derive(seed, trial);
+  obs::FlightRecorder flight(64);
+
   TrialOutcome out;
+  std::int64_t replay_us = 0;
   {
+    const obs::ScopedTrace scoped(demo_trace);
+    const std::int64_t t0 = flight.now_us();
     const auto span = recorder.span("replay_trial");
     out = replay_aggregate_trial([eps] { return std::make_unique<Lesk>(eps); },
                                  spec, n, config, trial, &observer);
+    replay_us = flight.now_us() - t0;
+    flight.record("replay_trial", "compute", t0, replay_us);
   }
   sink.flush();
+
+  // Append the observability record kinds to the same stream: span +
+  // flight-summary lines from the recorder, then one per-request timing
+  // envelope shaped exactly like the service's response field. CI
+  // validates this file, so the demo exercises every schema branch.
+  flight.write_ndjson(events_out);
+  events_out << "{\"ev\":\"timing\",\"trace\":\"" << demo_trace.hex()
+             << "\",\"admission_us\":0,\"cache_probe_us\":0,\"queue_us\":0,"
+             << "\"compute_us\":" << replay_us << ",\"serialize_us\":0}\n";
+  events_out.flush();
 
   std::cout << "trial " << trial << ": elected=" << out.elected
             << " slots=" << out.slots << " jams=" << out.jams
@@ -92,6 +118,7 @@ int main(int argc, char** argv) {
     manifest.config["T"] = std::to_string(T);
     manifest.config["trial"] = std::to_string(trial);
     manifest.config["sample"] = std::to_string(sample);
+    manifest.config["trace"] = demo_trace.hex();
     if (!manifest.write_file(path)) {
       std::cerr << "cannot write " << path << "\n";
       return 1;

@@ -63,3 +63,41 @@ if ! grep -q '"jamelect_rng_backend_aes"' "$OUT_FILE"; then
   exit 1
 fi
 echo "results in $OUT_FILE"
+
+# Append one line per run to the benchmark history (BENCH_history.jsonl
+# next to the out file): run context + the headline items/sec of every
+# benchmark in this run. Append-only so regressions stay diffable
+# across commits; failures here never invalidate the run above.
+HISTORY_FILE="$(dirname "$OUT_FILE")/BENCH_history.jsonl"
+python3 - "$OUT_FILE" "$HISTORY_FILE" <<'PYEOF' || \
+  echo "warning: could not append $HISTORY_FILE" >&2
+import json, subprocess, sys
+
+out_file, history_file = sys.argv[1], sys.argv[2]
+with open(out_file) as f:
+    doc = json.load(f)
+ctx = doc.get("context", {})
+try:
+    sha = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                         capture_output=True, text=True,
+                         check=True).stdout.strip()
+except Exception:
+    sha = ""
+entry = {
+    "date": ctx.get("date", ""),
+    "git_sha": sha,
+    "host_cpus": ctx.get("num_cpus", 0),
+    "build_type": ctx.get("jamelect_build_type", ""),
+    "wide_isa": ctx.get("jamelect_wide_isa", ""),
+    "threads": ctx.get("jamelect_threads", ""),
+    "aes": ctx.get("jamelect_rng_backend_aes", ""),
+    "benchmarks": {
+        b["name"]: round(b.get("items_per_second", 0.0))
+        for b in doc.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    },
+}
+with open(history_file, "a") as f:
+    f.write(json.dumps(entry, sort_keys=True) + "\n")
+print(f"history appended to {history_file}")
+PYEOF

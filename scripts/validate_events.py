@@ -7,12 +7,14 @@ Usage:
 
 Stdlib only (no jsonschema dependency): implements the subset of JSON
 Schema the event schema actually uses — type, enum, const, required,
-properties, minimum, and if/then inside allOf. Exits non-zero on the
-first malformed line, naming the line number and the failed check.
+properties, minimum, pattern, and if/then inside allOf. Exits non-zero
+on the first malformed line, naming the line number and the failed
+check.
 """
 
 import json
 import pathlib
+import re
 import sys
 
 SCHEMA_PATH = pathlib.Path(__file__).resolve().parent.parent / "docs" / "event_schema.json"
@@ -54,6 +56,9 @@ def validate(value, schema, path="$"):
     if "minimum" in schema and isinstance(value, (int, float)) and not isinstance(value, bool):
         if value < schema["minimum"]:
             errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if "pattern" in schema and isinstance(value, str):
+        if not re.search(schema["pattern"], value):
+            errors.append(f"{path}: {value!r} does not match pattern {schema['pattern']!r}")
     if isinstance(value, dict):
         for key in schema.get("required", []):
             if key not in value:

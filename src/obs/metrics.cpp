@@ -12,6 +12,27 @@ std::uint32_t log2_bucket(std::int64_t value) noexcept {
       std::bit_width(static_cast<std::uint64_t>(value)));
 }
 
+std::int64_t histogram_quantile(const HistogramSnapshot& h,
+                                double q) noexcept {
+  if (h.count <= 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double targetf = q * static_cast<double>(h.count);
+  std::int64_t target = static_cast<std::int64_t>(targetf);
+  if (static_cast<double>(target) < targetf) ++target;
+  if (target < 1) target = 1;
+  std::int64_t cumulative = 0;
+  for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+    cumulative += h.buckets[b];
+    if (cumulative >= target) {
+      if (b == 0) return 0;  // bucket 0 counts v <= 0
+      if (b >= 63) return h.max;
+      return (std::int64_t{1} << b) - 1;  // upper bound of [2^(b-1), 2^b)
+    }
+  }
+  return h.max;
+}
+
 MetricsRegistry::MetricsRegistry() {
   static std::atomic<std::uint64_t> next_uid{1};
   uid_ = next_uid.fetch_add(1, std::memory_order_relaxed);

@@ -148,6 +148,14 @@ class MetricsRegistry {
 /// Maps a sample to its log2 bucket (see HistogramSnapshot).
 [[nodiscard]] std::uint32_t log2_bucket(std::int64_t value) noexcept;
 
+/// Quantile estimate from a log2 histogram: the upper bound of the
+/// bucket holding the ceil(q*count)-th sample (so the true quantile v
+/// satisfies v <= result < 2v for positive samples — bucket
+/// resolution, tested in tests/obs_metrics_test.cpp). q is clamped to
+/// [0, 1]; returns 0 when the histogram is empty.
+[[nodiscard]] std::int64_t histogram_quantile(const HistogramSnapshot& h,
+                                              double q) noexcept;
+
 }  // namespace jamelect::obs
 
 // Hot-path macros: compiled out entirely in Release builds unless the

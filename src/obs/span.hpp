@@ -1,0 +1,147 @@
+// Trace ids, span records, and the bounded span ring.
+//
+// A TraceId is a 128-bit request-scoped identifier minted at the edge
+// (jamelect_loadgen, or any client that puts a "trace" field in the
+// request envelope) and threaded through the whole stack: request →
+// SweepService job → sweep_runner → McConfig → thread-pool chunk
+// tasks. Every span recorded while a ScopedTrace is active on the
+// current thread is tagged with it, so one request reassembles into
+// one coherent Chrome-trace tree and one flight-recorder lineage.
+//
+// SpanRing is the bounded ring buffer behind the jamelectd flight
+// recorder: pushes are O(1) under a short lock, the oldest record is
+// overwritten when full, and `overwritten()` counts the loss so dumps
+// are honest about truncation. Span names/phases are string literals
+// (stored, not copied) — same contract as TraceEventRecorder.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jamelect::obs {
+
+/// 128-bit trace/span id. Zero (`valid() == false`) means "untraced".
+struct TraceId {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return (hi | lo) != 0; }
+
+  /// 32 lowercase hex chars, hi word first.
+  [[nodiscard]] std::string hex() const;
+
+  /// Parses the hex() format. Returns an invalid id on anything that
+  /// is not exactly 32 hex chars.
+  [[nodiscard]] static TraceId parse(std::string_view text) noexcept;
+
+  /// Deterministically derives an id from two seed words (splitmix64
+  /// finalizer on each lane, cross-mixed so (a,b) and (b,a) differ).
+  /// Never returns the invalid id.
+  [[nodiscard]] static TraceId derive(std::uint64_t a,
+                                      std::uint64_t b) noexcept;
+
+  friend bool operator==(const TraceId&, const TraceId&) = default;
+};
+
+/// The trace id active on the calling thread (invalid if none).
+[[nodiscard]] TraceId current_trace() noexcept;
+
+/// Sets the calling thread's active trace id for a scope; restores the
+/// previous one on destruction. Spans recorded by TraceEventRecorder
+/// and FlightRecorder while active inherit it.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(TraceId id) noexcept;
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+  ~ScopedTrace();
+
+ private:
+  TraceId prev_;
+};
+
+/// One completed interval. `name` and `phase` must be string literals
+/// (or otherwise outlive the ring).
+struct SpanRecord {
+  const char* name = "";
+  const char* phase = "";  ///< phase tag ("" when not phase-attributed)
+  std::uint32_t tid = 0;
+  std::int64_t ts_us = 0;  ///< start, microseconds since ring epoch
+  std::int64_t dur_us = 0;
+  TraceId trace{};
+};
+
+/// Fixed-capacity ring of recent spans. Push overwrites the oldest
+/// record once full. Thread-safe (short mutex per push).
+class SpanRing {
+ public:
+  explicit SpanRing(std::size_t capacity);
+
+  void push(const SpanRecord& rec);
+
+  /// Records currently held, oldest first.
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const;
+  /// Total pushes since construction/clear (>= size()).
+  [[nodiscard]] std::uint64_t pushed() const;
+  /// Records lost to overwrite (== pushed() - size() once wrapped).
+  [[nodiscard]] std::uint64_t overwritten() const;
+
+  void clear();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> ring_;
+  std::size_t head_ = 0;  ///< next write slot once the ring is full
+  std::uint64_t pushed_ = 0;
+};
+
+/// Flight recorder: a SpanRing with a steady-clock epoch and NDJSON
+/// dump helpers. jamelectd keeps one and dumps it on SIGUSR1 and on
+/// abnormal drain; examples reuse write_ndjson for schema-validated
+/// telemetry streams.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 4096);
+
+  /// Microseconds since the recorder's epoch (steady clock).
+  [[nodiscard]] std::int64_t now_us() const noexcept;
+
+  /// Records a completed interval. Trace defaults to the thread's
+  /// current_trace() when `trace` is invalid.
+  void record(const char* name, const char* phase, std::int64_t ts_us,
+              std::int64_t dur_us, TraceId trace = {});
+
+  [[nodiscard]] const SpanRing& ring() const noexcept { return ring_; }
+
+  /// One `{"ev":"span",...}` NDJSON line per held record (oldest
+  /// first), then one `{"ev":"flight",...}` summary line with
+  /// pushed/overwritten counts.
+  void write_ndjson(std::ostream& out) const;
+
+  /// Writes write_ndjson() to `<prefix>-<utc timestamp>-<seq>.ndjson`.
+  /// Returns the path, or "" on I/O failure.
+  [[nodiscard]] std::string dump(const std::string& prefix) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  SpanRing ring_;
+  Clock::time_point epoch_;
+};
+
+/// Serializes one span as an NDJSON object (no trailing newline):
+/// {"ev":"span","name":...,"phase":...,"tid":...,"ts_us":...,
+///  "dur_us":...,"trace":"<32 hex>"} — `phase`/`trace` omitted when
+/// empty/invalid. Shared by FlightRecorder and examples.
+void append_span_json(std::string& out, const SpanRecord& rec);
+
+}  // namespace jamelect::obs

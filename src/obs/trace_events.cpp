@@ -27,8 +27,39 @@ void TraceEventRecorder::complete(const char* name, Clock::time_point start,
   rec.dur_us =
       std::chrono::duration_cast<std::chrono::microseconds>(end - start)
           .count();
+  // Spans inherit the thread's active request lineage (ScopedTrace);
+  // untraced work records the invalid id and serializes without args.
+  rec.trace = current_trace();
   std::lock_guard lock(mutex_);
   records_.push_back(rec);
+}
+
+std::int64_t TraceEventRecorder::now_us() const noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               epoch_)
+      .count();
+}
+
+void TraceEventRecorder::record_at(const char* name, std::int64_t ts_us,
+                                   std::int64_t dur_us,
+                                   TraceId trace) noexcept {
+  Record rec;
+  rec.name = name;
+  rec.tid = thread_id();
+  rec.ts_us = ts_us;
+  rec.dur_us = dur_us;
+  rec.trace = trace.valid() ? trace : current_trace();
+  std::lock_guard lock(mutex_);
+  records_.push_back(rec);
+}
+
+std::size_t TraceEventRecorder::count_trace(TraceId trace) const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (const Record& r : records_) {
+    if (r.trace == trace) ++n;
+  }
+  return n;
 }
 
 void TraceEventRecorder::on_task_start(std::size_t /*worker_slot*/) noexcept {
@@ -53,7 +84,11 @@ void TraceEventRecorder::write_json(std::ostream& out) const {
     first = false;
     out << "{\"name\":\"" << r.name << "\",\"ph\":\"X\",\"cat\":\"jamelect\""
         << ",\"pid\":1,\"tid\":" << r.tid << ",\"ts\":" << r.ts_us
-        << ",\"dur\":" << r.dur_us << '}';
+        << ",\"dur\":" << r.dur_us;
+    if (r.trace.valid()) {
+      out << ",\"args\":{\"trace\":\"" << r.trace.hex() << "\"}";
+    }
+    out << '}';
   }
   out << "]}\n";
 }

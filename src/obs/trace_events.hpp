@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "support/thread_pool.hpp"
 
 namespace jamelect::obs {
@@ -49,8 +50,25 @@ class TraceEventRecorder final : public PoolTaskObserver {
   void on_task_start(std::size_t worker_slot) noexcept override;
   void on_task_end(std::size_t worker_slot) noexcept override;
 
+  /// Microseconds since the recorder's epoch — the time base of
+  /// record_at(). Lets callers stamp span boundaries as plain integers
+  /// and record the span after the fact.
+  [[nodiscard]] std::int64_t now_us() const noexcept;
+
+  /// Records a completed span retroactively from explicit epoch-
+  /// relative timestamps (see now_us()). Used for passive intervals
+  /// that have no live scope — e.g. the time a service job spent
+  /// queued. `name` must be a string literal. An invalid `trace` falls
+  /// back to the calling thread's current_trace().
+  void record_at(const char* name, std::int64_t ts_us, std::int64_t dur_us,
+                 TraceId trace = {}) noexcept;
+
   /// Number of completed spans recorded so far.
   [[nodiscard]] std::size_t size() const;
+
+  /// Spans recorded so far whose trace id equals `trace` (test /
+  /// verification helper for "one request = one coherent tree").
+  [[nodiscard]] std::size_t count_trace(TraceId trace) const;
 
   /// Serializes {"traceEvents": [...]} to `out`.
   void write_json(std::ostream& out) const;
@@ -65,6 +83,7 @@ class TraceEventRecorder final : public PoolTaskObserver {
     std::uint32_t tid;
     std::int64_t ts_us;   ///< microseconds since recorder epoch
     std::int64_t dur_us;
+    TraceId trace{};      ///< request lineage; invalid when untraced
   };
 
   /// Small stable integer id for the calling thread (Perfetto "tid").

@@ -20,14 +20,29 @@ std::string error_line(int code, const std::string& message) {
   return out.dump() + "\n";
 }
 
+/// Server-side timing breakdown, echoed beside the result so clients
+/// see where their request's wall clock went.
+std::string timing_json(const RequestTiming& t) {
+  return "{\"admission_us\":" + std::to_string(t.admission_us) +
+         ",\"cache_probe_us\":" + std::to_string(t.cache_probe_us) +
+         ",\"queue_us\":" + std::to_string(t.queue_us) +
+         ",\"compute_us\":" + std::to_string(t.compute_us) +
+         ",\"serialize_us\":" + std::to_string(t.serialize_us) + "}";
+}
+
 /// Result lines splice the cached result bytes in verbatim — the
 /// envelope is built by hand so the result member stays bit-identical
-/// to what the cache stores.
+/// to what the cache stores. The request's trace id (when the client
+/// sent one) and the server-side timing breakdown ride the envelope.
 std::string result_line(const std::string& id, const std::string& cache,
-                        std::int64_t micros, const std::string& result_json) {
+                        std::int64_t micros, obs::TraceId trace,
+                        const RequestTiming& timing,
+                        const std::string& result_json) {
   std::string out = "{\"type\":\"result\",\"id\":\"" + id + "\",\"cache\":\"" +
-                    cache + "\",\"micros\":" + std::to_string(micros) +
-                    ",\"result\":" + result_json + "}\n";
+                    cache + "\",\"micros\":" + std::to_string(micros);
+  if (trace.valid()) out += ",\"trace\":\"" + trace.hex() + "\"";
+  out += ",\"timing\":" + timing_json(timing) +
+         ",\"result\":" + result_json + "}\n";
   return out;
 }
 
@@ -195,11 +210,30 @@ bool SocketServer::handle_line(int fd, const std::string& line) {
     if (!request.has_value()) {
       return send_all(fd, error_line(400, why));
     }
+    // Optional request lineage: an envelope-level field (NOT inside
+    // params — params feed the cache key, and identical sweeps with
+    // different trace ids must still hit the same cache entry).
+    obs::TraceId trace{};
+    if (const Json* t = doc->find("trace"); t != nullptr) {
+      trace = obs::TraceId::parse(t->as_string());
+      if (!trace.valid()) {
+        return send_all(
+            fd, error_line(400, "\"trace\" must be 32 hex chars (nonzero)"));
+      }
+    }
     const Json* wait = doc->find("wait");
-    const auto sub = service_.submit(*request);
+    const auto sub = service_.submit(*request, trace);
     return respond_sweep(fd, sub, wait == nullptr || wait->as_bool(true));
   }
   return send_all(fd, error_line(400, "unknown op '" + op_name + "'"));
+}
+
+bool SocketServer::send_result(int fd, const std::string& payload,
+                               obs::TraceId trace) {
+  const std::int64_t t0 = service_.now_us();
+  const bool ok = send_all(fd, payload);
+  service_.note_respond(trace, service_.now_us() - t0);
+  return ok;
 }
 
 bool SocketServer::respond_sweep(int fd, const SweepService::Submit& sub,
@@ -211,7 +245,9 @@ bool SocketServer::respond_sweep(int fd, const SweepService::Submit& sub,
     case Outcome::kRejected:
       return send_all(fd, error_line(429, sub.error));
     case Outcome::kCached:
-      return send_all(fd, result_line("", "hit", 0, sub.result_json));
+      return send_result(fd, result_line("", "hit", 0, sub.trace, sub.timing,
+                                         sub.result_json),
+                         sub.trace);
     case Outcome::kAccepted:
     case Outcome::kCoalesced: break;
   }
@@ -223,6 +259,7 @@ bool SocketServer::respond_sweep(int fd, const SweepService::Submit& sub,
   ack.set("id", sub.id);
   ack.set("key", sub.key);
   ack.set("cache", cache);
+  if (sub.trace.valid()) ack.set("trace", sub.trace.hex());
   if (!send_all(fd, ack.dump() + "\n")) return false;
   if (!wait) return true;
 
@@ -233,9 +270,11 @@ bool SocketServer::respond_sweep(int fd, const SweepService::Submit& sub,
       return send_all(fd, error_line(500, "job record evicted"));
     }
     if (status->state == JobState::kDone) {
-      return send_all(fd, result_line(sub.id, cache,
-                                      service_.now_us() - t0,
-                                      status->result_json));
+      return send_result(fd,
+                         result_line(sub.id, cache, service_.now_us() - t0,
+                                     sub.trace, status->timing,
+                                     status->result_json),
+                         sub.trace);
     }
     if (status->state == JobState::kFailed) {
       return send_all(fd, error_line(500, status->error));
@@ -302,8 +341,25 @@ void SocketServer::handle_http(int fd, LineReader& reader,
                                        error_line(400, parse_error)));
       return;
     }
-    // Accept {"params":{...}} envelopes or a bare params object.
+    // Accept {"params":{...}} envelopes or a bare params object. The
+    // optional "trace" field is envelope-only (a bare params object
+    // cannot carry one — SweepRequest rejects unknown fields).
     const Json* params = doc->find("params");
+    obs::TraceId trace{};
+    if (params != nullptr) {
+      if (const Json* t = doc->find("trace"); t != nullptr) {
+        trace = obs::TraceId::parse(t->as_string());
+        if (!trace.valid()) {
+          (void)send_all(
+              fd, http_response(400, "Bad Request", "application/json",
+                                error_line(
+                                    400,
+                                    "\"trace\" must be 32 hex chars "
+                                    "(nonzero)")));
+          return;
+        }
+      }
+    }
     if (params == nullptr) params = &*doc;
     std::string why;
     const auto request =
@@ -313,7 +369,7 @@ void SocketServer::handle_http(int fd, LineReader& reader,
                                        error_line(400, why)));
       return;
     }
-    const auto sub = service_.submit(*request);
+    const auto sub = service_.submit(*request, trace);
     using Outcome = SweepService::Submit::Outcome;
     if (sub.outcome == Outcome::kInvalid) {
       (void)send_all(fd, http_response(400, "Bad Request", "application/json",
@@ -329,9 +385,12 @@ void SocketServer::handle_http(int fd, LineReader& reader,
       return;
     }
     if (sub.outcome == Outcome::kCached) {
-      (void)send_all(fd, http_response(200, "OK", "application/json",
-                                       result_line("", "hit", 0,
-                                                   sub.result_json)));
+      (void)send_result(fd,
+                        http_response(200, "OK", "application/json",
+                                      result_line("", "hit", 0, sub.trace,
+                                                  sub.timing,
+                                                  sub.result_json)),
+                        sub.trace);
       return;
     }
     const std::string cache =
@@ -347,10 +406,13 @@ void SocketServer::handle_http(int fd, LineReader& reader,
                                    error_line(500, why_failed)));
       return;
     }
-    (void)send_all(fd, http_response(200, "OK", "application/json",
-                                     result_line(sub.id, cache,
-                                                 service_.now_us() - t0,
-                                                 status->result_json)));
+    (void)send_result(fd,
+                      http_response(200, "OK", "application/json",
+                                    result_line(sub.id, cache,
+                                                service_.now_us() - t0,
+                                                sub.trace, status->timing,
+                                                status->result_json)),
+                      sub.trace);
     return;
   }
 

@@ -76,6 +76,10 @@ class SocketServer {
   /// Runs a submitted sweep to its response line(s); false = close.
   [[nodiscard]] bool respond_sweep(int fd, const SweepService::Submit& sub,
                                    bool wait);
+  /// Sends a result payload, timing the send and reporting it to the
+  /// service as the request's `respond` phase.
+  [[nodiscard]] bool send_result(int fd, const std::string& payload,
+                                 obs::TraceId trace);
   void handle_http(int fd, LineReader& reader,
                    const std::string& request_line);
 

@@ -3,6 +3,7 @@
 #include <exception>
 #include <utility>
 
+#include "obs/trace_events.hpp"
 #include "support/shutdown.hpp"
 
 namespace jamelect::service {
@@ -21,27 +22,6 @@ const char* job_state_name(JobState state) noexcept {
     case JobState::kFailed: return "failed";
   }
   return "unknown";
-}
-
-std::int64_t histogram_quantile(const obs::HistogramSnapshot& h,
-                                double q) noexcept {
-  if (h.count <= 0) return 0;
-  if (q < 0.0) q = 0.0;
-  if (q > 1.0) q = 1.0;
-  const double targetf = q * static_cast<double>(h.count);
-  std::int64_t target = static_cast<std::int64_t>(targetf);
-  if (static_cast<double>(target) < targetf) ++target;
-  if (target < 1) target = 1;
-  std::int64_t cumulative = 0;
-  for (std::size_t b = 0; b < h.buckets.size(); ++b) {
-    cumulative += h.buckets[b];
-    if (cumulative >= target) {
-      if (b == 0) return 0;  // bucket 0 counts v <= 0
-      if (b >= 63) return h.max;
-      return (std::int64_t{1} << b) - 1;  // upper bound of [2^(b-1), 2^b)
-    }
-  }
-  return h.max;
 }
 
 SweepService::SweepService(ServiceConfig config)
@@ -88,18 +68,70 @@ JobStatus SweepService::snapshot(const Job& job) const {
   s.started_us = job.started_us;
   s.finished_us = job.finished_us;
   s.waiters = job.waiters;
+  s.trace = job.trace;
+  s.timing = job.timing;
   return s;
 }
 
-SweepService::Submit SweepService::submit(const SweepRequest& request) {
+void SweepService::emit_phase(const char* span_name, obs::Phase phase,
+                              std::int64_t dur_us, obs::TraceId trace) {
+  if (dur_us < 0) dur_us = 0;
+  obs::prof_add(phase, dur_us * 1000);
+  // "Ends now" stamping: each sink stamps the interval against its own
+  // epoch at the moment the phase ends, so no cross-epoch conversion.
+  if (config_.recorder != nullptr) {
+    const std::int64_t end = config_.recorder->now_us();
+    config_.recorder->record_at(span_name, end - dur_us, dur_us, trace);
+  }
+  if (config_.flight != nullptr) {
+    const std::int64_t end = config_.flight->now_us();
+    config_.flight->record(span_name, obs::phase_name(phase), end - dur_us,
+                           dur_us, trace);
+  }
+}
+
+void SweepService::note_respond(obs::TraceId trace, std::int64_t dur_us) {
+  tot_respond_us_.fetch_add(dur_us, std::memory_order_relaxed);
+  emit_phase("svc.respond", obs::Phase::kRespond, dur_us, trace);
+}
+
+obs::TraceId SweepService::last_trace() const {
+  const std::lock_guard<std::mutex> lock(last_trace_mutex_);
+  return last_trace_;
+}
+
+SweepService::TimingTotals SweepService::timing_totals() const noexcept {
+  TimingTotals t;
+  t.admission_us = tot_admission_us_.load(std::memory_order_relaxed);
+  t.cache_probe_us = tot_cache_probe_us_.load(std::memory_order_relaxed);
+  t.queue_us = tot_queue_us_.load(std::memory_order_relaxed);
+  t.compute_us = tot_compute_us_.load(std::memory_order_relaxed);
+  t.serialize_us = tot_serialize_us_.load(std::memory_order_relaxed);
+  t.respond_us = tot_respond_us_.load(std::memory_order_relaxed);
+  return t;
+}
+
+SweepService::Submit SweepService::submit(const SweepRequest& request,
+                                          obs::TraceId trace) {
   auto& reg = obs::MetricsRegistry::global();
   requests_.fetch_add(1, std::memory_order_relaxed);
   reg.add(m_requests_, 1);
   const std::int64_t t0 = now_us();
+  if (trace.valid()) {
+    const std::lock_guard<std::mutex> lock(last_trace_mutex_);
+    last_trace_ = trace;
+  }
 
   Submit out;
+  out.trace = trace;
   std::string why;
-  if (!request.validate(config_.limits, &why)) {
+  const bool valid = request.validate(config_.limits, &why);
+  out.timing.admission_us = now_us() - t0;
+  tot_admission_us_.fetch_add(out.timing.admission_us,
+                              std::memory_order_relaxed);
+  emit_phase("svc.admission", obs::Phase::kAdmission, out.timing.admission_us,
+             trace);
+  if (!valid) {
     reg.add(m_invalid_, 1);
     out.outcome = Submit::Outcome::kInvalid;
     out.error = why;
@@ -108,7 +140,14 @@ SweepService::Submit SweepService::submit(const SweepRequest& request) {
   out.key = request.cache_key();
 
   // Fast path: finished result already memoized (memory or disk).
-  if (auto cached = cache_.lookup(out.key)) {
+  const std::int64_t probe0 = now_us();
+  auto cached = cache_.lookup(out.key);
+  out.timing.cache_probe_us = now_us() - probe0;
+  tot_cache_probe_us_.fetch_add(out.timing.cache_probe_us,
+                                std::memory_order_relaxed);
+  emit_phase("svc.cache_probe", obs::Phase::kCacheProbe,
+             out.timing.cache_probe_us, trace);
+  if (cached) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     reg.add(m_hits_, 1);
     const std::int64_t latency = now_us() - t0;
@@ -154,6 +193,9 @@ SweepService::Submit SweepService::submit(const SweepRequest& request) {
   job->key = out.key;
   job->request = request;
   job->submitted_us = t0;
+  job->trace = trace;
+  job->timing.admission_us = out.timing.admission_us;
+  job->timing.cache_probe_us = out.timing.cache_probe_us;
   jobs_.emplace(job->id, job);
   inflight_.emplace(job->key, job);
   queue_.push_back(job);
@@ -204,29 +246,63 @@ void SweepService::worker_loop() {
     reg.set(m_queue_depth_, static_cast<double>(queue_.size()));
     job->state = JobState::kRunning;
     job->started_us = now_us();
+    job->timing.queue_us = job->started_us - job->submitted_us;
     lock.unlock();
+    tot_queue_us_.fetch_add(job->timing.queue_us, std::memory_order_relaxed);
+    emit_phase("svc.queue_wait", obs::Phase::kQueueWait, job->timing.queue_us,
+               job->trace);
+
+    // The request lineage rides the worker thread: MC chunk spans and
+    // this job's phase spans all carry the same trace id.
+    const obs::ScopedTrace scoped(job->trace);
 
     // Second chance: another process may have populated the disk tier
     // while this job sat in the queue.
     std::string result;
     std::string error;
     bool ok = false;
-    if (auto cached = cache_.lookup(job->key)) {
+    const std::int64_t probe0 = now_us();
+    auto cached = cache_.lookup(job->key);
+    {
+      const std::int64_t probe_us = now_us() - probe0;
+      job->timing.cache_probe_us += probe_us;
+      tot_cache_probe_us_.fetch_add(probe_us, std::memory_order_relaxed);
+      emit_phase("svc.cache_probe", obs::Phase::kCacheProbe, probe_us,
+                 job->trace);
+    }
+    if (cached) {
       result = std::move(*cached);
       ok = true;
     } else {
+      RunnerConfig runner = config_.runner;
+      if (runner.recorder == nullptr) runner.recorder = config_.recorder;
+      const std::int64_t compute0 = now_us();
       try {
-        const McResult mc = run_sweep(job->request, config_.runner);
+        const McResult mc = run_sweep(job->request, runner, job->trace);
+        job->timing.compute_us = now_us() - compute0;
         if (mc.interrupted) {
           error = "interrupted by shutdown after " +
                   std::to_string(mc.trials) + " trials";
         } else {
+          const std::int64_t ser0 = now_us();
           result = mc_result_to_json(mc).dump();
           cache_.store(job->key, job->request.to_json().dump(), result);
+          job->timing.serialize_us = now_us() - ser0;
           ok = true;
         }
       } catch (const std::exception& e) {
+        job->timing.compute_us = now_us() - compute0;
         error = e.what();
+      }
+      tot_compute_us_.fetch_add(job->timing.compute_us,
+                                std::memory_order_relaxed);
+      emit_phase("svc.compute", obs::Phase::kCompute, job->timing.compute_us,
+                 job->trace);
+      if (job->timing.serialize_us > 0) {
+        tot_serialize_us_.fetch_add(job->timing.serialize_us,
+                                    std::memory_order_relaxed);
+        emit_phase("svc.serialize", obs::Phase::kSerialize,
+                   job->timing.serialize_us, job->trace);
       }
       if (ok) {
         computed_.fetch_add(1, std::memory_order_relaxed);

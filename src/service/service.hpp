@@ -39,10 +39,17 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
+#include "obs/span.hpp"
 #include "service/json.hpp"
 #include "service/result_cache.hpp"
 #include "service/sweep_request.hpp"
 #include "service/sweep_runner.hpp"
+
+namespace jamelect::obs {
+class TraceEventRecorder;
+class FlightRecorder;
+}  // namespace jamelect::obs
 
 namespace jamelect::service {
 
@@ -63,6 +70,27 @@ struct ServiceConfig {
   std::size_t max_job_history = 4096;
   SweepLimits limits;
   RunnerConfig runner;
+  /// Optional Chrome-trace recorder: request phases (admission,
+  /// queue_wait, compute, serialize, respond) are recorded as spans
+  /// tagged with the request's trace id, and threaded through
+  /// RunnerConfig into the MC engines so per-worker chunk spans land
+  /// in the same tree. Must outlive the service.
+  obs::TraceEventRecorder* recorder = nullptr;
+  /// Optional flight recorder: the same request-phase spans go into
+  /// the bounded ring for post-hoc SIGUSR1 / abnormal-drain dumps.
+  obs::FlightRecorder* flight = nullptr;
+};
+
+/// Per-request wall-clock breakdown (steady-clock microseconds),
+/// echoed in the response envelope and rolled up into the daemon's
+/// run manifest. Zero means "phase not reached" (e.g. compute on a
+/// cache hit).
+struct RequestTiming {
+  std::int64_t admission_us = 0;    ///< validation + admission control
+  std::int64_t cache_probe_us = 0;  ///< result-cache lookup(s)
+  std::int64_t queue_us = 0;        ///< enqueue -> worker pickup
+  std::int64_t compute_us = 0;      ///< run_sweep (MC engines)
+  std::int64_t serialize_us = 0;    ///< result JSON + cache store
 };
 
 enum class JobState : std::uint8_t { kQueued, kRunning, kDone, kFailed };
@@ -81,6 +109,9 @@ struct JobStatus {
   std::int64_t finished_us = -1;
   /// Requests coalesced onto this job (besides the submitting one).
   std::size_t waiters = 0;
+  /// Request lineage (invalid when the client sent no trace id).
+  obs::TraceId trace{};
+  RequestTiming timing{};
 };
 
 class SweepService {
@@ -98,6 +129,8 @@ class SweepService {
     std::string key;
     std::string error;
     std::string result_json;  ///< kCached only
+    obs::TraceId trace{};     ///< echo of the request's trace id
+    RequestTiming timing{};   ///< kCached: admission + cache_probe only
   };
 
   explicit SweepService(ServiceConfig config);
@@ -106,7 +139,11 @@ class SweepService {
   SweepService(const SweepService&) = delete;
   SweepService& operator=(const SweepService&) = delete;
 
-  [[nodiscard]] Submit submit(const SweepRequest& request);
+  /// `trace` is the client-supplied request lineage (invalid = client
+  /// sent none); it tags every span this request produces and is
+  /// echoed back in Submit/JobStatus.
+  [[nodiscard]] Submit submit(const SweepRequest& request,
+                              obs::TraceId trace = {});
 
   /// Snapshot of a job's record; nullopt for unknown/evicted ids.
   [[nodiscard]] std::optional<JobStatus> status(const std::string& id) const;
@@ -143,6 +180,27 @@ class SweepService {
   /// Steady-clock microseconds since construction.
   [[nodiscard]] std::int64_t now_us() const;
 
+  /// Transport callback after the response bytes for a request went
+  /// out: records the `respond` phase (profiler + recorder + flight)
+  /// and rolls it into the timing totals.
+  void note_respond(obs::TraceId trace, std::int64_t dur_us);
+
+  /// Most recent request trace id seen by submit() (invalid if none
+  /// yet) — surfaced in the daemon's run manifest.
+  [[nodiscard]] obs::TraceId last_trace() const;
+
+  /// Cross-request sums of each timing phase plus respond, for the
+  /// manifest rollup.
+  struct TimingTotals {
+    std::int64_t admission_us = 0;
+    std::int64_t cache_probe_us = 0;
+    std::int64_t queue_us = 0;
+    std::int64_t compute_us = 0;
+    std::int64_t serialize_us = 0;
+    std::int64_t respond_us = 0;
+  };
+  [[nodiscard]] TimingTotals timing_totals() const noexcept;
+
  private:
   struct Job {
     std::string id;
@@ -155,9 +213,15 @@ class SweepService {
     std::int64_t started_us = -1;
     std::int64_t finished_us = -1;
     std::size_t waiters = 0;
+    obs::TraceId trace{};
+    RequestTiming timing{};
   };
 
   void worker_loop();
+  /// Records one finished request phase: profiler time, plus a span in
+  /// the recorder and flight ring (both stamped "ends now").
+  void emit_phase(const char* span_name, obs::Phase phase,
+                  std::int64_t dur_us, obs::TraceId trace);
   [[nodiscard]] JobStatus snapshot(const Job& job) const;
   /// Marks the job terminal and wakes waiters. Caller holds mutex_.
   void finish_job(const std::shared_ptr<Job>& job, JobState state);
@@ -191,13 +255,20 @@ class SweepService {
   obs::MetricsRegistry::MetricId m_queue_depth_;
   obs::MetricsRegistry::MetricId m_latency_us_, m_compute_us_,
       m_hit_latency_us_;
+
+  mutable std::mutex last_trace_mutex_;
+  obs::TraceId last_trace_{};
+
+  std::atomic<std::int64_t> tot_admission_us_{0};
+  std::atomic<std::int64_t> tot_cache_probe_us_{0};
+  std::atomic<std::int64_t> tot_queue_us_{0};
+  std::atomic<std::int64_t> tot_compute_us_{0};
+  std::atomic<std::int64_t> tot_serialize_us_{0};
+  std::atomic<std::int64_t> tot_respond_us_{0};
 };
 
-/// Approximate quantile of a log2-bucket histogram: the upper bound of
-/// the bucket where the cumulative count first reaches q * count
-/// (bucket b covers [2^(b-1), 2^b)). Bucket-resolution accuracy — i.e.
-/// within 2x — which is the deal the log2 histogram always offered.
-[[nodiscard]] std::int64_t histogram_quantile(const obs::HistogramSnapshot& h,
-                                              double q) noexcept;
+// histogram_quantile (bucket-resolution quantiles of the log2
+// histograms) lives in obs/metrics.hpp; service code uses it
+// unqualified via the obs:: types' ADL.
 
 }  // namespace jamelect::service

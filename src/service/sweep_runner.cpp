@@ -64,7 +64,8 @@ Json summary_to_json(const Summary& s) {
 
 }  // namespace
 
-McResult run_sweep(const SweepRequest& request, const RunnerConfig& runner) {
+McResult run_sweep(const SweepRequest& request, const RunnerConfig& runner,
+                   obs::TraceId trace) {
   const UniformProtocolFactory factory = protocol_factory(request);
   const AdversarySpec adversary = adversary_spec(request);
 
@@ -77,6 +78,8 @@ McResult run_sweep(const SweepRequest& request, const RunnerConfig& runner) {
   mc.rng_backend = request.rng == "aes_ctr" ? RngBackend::kAesCtr
                                             : RngBackend::kXoshiro;
   mc.keep_outcomes = false;
+  mc.recorder = runner.recorder;
+  mc.trace = trace;
 
   if (request.engine == "aggregate") {
     return run_aggregate_mc(factory, adversary, request.n, mc);

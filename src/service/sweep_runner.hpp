@@ -12,9 +12,14 @@
 
 #include <string>
 
+#include "obs/span.hpp"
 #include "service/json.hpp"
 #include "service/sweep_request.hpp"
 #include "sim/montecarlo.hpp"
+
+namespace jamelect::obs {
+class TraceEventRecorder;
+}  // namespace jamelect::obs
 
 namespace jamelect::service {
 
@@ -23,13 +28,19 @@ struct RunnerConfig {
   /// Fan trials out on the global ThreadPool. Multiple service workers
   /// may issue parallel runs concurrently; the pool interleaves them.
   bool mc_parallel = true;
+  /// Optional Chrome-trace recorder handed down to the MC drivers
+  /// (per-trial / per-chunk spans). Must outlive every run.
+  obs::TraceEventRecorder* recorder = nullptr;
 };
 
 /// Runs the sweep to completion (or cooperative-shutdown drain; check
 /// McResult::interrupted). Throws only on engine contract violations —
-/// requests must already be validated.
+/// requests must already be validated. `trace` is the request lineage:
+/// it rides McConfig into the engines so every chunk span this sweep
+/// produces carries the id.
 [[nodiscard]] McResult run_sweep(const SweepRequest& request,
-                                 const RunnerConfig& runner);
+                                 const RunnerConfig& runner,
+                                 obs::TraceId trace = {});
 
 /// Deterministic JSON view of an McResult: canonical key order, exact
 /// integer / %.17g double formatting. Equal results <=> equal bytes.

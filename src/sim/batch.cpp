@@ -8,6 +8,7 @@
 
 #include "channel/channel.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "protocols/interval_partition.hpp"
 #include "protocols/kernels.hpp"
 #include "sim/batch_wide.hpp"
@@ -115,6 +116,15 @@ class BatchWorkspace {
                          static_cast<std::int64_t>(dense - e->dense_seen));
       JAMELECT_OBS_COUNT("engine.batch.cache_misses",
                          static_cast<std::int64_t>(misses - e->misses_seen));
+      // Per-thread mirror for the profiler: the scaling report needs
+      // hit-rate VARIANCE across workers, which the process-wide
+      // registry rollup above cannot reconstruct.
+      obs::prof_count(obs::ProfCounter::kCacheLookups,
+                      static_cast<std::int64_t>(lookups - e->lookups_seen));
+      obs::prof_count(obs::ProfCounter::kCacheHits,
+                      static_cast<std::int64_t>((lookups - misses) -
+                                                (e->lookups_seen -
+                                                 e->misses_seen)));
       e->lookups_seen = lookups;
       e->misses_seen = misses;
       e->dense_seen = dense;
@@ -185,6 +195,12 @@ void aggregate_lanes(const typename Kernel::Params& params,
 
   std::size_t active = count;
   std::int64_t slots_total = 0;
+  // Scalar path: the per-lane slot body fuses RNG draw, classification,
+  // cache lookup, and kernel step — too hot to time individually, so the
+  // whole loop is attributed to `classify` (the wide engines break the
+  // phases out; this path exists for lane-variant adversaries).
+  obs::PhaseAccumulator prof;
+  prof.start();
   for (Slot slot = 0; slot < config.max_slots && active > 0; ++slot) {
     slots_total += static_cast<std::int64_t>(active);
     const bool jam_all = shared_adv && adv_shared->step();
@@ -224,6 +240,7 @@ void aggregate_lanes(const typename Kernel::Params& params,
       }
     }
   }
+  prof.stop(obs::Phase::kClassify);
   // Right-censored lanes: budget exhausted without election.
   for (std::size_t lane = 0; lane < active; ++lane) {
     out[lane_trial[lane]] = acc[lane];
@@ -292,6 +309,10 @@ void hybrid_lanes(const typename Kernel::Params& params,
 
   std::size_t active = count;
   std::int64_t slots_total = 0;
+  // Scalar path: coarse attribution — the whole phase-machine loop runs
+  // as `classify` (see aggregate_lanes; the wide engines split phases).
+  obs::PhaseAccumulator prof;
+  prof.start();
   for (Slot slot = 0; slot < config.max_slots && active > 0; ++slot) {
     const IntervalPosition pos = classify_slot(slot);
     slots_total += static_cast<std::int64_t>(active);
@@ -451,6 +472,7 @@ void hybrid_lanes(const typename Kernel::Params& params,
       }
     }
   }
+  prof.stop(obs::Phase::kClassify);
   for (std::size_t lane = 0; lane < active; ++lane) {
     out[lane_trial[lane]] = acc[lane];
   }
@@ -566,6 +588,14 @@ void aggregate_lanes_wide(const typename Kernel::Params& params,
     out[lane_trial[lane]] = o;
   };
 
+  // Phase attribution (batched locally, one flush per chunk): the
+  // fused slot primitives are `classify` (they include the RNG
+  // advance — draw and classification are one pass on this path),
+  // threshold refreshes are `cache_lookup`, and LESU stepping plus
+  // retirement compaction are `lattice_update`. Off = one dead branch
+  // per section; never touches the draw sequence.
+  obs::PhaseAccumulator prof;
+
   for (Slot slot = 0; slot < config.max_slots && active > 0; ++slot) {
     slots_total += static_cast<std::int64_t>(active);
     ++slots_done;
@@ -579,36 +609,46 @@ void aggregate_lanes_wide(const typename Kernel::Params& params,
       // expected transmissions, fold the Collision into the kernels.
       // No lane can retire, so no compaction pass.
       ++jams_done;
+      prof.start();
       if constexpr (kIsLesk) {
         ops.jammed_slot_lesk(block, us.data(), lesk_inc, groups);
+        prof.stop(obs::Phase::kClassify);
         cache.lookup_lanes(us.data(), span, c_null.data(), c_single.data(),
                            exp_tx.data());
+        prof.stop(obs::Phase::kCacheLookup);
       } else if constexpr (kIsLesu) {
         ops.jammed_slot(block, groups);
+        prof.stop(obs::Phase::kClassify);
         for (std::size_t lane = 0; lane < active; ++lane) {
           kerns[lane].step(ChannelState::kCollision);
           us[lane] = kerns[lane].broadcast_u();
         }
+        prof.stop(obs::Phase::kLatticeUpdate);
         cache.lookup_lanes(us.data(), span, c_null.data(), c_single.data(),
                            exp_tx.data());
+        prof.stop(obs::Phase::kCacheLookup);
       } else {
         ops.jammed_slot(block, groups);
+        prof.stop(obs::Phase::kClassify);
       }
       continue;
     }
 
+    prof.start();
     bool any_single;
     if constexpr (kIsLesk) {
       any_single = ops.clean_slot_lesk(block, us.data(), lesk_inc, groups);
     } else {
       any_single = ops.clean_slot(block, groups);
     }
+    prof.stop(obs::Phase::kClassify);
     if constexpr (kIsLesu) {
       // LESU's step is a phase machine, not a lattice walk — run it
       // scalar per lane off the vector-classified states.
       for (std::size_t lane = 0; lane < active; ++lane) {
         kerns[lane].step(static_cast<ChannelState>(states[lane]));
       }
+      prof.stop(obs::Phase::kLatticeUpdate);
     }
 
     if (any_single) {
@@ -633,6 +673,7 @@ void aggregate_lanes_wide(const typename Kernel::Params& params,
           if constexpr (kIsLesu) kerns[lane] = kerns[active];
         }
       }
+      prof.stop(obs::Phase::kLatticeUpdate);
     }
 
     if constexpr (kIsLesk || kIsLesu) {
@@ -645,6 +686,7 @@ void aggregate_lanes_wide(const typename Kernel::Params& params,
         const std::size_t g2 = (active + kWideLanes - 1) / kWideLanes;
         cache.lookup_lanes(us.data(), g2 * kWideLanes, c_null.data(),
                            c_single.data(), exp_tx.data());
+        prof.stop(obs::Phase::kCacheLookup);
       }
     }
   }
@@ -743,6 +785,13 @@ void aggregate_lanes_wide_ctr(const typename Kernel::Params& params,
     out[lane_trial[lane]] = o;
   };
 
+  // This path separates the RNG advance from classification (unlike
+  // the fused xoshiro kernels), so `rng` gets its own phase; the
+  // classify/accumulate loop (including its inline LESK u updates) is
+  // `classify`, threshold refreshes are `cache_lookup`, and LESU
+  // stepping / retirement compaction are `lattice_update`.
+  obs::PhaseAccumulator prof;
+
   for (Slot slot = 0; slot < config.max_slots && active > 0; ++slot) {
     slots_total += static_cast<std::int64_t>(active);
     ++slots_done;
@@ -755,19 +804,25 @@ void aggregate_lanes_wide_ctr(const typename Kernel::Params& params,
       // that would be discarded is just a counter bump (the scalar
       // path draws and discards — same stream positions either way).
       ++jams_done;
+      prof.start();
       rng.skip_groups(groups);
+      prof.stop(obs::Phase::kRng);
       for (std::size_t k = 0; k < span; ++k) transmissions[k] += exp_tx[k];
       if constexpr (kIsLesk) {
         for (std::size_t k = 0; k < span; ++k) us[k] += lesk_inc;
+        prof.stop(obs::Phase::kLatticeUpdate);
         cache.lookup_lanes(us.data(), span, c_null.data(), c_single.data(),
                            exp_tx.data());
+        prof.stop(obs::Phase::kCacheLookup);
       } else if constexpr (kIsLesu) {
         for (std::size_t lane = 0; lane < active; ++lane) {
           kerns[lane].step(ChannelState::kCollision);
           us[lane] = kerns[lane].broadcast_u();
         }
+        prof.stop(obs::Phase::kLatticeUpdate);
         cache.lookup_lanes(us.data(), span, c_null.data(), c_single.data(),
                            exp_tx.data());
+        prof.stop(obs::Phase::kCacheLookup);
       }
       continue;
     }
@@ -775,7 +830,9 @@ void aggregate_lanes_wide_ctr(const typename Kernel::Params& params,
     // Clean slot: one batched counter advance, then a branch-free
     // classify/accumulate loop (the portable mirror of the fused
     // xoshiro slot primitives — same thresholds, same arithmetic).
+    prof.start();
     rng.uniform_groups(groups, r.data());
+    prof.stop(obs::Phase::kRng);
     bool any_single = false;
     for (std::size_t k = 0; k < span; ++k) {
       const double rv = r[k];
@@ -796,10 +853,12 @@ void aggregate_lanes_wide_ctr(const typename Kernel::Params& params,
         }
       }
     }
+    prof.stop(obs::Phase::kClassify);
     if constexpr (kIsLesu) {
       for (std::size_t lane = 0; lane < active; ++lane) {
         kerns[lane].step(static_cast<ChannelState>(states[lane]));
       }
+      prof.stop(obs::Phase::kLatticeUpdate);
     }
 
     if (any_single) {
@@ -821,6 +880,7 @@ void aggregate_lanes_wide_ctr(const typename Kernel::Params& params,
           if constexpr (kIsLesu) kerns[lane] = kerns[active];
         }
       }
+      prof.stop(obs::Phase::kLatticeUpdate);
     }
 
     if constexpr (kIsLesk || kIsLesu) {
@@ -833,6 +893,7 @@ void aggregate_lanes_wide_ctr(const typename Kernel::Params& params,
         const std::size_t g2 = (active + kWideLanes - 1) / kWideLanes;
         cache.lookup_lanes(us.data(), g2 * kWideLanes, c_null.data(),
                            c_single.data(), exp_tx.data());
+        prof.stop(obs::Phase::kCacheLookup);
       }
     }
   }
@@ -916,6 +977,12 @@ void hybrid_lanes_wide(const typename Kernel::Params& params,
 
   std::size_t active = count;
   std::int64_t slots_total = 0;
+  // Phase attribution (stitched, one clock read per boundary): pass A
+  // (kernel u reads + slot-prob cache probes) -> cache_lookup, pass B
+  // (the wide masked uniform advance) -> rng, pass C (draw consumption,
+  // outcome accounting, phase transitions) -> classify, retirement
+  // compaction -> lattice_update.
+  obs::PhaseAccumulator prof;
   for (Slot slot = 0; slot < config.max_slots && active > 0; ++slot) {
     const IntervalPosition pos = classify_slot(slot);
     slots_total += static_cast<std::int64_t>(active);
@@ -925,6 +992,7 @@ void hybrid_lanes_wide(const typename Kernel::Params& params,
       // Nobody draws or acts in padding: the slot is a Null (or a
       // jammed Collision) for every lane, and no phase can complete
       // (every transition keys on C1..C3), so no retirement check.
+      prof.start();
       const ChannelState state = resolve_slot(0, jammed);
       for (std::size_t lane = 0; lane < active; ++lane) {
         TrialOutcome& o = acc[lane];
@@ -932,10 +1000,12 @@ void hybrid_lanes_wide(const typename Kernel::Params& params,
         if (jammed) ++o.jams;
         record_state(o, state);
       }
+      prof.stop(obs::Phase::kClassify);
       continue;
     }
 
     // Pass A: record each lane's draw request for this slot.
+    prof.start();
     for (std::size_t lane = 0; lane < active; ++lane) {
       DrawKind d = DrawKind::kNone;
       std::uint64_t fc = 0;
@@ -1030,9 +1100,11 @@ void hybrid_lanes_wide(const typename Kernel::Params& params,
     for (std::size_t lane = active; lane < groups * kWideLanes; ++lane) {
       mask[lane] = 0;  // pad lanes must not advance
     }
+    prof.stop(obs::Phase::kCacheLookup);
 
     // Pass B: one wide advance covering every lane that draws.
     rng.uniform_masked(groups, mask.data(), r.data());
+    prof.stop(obs::Phase::kRng);
 
     // Pass C: consume the draws — classification, outcome accounting,
     // and the post-state transitions of hybrid_lanes.
@@ -1105,6 +1177,8 @@ void hybrid_lanes_wide(const typename Kernel::Params& params,
       }
     }
 
+    prof.stop(obs::Phase::kClassify);
+
     // Retirement + compaction after the full sweep (equivalent to the
     // scalar mid-loop swap-remove; lanes are independent in-slot).
     for (std::size_t lane = 0; lane < active;) {
@@ -1129,6 +1203,7 @@ void hybrid_lanes_wide(const typename Kernel::Params& params,
         acc[lane] = acc[active];
       }
     }
+    prof.stop(obs::Phase::kLatticeUpdate);
   }
   for (std::size_t lane = 0; lane < active; ++lane) {
     out[lane_trial[lane]] = acc[lane];

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace_events.hpp"
 #include "sim/aggregate.hpp"
 #include "sim/batch.hpp"
@@ -240,15 +241,23 @@ McResult run_trials_batched(const BatchChunkRunner& chunk_runner,
     if (shutdown_requested()) return 0;
     const std::size_t first = c * chunk;
     const std::size_t count = std::min(chunk, config.trials - first);
+    // Chunks execute on pool worker threads: re-establish the request
+    // lineage here so mc.batch / pool_task spans and profiler samples
+    // from every worker carry the submitting request's trace id.
+    const obs::ScopedTrace scoped(config.trace);
     std::optional<obs::TraceEventRecorder::Span> span;
     if (recorder != nullptr) span.emplace(*recorder, "mc.batch");
     chunk_runner(first, count, out);
     span.reset();
     JAMELECT_OBS_COUNT("mc.parallel_chunks", 1);
+    obs::prof_count(obs::ProfCounter::kChunks, 1);
+    obs::prof_count(obs::ProfCounter::kTrials,
+                    static_cast<std::int64_t>(count));
     for (std::size_t i = 0; i < count; ++i) {
       heartbeat.on_trial(out[i].slots);
       JAMELECT_OBS_COUNT("mc.trials", 1);
       JAMELECT_OBS_COUNT("mc.slots", out[i].slots);
+      obs::prof_count(obs::ProfCounter::kSlots, out[i].slots);
     }
     return count;
   };
@@ -286,9 +295,12 @@ McResult run_trials_batched(const BatchChunkRunner& chunk_runner,
     const std::size_t count = std::min(chunk, config.trials - first);
     std::vector<TrialOutcome> buf(count);
     if (run_chunk(c, buf.data()) == 0) return;
+    obs::PhaseAccumulator prof;
+    prof.start();
     for (const TrialOutcome& o : buf) {
       detail::accumulate(acc, o, n_for_energy);
     }
+    prof.stop(obs::Phase::kMerge);
   };
   detail::TrialAccumulator total;
   if (config.parallel) {
@@ -353,7 +365,9 @@ McResult run_trials(const TrialRunner& runner, std::uint64_t n_for_energy,
   Heartbeat heartbeat(config.heartbeat, config.trials,
                       config.heartbeat_interval_ms);
   obs::TraceEventRecorder* const recorder = config.recorder;
-  const TrialRunner wrapped = [&runner, &heartbeat, recorder](Rng trial_rng) {
+  const TrialRunner wrapped = [&runner, &heartbeat, recorder,
+                               trace = config.trace](Rng trial_rng) {
+    const obs::ScopedTrace scoped(trace);
     std::optional<obs::TraceEventRecorder::Span> span;
     if (recorder != nullptr) span.emplace(*recorder, "mc.trial");
     TrialOutcome out = runner(trial_rng);

@@ -10,6 +10,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "sim/adversary_spec.hpp"
 #include "sim/batch.hpp"
 #include "sim/engine.hpp"
@@ -75,6 +76,11 @@ struct McConfig {
   /// Optional wall-clock recorder (obs/trace_events.hpp): each trial is
   /// wrapped in a "trial" span. Non-owning; must outlive the run.
   obs::TraceEventRecorder* recorder = nullptr;
+  /// Request lineage: every span the run records (mc.trial, mc.batch,
+  /// pool_task) is tagged with this id via obs::ScopedTrace, so one
+  /// service request reassembles into one Chrome-trace tree. Invalid
+  /// (the default) = untraced. Purely observational.
+  obs::TraceId trace{};
 };
 
 /// Aggregated view over the trials of one configuration.

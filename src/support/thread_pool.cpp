@@ -1,5 +1,6 @@
 #include "support/thread_pool.hpp"
 
+#include <chrono>
 #include <cstdlib>
 
 namespace jamelect {
@@ -35,14 +36,28 @@ void ThreadPool::enqueue(Task task) {
 void ThreadPool::worker_loop() {
   for (;;) {
     Task task;
+    std::int64_t idle_ns = -1;
     {
       std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      const auto ready = [this] { return stopping_ || !tasks_.empty(); };
+      // Time the queue wait only when an observer is attached as the
+      // wait begins — zero clock reads on the unobserved path.
+      if (!ready() &&
+          task_observer_.load(std::memory_order_acquire) != nullptr) {
+        const auto t0 = std::chrono::steady_clock::now();
+        cv_.wait(lock, ready);
+        idle_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+      } else {
+        cv_.wait(lock, ready);
+      }
       if (stopping_ && tasks_.empty()) return;
       task = tasks_.front();
       tasks_.pop();
     }
     PoolTaskObserver* obs = task_observer_.load(std::memory_order_acquire);
+    if (obs != nullptr && idle_ns >= 0) obs->on_worker_idle(task.slot, idle_ns);
     if (obs != nullptr) obs->on_task_start(task.slot);
     task.fn(*task.job, task.slot);
     if (obs != nullptr) obs->on_task_end(task.slot);
@@ -99,10 +114,21 @@ void ThreadPool::execute(ParallelJob& job, std::size_t count) {
     if (!job.error) job.error = std::current_exception();
   }
   if (obs != nullptr) obs->on_task_end(helpers);
-  std::unique_lock lock(job.done_mutex);
-  job.done_cv.wait(lock, [&job] {
+  const auto done = [&job] {
     return job.pending.load(std::memory_order_acquire) == 0;
-  });
+  };
+  std::unique_lock lock(job.done_mutex);
+  if (obs != nullptr && !done()) {
+    // The caller ran dry while workers still hold chunks: this wait is
+    // the parallel call's imbalance cost.
+    const auto t0 = std::chrono::steady_clock::now();
+    job.done_cv.wait(lock, done);
+    obs->on_caller_wait(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+  } else {
+    job.done_cv.wait(lock, done);
+  }
   if (job.error) std::rethrow_exception(job.error);
 }
 

@@ -16,6 +16,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <mutex>
 #include <queue>
@@ -33,6 +34,16 @@ class PoolTaskObserver {
   virtual ~PoolTaskObserver() = default;
   virtual void on_task_start(std::size_t worker_slot) noexcept = 0;
   virtual void on_task_end(std::size_t worker_slot) noexcept = 0;
+  /// A worker slept `wait_ns` on the task queue before receiving the
+  /// task it is about to run. Only measured while an observer is
+  /// attached when the wait begins (an observer attached mid-sleep
+  /// misses that one wait). Default: ignored.
+  virtual void on_worker_idle(std::size_t /*worker_slot*/,
+                              std::int64_t /*wait_ns*/) noexcept {}
+  /// The calling thread of a parallel call exhausted its own chunks and
+  /// blocked `wait_ns` on the completion barrier waiting for straggler
+  /// workers — the direct measure of chunk imbalance. Default: ignored.
+  virtual void on_caller_wait(std::int64_t /*wait_ns*/) noexcept {}
 };
 
 /// A joining, exception-propagating thread pool.

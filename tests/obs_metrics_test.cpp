@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <string>
+#include <vector>
 
 #include "support/expects.hpp"
 #include "support/thread_pool.hpp"
@@ -128,6 +133,83 @@ TEST(Metrics, MacrosRespectGlobalEnableSwitch) {
     EXPECT_EQ(it, snap.counters.end());
   }
   reg.set_enabled(was_enabled);
+}
+
+// Exact quantile with the same rank convention histogram_quantile
+// documents: the ceil(q*count)-th smallest sample (1-indexed).
+std::int64_t exact_quantile(std::vector<std::int64_t> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  const auto count = static_cast<double>(samples.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q * count));
+  if (rank < 1) rank = 1;
+  return samples[rank - 1];
+}
+
+HistogramSnapshot fill(const std::vector<std::int64_t>& samples) {
+  MetricsRegistry reg;
+  const auto id = reg.histogram("h");
+  for (const std::int64_t v : samples) reg.observe(id, v);
+  return reg.aggregate().histograms.at("h");
+}
+
+TEST(HistogramQuantile, EmptyHistogramIsZero) {
+  EXPECT_EQ(histogram_quantile(HistogramSnapshot{}, 0.5), 0);
+}
+
+TEST(HistogramQuantile, NonPositiveSamplesQuantileIsZero) {
+  // Bucket 0 holds v <= 0; its "upper bound" is reported as 0.
+  const auto h = fill({-3, 0, 0, -1});
+  EXPECT_EQ(histogram_quantile(h, 0.5), 0);
+  EXPECT_EQ(histogram_quantile(h, 1.0), 0);
+}
+
+TEST(HistogramQuantile, QIsClampedToUnitInterval) {
+  const auto h = fill({1, 2, 4, 8});
+  EXPECT_EQ(histogram_quantile(h, -0.5), histogram_quantile(h, 0.0));
+  EXPECT_EQ(histogram_quantile(h, 7.0), histogram_quantile(h, 1.0));
+}
+
+TEST(HistogramQuantile, ExactOnBucketBoundaries) {
+  // Ten samples, one per value class: the estimate is the upper bound of
+  // the bucket holding the exact quantile, checkable by hand.
+  const auto h = fill({1, 1, 1, 1, 1, 16, 16, 16, 16, 16});
+  // p50 → 5th sample = 1, bucket 1 → upper bound 2^1 - 1 = 1 (exact).
+  EXPECT_EQ(histogram_quantile(h, 0.5), 1);
+  // p60 → 6th sample = 16, bucket 5 → upper bound 31.
+  EXPECT_EQ(histogram_quantile(h, 0.6), 31);
+  EXPECT_EQ(histogram_quantile(h, 1.0), 31);
+}
+
+TEST(HistogramQuantile, P50AndP99WithinBucketResolutionOfExact) {
+  // The documented accuracy contract: for positive samples the estimate
+  // r and the true quantile v satisfy v <= r < 2v. Deterministic
+  // pseudo-random heavy-tailed samples (LCG; no global RNG involved).
+  std::vector<std::int64_t> samples;
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (int i = 0; i < 5000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    // Spread over ~[1, 2^20] with a long tail.
+    const auto shift = static_cast<unsigned>((x >> 59) & 19u);
+    samples.push_back(static_cast<std::int64_t>((x >> 40) % (1ULL << shift)) +
+                      1);
+  }
+  const auto h = fill(samples);
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const std::int64_t exact = exact_quantile(samples, q);
+    const std::int64_t est = histogram_quantile(h, q);
+    EXPECT_GE(est, exact) << "q=" << q;
+    EXPECT_LT(est, 2 * exact) << "q=" << q;
+  }
+}
+
+TEST(HistogramQuantile, TopBucketFallsBackToObservedMax) {
+  // Samples in bucket >= 63 can't report 2^63 - 1; the estimator falls
+  // back to the snapshot's bucket-resolution max.
+  MetricsRegistry reg;
+  const auto id = reg.histogram("h");
+  reg.observe(id, std::numeric_limits<std::int64_t>::max());
+  const auto h = reg.aggregate().histograms.at("h");
+  EXPECT_EQ(histogram_quantile(h, 1.0), h.max);
 }
 
 TEST(Metrics, AggregateIsSafeDuringConcurrentWrites) {

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "service/json.hpp"
 #include "service/net.hpp"
 #include "service/server.hpp"
@@ -195,6 +196,75 @@ TEST(ServiceServer, HeartbeatsStreamWhileASweepRuns) {
   }
   // Not asserted > 0: a fast machine may finish inside one period.
   SUCCEED() << heartbeats << " heartbeats";
+}
+
+TEST(ServiceServer, TraceIdEchoedWithTimingBreakdown) {
+  const ServerFixture fx;
+  const auto sock = fx.connect();
+  const std::string trace = obs::TraceId::derive(0xfeed, 0xbeef).hex();
+
+  // Envelope-level "trace" (never inside params: params feed the cache
+  // key) → the result must echo the same id plus a timing breakdown.
+  const std::string line =
+      "{\"op\":\"sweep\",\"trace\":\"" + trace +
+      "\",\"params\":{\"n\":128,\"trials\":16,\"seed\":4242,"
+      "\"max_slots\":10000}}";
+  const auto first = roundtrip(sock.fd(), line);
+  ASSERT_FALSE(first.empty());
+  // The ack for a miss carries the trace too.
+  EXPECT_EQ(first.front().find("type")->as_string(), "ack");
+  ASSERT_NE(first.front().find("trace"), nullptr);
+  EXPECT_EQ(first.front().find("trace")->as_string(), trace);
+
+  const Json& result = first.back();
+  ASSERT_EQ(result.find("type")->as_string(), "result");
+  ASSERT_NE(result.find("trace"), nullptr);
+  EXPECT_EQ(result.find("trace")->as_string(), trace);
+  const Json* timing = result.find("timing");
+  ASSERT_NE(timing, nullptr);
+  for (const char* field : {"admission_us", "cache_probe_us", "queue_us",
+                            "compute_us", "serialize_us"}) {
+    ASSERT_NE(timing->find(field), nullptr) << field;
+    EXPECT_GE(timing->find(field)->as_int(), 0) << field;
+  }
+  // A real sweep spent observable time computing.
+  EXPECT_GT(timing->find("compute_us")->as_int(), 0);
+
+  // Cache hit with a fresh trace: echoed verbatim, timing present,
+  // compute zero (no sweep ran).
+  const std::string trace2 = obs::TraceId::derive(0xdead, 0xcafe).hex();
+  const std::string line2 =
+      "{\"op\":\"sweep\",\"trace\":\"" + trace2 +
+      "\",\"params\":{\"n\":128,\"trials\":16,\"seed\":4242,"
+      "\"max_slots\":10000}}";
+  const auto second = roundtrip(sock.fd(), line2);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second.back().find("cache")->as_string(), "hit");
+  ASSERT_NE(second.back().find("trace"), nullptr);
+  EXPECT_EQ(second.back().find("trace")->as_string(), trace2);
+  const Json* hit_timing = second.back().find("timing");
+  ASSERT_NE(hit_timing, nullptr);
+  EXPECT_EQ(hit_timing->find("compute_us")->as_int(), 0);
+
+  // An untraced sweep keeps working and omits the trace field.
+  const auto untraced = roundtrip(sock.fd(), small_sweep(4242));
+  ASSERT_FALSE(untraced.empty());
+  EXPECT_EQ(untraced.back().find("type")->as_string(), "result");
+  EXPECT_EQ(untraced.back().find("trace"), nullptr);
+  EXPECT_NE(untraced.back().find("timing"), nullptr);
+
+  // Malformed trace ids are rejected up front.
+  for (const std::string& bad :
+       {std::string("xyz"), std::string(32, 'g'), std::string(32, '0')}) {
+    const auto resp = roundtrip(
+        sock.fd(), "{\"op\":\"sweep\",\"trace\":\"" + bad +
+                       "\",\"params\":{\"n\":128,\"trials\":16,"
+                       "\"seed\":4243,\"max_slots\":10000}}");
+    ASSERT_EQ(resp.size(), 1u) << bad;
+    EXPECT_EQ(resp.back().find("code")->as_int(), 400) << bad;
+  }
+  // The service remembers the last traced request for the manifest.
+  EXPECT_EQ(fx.service->last_trace().hex(), trace2);
 }
 
 TEST(ServiceServer, HttpShimSweepStatusMetrics) {

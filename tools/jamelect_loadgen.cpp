@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "obs/manifest.hpp"
+#include "obs/span.hpp"
 #include "service/json.hpp"
 #include "service/net.hpp"
 #include "support/cli.hpp"
@@ -71,10 +72,14 @@ struct WorkerStats {
   std::vector<double> coalesced_us;
   std::uint64_t rejected = 0;
   std::uint64_t errors = 0;
+  /// Responses whose echoed trace id differs from the one sent (the
+  /// daemon must echo request lineage verbatim; any mismatch is a bug).
+  std::uint64_t trace_mismatches = 0;
   std::string first_error;
 };
 
-std::string sweep_line(const TraceConfig& trace, std::uint64_t config_index) {
+std::string sweep_line(const TraceConfig& trace, std::uint64_t config_index,
+                       const jamelect::obs::TraceId& trace_id) {
   using jamelect::service::Json;
   Json params;
   params.set_object();
@@ -94,6 +99,9 @@ std::string sweep_line(const TraceConfig& trace, std::uint64_t config_index) {
   req.set_object();
   req.set("op", "sweep");
   req.set("params", std::move(params));
+  // Envelope-level (NOT inside params): the trace id is request
+  // lineage, never part of the cache key.
+  req.set("trace", trace_id.hex());
   req.set("wait", true);
   return req.dump() + "\n";
 }
@@ -127,7 +135,12 @@ void run_worker(const TraceConfig& trace, std::uint64_t count,
         (trace.configs <= 1 || unit(rng) < trace.hot_frac)
             ? 0
             : 1 + rng() % (trace.configs - 1);
-    const std::string line = sweep_line(trace, config_index);
+    // Deterministic per-request lineage: (seed, worker, request index)
+    // always mint the same id, so a replayed trace correlates across
+    // daemon-side dumps too.
+    const jamelect::obs::TraceId trace_id = jamelect::obs::TraceId::derive(
+        trace.seed ^ (0xace1ull * (worker_index + 1)), i);
+    const std::string line = sweep_line(trace, config_index, trace_id);
 
     for (int attempt = 0;; ++attempt) {
       const auto t0 = Clock::now();
@@ -161,6 +174,16 @@ void run_worker(const TraceConfig& trace, std::uint64_t count,
           if (cache.empty()) {
             const Json* c = doc->find("cache");
             if (c != nullptr) cache = c->as_string();
+          }
+          // The daemon must echo the request's trace id verbatim.
+          const Json* echoed = doc->find("trace");
+          if (echoed == nullptr || echoed->as_string() != trace_id.hex()) {
+            stats.trace_mismatches += 1;
+            if (stats.first_error.empty()) {
+              stats.first_error =
+                  "trace echo mismatch (sent " + trace_id.hex() + ", got " +
+                  (echoed != nullptr ? echoed->as_string() : "<none>") + ")";
+            }
           }
           resolved = true;
         } else if (kind == "error") {
@@ -261,6 +284,7 @@ int main(int argc, char** argv) {
                               s.coalesced_us.begin(), s.coalesced_us.end());
     total.rejected += s.rejected;
     total.errors += s.errors;
+    total.trace_mismatches += s.trace_mismatches;
     if (total.first_error.empty()) total.first_error = s.first_error;
   }
   const std::uint64_t resolved = total.hit_us.size() + total.miss_us.size() +
@@ -301,6 +325,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(total.errors),
                 total.first_error.c_str());
   }
+  if (total.trace_mismatches > 0) {
+    std::printf("  TRACE MISMATCHES: %llu (first: %s)\n",
+                static_cast<unsigned long long>(total.trace_mismatches),
+                total.first_error.c_str());
+  }
 
   {
     using service::Json;
@@ -312,6 +341,7 @@ int main(int argc, char** argv) {
     out.set("coalesced", static_cast<std::uint64_t>(total.coalesced_us.size()));
     out.set("rejected", total.rejected);
     out.set("errors", total.errors);
+    out.set("trace_mismatches", total.trace_mismatches);
     out.set("hit_rate", hit_rate);
     out.set("elapsed_s", elapsed_s);
     out.set("rps", elapsed_s > 0
@@ -343,7 +373,7 @@ int main(int argc, char** argv) {
   const std::string path = obs::manifest_path_for(manifest.name);
   if (!path.empty()) (void)manifest.write_file(path);
 
-  if (total.errors > 0) return 1;
+  if (total.errors > 0 || total.trace_mismatches > 0) return 1;
   if (min_hit_rate >= 0.0 && hit_rate < min_hit_rate) {
     std::fprintf(stderr, "loadgen: hit rate %.3f below threshold %.3f\n",
                  hit_rate, min_hit_rate);

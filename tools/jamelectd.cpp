@@ -4,7 +4,8 @@
 //             [--queue=64] [--cache-dir=DIR] [--heartbeat-ms=500]
 //             [--cache-max-entries=0] [--cache-max-bytes=0]
 //             [--max-trials=1000000] [--max-slots=10000000]
-//             [--manifest=jamelectd]
+//             [--manifest=jamelectd] [--trace=PATH]
+//             [--flight=PREFIX] [--flight-capacity=4096]
 //
 // Serves parameter sweeps over the newline-delimited JSON protocol and
 // the HTTP/1.1 shim (docs/SERVICE.md). Results are memoized by manifest
@@ -15,19 +16,52 @@
 // --port=0 binds an ephemeral port; the chosen port is printed on the
 // "jamelectd listening on" line, which scripts/service_smoke.sh parses.
 //
+// Observability:
+//  * --trace=PATH records every request's phase spans (admission,
+//    queue_wait, compute incl. per-worker MC chunk spans, serialize,
+//    respond) tagged with the request's trace id, plus thread-pool
+//    task/idle spans, and writes one Chrome-trace JSON at exit.
+//  * A flight recorder (bounded ring of recent spans, --flight-capacity)
+//    is always on; SIGUSR1 dumps it to `<--flight prefix>-<utc>-<seq>
+//    .ndjson` without stopping the daemon, and an abnormal drain (any
+//    failed jobs at shutdown) dumps it automatically.
+//
 // SIGINT/SIGTERM drain gracefully: stop admitting, fail queued jobs,
 // let running sweeps finish their current trial chunk (the Monte-Carlo
 // drivers poll the same shutdown flag), flush the run manifest, exit 0.
+#include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <thread>
 
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_events.hpp"
 #include "service/server.hpp"
 #include "service/service.hpp"
 #include "support/cli.hpp"
 #include "support/shutdown.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+// SIGUSR1 => dump the flight recorder. The handler only sets a flag
+// (async-signal-safe); the main loop does the I/O.
+volatile std::sig_atomic_t g_dump_requested = 0;
+
+void handle_sigusr1(int) { g_dump_requested = 1; }
+
+bool install_sigusr1() {
+  struct sigaction sa = {};
+  sa.sa_handler = handle_sigusr1;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  return sigaction(SIGUSR1, &sa, nullptr) == 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace jamelect;
@@ -55,6 +89,29 @@ int main(int argc, char** argv) {
 
   obs::MetricsRegistry::global().set_enabled(true);
   install_shutdown_handlers();
+  if (!install_sigusr1()) {
+    std::cerr << "jamelectd: warning: cannot install SIGUSR1 handler\n";
+  }
+
+  // Flight recorder: always on — it is the post-hoc "what was the
+  // daemon doing" story and costs one short lock per request phase.
+  const std::string flight_prefix =
+      cli.get_string("flight", "jamelectd-flight");
+  obs::FlightRecorder flight(cli.get_uint("flight-capacity", 4096));
+  svc_cfg.flight = &flight;
+
+  // Chrome-trace recorder: opt-in (unbounded growth — meant for
+  // bounded profiling sessions, not long-lived daemons).
+  const std::string trace_path = cli.get_string("trace", "");
+  obs::TraceEventRecorder recorder;
+  obs::PoolProfObserver pool_obs(&recorder);
+  if (!trace_path.empty()) {
+    svc_cfg.recorder = &recorder;
+    svc_cfg.runner.recorder = &recorder;
+    // One attachment gives pool_task spans in the trace AND idle /
+    // caller-wait scheduling phases in the profiler.
+    global_pool().set_task_observer(&pool_obs);
+  }
 
   service::SweepService service(svc_cfg);
   service::SocketServer server(service, srv_cfg);
@@ -70,6 +127,12 @@ int main(int argc, char** argv) {
             << ")" << std::endl;
 
   while (!shutdown_requested()) {
+    if (g_dump_requested != 0) {
+      g_dump_requested = 0;
+      const std::string path = flight.dump(flight_prefix);
+      std::cout << "jamelectd: SIGUSR1 flight dump "
+                << (path.empty() ? "FAILED" : path) << std::endl;
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   std::cout << "jamelectd: signal " << shutdown_signal()
@@ -78,8 +141,30 @@ int main(int argc, char** argv) {
   // Order matters: stopping the service resolves every job (queued ->
   // failed, running -> drained), which releases connections blocked in
   // wait(); only then can the server's connection count reach zero.
+  const std::size_t queued_at_drain = service.queue_depth();
   service.stop();
   server.stop();
+  if (!trace_path.empty()) global_pool().set_task_observer(nullptr);
+
+  // Abnormal drain — jobs failed (or died queued): dump the flight ring
+  // so the last moments are on disk next to the manifest.
+  const obs::MetricsSnapshot snap =
+      obs::MetricsRegistry::global().aggregate();
+  std::uint64_t failed = 0;
+  if (const auto it = snap.counters.find("svc.failed");
+      it != snap.counters.end()) {
+    failed = it->second;
+  }
+  if (failed > 0 || queued_at_drain > 0) {
+    const std::string path = flight.dump(flight_prefix);
+    std::cout << "jamelectd: abnormal drain (" << failed << " failed, "
+              << queued_at_drain << " queued), flight dump "
+              << (path.empty() ? "FAILED" : path) << std::endl;
+  }
+
+  if (!trace_path.empty() && !recorder.write_file(trace_path)) {
+    std::cerr << "jamelectd: cannot write trace " << trace_path << "\n";
+  }
 
   obs::RunManifest manifest;
   manifest.name = cli.get_string("manifest", "jamelectd");
@@ -98,6 +183,22 @@ int main(int argc, char** argv) {
   manifest.config["computed"] = std::to_string(service.computed());
   manifest.config["coalesced"] = std::to_string(service.coalesced());
   manifest.config["rejected"] = std::to_string(service.rejected());
+  // Request-lineage + timing rollup: the last trace id seen and the
+  // cross-request sums of each request phase.
+  const obs::TraceId last = service.last_trace();
+  manifest.config["last_trace"] = last.valid() ? last.hex() : "";
+  const service::SweepService::TimingTotals totals = service.timing_totals();
+  manifest.config["timing_admission_us"] = std::to_string(totals.admission_us);
+  manifest.config["timing_cache_probe_us"] =
+      std::to_string(totals.cache_probe_us);
+  manifest.config["timing_queue_us"] = std::to_string(totals.queue_us);
+  manifest.config["timing_compute_us"] = std::to_string(totals.compute_us);
+  manifest.config["timing_serialize_us"] =
+      std::to_string(totals.serialize_us);
+  manifest.config["timing_respond_us"] = std::to_string(totals.respond_us);
+  manifest.config["flight_pushed"] = std::to_string(flight.ring().pushed());
+  manifest.config["flight_overwritten"] =
+      std::to_string(flight.ring().overwritten());
   const std::string path = obs::manifest_path_for(manifest.name);
   if (!path.empty() && !manifest.write_file(path)) {
     std::cerr << "jamelectd: cannot write manifest " << path << "\n";
