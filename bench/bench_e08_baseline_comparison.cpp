@@ -24,7 +24,8 @@ void E08_Lesk(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(1) << state.range(0);
   const int jam = static_cast<int>(state.range(1));
   AdversarySpec adv = adversary(jam ? "saturating" : "none", kT, kEps);
-  const auto cfg = mc(0xE08, 1 << 22);
+  McConfig cfg = mc(0xE08, 1 << 22);
+  cfg.batch = 64;  // batched kernel engine; bit-identical to batch = 0
   McResult res;
   for (auto _ : state) res = run_aggregate_mc(lesk_factory(kEps), adv, n, cfg);
   report(state, res);
@@ -40,7 +41,8 @@ void E08_Lesu(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(1) << state.range(0);
   const int jam = static_cast<int>(state.range(1));
   AdversarySpec adv = adversary(jam ? "saturating" : "none", kT, kEps);
-  const auto cfg = mc(0xE08, 1 << 22);
+  McConfig cfg = mc(0xE08, 1 << 22);
+  cfg.batch = 64;
   McResult res;
   for (auto _ : state) res = run_aggregate_mc(lesu_factory(), adv, n, cfg);
   report(state, res);
@@ -54,6 +56,7 @@ void E08_Arss(benchmark::State& state) {
   const int jam = static_cast<int>(state.range(1));
   AdversarySpec adv = adversary(jam ? "saturating" : "none", kT, kEps);
   McConfig cfg = mc(0xE08, 1 << 19, 5);  // per-station engine: keep it light
+  cfg.batch = 4;  // devirtualized station chunks (sim/station_batch.hpp)
   const double gamma = arss_gamma(n, kT);
   McResult res;
   for (auto _ : state) {
@@ -75,7 +78,8 @@ void E08_Willard(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(1) << state.range(0);
   const int jam = static_cast<int>(state.range(1));
   AdversarySpec adv = adversary(jam ? "saturating" : "none", kT, kEps);
-  const auto cfg = mc(0xE08, 1 << 18);  // it fails under jamming: cap it
+  McConfig cfg = mc(0xE08, 1 << 18);  // it fails under jamming: cap it
+  cfg.batch = 64;
   McResult res;
   for (auto _ : state) {
     res = run_aggregate_mc([] { return std::make_unique<Willard>(); }, adv, n,
@@ -91,7 +95,8 @@ void E08_NakanoOlariu(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(1) << state.range(0);
   const int jam = static_cast<int>(state.range(1));
   AdversarySpec adv = adversary(jam ? "saturating" : "none", kT, kEps);
-  const auto cfg = mc(0xE08, 1 << 18);
+  McConfig cfg = mc(0xE08, 1 << 18);
+  cfg.batch = 64;
   McResult res;
   for (auto _ : state) {
     res = run_aggregate_mc([] { return std::make_unique<NakanoOlariu>(); },
@@ -156,7 +161,8 @@ void E08_NoCd(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(1) << state.range(0);
   const int jam = static_cast<int>(state.range(1));
   AdversarySpec adv = adversary(jam ? "saturating" : "none", kT, kEps);
-  const auto cfg = mc(0xE08, 1 << 18);
+  McConfig cfg = mc(0xE08, 1 << 18);
+  cfg.batch = 64;
   McResult res;
   for (auto _ : state) {
     res = run_aggregate_mc(

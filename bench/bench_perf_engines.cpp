@@ -17,6 +17,7 @@
 #include <ostream>
 #include <streambuf>
 
+#include "baselines/willard.hpp"
 #include "extensions/size_approximation.hpp"
 #include "obs/events.hpp"
 #include "obs/observer.hpp"
@@ -258,6 +259,107 @@ void Perf_AesCtrWideBatchEngine(benchmark::State& state) {
   state.counters["batch"] = 64;
 }
 
+// Adaptive-adversary Monte-Carlo: collision_forcer keeps per-lane state
+// (budget recurrence, tracked public estimate, jam desires), which used
+// to disqualify the wide path entirely — the whole sweep ran
+// sequentially. The lane-variant adversary bank (sim/lane_adversary.hpp)
+// now runs it wide; the three benches below are the sequential
+// baseline, the scalar-lane batch path, and the wide path on the same
+// trials (bit-identical per trial, so items/sec divides into a true
+// speedup).
+[[nodiscard]] McResult adaptive_mc(std::uint64_t n, std::size_t batch,
+                                   std::size_t n_trials,
+                                   BatchLaneMode lanes) {
+  AdversarySpec spec = adversary("collision_forcer", 64, 0.5);
+  spec.collision_threshold = 0.6;
+  McConfig config = mc(/*seed=*/29, /*max_slots=*/kSlots, n_trials);
+  config.parallel = false;
+  config.batch = batch;
+  config.batch_lanes = lanes;
+  return run_aggregate_mc(lesk_factory(0.5), spec, n, config);
+}
+
+void Perf_AdaptiveSequentialMcBaseline(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  std::int64_t slots = 0;
+  for (auto _ : state) {
+    const McResult res =
+        adaptive_mc(n, /*batch=*/0, /*n_trials=*/64, BatchLaneMode::kAuto);
+    slots += total_slots(res);
+    benchmark::DoNotOptimize(res.successes);
+  }
+  state.SetItemsProcessed(slots);
+  state.counters["n"] = static_cast<double>(n);
+}
+
+void Perf_AdaptiveScalarBatchEngine(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  std::int64_t slots = 0;
+  for (auto _ : state) {
+    const McResult res = adaptive_mc(n, /*batch=*/64, /*n_trials=*/64,
+                                     BatchLaneMode::kScalarLanes);
+    slots += total_slots(res);
+    benchmark::DoNotOptimize(res.successes);
+  }
+  state.SetItemsProcessed(slots);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["batch"] = 64;
+}
+
+void Perf_AdaptiveWideBatchEngine(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  std::int64_t slots = 0;
+  for (auto _ : state) {
+    const McResult res = adaptive_mc(n, /*batch=*/64, /*n_trials=*/64,
+                                     BatchLaneMode::kWide);
+    slots += total_slots(res);
+    benchmark::DoNotOptimize(res.successes);
+  }
+  state.SetItemsProcessed(slots);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["batch"] = 64;
+}
+
+// The kernelized bench_e08 workload: a baseline protocol (Willard, via
+// its POD kernel twin in baselines/baseline_kernels.hpp) batched
+// through the generic wide path, against the sequential virtual-class
+// run of the same trials. Saturating jamming keeps Willard from
+// electing, so every trial processes the full slot budget.
+[[nodiscard]] McResult willard_mc(std::uint64_t n, std::size_t batch,
+                                  std::size_t n_trials) {
+  AdversarySpec spec = adversary("saturating", 64, 0.5);
+  McConfig config = mc(/*seed=*/31, /*max_slots=*/kSlots, n_trials);
+  config.parallel = false;
+  config.batch = batch;
+  return run_aggregate_mc([] { return std::make_unique<Willard>(); }, spec, n,
+                          config);
+}
+
+void Perf_BaselineSequentialMcBaseline(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  std::int64_t slots = 0;
+  for (auto _ : state) {
+    const McResult res = willard_mc(n, /*batch=*/0, /*n_trials=*/64);
+    slots += total_slots(res);
+    benchmark::DoNotOptimize(res.successes);
+  }
+  state.SetItemsProcessed(slots);
+  state.counters["n"] = static_cast<double>(n);
+}
+
+void Perf_BaselineKernelBatchEngine(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  std::int64_t slots = 0;
+  for (auto _ : state) {
+    const McResult res = willard_mc(n, /*batch=*/64, /*n_trials=*/64);
+    slots += total_slots(res);
+    benchmark::DoNotOptimize(res.successes);
+  }
+  state.SetItemsProcessed(slots);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["batch"] = 64;
+}
+
 void Perf_SequentialMcBaseline(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(1) << state.range(0);
   std::int64_t slots = 0;
@@ -305,6 +407,11 @@ BENCHMARK(Perf_WideBatchEngine)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond)
 BENCHMARK(Perf_ParallelWideBatchEngine)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
 BENCHMARK(Perf_AesCtrWideBatchEngine)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
 BENCHMARK(Perf_SequentialMcBaseline)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(Perf_AdaptiveSequentialMcBaseline)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(Perf_AdaptiveScalarBatchEngine)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(Perf_AdaptiveWideBatchEngine)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(Perf_BaselineSequentialMcBaseline)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(Perf_BaselineKernelBatchEngine)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace jamelect::bench

@@ -1,12 +1,24 @@
 #!/usr/bin/env sh
 # Regenerates every experiment series (EXPERIMENTS.md) from a fresh
 # build. Usage:
-#   scripts/run_experiments.sh [build-dir] [out-dir]
+#   scripts/run_experiments.sh [build-dir] [out-dir] [--max-fallback-share X]
 # Environment: JAMELECT_BENCH_TRIALS to raise trial counts.
+#
+# --max-fallback-share X: fail (exit 1) when more than fraction X of the
+# sweep's batched work fell off the batch engine onto the sequential
+# path (share = fallback runs / (fallback runs + batched chunks), from
+# the manifest rollup below). Without the flag the script only warns:
+# local iteration stays unblocked, while CI passes --max-fallback-share 0
+# — every built-in adversary policy and protocol kernel has a batch
+# engine, so any fallback there is a routing regression.
 set -eu
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-experiment-results}"
+MAX_FALLBACK_SHARE=""
+if [ "${3:-}" = "--max-fallback-share" ]; then
+  MAX_FALLBACK_SHARE="${4:?--max-fallback-share needs a value}"
+fi
 
 cmake -B "$BUILD_DIR" -G Ninja
 cmake --build "$BUILD_DIR"
@@ -31,15 +43,25 @@ for b in "$BUILD_DIR"/bench/bench_*; do
 done
 # Aggregate batch-kernel counters across every run manifest: how much
 # of the sweep ran on the wide (SIMD) kernel vs the scalar path, and how
-# often a config fell back off the batch engine entirely. A sudden jump
-# in fallbacks or scalar share is a perf regression even when wall-clock
-# noise hides it.
-python3 - "$OUT_DIR" <<'PYEOF'
+# often a config fell back off the batch engine entirely — broken down
+# by the reason-labeled mc.batch_fallback.* partition. A sudden jump in
+# fallbacks or scalar share is a perf regression even when wall-clock
+# noise hides it; the optional --max-fallback-share gate turns that
+# signal into a hard failure (CI passes 0).
+python3 - "$OUT_DIR" "${MAX_FALLBACK_SHARE:-}" <<'PYEOF'
 import glob, json, os, sys
 
 out_dir = sys.argv[1]
-totals = {"mc.batch_fallbacks": 0, "mc.batch_wide_slots": 0,
-          "mc.batch_scalar_slots": 0}
+max_share = float(sys.argv[2]) if len(sys.argv) > 2 and sys.argv[2] else None
+totals = {"mc.batch_fallbacks": 0,
+          "mc.batch_fallback.protocol": 0,
+          "mc.batch_fallback.observer": 0,
+          "mc.batch_fallback.adversary": 0,
+          "mc.batch_wide_slots": 0,
+          "mc.batch_scalar_slots": 0,
+          "engine.batch.aggregate_chunks": 0,
+          "engine.batch.hybrid_chunks": 0,
+          "engine.batch.station_chunks": 0}
 manifests = sorted(glob.glob(os.path.join(out_dir, "*.manifest.json")))
 for path in manifests:
     try:
@@ -55,11 +77,32 @@ for path in manifests:
 wide = totals["mc.batch_wide_slots"]
 scalar = totals["mc.batch_scalar_slots"]
 slots = wide + scalar
+fallbacks = totals["mc.batch_fallbacks"]
+chunks = (totals["engine.batch.aggregate_chunks"] +
+          totals["engine.batch.hybrid_chunks"] +
+          totals["engine.batch.station_chunks"])
 print(f"== batch kernel rollup ({len(manifests)} manifests)")
-print(f"   mc.batch_fallbacks    {totals['mc.batch_fallbacks']}")
-print(f"   mc.batch_wide_slots   {wide}")
-print(f"   mc.batch_scalar_slots {scalar}")
+print(f"   mc.batch_fallbacks            {fallbacks}")
+print(f"     .protocol                   {totals['mc.batch_fallback.protocol']}")
+print(f"     .observer                   {totals['mc.batch_fallback.observer']}")
+print(f"     .adversary                  {totals['mc.batch_fallback.adversary']}")
+print(f"   batched chunks                {chunks}")
+print(f"   mc.batch_wide_slots           {wide}")
+print(f"   mc.batch_scalar_slots         {scalar}")
 if slots:
-    print(f"   wide share            {wide / slots:.1%}")
+    print(f"   wide share                    {wide / slots:.1%}")
+# Fallback share: whole runs that dropped to the sequential path vs
+# chunks that actually ran batched. Denominator of 0 means the sweep
+# never engaged the batch engine at all — nothing to gate on.
+if fallbacks + chunks:
+    share = fallbacks / (fallbacks + chunks)
+    print(f"   fallback share                {share:.1%}")
+    if max_share is not None and share > max_share:
+        print(f"error: fallback share {share:.4f} exceeds "
+              f"--max-fallback-share {max_share}", file=sys.stderr)
+        sys.exit(1)
+    if max_share is None and fallbacks:
+        print(f"warning: {fallbacks} batch fallback(s); rerun with "
+              f"--max-fallback-share to gate", file=sys.stderr)
 PYEOF
 echo "results in $OUT_DIR/"

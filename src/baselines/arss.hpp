@@ -38,6 +38,7 @@
 #include <string>
 
 #include "protocols/station.hpp"
+#include "support/state_hash.hpp"
 
 namespace jamelect {
 
@@ -69,6 +70,32 @@ class ArssStation final : public StationProtocol {
 
   [[nodiscard]] double p() const noexcept { return p_; }
   [[nodiscard]] std::int64_t threshold() const noexcept { return threshold_; }
+
+  [[nodiscard]] const ArssParams& params() const noexcept { return params_; }
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    return StateHash{}
+        .add(params_.gamma)
+        .add(params_.p_max)
+        .add(params_.initial_p)
+        .add(params_.elect_on_single)
+        .add(p_)
+        .add(threshold_)
+        .add(counter_)
+        .add(since_idle_)
+        .add(done_)
+        .add(leader_)
+        .value();
+  }
+  [[nodiscard]] bool state_equals(const StationProtocol& other) const override {
+    const auto* o = dynamic_cast<const ArssStation*>(&other);
+    return o != nullptr && params_.gamma == o->params_.gamma &&
+           params_.p_max == o->params_.p_max &&
+           params_.initial_p == o->params_.initial_p &&
+           params_.elect_on_single == o->params_.elect_on_single &&
+           p_ == o->p_ && threshold_ == o->threshold_ &&
+           counter_ == o->counter_ && since_idle_ == o->since_idle_ &&
+           done_ == o->done_ && leader_ == o->leader_;
+  }
 
  private:
   ArssParams params_;

@@ -14,15 +14,22 @@
 // Willard's (bench E12/E8): this baseline is deliberately fragile.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "protocols/uniform.hpp"
+#include "support/state_hash.hpp"
 
 namespace jamelect {
+
+/// NakanoOlariu has no tunables; the empty params type keys the batch
+/// kernel registry (sim/batch.hpp, baselines/baseline_kernels.hpp).
+struct NakanoOlariuParams {};
 
 class NakanoOlariu final : public UniformProtocol {
  public:
   NakanoOlariu() = default;
+  explicit NakanoOlariu(NakanoOlariuParams) {}
 
   [[nodiscard]] double transmit_probability() override;
   void observe(ChannelState state) override;
@@ -35,6 +42,16 @@ class NakanoOlariu final : public UniformProtocol {
 
   [[nodiscard]] bool sweeping() const noexcept { return sweeping_; }
   [[nodiscard]] double u() const noexcept { return u_; }
+
+  [[nodiscard]] NakanoOlariuParams params() const noexcept { return {}; }
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    return StateHash{}.add(sweeping_).add(u_).add(elected_).value();
+  }
+  [[nodiscard]] bool state_equals(const UniformProtocol& other) const override {
+    const auto* o = dynamic_cast<const NakanoOlariu*>(&other);
+    return o != nullptr && sweeping_ == o->sweeping_ && u_ == o->u_ &&
+           elected_ == o->elected_;
+  }
 
  private:
   bool sweeping_ = true;

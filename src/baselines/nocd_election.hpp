@@ -25,6 +25,7 @@
 #include <string>
 
 #include "protocols/uniform.hpp"
+#include "support/state_hash.hpp"
 
 namespace jamelect {
 
@@ -50,6 +51,25 @@ class NoCdElection final : public UniformProtocol {
 
   [[nodiscard]] std::int64_t epoch() const noexcept { return epoch_; }
   [[nodiscard]] std::int64_t u() const noexcept { return u_; }
+
+  [[nodiscard]] const NoCdElectionParams& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    return StateHash{}
+        .add(params_.repetitions)
+        .add(epoch_)
+        .add(u_)
+        .add(reps_left_)
+        .add(elected_)
+        .value();
+  }
+  [[nodiscard]] bool state_equals(const UniformProtocol& other) const override {
+    const auto* o = dynamic_cast<const NoCdElection*>(&other);
+    return o != nullptr && params_.repetitions == o->params_.repetitions &&
+           epoch_ == o->epoch_ && u_ == o->u_ && reps_left_ == o->reps_left_ &&
+           elected_ == o->elected_;
+  }
 
  private:
   void advance();

@@ -21,12 +21,18 @@
 #include <string>
 
 #include "protocols/uniform.hpp"
+#include "support/state_hash.hpp"
 
 namespace jamelect {
+
+/// Willard has no tunables; the empty params type keys the batch
+/// kernel registry (sim/batch.hpp, baselines/baseline_kernels.hpp).
+struct WillardParams {};
 
 class Willard final : public UniformProtocol {
  public:
   Willard();
+  explicit Willard(WillardParams) : Willard() {}
 
   [[nodiscard]] double transmit_probability() override;
   void observe(ChannelState state) override;
@@ -40,6 +46,22 @@ class Willard final : public UniformProtocol {
   enum class Phase : std::uint8_t { kDoubling, kBinarySearch, kPolish };
   [[nodiscard]] Phase phase() const noexcept { return phase_; }
   [[nodiscard]] double u() const noexcept { return u_; }
+
+  [[nodiscard]] WillardParams params() const noexcept { return {}; }
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    return StateHash{}
+        .add(static_cast<std::uint64_t>(phase_))
+        .add(u_)
+        .add(lo_)
+        .add(hi_)
+        .add(elected_)
+        .value();
+  }
+  [[nodiscard]] bool state_equals(const UniformProtocol& other) const override {
+    const auto* o = dynamic_cast<const Willard*>(&other);
+    return o != nullptr && phase_ == o->phase_ && u_ == o->u_ &&
+           lo_ == o->lo_ && hi_ == o->hi_ && elected_ == o->elected_;
+  }
 
  private:
   Phase phase_ = Phase::kDoubling;

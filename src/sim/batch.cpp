@@ -2,16 +2,19 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "baselines/baseline_kernels.hpp"
 #include "channel/channel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prof.hpp"
 #include "protocols/interval_partition.hpp"
 #include "protocols/kernels.hpp"
 #include "sim/batch_wide.hpp"
+#include "sim/lane_adversary.hpp"
 #include "support/ctr_rng.hpp"
 #include "support/expects.hpp"
 #include "support/math.hpp"
@@ -37,6 +40,18 @@ template <>
 struct KernelFor<LesuParams> {
   using type = kernels::LesuKernel;
 };
+template <>
+struct KernelFor<WillardParams> {
+  using type = kernels::WillardKernel;
+};
+template <>
+struct KernelFor<NakanoOlariuParams> {
+  using type = kernels::NakanoOlariuKernel;
+};
+template <>
+struct KernelFor<NoCdElectionParams> {
+  using type = kernels::NoCdKernel;
+};
 
 [[nodiscard]] std::uint64_t category(double r, const SlotProbCache::Entry& e) {
   if (r < e.c_null) return 0;
@@ -56,11 +71,15 @@ void record_state(TrialOutcome& o, ChannelState state) {
 /// own budget) alone — no rng draws, no observe() feedback — produce
 /// the identical bit sequence in every lane, so one adversary instance
 /// can serve the whole chunk with a single step() per slot. The
-/// adaptive policies (bernoulli, single_denial, collision_forcer,
-/// oracle_denial, interval_buster) stay per-lane.
+/// adaptive built-ins (bernoulli, single_denial, collision_forcer)
+/// stay per-lane but still run wide through LaneAdversaryBank; every
+/// built-in policy therefore has a wide engine, and scalar lanes
+/// remain reachable only by explicit request (kScalarLanes) or for
+/// out-of-tree policies routed through the sequential fallback.
 [[nodiscard]] bool lane_invariant_policy(const AdversarySpec& spec) {
   return spec.policy == "none" || spec.policy == "saturating" ||
-         spec.policy == "periodic" || spec.policy == "pulse";
+         spec.policy == "periodic" || spec.policy == "pulse" ||
+         spec.policy == "interval_buster";
 }
 
 /// Per-thread reusable chunk state for the multi-core orchestrator.
@@ -509,8 +528,11 @@ void aggregate_lanes_wide(const typename Kernel::Params& params,
   JAMELECT_EXPECTS(lane_invariant_policy(spec));
   constexpr bool kIsUniform = std::is_same_v<Kernel, kernels::UniformKernel>;
   constexpr bool kIsLesk = std::is_same_v<Kernel, kernels::LeskKernel>;
-  constexpr bool kIsLesu = std::is_same_v<Kernel, kernels::LesuKernel>;
-  static_assert(kIsUniform || kIsLesk || kIsLesu);
+  // Everything that is neither a fixed exponent nor a LESK lattice walk
+  // (LESU and the baseline kernels) steps scalar off the vector-
+  // classified states; the only contract is that done() flips exactly
+  // on a clean Single (retirement keys on the classified state).
+  constexpr bool kIsGeneric = !kIsUniform && !kIsLesk;
 
   const std::uint64_t n = config.n;
   BatchWorkspace& workspace = local_batch_workspace();
@@ -533,12 +555,12 @@ void aggregate_lanes_wide(const typename Kernel::Params& params,
   std::vector<std::int64_t> nulls(padded, 0), singles(padded, 0);
   std::vector<std::int64_t> states(padded, 0);
   std::vector<std::uint32_t> lane_trial(count);
-  std::vector<double> us;      // LESK / LESU: per-lane broadcast exponent
-  std::vector<Kernel> kerns;   // LESU only: full kernel state per lane
-  if constexpr (kIsLesk || kIsLesu) {
+  std::vector<double> us;      // non-Uniform: per-lane broadcast exponent
+  std::vector<Kernel> kerns;   // generic kernels: full state per lane
+  if constexpr (!kIsUniform) {
     us.assign(padded, Kernel(params).broadcast_u());
   }
-  if constexpr (kIsLesu) kerns.assign(count, Kernel(params));
+  if constexpr (kIsGeneric) kerns.assign(count, Kernel(params));
 
   auto adv = make_adversary(spec, base.child(first).child(0xad50));
   for (std::size_t k = 0; k < count; ++k) {
@@ -616,7 +638,7 @@ void aggregate_lanes_wide(const typename Kernel::Params& params,
         cache.lookup_lanes(us.data(), span, c_null.data(), c_single.data(),
                            exp_tx.data());
         prof.stop(obs::Phase::kCacheLookup);
-      } else if constexpr (kIsLesu) {
+      } else if constexpr (kIsGeneric) {
         ops.jammed_slot(block, groups);
         prof.stop(obs::Phase::kClassify);
         for (std::size_t lane = 0; lane < active; ++lane) {
@@ -642,9 +664,10 @@ void aggregate_lanes_wide(const typename Kernel::Params& params,
       any_single = ops.clean_slot(block, groups);
     }
     prof.stop(obs::Phase::kClassify);
-    if constexpr (kIsLesu) {
-      // LESU's step is a phase machine, not a lattice walk — run it
-      // scalar per lane off the vector-classified states.
+    if constexpr (kIsGeneric) {
+      // Generic kernels (LESU's phase machine, the baselines' search /
+      // sweep automata) are not lattice walks — run them scalar per
+      // lane off the vector-classified states.
       for (std::size_t lane = 0; lane < active; ++lane) {
         kerns[lane].step(static_cast<ChannelState>(states[lane]));
       }
@@ -652,9 +675,9 @@ void aggregate_lanes_wide(const typename Kernel::Params& params,
     }
 
     if (any_single) {
-      // All three kernels elect exactly on a clean Single, so the
-      // classified state alone decides retirement. Re-examine a moved
-      // lane before advancing (it may have elected this slot too).
+      // Every kernel on this path elects exactly on a clean Single, so
+      // the classified state alone decides retirement. Re-examine a
+      // moved lane before advancing (it may have elected this slot too).
       for (std::size_t lane = 0; lane < active;) {
         if (states[lane] != 1) {
           ++lane;
@@ -669,16 +692,16 @@ void aggregate_lanes_wide(const typename Kernel::Params& params,
           singles[lane] = singles[active];
           states[lane] = states[active];
           lane_trial[lane] = lane_trial[active];
-          if constexpr (kIsLesk || kIsLesu) us[lane] = us[active];
-          if constexpr (kIsLesu) kerns[lane] = kerns[active];
+          if constexpr (!kIsUniform) us[lane] = us[active];
+          if constexpr (kIsGeneric) kerns[lane] = kerns[active];
         }
       }
       prof.stop(obs::Phase::kLatticeUpdate);
     }
 
-    if constexpr (kIsLesk || kIsLesu) {
+    if constexpr (!kIsUniform) {
       if (active > 0) {
-        if constexpr (kIsLesu) {
+        if constexpr (kIsGeneric) {
           for (std::size_t lane = 0; lane < active; ++lane) {
             us[lane] = kerns[lane].broadcast_u();
           }
@@ -718,8 +741,7 @@ void aggregate_lanes_wide_ctr(const typename Kernel::Params& params,
   JAMELECT_EXPECTS(lane_invariant_policy(spec));
   constexpr bool kIsUniform = std::is_same_v<Kernel, kernels::UniformKernel>;
   constexpr bool kIsLesk = std::is_same_v<Kernel, kernels::LeskKernel>;
-  constexpr bool kIsLesu = std::is_same_v<Kernel, kernels::LesuKernel>;
-  static_assert(kIsUniform || kIsLesk || kIsLesu);
+  constexpr bool kIsGeneric = !kIsUniform && !kIsLesk;
 
   const std::uint64_t n = config.n;
   BatchWorkspace& workspace = local_batch_workspace();
@@ -741,10 +763,10 @@ void aggregate_lanes_wide_ctr(const typename Kernel::Params& params,
   std::vector<std::uint32_t> lane_trial(count);
   std::vector<double> us;
   std::vector<Kernel> kerns;
-  if constexpr (kIsLesk || kIsLesu) {
+  if constexpr (!kIsUniform) {
     us.assign(padded, Kernel(params).broadcast_u());
   }
-  if constexpr (kIsLesu) kerns.assign(count, Kernel(params));
+  if constexpr (kIsGeneric) kerns.assign(count, Kernel(params));
 
   auto adv = make_adversary(spec, base.child(first).child(0xad50));
   for (std::size_t k = 0; k < count; ++k) {
@@ -814,7 +836,7 @@ void aggregate_lanes_wide_ctr(const typename Kernel::Params& params,
         cache.lookup_lanes(us.data(), span, c_null.data(), c_single.data(),
                            exp_tx.data());
         prof.stop(obs::Phase::kCacheLookup);
-      } else if constexpr (kIsLesu) {
+      } else if constexpr (kIsGeneric) {
         for (std::size_t lane = 0; lane < active; ++lane) {
           kerns[lane].step(ChannelState::kCollision);
           us[lane] = kerns[lane].broadcast_u();
@@ -854,7 +876,7 @@ void aggregate_lanes_wide_ctr(const typename Kernel::Params& params,
       }
     }
     prof.stop(obs::Phase::kClassify);
-    if constexpr (kIsLesu) {
+    if constexpr (kIsGeneric) {
       for (std::size_t lane = 0; lane < active; ++lane) {
         kerns[lane].step(static_cast<ChannelState>(states[lane]));
       }
@@ -876,19 +898,200 @@ void aggregate_lanes_wide_ctr(const typename Kernel::Params& params,
           singles[lane] = singles[active];
           states[lane] = states[active];
           lane_trial[lane] = lane_trial[active];
-          if constexpr (kIsLesk || kIsLesu) us[lane] = us[active];
-          if constexpr (kIsLesu) kerns[lane] = kerns[active];
+          if constexpr (!kIsUniform) us[lane] = us[active];
+          if constexpr (kIsGeneric) kerns[lane] = kerns[active];
         }
       }
       prof.stop(obs::Phase::kLatticeUpdate);
     }
 
-    if constexpr (kIsLesk || kIsLesu) {
+    if constexpr (!kIsUniform) {
       if (active > 0) {
-        if constexpr (kIsLesu) {
+        if constexpr (kIsGeneric) {
           for (std::size_t lane = 0; lane < active; ++lane) {
             us[lane] = kerns[lane].broadcast_u();
           }
+        }
+        const std::size_t g2 = (active + kWideLanes - 1) / kWideLanes;
+        cache.lookup_lanes(us.data(), g2 * kWideLanes, c_null.data(),
+                           c_single.data(), exp_tx.data());
+        prof.stop(obs::Phase::kCacheLookup);
+      }
+    }
+  }
+  for (std::size_t lane = 0; lane < active; ++lane) finalize(lane, false);
+  JAMELECT_OBS_COUNT("engine.batch.aggregate_chunks", 1);
+  JAMELECT_OBS_COUNT("engine.batch.slots", slots_total);
+  JAMELECT_OBS_COUNT("mc.batch_wide_slots", slots_total);
+  workspace.emit_cache_counters();
+}
+
+/// SIMD-wide strong-CD aggregate lanes under an ADAPTIVE (lane-variant)
+/// adversary: the wide twin of aggregate_lanes' per-lane-adversary
+/// branch. The adversary runs as SoA columns in a LaneAdversaryBank —
+/// per-lane budget recurrence, per-lane policy state, per-lane policy
+/// RNG — so bernoulli / single_denial / collision_forcer no longer
+/// force the chunk onto scalar lanes. The simulation draw happens for
+/// EVERY live lane every slot (the scalar path draws and discards under
+/// a jam — with per-lane jam bits there is nothing to skip), then a
+/// portable branch-free loop folds the per-lane jam bit into the
+/// classified state. Generic kernels step scalar off the states, as in
+/// the shared-adversary engines.
+///
+/// Per-lane jams live in their own SoA column (the jam bit varies per
+/// lane); slots stay a chunk-shared scalar (lockstep). Templated on the
+/// wide generator exactly like hybrid_lanes_wide: WideXoshiro (lane k
+/// seeded from the child-chain stream) or WideAesCtr (lane k IS counter
+/// stream first + k).
+template <class Kernel, class WideRng>
+void aggregate_lanes_wide_adaptive(const typename Kernel::Params& params,
+                                   const AdversarySpec& spec,
+                                   const BatchConfig& config, const Rng& base,
+                                   std::size_t first, std::size_t count,
+                                   TrialOutcome* out) {
+  JAMELECT_EXPECTS(config.n >= 1);
+  JAMELECT_EXPECTS(config.max_slots >= 1);
+  JAMELECT_EXPECTS(LaneAdversaryBank::supports(spec));
+  constexpr bool kCtr = std::is_same_v<WideRng, WideAesCtr>;
+  constexpr bool kIsUniform = std::is_same_v<Kernel, kernels::UniformKernel>;
+
+  const std::uint64_t n = config.n;
+  BatchWorkspace& workspace = local_batch_workspace();
+  SlotProbCache& cache = workspace.cache(n);
+  if constexpr (std::is_same_v<Kernel, kernels::LeskKernel>) {
+    cache.set_lattice_step(Kernel(params).inc);
+  }
+
+  auto make_wide = [&] {
+    if constexpr (kCtr) {
+      return WideAesCtr(make_aes_key(base.seed()), count);
+    } else {
+      return WideXoshiro(count);
+    }
+  };
+  WideRng rng = make_wide();
+  const std::size_t padded = rng.padded_lanes();
+
+  std::vector<Kernel> kerns(count, Kernel(params));
+  std::vector<double> c_null(padded), c_single(padded), exp_tx(padded);
+  std::vector<double> r(padded, 0.0);
+  std::vector<double> us(padded, Kernel(params).broadcast_u());
+  std::vector<double> transmissions(padded, 0.0);
+  std::vector<std::int64_t> nulls(padded, 0), singles(padded, 0);
+  std::vector<std::int64_t> jams(padded, 0);
+  std::vector<std::int64_t> states(padded, 0);
+  std::vector<std::uint8_t> jam(padded, 0);
+  std::vector<std::uint32_t> lane_trial(count);
+
+  LaneAdversaryBank bank(spec, base, first, count);
+  for (std::size_t k = 0; k < count; ++k) {
+    if constexpr (kCtr) {
+      rng.seed_lane(k, static_cast<std::uint64_t>(first + k));
+    } else {
+      rng.seed_lane(k, base.child(first + k).child(0x51e0).seed());
+    }
+    lane_trial[k] = static_cast<std::uint32_t>(k);
+  }
+
+  cache.lookup_lanes(us.data(), padded, c_null.data(), c_single.data(),
+                     exp_tx.data());
+
+  std::size_t active = count;
+  std::int64_t slots_done = 0;  // == every live lane's slot count
+  std::int64_t slots_total = 0;
+
+  const auto finalize = [&](std::size_t lane, bool elected) {
+    TrialOutcome o;
+    o.slots = slots_done;
+    o.jams = jams[lane];
+    o.nulls = nulls[lane];
+    o.singles = singles[lane];
+    o.collisions = slots_done - nulls[lane] - singles[lane];
+    o.transmissions = transmissions[lane];
+    if (elected) {
+      o.elected = true;
+      o.all_done = true;
+      o.unique_leader = true;
+      o.leader = rng.below_lane(lane, n);
+    }
+    out[lane_trial[lane]] = o;
+  };
+
+  // Phase attribution: the bank's budget sweep + policy desires are
+  // `classify` (they are the adversary's slot arithmetic), the wide
+  // uniform advance is `rng`, the jam-merged classification loop is
+  // `classify`, kernel stepping and retirement compaction are
+  // `lattice_update`, threshold refreshes are `cache_lookup`.
+  obs::PhaseAccumulator prof;
+
+  for (Slot slot = 0; slot < config.max_slots && active > 0; ++slot) {
+    slots_total += static_cast<std::int64_t>(active);
+    ++slots_done;
+    const std::size_t groups = (active + kWideLanes - 1) / kWideLanes;
+    const std::size_t span = groups * kWideLanes;
+
+    prof.start();
+    bank.step(jam.data(), active);
+    prof.stop(obs::Phase::kClassify);
+
+    // Every live lane draws every slot — the scalar path's uniform()
+    // happens unconditionally too, jammed or not.
+    rng.uniform_groups(groups, r.data());
+    prof.stop(obs::Phase::kRng);
+
+    for (std::size_t k = 0; k < span; ++k) {
+      const double rv = r[k];
+      const bool lt0 = rv < c_null[k];
+      const bool lt1 = rv < c_single[k];
+      const bool jk = jam[k] != 0;
+      const std::int64_t s = jk ? 2 : (lt0 ? 0 : (lt1 ? 1 : 2));
+      states[k] = s;
+      nulls[k] += s == 0 ? 1 : 0;
+      singles[k] += s == 1 ? 1 : 0;
+      jams[k] += jk ? 1 : 0;
+      transmissions[k] += exp_tx[k];
+    }
+    prof.stop(obs::Phase::kClassify);
+
+    bool any_done = false;
+    for (std::size_t lane = 0; lane < active; ++lane) {
+      kerns[lane].step(static_cast<ChannelState>(states[lane]));
+      any_done = any_done || kerns[lane].done();
+    }
+    prof.stop(obs::Phase::kLatticeUpdate);
+
+    bank.observe(states.data(), active);
+    prof.stop(obs::Phase::kClassify);
+
+    if (any_done) {
+      for (std::size_t lane = 0; lane < active;) {
+        if (!kerns[lane].done()) {
+          ++lane;
+          continue;
+        }
+        JAMELECT_ENSURES(states[lane] == 1);
+        finalize(lane, true);
+        --active;
+        if (lane != active) {
+          rng.move_lane(lane, active);
+          bank.move_lane(lane, active);
+          kerns[lane] = kerns[active];
+          transmissions[lane] = transmissions[active];
+          nulls[lane] = nulls[active];
+          singles[lane] = singles[active];
+          jams[lane] = jams[active];
+          states[lane] = states[active];
+          lane_trial[lane] = lane_trial[active];
+          us[lane] = us[active];
+        }
+      }
+      prof.stop(obs::Phase::kLatticeUpdate);
+    }
+
+    if constexpr (!kIsUniform) {
+      if (active > 0) {
+        for (std::size_t lane = 0; lane < active; ++lane) {
+          us[lane] = kerns[lane].broadcast_u();
         }
         const std::size_t g2 = (active + kWideLanes - 1) / kWideLanes;
         cache.lookup_lanes(us.data(), g2 * kWideLanes, c_null.data(),
@@ -922,6 +1125,12 @@ enum class DrawKind : std::uint8_t { kNone = 0, kCategory, kBernoulli };
 /// first + k). Both expose the same seed_lane / uniform_masked /
 /// below_lane / move_lane façade, so only construction and seeding
 /// differ.
+///
+/// Adversaries come in two flavors: lane-invariant policies share one
+/// jam bit per slot, and the adaptive built-ins run as per-lane SoA
+/// columns in a LaneAdversaryBank (sim/lane_adversary.hpp) — per-lane
+/// jam bits, observed states fed back after every slot (padding
+/// included, matching the scalar engine's per-slot observe()).
 template <class Kernel, class WideRng>
 void hybrid_lanes_wide(const typename Kernel::Params& params,
                        const AdversarySpec& spec, const BatchConfig& config,
@@ -929,7 +1138,8 @@ void hybrid_lanes_wide(const typename Kernel::Params& params,
                        TrialOutcome* out) {
   JAMELECT_EXPECTS(config.n >= 3);
   JAMELECT_EXPECTS(config.max_slots >= 1);
-  JAMELECT_EXPECTS(lane_invariant_policy(spec));
+  JAMELECT_EXPECTS(lane_invariant_policy(spec) ||
+                   LaneAdversaryBank::supports(spec));
   constexpr bool kCtr = std::is_same_v<WideRng, WideAesCtr>;
   const std::uint64_t n = config.n;
   BatchWorkspace& workspace = local_batch_workspace();
@@ -965,7 +1175,18 @@ void hybrid_lanes_wide(const typename Kernel::Params& params,
   std::vector<std::uint8_t> mask(padded, 0);
   std::vector<double> r(padded, 0.0);
 
-  auto adv = make_adversary(spec, base.child(first).child(0xad50));
+  const bool shared_adv = lane_invariant_policy(spec);
+  std::unique_ptr<BoundedAdversary> adv;
+  std::optional<LaneAdversaryBank> bank;
+  std::vector<std::uint8_t> jam;          // per-lane jam bits (bank only)
+  std::vector<std::int64_t> lane_states;  // per-lane states for observe()
+  if (shared_adv) {
+    adv = make_adversary(spec, base.child(first).child(0xad50));
+  } else {
+    bank.emplace(spec, base, first, count);
+    jam.assign(count, 0);
+    lane_states.assign(count, 0);
+  }
   for (std::size_t k = 0; k < count; ++k) {
     if constexpr (kCtr) {
       rng.seed_lane(k, static_cast<std::uint64_t>(first + k));
@@ -986,20 +1207,28 @@ void hybrid_lanes_wide(const typename Kernel::Params& params,
   for (Slot slot = 0; slot < config.max_slots && active > 0; ++slot) {
     const IntervalPosition pos = classify_slot(slot);
     slots_total += static_cast<std::int64_t>(active);
-    const bool jammed = adv->step();
+    const bool jam_all = shared_adv && adv->step();
+    if (!shared_adv) bank->step(jam.data(), active);
 
     if (pos.set == IntervalSet::kPadding) {
       // Nobody draws or acts in padding: the slot is a Null (or a
       // jammed Collision) for every lane, and no phase can complete
       // (every transition keys on C1..C3), so no retirement check.
+      // Adaptive adversaries still observe the padding slots — the
+      // scalar engine feeds them every slot too.
       prof.start();
-      const ChannelState state = resolve_slot(0, jammed);
       for (std::size_t lane = 0; lane < active; ++lane) {
+        const bool jl = shared_adv ? jam_all : jam[lane] != 0;
+        const ChannelState state = resolve_slot(0, jl);
         TrialOutcome& o = acc[lane];
         ++o.slots;
-        if (jammed) ++o.jams;
+        if (jl) ++o.jams;
         record_state(o, state);
+        if (!shared_adv) {
+          lane_states[lane] = static_cast<std::int64_t>(state);
+        }
       }
+      if (!shared_adv) bank->observe(lane_states.data(), active);
       prof.stop(obs::Phase::kClassify);
       continue;
     }
@@ -1115,6 +1344,7 @@ void hybrid_lanes_wide(const typename Kernel::Params& params,
       } else if (draw[lane] == DrawKind::kBernoulli) {
         cnt = r[lane] < thr0[lane] ? 1 : 0;
       }
+      const bool jammed = shared_adv ? jam_all : jam[lane] != 0;
       const ChannelState state = resolve_slot(cnt, jammed);
 
       TrialOutcome& o = acc[lane];
@@ -1122,6 +1352,7 @@ void hybrid_lanes_wide(const typename Kernel::Params& params,
       o.transmissions += slot_tx[lane];
       if (jammed) ++o.jams;
       record_state(o, state);
+      if (!shared_adv) lane_states[lane] = static_cast<std::int64_t>(state);
 
       switch (phases[lane]) {
         case HybridPhase::kP1:
@@ -1176,11 +1407,14 @@ void hybrid_lanes_wide(const typename Kernel::Params& params,
           break;
       }
     }
+    if (!shared_adv) bank->observe(lane_states.data(), active);
 
     prof.stop(obs::Phase::kClassify);
 
     // Retirement + compaction after the full sweep (equivalent to the
     // scalar mid-loop swap-remove; lanes are independent in-slot).
+    // jam/lane_states need no copy: both are rewritten for every live
+    // lane at the top of the next slot before any read.
     for (std::size_t lane = 0; lane < active;) {
       if (phases[lane] != HybridPhase::kDone) {
         ++lane;
@@ -1199,6 +1433,7 @@ void hybrid_lanes_wide(const typename Kernel::Params& params,
         l_a[lane] = l_a[active];
         s_a[lane] = s_a[active];
         rng.move_lane(lane, active);
+        if (!shared_adv) bank->move_lane(lane, active);
         lane_trial[lane] = lane_trial[active];
         acc[lane] = acc[active];
       }
@@ -1214,21 +1449,35 @@ void hybrid_lanes_wide(const typename Kernel::Params& params,
   workspace.emit_cache_counters();
 }
 
+/// Which lane-stepping engine a chunk resolves to once BatchLaneMode
+/// meets the adversary policy.
+enum class LanePath : std::uint8_t {
+  kScalar,        ///< one Rng + one virtual adversary per lane
+  kSharedWide,    ///< SIMD-wide, one shared jam bit (lane-invariant)
+  kAdaptiveWide,  ///< SIMD-wide, per-lane SoA bank (adaptive built-ins)
+};
+
 /// Resolves BatchLaneMode against the adversary policy: kAuto goes
-/// wide exactly when the policy is lane-invariant; kWide insists (and
-/// contract-checks) on it.
-[[nodiscard]] bool use_wide_lanes(BatchLaneMode mode,
-                                  const AdversarySpec& spec) {
+/// wide whenever the policy has a wide engine — shared jam bit for the
+/// lane-invariant set, LaneAdversaryBank for the adaptive built-ins —
+/// and scalar otherwise; kWide insists (and contract-checks) on one of
+/// the wide engines existing.
+[[nodiscard]] LanePath lane_path(BatchLaneMode mode,
+                                 const AdversarySpec& spec) {
   switch (mode) {
     case BatchLaneMode::kAuto:
-      return lane_invariant_policy(spec);
+      if (lane_invariant_policy(spec)) return LanePath::kSharedWide;
+      if (LaneAdversaryBank::supports(spec)) return LanePath::kAdaptiveWide;
+      return LanePath::kScalar;
     case BatchLaneMode::kWide:
-      JAMELECT_EXPECTS(lane_invariant_policy(spec));
-      return true;
+      JAMELECT_EXPECTS(lane_invariant_policy(spec) ||
+                       LaneAdversaryBank::supports(spec));
+      return lane_invariant_policy(spec) ? LanePath::kSharedWide
+                                         : LanePath::kAdaptiveWide;
     case BatchLaneMode::kScalarLanes:
-      return false;
+      return LanePath::kScalar;
   }
-  return false;
+  return LanePath::kScalar;
 }
 
 /// Simulation-draw factory for the scalar lane engines: trial k's
@@ -1282,6 +1531,24 @@ std::optional<BatchKernelSpec> batch_kernel_spec(
     }
     return std::nullopt;
   }
+  if (const auto* p = dynamic_cast<const Willard*>(&prototype)) {
+    if (Willard(p->params()).state_equals(prototype)) {
+      return BatchKernelSpec{p->params()};
+    }
+    return std::nullopt;
+  }
+  if (const auto* p = dynamic_cast<const NakanoOlariu*>(&prototype)) {
+    if (NakanoOlariu(p->params()).state_equals(prototype)) {
+      return BatchKernelSpec{p->params()};
+    }
+    return std::nullopt;
+  }
+  if (const auto* p = dynamic_cast<const NoCdElection*>(&prototype)) {
+    if (NoCdElection(p->params()).state_equals(prototype)) {
+      return BatchKernelSpec{p->params()};
+    }
+    return std::nullopt;
+  }
   return std::nullopt;
 }
 
@@ -1298,22 +1565,39 @@ void run_batch_aggregate_trials(const BatchKernelSpec& spec,
       [&](const auto& params) {
         using Kernel = typename KernelFor<
             std::decay_t<decltype(params)>>::type;
-        const bool wide = use_wide_lanes(config.lanes, adv);
+        const LanePath path = lane_path(config.lanes, adv);
         if (config.rng == RngBackend::kAesCtr) {
-          if (wide) {
-            aggregate_lanes_wide_ctr<Kernel>(params, adv, config, base, first,
-                                             count, out);
-          } else {
-            const AesKey key = make_aes_key(base.seed());
-            aggregate_lanes<Kernel>(params, adv, config, base, first, count,
-                                    out, aes_make_rng(key));
+          switch (path) {
+            case LanePath::kSharedWide:
+              aggregate_lanes_wide_ctr<Kernel>(params, adv, config, base,
+                                               first, count, out);
+              break;
+            case LanePath::kAdaptiveWide:
+              aggregate_lanes_wide_adaptive<Kernel, WideAesCtr>(
+                  params, adv, config, base, first, count, out);
+              break;
+            case LanePath::kScalar: {
+              const AesKey key = make_aes_key(base.seed());
+              aggregate_lanes<Kernel>(params, adv, config, base, first, count,
+                                      out, aes_make_rng(key));
+              break;
+            }
           }
-        } else if (wide) {
-          aggregate_lanes_wide<Kernel>(params, adv, config, base, first, count,
-                                       out);
         } else {
-          aggregate_lanes<Kernel>(params, adv, config, base, first, count,
-                                  out, xoshiro_make_rng(base));
+          switch (path) {
+            case LanePath::kSharedWide:
+              aggregate_lanes_wide<Kernel>(params, adv, config, base, first,
+                                           count, out);
+              break;
+            case LanePath::kAdaptiveWide:
+              aggregate_lanes_wide_adaptive<Kernel, WideXoshiro>(
+                  params, adv, config, base, first, count, out);
+              break;
+            case LanePath::kScalar:
+              aggregate_lanes<Kernel>(params, adv, config, base, first, count,
+                                      out, xoshiro_make_rng(base));
+              break;
+          }
         }
       },
       spec);
@@ -1332,7 +1616,9 @@ void run_batch_hybrid_trials(const BatchKernelSpec& spec,
       [&](const auto& params) {
         using Kernel = typename KernelFor<
             std::decay_t<decltype(params)>>::type;
-        const bool wide = use_wide_lanes(config.lanes, adv);
+        // hybrid_lanes_wide hosts both wide adversary flavors (shared
+        // jam bit and LaneAdversaryBank) behind one template.
+        const bool wide = lane_path(config.lanes, adv) != LanePath::kScalar;
         if (config.rng == RngBackend::kAesCtr) {
           if (wide) {
             hybrid_lanes_wide<Kernel, WideAesCtr>(params, adv, config, base,

@@ -27,10 +27,13 @@
 // classification, while the SIMD-wide path (support/wide_rng.hpp +
 // sim/batch_wide.hpp) advances kWideLanes xoshiro streams per
 // instruction and classifies branch-free against cached per-lane
-// thresholds. The wide path requires a lane-invariant adversary policy
-// (shared jam bit); it preserves the contract above bit for bit —
-// tests/wide_batch_test.cpp locks wide == scalar == sequential on both
-// backends (AVX2 and the portable 4-wide fallback).
+// thresholds. Lane-invariant adversary policies share one jam bit per
+// slot; the adaptive built-ins (bernoulli, single_denial,
+// collision_forcer) run wide too, through per-lane SoA adversary state
+// (sim/lane_adversary.hpp). Either way the contract above holds bit
+// for bit — tests/wide_batch_test.cpp and
+// tests/batch_adaptive_equivalence_test.cpp lock wide == scalar ==
+// sequential on both backends (AVX2 and the portable 4-wide fallback).
 //
 // Entry point for users: set McConfig::batch — run_aggregate_mc and
 // run_hybrid_mc probe their factory with batch_kernel_spec() and fall
@@ -42,6 +45,9 @@
 #include <optional>
 #include <variant>
 
+#include "baselines/nakano_olariu.hpp"
+#include "baselines/nocd_election.hpp"
+#include "baselines/willard.hpp"
 #include "protocols/lesk.hpp"
 #include "protocols/lesu.hpp"
 #include "protocols/plain_uniform.hpp"
@@ -52,9 +58,12 @@
 
 namespace jamelect {
 
-/// Parameter pack identifying which POD kernel impersonates a protocol.
+/// Parameter pack identifying which POD kernel impersonates a protocol
+/// (paper kernels in protocols/kernels.hpp, evaluation baselines in
+/// baselines/baseline_kernels.hpp).
 using BatchKernelSpec =
-    std::variant<PlainUniformParams, LeskParams, LesuParams>;
+    std::variant<PlainUniformParams, LeskParams, LesuParams, WillardParams,
+                 NakanoOlariuParams, NoCdElectionParams>;
 
 /// Probes a freshly constructed protocol instance for a kernel twin.
 /// Returns nullopt — i.e. "use the virtual fallback" — for protocol
@@ -88,14 +97,19 @@ enum class RngBackend : std::uint8_t {
 
 /// Which lane-stepping path a batched chunk uses.
 enum class BatchLaneMode : std::uint8_t {
-  /// SIMD-wide when the adversary policy is lane-invariant (one shared
-  /// jam bit per slot: none/saturating/periodic/pulse), scalar lanes
-  /// otherwise. The default — results are identical either way.
+  /// SIMD-wide whenever the adversary policy has a wide engine: the
+  /// lane-invariant policies (none/saturating/periodic/pulse/
+  /// interval_buster) share one jam bit per slot, and the adaptive
+  /// built-ins (bernoulli/single_denial/collision_forcer) run on
+  /// per-lane SoA adversary state (sim/lane_adversary.hpp) — i.e.
+  /// every built-in policy goes wide. The default — results are
+  /// identical either way.
   kAuto = 0,
   /// Force the SIMD-wide path (support/wide_rng.hpp — W lanes per
   /// instruction; AVX2 or the portable 4-wide fallback, selected by
-  /// active_wide_isa()). Requires a lane-invariant adversary policy;
-  /// adaptive policies violate a contract check.
+  /// active_wide_isa()). Requires a policy with a wide engine (lane-
+  /// invariant or bank-supported); anything else violates a contract
+  /// check.
   kWide,
   /// Force the scalar per-lane path (one Rng step and one branchy
   /// classification per lane per slot). Works with every policy;

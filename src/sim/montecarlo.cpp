@@ -19,6 +19,7 @@
 #include "sim/batch.hpp"
 #include "sim/cohort.hpp"
 #include "sim/mc_accumulate.hpp"
+#include "sim/station_batch.hpp"
 #include "support/expects.hpp"
 #include "support/shutdown.hpp"
 #include "support/thread_pool.hpp"
@@ -332,14 +333,48 @@ std::optional<BatchKernelSpec> probe_batch_factory(
 /// Registers the batch-path rollup counters at zero so a run manifest
 /// always shows them when the batch knob is on — a sweep that never
 /// falls back (or never goes wide/scalar) reports an explicit 0 rather
-/// than omitting the metric.
+/// than omitting the metric. The reason-labeled fallback counters
+/// partition mc.batch_fallbacks (docs/OBSERVABILITY.md):
+///   .protocol — the factory's protocol has no kernel twin, was warm-
+///               started, or the factory is nondeterministic;
+///   .observer — a telemetry observer needs the virtual path's hooks
+///               (station engine only);
+///   .adversary — kept registered as a tombstone: every built-in
+///               policy now has a batch engine (wide or scalar lanes),
+///               so this stays 0 unless an out-of-tree build re-adds
+///               a disqualifying policy.
 void register_batch_counters() {
   JAMELECT_OBS_COUNT("mc.batch_fallbacks", 0);
+  JAMELECT_OBS_COUNT("mc.batch_fallback.protocol", 0);
+  JAMELECT_OBS_COUNT("mc.batch_fallback.observer", 0);
+  JAMELECT_OBS_COUNT("mc.batch_fallback.adversary", 0);
   JAMELECT_OBS_COUNT("mc.batch_wide_slots", 0);
   JAMELECT_OBS_COUNT("mc.batch_scalar_slots", 0);
   JAMELECT_OBS_COUNT("mc.parallel_chunks", 0);
   JAMELECT_OBS_COUNT("mc.parallel_cache_reuse", 0);
   JAMELECT_OBS_COUNT("mc.rng_backend_fallbacks", 0);
+}
+
+/// One batched sweep dropped to the sequential path: bump the total
+/// and the reason-labeled partition counter. An enum (not a counter
+/// name) because JAMELECT_OBS_COUNT caches its counter id statically
+/// per call site — a runtime name would collapse every reason into
+/// whichever string reached the shared site first.
+enum class BatchFallbackReason { kProtocol, kObserver, kAdversary };
+
+void count_batch_fallback(BatchFallbackReason reason) {
+  JAMELECT_OBS_COUNT("mc.batch_fallbacks", 1);
+  switch (reason) {
+    case BatchFallbackReason::kProtocol:
+      JAMELECT_OBS_COUNT("mc.batch_fallback.protocol", 1);
+      break;
+    case BatchFallbackReason::kObserver:
+      JAMELECT_OBS_COUNT("mc.batch_fallback.observer", 1);
+      break;
+    case BatchFallbackReason::kAdversary:
+      JAMELECT_OBS_COUNT("mc.batch_fallback.adversary", 1);
+      break;
+  }
 }
 
 /// A non-kernelizable protocol dropped a batched sweep onto the
@@ -422,7 +457,7 @@ McResult run_aggregate_mc(const UniformProtocolFactory& factory,
           };
       return run_trials_batched(chunk, n, config);
     }
-    JAMELECT_OBS_COUNT("mc.batch_fallbacks", 1);
+    count_batch_fallback(BatchFallbackReason::kProtocol);
     count_backend_fallback(config);
   }
   const TrialRunner runner = [&factory, spec, n,
@@ -453,7 +488,7 @@ McResult run_hybrid_mc(const UniformProtocolFactory& factory,
           };
       return run_trials_batched(chunk, n, config);
     }
-    JAMELECT_OBS_COUNT("mc.batch_fallbacks", 1);
+    count_batch_fallback(BatchFallbackReason::kProtocol);
     count_backend_fallback(config);
   }
   const TrialRunner runner = [&factory, spec, n,
@@ -472,6 +507,29 @@ McResult run_station_mc(
   JAMELECT_EXPECTS(n >= 1);
   AdversarySpec spec = adversary;
   spec.n = n;
+  if (config.batch > 0) {
+    register_batch_counters();
+    if (engine.observer != nullptr) {
+      count_batch_fallback(BatchFallbackReason::kObserver);
+      count_backend_fallback(config);
+    } else if (const auto kernel = station_batch_spec(station_factory, n)) {
+      // The station engine's serial per-station draw chain only speaks
+      // xoshiro (like the sequential path): a requested AES-CTR backend
+      // is honored in neither, so count it but keep the batch win.
+      count_backend_fallback(config);
+      const BatchChunkRunner chunk =
+          [kernel = *kernel, spec, engine,
+           base = Rng(config.seed)](std::size_t first, std::size_t count,
+                                    TrialOutcome* out) {
+            run_batch_station_trials(kernel, spec, engine, base, first, count,
+                                     out);
+          };
+      return run_trials_batched(chunk, n, config);
+    } else {
+      count_batch_fallback(BatchFallbackReason::kProtocol);
+      count_backend_fallback(config);
+    }
+  }
   const TrialRunner runner = [&station_factory, spec, n, engine](Rng rng) {
     std::vector<StationProtocolPtr> stations;
     stations.reserve(n);

@@ -36,15 +36,21 @@ struct McConfig {
   /// and run_hybrid_mc advance `batch` trials per work item in SoA
   /// lockstep with devirtualized protocol kernels and cached slot
   /// probabilities — for kernelizable protocols (LESK, LESU, plain
-  /// uniform) only; anything else silently falls back to the
-  /// sequential path. Per-trial outcomes are bit-identical to batch ==
-  /// 0 (same mix64(seed, k) derivation per trial), so this is purely a
-  /// throughput knob. Ignored by run_station_mc / run_cohort_mc.
+  /// uniform, Willard, Nakano–Olariu, NoCdElection); run_station_mc
+  /// runs kernelizable station protocols (ARSS) through devirtualized
+  /// trial chunks (sim/station_batch.hpp). Anything else falls back to
+  /// the sequential path, counted by mc.batch_fallbacks and the
+  /// reason-labeled mc.batch_fallback.* partition. Per-trial outcomes
+  /// are bit-identical to batch == 0 (same mix64(seed, k) derivation
+  /// per trial), so this is purely a throughput knob. Ignored by
+  /// run_cohort_mc.
   std::size_t batch = 0;
   /// Lane-stepping mode for the batched engine (ignored when batch ==
   /// 0): kAuto picks the SIMD-wide path whenever the adversary policy
-  /// is lane-invariant; see BatchLaneMode. Outcomes are bit-identical
-  /// across modes — another pure throughput knob.
+  /// has a wide engine — shared jam bit for lane-invariant policies,
+  /// per-lane SoA state (sim/lane_adversary.hpp) for the adaptive
+  /// built-ins; see BatchLaneMode. Outcomes are bit-identical across
+  /// modes — another pure throughput knob.
   BatchLaneMode batch_lanes = BatchLaneMode::kAuto;
   /// Random-stream backend for the batched engine (ignored when batch
   /// == 0): kXoshiro reproduces the sequential path bit for bit;

@@ -1,0 +1,159 @@
+#include "sim/station_batch.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "baselines/arss_kernel.hpp"
+#include "channel/channel.hpp"
+#include "obs/metrics.hpp"
+#include "support/expects.hpp"
+
+namespace jamelect {
+
+namespace {
+
+/// One devirtualized SlotEngine trial: the exact loop of
+/// SlotEngine::run with annotation branches removed (no trace, no
+/// observer — both probed away upstream) and kernels in place of the
+/// virtual stations. Draw order, update order, and every double
+/// expression match engine.cpp.
+TrialOutcome run_station_trial(const StationBatchSpec& spec,
+                               BoundedAdversary& adversary, Rng rng,
+                               const EngineConfig& config) {
+  const std::size_t n = spec.stations.size();
+  std::vector<kernels::ArssKernel> stations;
+  stations.reserve(n);
+  for (const ArssParams& params : spec.stations) {
+    stations.emplace_back(params);
+  }
+  std::vector<std::uint8_t> transmitted(n, 0);
+  TrialOutcome out;
+
+  for (Slot slot = 0; slot < config.max_slots; ++slot) {
+    // Jam bit first: the adversary moves before seeing this slot's coins.
+    const bool jammed = adversary.step();
+
+    std::uint64_t count = 0;
+    StationId last_tx = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = stations[i].transmit_probability();
+      const bool tx = rng.bernoulli(p);
+      transmitted[i] = tx ? 1 : 0;
+      if (tx) {
+        ++count;
+        last_tx = i;
+        out.transmissions += 1.0;
+      }
+    }
+
+    const ChannelState state = resolve_slot(count, jammed);
+
+    ++out.slots;
+    if (jammed) ++out.jams;
+    switch (state) {
+      case ChannelState::kNull: ++out.nulls; break;
+      case ChannelState::kSingle: ++out.singles; break;
+      case ChannelState::kCollision: ++out.collisions; break;
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const Observation obs =
+          observe_slot(state, transmitted[i] != 0, config.cd);
+      stations[i].feedback(transmitted[i] != 0, obs);
+    }
+    adversary.observe({slot, count, jammed, state});
+
+    if (config.stop == StopRule::kFirstSingle) {
+      if (state == ChannelState::kSingle) {
+        out.elected = true;
+        out.leader = last_tx;
+        break;
+      }
+    } else {
+      bool all_done = true;
+      for (const auto& s : stations) {
+        if (!s.done) {
+          all_done = false;
+          break;
+        }
+      }
+      if (all_done) {
+        out.elected = true;
+        break;
+      }
+    }
+  }
+
+  // Election-quality bookkeeping, exactly as SlotEngine::run.
+  std::size_t done_count = 0;
+  std::size_t leaders = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (stations[i].done) ++done_count;
+    if (stations[i].done && stations[i].leader) {
+      ++leaders;
+      out.leader = i;
+    }
+  }
+  out.all_done = done_count == n;
+  out.unique_leader = leaders == 1;
+  if (config.stop == StopRule::kFirstSingle) {
+    out.unique_leader = out.elected;
+  } else {
+    out.elected = out.elected && out.unique_leader;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<StationBatchSpec> station_batch_spec(
+    const std::function<StationProtocolPtr(StationId)>& station_factory,
+    std::uint64_t n) {
+  JAMELECT_EXPECTS(n >= 1);
+  StationBatchSpec spec;
+  spec.stations.reserve(n);
+  for (StationId i = 0; i < n; ++i) {
+    const StationProtocolPtr probe = station_factory(i);
+    if (probe == nullptr) return std::nullopt;
+    const auto* arss = dynamic_cast<const ArssStation*>(probe.get());
+    if (arss == nullptr) return std::nullopt;
+    // Kernels always start fresh from the params, so a warm-started
+    // station (p already moved, threshold grown) disqualifies.
+    if (!ArssStation(arss->params()).state_equals(*arss)) return std::nullopt;
+    spec.stations.push_back(arss->params());
+  }
+  // Determinism probe (cf. probe_batch_factory): a factory that returns
+  // different state on the second call would diverge from the per-trial
+  // construction the batch path performs.
+  const StationProtocolPtr second = station_factory(0);
+  if (second == nullptr) return std::nullopt;
+  const auto* arss0 = dynamic_cast<const ArssStation*>(second.get());
+  if (arss0 == nullptr ||
+      !ArssStation(spec.stations.front()).state_equals(*arss0)) {
+    return std::nullopt;
+  }
+  return spec;
+}
+
+void run_batch_station_trials(const StationBatchSpec& spec,
+                              const AdversarySpec& adversary,
+                              const EngineConfig& engine, const Rng& base,
+                              std::size_t first, std::size_t count,
+                              TrialOutcome* out) {
+  JAMELECT_EXPECTS(out != nullptr || count == 0);
+  JAMELECT_EXPECTS(!spec.stations.empty());
+  JAMELECT_EXPECTS(engine.max_slots >= 1);
+  JAMELECT_EXPECTS(engine.observer == nullptr);
+  std::int64_t slots_total = 0;
+  for (std::size_t k = 0; k < count; ++k) {
+    const Rng trial = base.child(first + k);
+    const auto adv = make_adversary(adversary, trial.child(0xad50));
+    out[k] = run_station_trial(spec, *adv, trial.child(0x51e0), engine);
+    slots_total += out[k].slots;
+  }
+  JAMELECT_OBS_COUNT("engine.batch.station_chunks", 1);
+  JAMELECT_OBS_COUNT("engine.batch.slots", slots_total);
+  JAMELECT_OBS_COUNT("mc.batch_scalar_slots", slots_total);
+}
+
+}  // namespace jamelect

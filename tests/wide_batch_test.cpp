@@ -3,8 +3,11 @@
 // kernel (plain uniform, LESK, LESU), both CD modes, lane counts that
 // are not a multiple of the group width, lanes retiring mid-vector,
 // and on every available backend (AVX2 and the portable scalar4
-// fallback). kAuto must route by adversary policy, and kWide must
-// reject adaptive policies outright.
+// fallback). kAuto must route by adversary policy; adaptive built-ins
+// (bernoulli & co.) ride the per-lane SoA wide engine and stay
+// bit-identical too (tests/batch_adaptive_equivalence_test.cpp covers
+// the full policy matrix), while kWide still rejects policies with no
+// wide engine at all (oracle_denial).
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -205,10 +208,10 @@ TEST(WideBatch, AutoRoutesThroughMcBitIdenticalToSequential) {
   }
 }
 
-TEST(WideBatch, AutoFallsBackToScalarLanesForAdaptivePolicies) {
-  // bernoulli draws its jam schedule from a per-lane rng, so kAuto must
-  // quietly keep the scalar path — and still match the sequential
-  // reference.
+TEST(WideBatch, AutoGoesWideForAdaptivePoliciesBitIdentical) {
+  // bernoulli draws its jam schedule from a per-lane rng; kAuto now
+  // routes it onto the per-lane SoA wide engine — and must still match
+  // the sequential reference bit for bit.
   const UniformProtocolFactory factory = [] {
     return std::make_unique<Lesu>(LesuParams{});
   };
@@ -231,20 +234,33 @@ TEST(WideBatch, AutoFallsBackToScalarLanesForAdaptivePolicies) {
   }
 }
 
-TEST(WideBatch, ForcingWideWithAdaptivePolicyViolatesContract) {
+TEST(WideBatch, ForcingWideWithAdaptivePolicyMatchesScalarLanes) {
+  // kWide used to reject adaptive policies outright; the per-lane SoA
+  // bank made it legal. The contract is now bit-identity with the
+  // scalar lane path, on both CD modes.
   AdversarySpec bern;
   bern.policy = "bernoulli";
   bern.T = 64;
   bern.eps = 0.25;
   const BatchKernelSpec spec{LeskParams{0.5, 0.0}};
-  const BatchConfig config{64, 1000, BatchLaneMode::kWide};
+  const BatchConfig scalar_cfg{64, 20000, BatchLaneMode::kScalarLanes};
+  const BatchConfig wide_cfg{64, 20000, BatchLaneMode::kWide};
   const Rng base(1);
-  TrialOutcome out;
-  EXPECT_THROW(
-      run_batch_aggregate_trials(spec, bern, config, base, 0, 1, &out),
-      ContractViolation);
-  EXPECT_THROW(run_batch_hybrid_trials(spec, bern, config, base, 0, 1, &out),
-               ContractViolation);
+  constexpr std::size_t kCount = 9;
+  std::vector<TrialOutcome> scalar(kCount), wide(kCount);
+  run_batch_aggregate_trials(spec, bern, scalar_cfg, base, 0, kCount,
+                             scalar.data());
+  run_batch_aggregate_trials(spec, bern, wide_cfg, base, 0, kCount,
+                             wide.data());
+  for (std::size_t t = 0; t < kCount; ++t) {
+    expect_outcome_eq(scalar[t], wide[t], "aggregate kWide/bernoulli", t);
+  }
+  run_batch_hybrid_trials(spec, bern, scalar_cfg, base, 0, kCount,
+                          scalar.data());
+  run_batch_hybrid_trials(spec, bern, wide_cfg, base, 0, kCount, wide.data());
+  for (std::size_t t = 0; t < kCount; ++t) {
+    expect_outcome_eq(scalar[t], wide[t], "hybrid kWide/bernoulli", t);
+  }
 }
 
 TEST(WideBatch, WideSlotCountersRollUp) {
