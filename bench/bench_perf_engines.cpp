@@ -372,6 +372,71 @@ void Perf_SequentialMcBaseline(benchmark::State& state) {
   state.counters["n"] = static_cast<double>(n);
 }
 
+// Cohort-lane batched Monte-Carlo (sim/cohort_batch.hpp) against the
+// sequential cohort MC it replaces. Identical trials bit for bit —
+// same adapter prototype, same per-trial streams — so items/sec
+// divides into a true speedup. The cohort engine is the one that
+// keeps per-station semantics at scale, and sequentially it pays a
+// fresh binomial setup (log1p/exp or full BTPE constants) plus a
+// virtual transmit_probability per cohort per slot; the lanes amortize
+// that through the memoized plan cache and grouped wide uniforms.
+[[nodiscard]] McResult cohort_lesk_mc(std::uint64_t n, std::size_t batch,
+                                      std::size_t n_trials) {
+  AdversarySpec spec = adversary("saturating", 64, 0.5);
+  spec.n = n;
+  McConfig config = mc(/*seed=*/41, /*max_slots=*/kSlots, n_trials);
+  config.parallel = false;
+  config.batch = batch;
+  return run_cohort_mc(
+      [] {
+        return std::make_unique<UniformStationAdapter>(
+            std::make_unique<Lesk>(0.5));
+      },
+      spec, n, {CdMode::kStrong, StopRule::kFirstSingle, kSlots}, config);
+}
+
+void Perf_CohortSequentialMcBaseline(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  std::int64_t slots = 0;
+  for (auto _ : state) {
+    const McResult res = cohort_lesk_mc(n, /*batch=*/0, /*n_trials=*/64);
+    slots += total_slots(res);
+    benchmark::DoNotOptimize(res.successes);
+  }
+  state.SetItemsProcessed(slots);
+  state.counters["n"] = static_cast<double>(n);
+}
+
+void Perf_CohortBatchEngine(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  std::int64_t slots = 0;
+  for (auto _ : state) {
+    const McResult res = cohort_lesk_mc(n, /*batch=*/64, /*n_trials=*/64);
+    slots += total_slots(res);
+    benchmark::DoNotOptimize(res.successes);
+  }
+  state.SetItemsProcessed(slots);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["batch"] = 64;
+}
+
+// Same trials at a deliberately small lane count: the delta against
+// Perf_CohortBatchEngine is how much of the win needs full-width
+// chunks (plan-cache reuse already kicks in at 8 lanes; the wide-RNG
+// group draws want the bigger chunk).
+void Perf_CohortBatchEngineSmall(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(1) << state.range(0);
+  std::int64_t slots = 0;
+  for (auto _ : state) {
+    const McResult res = cohort_lesk_mc(n, /*batch=*/8, /*n_trials=*/64);
+    slots += total_slots(res);
+    benchmark::DoNotOptimize(res.successes);
+  }
+  state.SetItemsProcessed(slots);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["batch"] = 8;
+}
+
 void Perf_HybridEngine(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(1) << state.range(0);
   AdversarySpec spec = adversary("saturating", 64, 0.5);
@@ -407,6 +472,9 @@ BENCHMARK(Perf_WideBatchEngine)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond)
 BENCHMARK(Perf_ParallelWideBatchEngine)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
 BENCHMARK(Perf_AesCtrWideBatchEngine)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
 BENCHMARK(Perf_SequentialMcBaseline)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(Perf_CohortSequentialMcBaseline)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(Perf_CohortBatchEngine)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(Perf_CohortBatchEngineSmall)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
 BENCHMARK(Perf_AdaptiveSequentialMcBaseline)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
 BENCHMARK(Perf_AdaptiveScalarBatchEngine)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
 BENCHMARK(Perf_AdaptiveWideBatchEngine)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);

@@ -20,7 +20,10 @@ if [ "${3:-}" = "--max-fallback-share" ]; then
   MAX_FALLBACK_SHARE="${4:?--max-fallback-share needs a value}"
 fi
 
-cmake -B "$BUILD_DIR" -G Ninja
+# JAMELECT_OBS=ON: the default RelWithDebInfo build compiles the
+# metric macros out (NDEBUG), which left every manifest's counter
+# rollup empty — the fallback gate below never had anything to gate.
+cmake -B "$BUILD_DIR" -G Ninja -DJAMELECT_OBS=ON
 cmake --build "$BUILD_DIR"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
@@ -39,7 +42,10 @@ for b in "$BUILD_DIR"/bench/bench_*; do
   cat "$OUT_DIR/$name.txt"
   # Keep stderr visible — hiding it used to mask failures; set -e plus
   # the un-redirected exit status now abort the sweep on any error.
-  "$b" --benchmark_format=csv > "$OUT_DIR/$name.csv"
+  # JSON, not CSV: the CSV reporter aborts when benches carry different
+  # counter sets (sequential baselines have no "batch" counter), and
+  # nothing consumed the CSVs anyway.
+  "$b" --benchmark_format=json > "$OUT_DIR/$name.json"
 done
 # Aggregate batch-kernel counters across every run manifest: how much
 # of the sweep ran on the wide (SIMD) kernel vs the scalar path, and how
@@ -57,11 +63,16 @@ totals = {"mc.batch_fallbacks": 0,
           "mc.batch_fallback.protocol": 0,
           "mc.batch_fallback.observer": 0,
           "mc.batch_fallback.adversary": 0,
+          "mc.batch_fallback.cohort": 0,
           "mc.batch_wide_slots": 0,
           "mc.batch_scalar_slots": 0,
           "engine.batch.aggregate_chunks": 0,
           "engine.batch.hybrid_chunks": 0,
-          "engine.batch.station_chunks": 0}
+          "engine.batch.station_chunks": 0,
+          "engine.batch.cohort_chunks": 0,
+          "binom.regime.loop": 0,
+          "binom.regime.inversion": 0,
+          "binom.regime.btpe": 0}
 manifests = sorted(glob.glob(os.path.join(out_dir, "*.manifest.json")))
 for path in manifests:
     try:
@@ -80,17 +91,25 @@ slots = wide + scalar
 fallbacks = totals["mc.batch_fallbacks"]
 chunks = (totals["engine.batch.aggregate_chunks"] +
           totals["engine.batch.hybrid_chunks"] +
-          totals["engine.batch.station_chunks"])
+          totals["engine.batch.station_chunks"] +
+          totals["engine.batch.cohort_chunks"])
 print(f"== batch kernel rollup ({len(manifests)} manifests)")
 print(f"   mc.batch_fallbacks            {fallbacks}")
 print(f"     .protocol                   {totals['mc.batch_fallback.protocol']}")
 print(f"     .observer                   {totals['mc.batch_fallback.observer']}")
 print(f"     .adversary                  {totals['mc.batch_fallback.adversary']}")
+print(f"     .cohort                     {totals['mc.batch_fallback.cohort']}")
 print(f"   batched chunks                {chunks}")
 print(f"   mc.batch_wide_slots           {wide}")
 print(f"   mc.batch_scalar_slots         {scalar}")
 if slots:
     print(f"   wide share                    {wide / slots:.1%}")
+regimes = (totals["binom.regime.loop"] + totals["binom.regime.inversion"] +
+           totals["binom.regime.btpe"])
+if regimes:
+    print(f"   binom.regime.loop             {totals['binom.regime.loop']}")
+    print(f"   binom.regime.inversion        {totals['binom.regime.inversion']}")
+    print(f"   binom.regime.btpe             {totals['binom.regime.btpe']}")
 # Fallback share: whole runs that dropped to the sequential path vs
 # chunks that actually ran batched. Denominator of 0 means the sweep
 # never engaged the batch engine at all — nothing to gate on.

@@ -1,9 +1,14 @@
 // Slot resolution and per-station observation rules.
+//
+// Defined inline: every engine calls these one-to-three times per
+// simulated slot, and the batched cohort engine's slot loop is hot
+// enough that the cross-TU call overhead showed up in profiles.
 #pragma once
 
 #include <cstdint>
 
 #include "channel/types.hpp"
+#include "support/expects.hpp"
 
 namespace jamelect {
 
@@ -12,8 +17,13 @@ namespace jamelect {
 /// to Collision regardless of the transmitter count — in particular a
 /// jammed slot with exactly one transmitter is *not* a successful
 /// transmission.
-[[nodiscard]] ChannelState resolve_slot(std::uint64_t num_transmitters,
-                                        bool jammed) noexcept;
+[[nodiscard]] inline ChannelState resolve_slot(std::uint64_t num_transmitters,
+                                               bool jammed) noexcept {
+  if (jammed) return ChannelState::kCollision;
+  if (num_transmitters == 0) return ChannelState::kNull;
+  if (num_transmitters == 1) return ChannelState::kSingle;
+  return ChannelState::kCollision;
+}
 
 /// What a station perceives given the true channel state, whether it
 /// transmitted, and the CD model:
@@ -22,11 +32,28 @@ namespace jamelect {
 ///    nothing and pessimistically assumes Collision (paper Function 3).
 ///  * no-CD: listeners can only tell Single vs kNoSingle; a transmitter
 ///    again assumes kNoSingle.
-[[nodiscard]] Observation observe_slot(ChannelState state, bool transmitted,
-                                       CdMode mode) noexcept;
+[[nodiscard]] inline Observation observe_slot(ChannelState state,
+                                              bool transmitted,
+                                              CdMode mode) noexcept {
+  switch (mode) {
+    case CdMode::kStrong:
+      return static_cast<Observation>(state);
+    case CdMode::kWeak:
+      if (transmitted) return Observation::kCollision;
+      return static_cast<Observation>(state);
+    case CdMode::kNone:
+      if (transmitted) return Observation::kNoSingle;
+      return state == ChannelState::kSingle ? Observation::kSingle
+                                            : Observation::kNoSingle;
+  }
+  return Observation::kNoSingle;  // unreachable
+}
 
 /// Convenience: maps an Observation that is known to come from the
 /// strong/weak models back to a ChannelState.
-[[nodiscard]] ChannelState to_channel_state(Observation obs);
+[[nodiscard]] inline ChannelState to_channel_state(Observation obs) {
+  JAMELECT_EXPECTS(obs != Observation::kNoSingle);
+  return static_cast<ChannelState>(obs);
+}
 
 }  // namespace jamelect

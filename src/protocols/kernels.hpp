@@ -84,17 +84,17 @@ struct LeskKernel {
 
   void step(ChannelState state) noexcept {
     if (elected) return;
-    switch (state) {
-      case ChannelState::kNull:
-        u = std::max(u - 1.0, 0.0);
-        break;
-      case ChannelState::kCollision:
-        u += inc;
-        break;
-      case ChannelState::kSingle:
-        elected = true;
-        break;
-    }
+    // Select-form of the Null/Collision/Single switch: the channel
+    // state is data-dependent, so the branchy form mispredicts in the
+    // batch engines' hot loop. Each arm computes the same double the
+    // switch would, and the untouched arms select the old u, so the
+    // stored bits are identical.
+    const double down = std::max(u - 1.0, 0.0);
+    const double up = u + inc;
+    u = state == ChannelState::kNull ? down
+        : state == ChannelState::kCollision ? up
+                                            : u;
+    elected = state == ChannelState::kSingle;
   }
 };
 

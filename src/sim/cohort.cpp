@@ -25,23 +25,77 @@ CohortEngine::CohortEngine(StationProtocolPtr prototype, std::uint64_t n,
 }
 
 void CohortEngine::merge_cohorts(Slot slot) {
-  if (cohorts_.size() < 2) return;
-  std::vector<std::uint64_t> hashes(cohorts_.size());
-  for (std::size_t i = 0; i < cohorts_.size(); ++i) {
-    hashes[i] = cohorts_[i].rep->state_hash();
+  const std::size_t live = cohorts_.size();
+  if (live < 2) return;
+  // Single pass, hash-bucketed: each cohort is absorbed into the FIRST
+  // (lowest-index) cohort with equal representative state — the same
+  // absorption targets and final table as the old quadratic scan, but
+  // without its repeated rescans and vector::erase shuffles. Buckets
+  // are open-addressed over state_hash(); a hash match is verified by
+  // state_equals() before absorbing, so collisions only cost a probe.
+  constexpr std::size_t kNoBucket = ~std::size_t{0};
+  merge_hashes_.resize(live);
+  for (std::size_t i = 0; i < live; ++i) {
+    merge_hashes_[i] = cohorts_[i].rep->state_hash();
   }
-  for (std::size_t i = 0; i < cohorts_.size(); ++i) {
-    for (std::size_t j = cohorts_.size(); j-- > i + 1;) {
-      if (hashes[j] != hashes[i]) continue;
-      if (!cohorts_[i].rep->state_equals(*cohorts_[j].rep)) continue;
-      const std::uint64_t absorbed = cohorts_[j].size;
-      cohorts_[i].size += absorbed;
-      cohorts_.erase(cohorts_.begin() + static_cast<std::ptrdiff_t>(j));
-      hashes.erase(hashes.begin() + static_cast<std::ptrdiff_t>(j));
+  std::size_t cap = 4;
+  while (cap < live * 2) cap <<= 1;
+  merge_buckets_.assign(cap, kNoBucket);
+  const std::size_t bucket_mask = cap - 1;
+
+  const bool record = config_.observer != nullptr;
+  if (record) merge_records_.clear();
+
+  // Kept cohorts compact into the prefix [0, kept); merge_hashes_ is
+  // compacted alongside so bucket entries (kept indices) stay keyed.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < live; ++i) {
+    const std::uint64_t h = merge_hashes_[i];
+    std::size_t idx = static_cast<std::size_t>(h) & bucket_mask;
+    std::size_t target = kNoBucket;
+    while (true) {
+      const std::size_t t = merge_buckets_[idx];
+      if (t == kNoBucket) break;
+      if (merge_hashes_[t] == h &&
+          cohorts_[t].rep->state_equals(*cohorts_[i].rep)) {
+        target = t;
+        break;
+      }
+      idx = (idx + 1) & bucket_mask;
+    }
+    if (target != kNoBucket) {
+      cohorts_[target].size += cohorts_[i].size;
       JAMELECT_OBS_COUNT("engine.cohort.merges", 1);
-      if (config_.observer != nullptr) {
-        config_.observer->on_cohort(slot, "merge", absorbed,
-                                    cohorts_[i].size, cohorts_.size());
+      if (record) merge_records_.push_back({target, cohorts_[i].size});
+      continue;
+    }
+    merge_buckets_[idx] = kept;
+    merge_hashes_[kept] = h;
+    if (kept != i) cohorts_[kept] = std::move(cohorts_[i]);
+    ++kept;
+  }
+  cohorts_.resize(kept);
+
+  if (record && !merge_records_.empty()) {
+    // Replay telemetry in the order the old nested scan emitted it:
+    // targets ascending, each target's absorbed cohorts from the back
+    // of the pre-merge table forward, with the target's size and the
+    // live cohort count evolving per event.
+    std::size_t count = live;
+    for (std::size_t t = 0; t < kept; ++t) {
+      std::uint64_t gained = 0;
+      for (const MergeRecord& r : merge_records_) {
+        if (r.target == t) gained += r.absorbed;
+      }
+      if (gained == 0) continue;
+      std::uint64_t running = cohorts_[t].size - gained;
+      for (auto it = merge_records_.rbegin(); it != merge_records_.rend();
+           ++it) {
+        if (it->target != t) continue;
+        running += it->absorbed;
+        --count;
+        config_.observer->on_cohort(slot, "merge", it->absorbed, running,
+                                    count);
       }
     }
   }
@@ -50,6 +104,10 @@ void CohortEngine::merge_cohorts(Slot slot) {
 TrialOutcome CohortEngine::run(Trace* trace) {
   obs::RunObserver* const observer = config_.observer;
   const bool tracing = trace != nullptr;
+  // Watermark for the per-thread regime tally kept by binomial_sample;
+  // the delta is flushed into the registry below (support itself has
+  // no telemetry dependency).
+  const BinomialRegimeCounts regime_start = binomial_regime_counts();
   TrialOutcome out;
 
   for (Slot slot = 0; slot < config_.max_slots; ++slot) {
@@ -211,6 +269,16 @@ TrialOutcome CohortEngine::run(Trace* trace) {
   }
   JAMELECT_OBS_COUNT("engine.cohort.runs", 1);
   JAMELECT_OBS_COUNT("engine.cohort.slots", out.slots);
+  const BinomialRegimeCounts& regime_now = binomial_regime_counts();
+  JAMELECT_OBS_COUNT(
+      "binom.regime.loop",
+      static_cast<std::int64_t>(regime_now.loop - regime_start.loop));
+  JAMELECT_OBS_COUNT(
+      "binom.regime.inversion",
+      static_cast<std::int64_t>(regime_now.inversion - regime_start.inversion));
+  JAMELECT_OBS_COUNT(
+      "binom.regime.btpe",
+      static_cast<std::int64_t>(regime_now.btpe - regime_start.btpe));
   JAMELECT_OBS_HISTOGRAM("engine.cohort.peak_cohorts",
                          static_cast<std::int64_t>(peak_cohorts_));
   return out;

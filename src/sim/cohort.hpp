@@ -89,6 +89,14 @@ class CohortEngine {
     std::uint64_t size;      ///< number of member stations
   };
 
+  /// One absorption performed by merge_cohorts, kept only while an
+  /// observer is attached so the telemetry events can be replayed in
+  /// the legacy emission order.
+  struct MergeRecord {
+    std::size_t target;      ///< kept-slot index the cohort merged into
+    std::uint64_t absorbed;  ///< member count it carried
+  };
+
   /// Re-merges cohorts whose representative states have re-converged.
   /// `slot` only annotates telemetry events.
   void merge_cohorts(Slot slot);
@@ -101,6 +109,12 @@ class CohortEngine {
   std::size_t peak_cohorts_ = 1;
   std::vector<std::uint64_t> tx_counts_;  ///< per-cohort k, reused per slot
   std::vector<double> p_scratch_;  ///< per-cohort p for sampled telemetry
+  // merge_cohorts scratch, reused across slots (no per-slot allocation
+  // once grown): state hashes compacted alongside cohorts_, the
+  // open-addressed bucket table, and the observer-only event records.
+  std::vector<std::uint64_t> merge_hashes_;
+  std::vector<std::size_t> merge_buckets_;
+  std::vector<MergeRecord> merge_records_;
 };
 
 }  // namespace jamelect

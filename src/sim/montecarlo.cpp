@@ -18,6 +18,7 @@
 #include "sim/aggregate.hpp"
 #include "sim/batch.hpp"
 #include "sim/cohort.hpp"
+#include "sim/cohort_batch.hpp"
 #include "sim/mc_accumulate.hpp"
 #include "sim/station_batch.hpp"
 #include "support/expects.hpp"
@@ -342,12 +343,17 @@ std::optional<BatchKernelSpec> probe_batch_factory(
 ///   .adversary — kept registered as a tombstone: every built-in
 ///               policy now has a batch engine (wide or scalar lanes),
 ///               so this stays 0 unless an out-of-tree build re-adds
-///               a disqualifying policy.
+///               a disqualifying policy;
+///   .cohort   — a run_cohort_mc prototype the cohort lanes cannot
+///               batch (not a pristine UniformStationAdapter over a
+///               paper kernel — e.g. Notification, a baseline, or a
+///               warm-started factory).
 void register_batch_counters() {
   JAMELECT_OBS_COUNT("mc.batch_fallbacks", 0);
   JAMELECT_OBS_COUNT("mc.batch_fallback.protocol", 0);
   JAMELECT_OBS_COUNT("mc.batch_fallback.observer", 0);
   JAMELECT_OBS_COUNT("mc.batch_fallback.adversary", 0);
+  JAMELECT_OBS_COUNT("mc.batch_fallback.cohort", 0);
   JAMELECT_OBS_COUNT("mc.batch_wide_slots", 0);
   JAMELECT_OBS_COUNT("mc.batch_scalar_slots", 0);
   JAMELECT_OBS_COUNT("mc.parallel_chunks", 0);
@@ -360,7 +366,7 @@ void register_batch_counters() {
 /// name) because JAMELECT_OBS_COUNT caches its counter id statically
 /// per call site — a runtime name would collapse every reason into
 /// whichever string reached the shared site first.
-enum class BatchFallbackReason { kProtocol, kObserver, kAdversary };
+enum class BatchFallbackReason { kProtocol, kObserver, kAdversary, kCohort };
 
 void count_batch_fallback(BatchFallbackReason reason) {
   JAMELECT_OBS_COUNT("mc.batch_fallbacks", 1);
@@ -373,6 +379,9 @@ void count_batch_fallback(BatchFallbackReason reason) {
       break;
     case BatchFallbackReason::kAdversary:
       JAMELECT_OBS_COUNT("mc.batch_fallback.adversary", 1);
+      break;
+    case BatchFallbackReason::kCohort:
+      JAMELECT_OBS_COUNT("mc.batch_fallback.cohort", 1);
       break;
   }
 }
@@ -549,6 +558,28 @@ McResult run_cohort_mc(
   JAMELECT_EXPECTS(n >= 1);
   AdversarySpec spec = adversary;
   spec.n = n;
+  if (config.batch > 0) {
+    register_batch_counters();
+    if (engine.observer != nullptr) {
+      count_batch_fallback(BatchFallbackReason::kObserver);
+      count_backend_fallback(config);
+    } else if (const auto kernel = cohort_batch_spec(prototype_factory)) {
+      const BatchChunkRunner chunk =
+          [kernel = *kernel, spec, n, max_slots = engine.max_slots,
+           cd = engine.cd, stop = engine.stop, lanes = config.batch_lanes,
+           rng = config.rng_backend,
+           base = Rng(config.seed)](std::size_t first, std::size_t count,
+                                    TrialOutcome* out) {
+            run_cohort_batch_trials(
+                kernel, spec, {n, max_slots, cd, stop, lanes, rng}, base,
+                first, count, out);
+          };
+      return run_trials_batched(chunk, n, config);
+    } else {
+      count_batch_fallback(BatchFallbackReason::kCohort);
+      count_backend_fallback(config);
+    }
+  }
   const TrialRunner runner = [&prototype_factory, spec, n, engine](Rng rng) {
     auto adv = make_adversary(spec, rng.child(0xad50));
     CohortEngine eng(prototype_factory(), n, std::move(adv),

@@ -38,12 +38,14 @@ struct McConfig {
   /// probabilities — for kernelizable protocols (LESK, LESU, plain
   /// uniform, Willard, Nakano–Olariu, NoCdElection); run_station_mc
   /// runs kernelizable station protocols (ARSS) through devirtualized
-  /// trial chunks (sim/station_batch.hpp). Anything else falls back to
-  /// the sequential path, counted by mc.batch_fallbacks and the
-  /// reason-labeled mc.batch_fallback.* partition. Per-trial outcomes
-  /// are bit-identical to batch == 0 (same mix64(seed, k) derivation
-  /// per trial), so this is purely a throughput knob. Ignored by
-  /// run_cohort_mc.
+  /// trial chunks (sim/station_batch.hpp); run_cohort_mc runs paper-
+  /// protocol prototypes (LESK, LESU, plain uniform) as multi-trial
+  /// cohort lanes with memoized binomial plans (sim/cohort_batch.hpp).
+  /// Anything else falls back to the sequential path, counted by
+  /// mc.batch_fallbacks and the reason-labeled mc.batch_fallback.*
+  /// partition. Per-trial outcomes are bit-identical to batch == 0
+  /// (same mix64(seed, k) derivation per trial), so this is purely a
+  /// throughput knob.
   std::size_t batch = 0;
   /// Lane-stepping mode for the batched engine (ignored when batch ==
   /// 0): kAuto picks the SIMD-wide path whenever the adversary policy

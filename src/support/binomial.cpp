@@ -9,6 +9,8 @@ namespace jamelect {
 
 namespace {
 
+thread_local BinomialRegimeCounts t_regime_counts;
+
 std::uint64_t binomial_small_n(std::uint64_t n, double p, Rng& rng) {
   std::uint64_t k = 0;
   for (std::uint64_t i = 0; i < n; ++i) k += rng.bernoulli(p) ? 1 : 0;
@@ -145,10 +147,21 @@ std::uint64_t binomial_sample(std::uint64_t n, double p, Rng& rng) {
   if (n == 0 || p <= 0.0) return 0;
   if (p >= 1.0) return n;
   if (p > 0.5) return n - binomial_sample(n, 1.0 - p, rng);
-  if (n <= 128) return binomial_small_n(n, p, rng);
+  if (n <= 128) {
+    ++t_regime_counts.loop;
+    return binomial_small_n(n, p, rng);
+  }
   const double mean = static_cast<double>(n) * p;
-  if (mean <= 30.0) return binomial_inversion(n, p, rng);
+  if (mean <= 30.0) {
+    ++t_regime_counts.inversion;
+    return binomial_inversion(n, p, rng);
+  }
+  ++t_regime_counts.btpe;
   return binomial_btpe(n, p, rng);
+}
+
+const BinomialRegimeCounts& binomial_regime_counts() noexcept {
+  return t_regime_counts;
 }
 
 }  // namespace jamelect

@@ -24,4 +24,20 @@ namespace jamelect {
 /// Draws k ~ Binomial(n, p). Requires p in [0, 1].
 [[nodiscard]] std::uint64_t binomial_sample(std::uint64_t n, double p, Rng& rng);
 
+/// Per-thread tally of which sampling regime binomial_sample() has
+/// dispatched to on this thread. Monotone over the thread's lifetime;
+/// layers with telemetry access (the sim engines) emit watermark deltas
+/// into the metrics registry as binom.regime.{loop,inversion,btpe} —
+/// support itself stays free of the obs dependency.
+struct BinomialRegimeCounts {
+  std::uint64_t loop = 0;       ///< n <= 128 Bernoulli-loop dispatches
+  std::uint64_t inversion = 0;  ///< mean <= 30 CDF-inversion dispatches
+  std::uint64_t btpe = 0;       ///< BTPE rejection dispatches
+};
+
+/// This thread's running regime tally (reference stays valid for the
+/// thread's lifetime). A reflected draw (p > 1/2) counts once, under
+/// the regime the reflected probability dispatches to.
+[[nodiscard]] const BinomialRegimeCounts& binomial_regime_counts() noexcept;
+
 }  // namespace jamelect

@@ -272,6 +272,16 @@ class WideAesCtr {
   void uniform_masked(std::size_t groups, const std::uint8_t* mask,
                       double* out) noexcept;
 
+  /// Two consecutive draws per lane: lane k's next uniform to out_u[k],
+  /// the one after to out_v[k]. Bit-identical to two uniform_groups
+  /// calls by counter-mode construction; the cipher work is the same
+  /// either way, so this just mirrors WideXoshiro's fused entry point.
+  void uniform_groups2(std::size_t groups, double* out_u,
+                       double* out_v) noexcept {
+    uniform_groups(groups, out_u);
+    uniform_groups(groups, out_v);
+  }
+
   /// Discards one draw from each of the first groups * kWideLanes
   /// lanes: pure counter increments, no cipher work. Bit-identical to
   /// drawing and ignoring the results (the CTR payoff on jammed slots).

@@ -16,6 +16,10 @@ void uniform_masked_avx2(std::uint64_t* s0, std::uint64_t* s1,
                          std::uint64_t* s2, std::uint64_t* s3,
                          std::size_t groups, const std::uint8_t* mask,
                          double* out) noexcept;
+void uniform_groups2_avx2(std::uint64_t* s0, std::uint64_t* s1,
+                          std::uint64_t* s2, std::uint64_t* s3,
+                          std::size_t groups, double* out_u,
+                          double* out_v) noexcept;
 #endif
 
 namespace {
@@ -36,6 +40,17 @@ void uniform_masked_scalar4(std::uint64_t* s0, std::uint64_t* s1,
   const std::size_t lanes = groups * kWideLanes;
   for (std::size_t k = 0; k < lanes; ++k) {
     if (mask[k] != 0) out[k] = to_uniform(step1(s0[k], s1[k], s2[k], s3[k]));
+  }
+}
+
+void uniform_groups2_scalar4(std::uint64_t* s0, std::uint64_t* s1,
+                             std::uint64_t* s2, std::uint64_t* s3,
+                             std::size_t groups, double* out_u,
+                             double* out_v) noexcept {
+  const std::size_t lanes = groups * kWideLanes;
+  for (std::size_t k = 0; k < lanes; ++k) {
+    out_u[k] = to_uniform(step1(s0[k], s1[k], s2[k], s3[k]));
+    out_v[k] = to_uniform(step1(s0[k], s1[k], s2[k], s3[k]));
   }
 }
 
@@ -113,6 +128,19 @@ void WideXoshiro::uniform_masked(std::size_t groups, const std::uint8_t* mask,
 #endif
   wide_detail::uniform_masked_scalar4(plane(0), plane(1), plane(2), plane(3),
                                       groups, mask, out);
+}
+
+void WideXoshiro::uniform_groups2(std::size_t groups, double* out_u,
+                                  double* out_v) noexcept {
+#if defined(JAMELECT_WIDE_AVX2)
+  if (isa_ == WideIsa::kAvx2) {
+    wide_detail::uniform_groups2_avx2(plane(0), plane(1), plane(2), plane(3),
+                                      groups, out_u, out_v);
+    return;
+  }
+#endif
+  wide_detail::uniform_groups2_scalar4(plane(0), plane(1), plane(2), plane(3),
+                                       groups, out_u, out_v);
 }
 
 }  // namespace jamelect

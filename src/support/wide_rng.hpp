@@ -137,6 +137,13 @@ class WideXoshiro {
   void uniform_masked(std::size_t groups, const std::uint8_t* mask,
                       double* out) noexcept;
 
+  /// Two consecutive draws per lane in one state pass: lane k's next
+  /// uniform goes to out_u[k], the one after to out_v[k]. Bit-identical
+  /// to two uniform_groups calls (each lane sees its own stream in
+  /// order); fused so the state planes are loaded and stored once.
+  void uniform_groups2(std::size_t groups, double* out_u,
+                       double* out_v) noexcept;
+
  private:
   std::size_t lanes_;
   std::size_t padded_;

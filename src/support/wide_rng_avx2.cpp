@@ -31,6 +31,27 @@ void uniform_groups_avx2(std::uint64_t* s0, std::uint64_t* s1,
   }
 }
 
+void uniform_groups2_avx2(std::uint64_t* s0, std::uint64_t* s1,
+                          std::uint64_t* s2, std::uint64_t* s3,
+                          std::size_t groups, double* out_u,
+                          double* out_v) noexcept {
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t i = g * 4;
+    __m256i v0 = _mm256_loadu_si256(reinterpret_cast<__m256i*>(s0 + i));
+    __m256i v1 = _mm256_loadu_si256(reinterpret_cast<__m256i*>(s1 + i));
+    __m256i v2 = _mm256_loadu_si256(reinterpret_cast<__m256i*>(s2 + i));
+    __m256i v3 = _mm256_loadu_si256(reinterpret_cast<__m256i*>(s3 + i));
+    const __m256i xu = step4_avx2(v0, v1, v2, v3);
+    const __m256i xv = step4_avx2(v0, v1, v2, v3);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(s0 + i), v0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(s1 + i), v1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(s2 + i), v2);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(s3 + i), v3);
+    _mm256_storeu_pd(out_u + i, to_uniform4_avx2(xu));
+    _mm256_storeu_pd(out_v + i, to_uniform4_avx2(xv));
+  }
+}
+
 void uniform_masked_avx2(std::uint64_t* s0, std::uint64_t* s1,
                          std::uint64_t* s2, std::uint64_t* s3,
                          std::size_t groups, const std::uint8_t* mask,

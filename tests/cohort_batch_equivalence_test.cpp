@@ -1,0 +1,395 @@
+// The batched cohort engine (sim/cohort_batch.hpp, McConfig::batch on
+// run_cohort_mc) must return bit-identical per-trial TrialOutcomes to
+// the sequential CohortEngine path for the same seed — for every
+// paper kernel, both CD modes, any lane count, either lane-stepping
+// mode, and any pool width. The AES-CTR backend is its own
+// deterministic universe: outcomes must be invariant to lane count
+// and partitioning against a one-lane reference. The memoized
+// binomial plans must reproduce binomial_sample draw for draw in
+// every regime, and cohort-cap overflow must retire lanes to a rerun
+// that still matches the sequential engine.
+#include "sim/cohort_batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "protocols/lesk.hpp"
+#include "protocols/lesu.hpp"
+#include "protocols/lewk.hpp"
+#include "protocols/plain_uniform.hpp"
+#include "protocols/uniform_station.hpp"
+#include "sim/cohort.hpp"
+#include "sim/montecarlo.hpp"
+#include "support/binomial.hpp"
+#include "support/binomial_cache.hpp"
+#include "support/math.hpp"
+#include "support/thread_pool.hpp"
+
+namespace jamelect {
+namespace {
+
+void expect_outcome_eq(const TrialOutcome& a, const TrialOutcome& b,
+                       std::size_t trial) {
+  ASSERT_EQ(a.elected, b.elected) << "trial " << trial;
+  ASSERT_EQ(a.slots, b.slots) << "trial " << trial;
+  ASSERT_EQ(a.jams, b.jams) << "trial " << trial;
+  ASSERT_EQ(a.nulls, b.nulls) << "trial " << trial;
+  ASSERT_EQ(a.singles, b.singles) << "trial " << trial;
+  ASSERT_EQ(a.collisions, b.collisions) << "trial " << trial;
+  // Bit-identity, not approximate: the lane engine replays the exact
+  // double arithmetic and draw order of the sequential path.
+  ASSERT_EQ(a.transmissions, b.transmissions) << "trial " << trial;
+  ASSERT_EQ(a.all_done, b.all_done) << "trial " << trial;
+  ASSERT_EQ(a.unique_leader, b.unique_leader) << "trial " << trial;
+  ASSERT_EQ(a.leader, b.leader) << "trial " << trial;
+}
+
+void expect_all_outcomes_eq(const McResult& a, const McResult& b) {
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t t = 0; t < a.outcomes.size(); ++t) {
+    expect_outcome_eq(a.outcomes[t], b.outcomes[t], t);
+  }
+}
+
+[[nodiscard]] McConfig base_config(std::size_t trials, std::uint64_t seed,
+                                   std::int64_t max_slots) {
+  McConfig config;
+  config.trials = trials;
+  config.seed = seed;
+  config.max_slots = max_slots;
+  config.parallel = false;
+  config.keep_outcomes = true;
+  return config;
+}
+
+struct Scenario {
+  const char* name;
+  std::function<StationProtocolPtr()> factory;
+  AdversarySpec adversary;
+  std::uint64_t n;
+  EngineConfig engine;
+};
+
+[[nodiscard]] std::vector<Scenario> scenarios() {
+  std::vector<Scenario> list;
+  AdversarySpec none;
+  AdversarySpec sat;
+  sat.policy = "saturating";
+  sat.T = 32;
+  sat.eps = 0.5;
+  AdversarySpec bern;
+  bern.policy = "bernoulli";
+  bern.T = 64;
+  bern.eps = 0.25;
+  list.push_back({"lesk_strong_alldone",
+                  [] {
+                    return std::make_unique<UniformStationAdapter>(
+                        std::make_unique<Lesk>(LeskParams{0.5, 0.0}));
+                  },
+                  none, 64,
+                  EngineConfig{CdMode::kStrong, StopRule::kAllDone, 20000}});
+  list.push_back(
+      {"lesk_strong_first_single_saturating",
+       [] {
+         return std::make_unique<UniformStationAdapter>(
+             std::make_unique<Lesk>(LeskParams{0.25, 0.0}));
+       },
+       sat, 1024,
+       EngineConfig{CdMode::kStrong, StopRule::kFirstSingle, 20000}});
+  // Weak CD: Single slots split the transmitter from the frozen
+  // listeners, so the cohort table actually grows and merges.
+  list.push_back({"lesk_weak_alldone",
+                  [] {
+                    return std::make_unique<UniformStationAdapter>(
+                        std::make_unique<Lesk>(LeskParams{0.5, 0.0}));
+                  },
+                  none, 64,
+                  EngineConfig{CdMode::kWeak, StopRule::kAllDone, 2000}});
+  list.push_back({"plain_uniform_first_single",
+                  [] {
+                    return std::make_unique<UniformStationAdapter>(
+                        std::make_unique<PlainUniform>(PlainUniformParams{6.0}));
+                  },
+                  none, 64,
+                  EngineConfig{CdMode::kStrong, StopRule::kFirstSingle, 20000}});
+  list.push_back({"lesu_strong_alldone",
+                  [] {
+                    return std::make_unique<UniformStationAdapter>(
+                        std::make_unique<Lesu>(LesuParams{}));
+                  },
+                  sat, 128,
+                  EngineConfig{CdMode::kStrong, StopRule::kAllDone, 60000}});
+  // Adaptive adversary: per-lane virtual adversaries must reproduce
+  // the sequential per-trial feedback loop exactly.
+  list.push_back({"lesk_strong_bernoulli",
+                  [] {
+                    return std::make_unique<UniformStationAdapter>(
+                        std::make_unique<Lesk>(LeskParams{0.5, 0.0}));
+                  },
+                  bern, 128,
+                  EngineConfig{CdMode::kStrong, StopRule::kAllDone, 20000}});
+  return list;
+}
+
+constexpr std::size_t kLaneCounts[] = {1, 3, 4, 5, 7, 29};
+constexpr BatchLaneMode kLaneModes[] = {BatchLaneMode::kAuto,
+                                        BatchLaneMode::kScalarLanes};
+
+TEST(CohortBatchEquivalence, XoshiroBitIdenticalAcrossLaneCountsAndModes) {
+  for (const Scenario& sc : scenarios()) {
+    SCOPED_TRACE(sc.name);
+    const auto seq = run_cohort_mc(sc.factory, sc.adversary, sc.n, sc.engine,
+                                   base_config(24, 991, sc.engine.max_slots));
+    ASSERT_EQ(seq.outcomes.size(), 24u) << sc.name;
+    for (const std::size_t lanes : kLaneCounts) {
+      for (const BatchLaneMode mode : kLaneModes) {
+        McConfig config = base_config(24, 991, sc.engine.max_slots);
+        config.batch = lanes;
+        config.batch_lanes = mode;
+        const auto batched =
+            run_cohort_mc(sc.factory, sc.adversary, sc.n, sc.engine, config);
+        SCOPED_TRACE(lanes);
+        expect_all_outcomes_eq(seq, batched);
+      }
+    }
+  }
+}
+
+TEST(CohortBatchEquivalence, XoshiroBitIdenticalAcrossPoolWidths) {
+  const Scenario sc = scenarios()[1];  // saturating jammer, n = 1024
+  const auto seq = run_cohort_mc(sc.factory, sc.adversary, sc.n, sc.engine,
+                                 base_config(30, 17, sc.engine.max_slots));
+  for (const std::size_t workers : {1u, 3u, 8u}) {
+    ThreadPool pool(workers);
+    McConfig config = base_config(30, 17, sc.engine.max_slots);
+    config.batch = 7;
+    config.parallel = true;
+    config.pool = &pool;
+    const auto batched =
+        run_cohort_mc(sc.factory, sc.adversary, sc.n, sc.engine, config);
+    SCOPED_TRACE(workers);
+    expect_all_outcomes_eq(seq, batched);
+  }
+}
+
+TEST(CohortBatchEquivalence, AesCtrInvariantAcrossLaneCountsAndPools) {
+  for (const Scenario& sc : scenarios()) {
+    SCOPED_TRACE(sc.name);
+    // One-lane reference defines the AES universe for this seed.
+    McConfig ref_config = base_config(16, 313, sc.engine.max_slots);
+    ref_config.batch = 1;
+    ref_config.rng_backend = RngBackend::kAesCtr;
+    const auto ref =
+        run_cohort_mc(sc.factory, sc.adversary, sc.n, sc.engine, ref_config);
+    ASSERT_EQ(ref.outcomes.size(), 16u) << sc.name;
+    for (const std::size_t lanes : {3u, 29u}) {
+      for (const BatchLaneMode mode : kLaneModes) {
+        McConfig config = base_config(16, 313, sc.engine.max_slots);
+        config.batch = lanes;
+        config.batch_lanes = mode;
+        config.rng_backend = RngBackend::kAesCtr;
+        const auto batched =
+            run_cohort_mc(sc.factory, sc.adversary, sc.n, sc.engine, config);
+        SCOPED_TRACE(lanes);
+        expect_all_outcomes_eq(ref, batched);
+      }
+    }
+    ThreadPool pool(3);
+    McConfig config = base_config(16, 313, sc.engine.max_slots);
+    config.batch = 5;
+    config.rng_backend = RngBackend::kAesCtr;
+    config.parallel = true;
+    config.pool = &pool;
+    const auto batched =
+        run_cohort_mc(sc.factory, sc.adversary, sc.n, sc.engine, config);
+    expect_all_outcomes_eq(ref, batched);
+  }
+}
+
+TEST(CohortBatchEquivalence, CohortCapOverflowRetiresToExactRerun) {
+  // Weak-CD LESK splits on its first Single slot (done listeners vs
+  // the lone live transmitter), so a cap-1 lane must overflow there
+  // and retire to the scalar rerun — whose outcome still has to be
+  // bit-identical to the sequential engine.
+  const auto factory = [] {
+    return std::make_unique<UniformStationAdapter>(
+        std::make_unique<Lesk>(LeskParams{0.5, 0.0}));
+  };
+  const EngineConfig engine{CdMode::kWeak, StopRule::kAllDone, 2000};
+  const std::uint64_t n = 64;
+  constexpr std::size_t kTrials = 8;
+  AdversarySpec spec;
+  spec.n = n;
+
+  // Prove the scenario actually exceeds the cap: the sequential engine
+  // must see more than 1 simultaneous cohort in at least one trial.
+  bool exceeded = false;
+  for (std::size_t trial = 0; trial < kTrials && !exceeded; ++trial) {
+    const Rng rng = Rng(733).child(trial);
+    CohortEngine eng(factory(), n, make_adversary(spec, rng.child(0xad50)),
+                     rng.child(0x51e0), engine);
+    (void)eng.run();
+    exceeded = eng.peak_cohorts() > 1;
+  }
+  ASSERT_TRUE(exceeded);
+
+  const auto seq = run_cohort_mc(factory, spec, n, engine,
+                                 base_config(kTrials, 733, engine.max_slots));
+  const auto kernel = cohort_batch_spec(factory);
+  ASSERT_TRUE(kernel.has_value());
+  for (const BatchLaneMode mode : kLaneModes) {
+    CohortBatchConfig config;
+    config.n = n;
+    config.max_slots = engine.max_slots;
+    config.cd = engine.cd;
+    config.stop = engine.stop;
+    config.lanes = mode;
+    config.cohort_cap = 1;
+    std::vector<TrialOutcome> out(kTrials);
+    run_cohort_batch_trials(*kernel, spec, config, Rng(733), 0, kTrials,
+                            out.data());
+    for (std::size_t t = 0; t < kTrials; ++t) {
+      expect_outcome_eq(seq.outcomes[t], out[t], t);
+    }
+  }
+}
+
+TEST(CohortBatchEquivalence, NonKernelizablePrototypeFallsBackIdentically) {
+  // LEWK's NotificationStation is not a UniformStationAdapter, so the
+  // probe must refuse and the sweep must fall back to the sequential
+  // engine — same outcomes as batch == 0.
+  ASSERT_FALSE(
+      cohort_batch_spec([] { return make_lewk_station(0.5); }).has_value());
+  AdversarySpec none;
+  const EngineConfig engine{CdMode::kWeak, StopRule::kFirstSingle, 20000};
+  const auto seq = run_cohort_mc([] { return make_lewk_station(0.5); }, none,
+                                 64, engine, base_config(12, 41, 20000));
+  McConfig config = base_config(12, 41, 20000);
+  config.batch = 8;
+  const auto fell_back = run_cohort_mc([] { return make_lewk_station(0.5); },
+                                       none, 64, engine, config);
+  expect_all_outcomes_eq(seq, fell_back);
+}
+
+// ---------------------------------------------------------------------------
+// Plan-level equivalence: the memoized sampler vs binomial_sample.
+// ---------------------------------------------------------------------------
+
+TEST(BinomialPlanEquivalence, PlanDrawsMatchSamplerBitForBitInEveryRegime) {
+  struct Case {
+    std::uint64_t n;
+    double p;
+  };
+  const Case cases[] = {
+      {0, 0.5},       // kZero: n == 0
+      {200, 0.0},     // kZero: p == 0
+      {200, 1.0},     // kAll
+      {50, 0.3},      // loop
+      {50, 0.7},      // loop, reflected
+      {129, 0.2},     // inversion (mean 25.8)
+      {1000, 0.01},   // inversion, long tail table
+      {1000, 0.98},   // inversion, reflected (p_eff = 0.02)
+      {1000, 0.2},    // BTPE
+      {1000, 0.6},    // BTPE, reflected
+      {100000, 0.4},  // BTPE, large n
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.n);
+    SCOPED_TRACE(c.p);
+    const BinomialPlan plan = build_binomial_plan(c.n, c.p);
+    Rng seq(577);
+    Rng planned(577);
+    for (int i = 0; i < 3000; ++i) {
+      ASSERT_EQ(binomial_sample(c.n, c.p, seq),
+                binomial_plan_draw(plan, planned))
+          << "draw " << i;
+    }
+    // Stream sync: both paths must have consumed the same uniforms.
+    ASSERT_EQ(seq.uniform(), planned.uniform());
+  }
+}
+
+TEST(BinomialPlanEquivalence, CacheDrawsMatchSamplerOnExponentLattice) {
+  BinomialSamplerCache cache;
+  cache.set_lattice_step(1.0);
+  Rng seq(88);
+  Rng cached(88);
+  for (int round = 0; round < 200; ++round) {
+    for (const double u : {0.0, 1.0, 4.0, 6.0, 9.5, 1100.0}) {
+      const std::uint64_t n = 500;
+      ASSERT_EQ(binomial_sample(n, transmit_probability(u), seq),
+                binomial_plan_draw(cache.plan(n, u), cached))
+          << "u=" << u;
+    }
+  }
+  ASSERT_EQ(seq.uniform(), cached.uniform());
+  // Six distinct (n, u) keys: one miss each, everything else cached,
+  // and on-lattice keys answered by the dense index.
+  EXPECT_EQ(cache.misses(), 6u);
+  EXPECT_EQ(cache.lookups(), 1200u);
+  EXPECT_GT(cache.dense_hits(), 900u);
+}
+
+TEST(BinomialPlanEquivalence, CachedDrawsFollowTheBinomialLaw) {
+  // Chi-square pin of the memoized sampler against the exact pmf,
+  // computed independently via lgamma (not the plan's own table).
+  const std::uint64_t n = 500;
+  const double u = 6.0;  // p = 2^-6, mean ~7.8: inversion regime
+  const double p = transmit_probability(u);
+  BinomialSamplerCache cache;
+  cache.set_lattice_step(1.0);
+  constexpr int kDraws = 10000;
+  constexpr std::uint64_t kTail = 21;
+  std::vector<double> counts(kTail + 1, 0.0);
+  Rng rng(4242);
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t k = binomial_plan_draw(cache.plan(n, u), rng);
+    counts[std::min(k, kTail)] += 1.0;
+  }
+  const double nd = static_cast<double>(n);
+  std::vector<double> expected(kTail + 1, 0.0);
+  double tail_mass = 1.0;
+  for (std::uint64_t k = 0; k < kTail; ++k) {
+    const double kd = static_cast<double>(k);
+    const double log_pmf = std::lgamma(nd + 1.0) - std::lgamma(kd + 1.0) -
+                           std::lgamma(nd - kd + 1.0) + kd * std::log(p) +
+                           (nd - kd) * std::log1p(-p);
+    expected[k] = std::exp(log_pmf) * kDraws;
+    tail_mass -= std::exp(log_pmf);
+  }
+  expected[kTail] = tail_mass * kDraws;
+  // Merge low-expectation bins (head and tail) so every cell has
+  // expected count >= 5, then one-sample chi-square.
+  double chi2 = 0.0;
+  double merged_obs = 0.0;
+  double merged_exp = 0.0;
+  int cells = 0;
+  for (std::size_t k = 0; k <= kTail; ++k) {
+    merged_obs += counts[k];
+    merged_exp += expected[k];
+    if (merged_exp >= 5.0) {
+      const double d = merged_obs - merged_exp;
+      chi2 += d * d / merged_exp;
+      ++cells;
+      merged_obs = 0.0;
+      merged_exp = 0.0;
+    }
+  }
+  if (merged_exp > 0.0) {
+    const double d = merged_obs - merged_exp;
+    chi2 += d * d / merged_exp;
+    ++cells;
+  }
+  ASSERT_GE(cells, 10);
+  // 99.9th percentile of chi-square with ~17 df is ~40; the seed is
+  // fixed, so this is a deterministic regression pin, not a flake.
+  EXPECT_LT(chi2, 45.0);
+}
+
+}  // namespace
+}  // namespace jamelect

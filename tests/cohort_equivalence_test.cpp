@@ -218,5 +218,84 @@ TEST(CohortEngine, RejectsNonCompressibleStation) {
                ContractViolation);
 }
 
+// Stress for the hash-bucketed merge compaction: a protocol whose
+// state records its own transmission history diverges on every mixed
+// slot, storming the table into hundreds of single-station cohorts,
+// then collapses to one shared state — the engine must merge them all
+// back while conserving the station count (all_done proves the size
+// sums survived every split and merge).
+class SplitStormStation final : public StationProtocol {
+ public:
+  static constexpr Slot kStormSlots = 12;
+
+  [[nodiscard]] double transmit_probability(Slot slot) override {
+    if (done_) return 0.0;
+    return slot < kStormSlots ? 0.5 : 0.0;
+  }
+  void feedback(Slot slot, bool transmitted, Observation) override {
+    if (done_) return;
+    if (slot + 1 < kStormSlots) {
+      history_ = history_ * 2 + (transmitted ? 1 : 0);
+    } else {
+      // Collapse: every station forgets its history and terminates in
+      // the same state, so all cohorts become mergeable at once.
+      history_ = 0;
+      done_ = true;
+    }
+  }
+  [[nodiscard]] bool done() const override { return done_; }
+  [[nodiscard]] bool is_leader() const override { return false; }
+  [[nodiscard]] std::string name() const override { return "split_storm"; }
+  [[nodiscard]] std::unique_ptr<StationProtocol> clone_station()
+      const override {
+    return std::make_unique<SplitStormStation>(*this);
+  }
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    return history_ * 2 + (done_ ? 1 : 0);
+  }
+  [[nodiscard]] bool state_equals(const StationProtocol& other) const override {
+    const auto* o = dynamic_cast<const SplitStormStation*>(&other);
+    return o != nullptr && history_ == o->history_ && done_ == o->done_;
+  }
+
+ private:
+  std::uint64_t history_ = 0;
+  bool done_ = false;
+};
+
+TEST(CohortEngineMerge, ManyCohortStormCollapsesBackToOne) {
+  constexpr std::uint64_t kN = 256;
+  AdversarySpec spec;
+  spec.n = kN;
+  std::size_t last_peak = 0;
+  TrialOutcome last{};
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    CohortEngine engine(std::make_unique<SplitStormStation>(), kN,
+                        make_adversary(spec, Rng(51).child(1)),
+                        Rng(51).child(2),
+                        {CdMode::kStrong, StopRule::kAllDone, 1000});
+    const TrialOutcome outcome = engine.run();
+    // The storm must actually shatter the table: with 12 coin-flip
+    // slots and 256 stations, far more than 64 simultaneous cohorts.
+    EXPECT_GT(engine.peak_cohorts(), 64u);
+    // ... and the collapse must merge every shard back together.
+    EXPECT_EQ(engine.num_cohorts(), 1u);
+    // all_done requires done-size sums == n: conservation through
+    // every split and bucketed merge.
+    EXPECT_TRUE(outcome.all_done);
+    EXPECT_EQ(outcome.slots, SplitStormStation::kStormSlots);
+    if (repeat == 0) {
+      last_peak = engine.peak_cohorts();
+      last = outcome;
+    } else {
+      // Determinism: the bucketed compaction is order-stable.
+      EXPECT_EQ(engine.peak_cohorts(), last_peak);
+      EXPECT_EQ(outcome.transmissions, last.transmissions);
+      EXPECT_EQ(outcome.collisions, last.collisions);
+      EXPECT_EQ(outcome.nulls, last.nulls);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace jamelect

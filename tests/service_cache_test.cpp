@@ -146,6 +146,39 @@ TEST(SweepRequestKeying, RngBackendIsPartOfTheCacheKey) {
   EXPECT_EQ(xo.cache_key(), batched.cache_key());
 }
 
+TEST(SweepServiceCache, CohortBatchIsNotKeyedAndHitsSequentialEntry) {
+  // The batched cohort engine is a pure throughput knob — per-trial
+  // outcomes are bit-identical to the sequential cohort engine — so
+  // `batch` stays out of the fingerprint for cohort requests too, and a
+  // batched request must be served from a sequentially-computed entry.
+  SweepRequest seq = small_request(9042);
+  seq.engine = "cohort";
+  seq.batch = 0;
+  SweepRequest batched = seq;
+  batched.batch = 64;
+  EXPECT_EQ(seq.cache_key(), batched.cache_key());
+
+  ServiceConfig config;
+  config.workers = 1;
+  SweepService service(config);
+  const auto first = service.submit(seq);
+  ASSERT_EQ(first.outcome, SweepService::Submit::Outcome::kAccepted);
+  const auto done = service.wait(first.id);
+  ASSERT_TRUE(done.has_value());
+  ASSERT_EQ(done->state, JobState::kDone);
+
+  // The batched twin is a cache hit on the sequential entry...
+  const auto second = service.submit(batched);
+  ASSERT_EQ(second.outcome, SweepService::Submit::Outcome::kCached);
+  EXPECT_EQ(second.result_json, done->result_json);
+  EXPECT_EQ(service.computed(), 1u);
+
+  // ...and serving it those bytes is sound: computing the batched
+  // request from scratch serializes to the identical JSON.
+  const McResult fresh = run_sweep(batched, config.runner);
+  EXPECT_EQ(mc_result_to_json(fresh).dump(), second.result_json);
+}
+
 TEST(ResultCache, RejectsHostileKeys) {
   const TempDir dir("hostile");
   ResultCache cache(dir.str());
